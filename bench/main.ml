@@ -1,0 +1,305 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Table 1, Figures 2-8), runs the ablation studies from
+   DESIGN.md, and provides Bechamel microbenchmarks of the substrates.
+
+   Default invocation (`dune exec bench/main.exe`) runs everything at paper
+   scale (35-minute simulated runs, 5 replications per point). Use --quick
+   for a shape-preserving fast pass. *)
+
+open Lsr_experiments
+
+let opts ~quick ~seed ~verbose =
+  {
+    Figures.quick;
+    seed;
+    progress =
+      (if verbose then fun msg -> Printf.eprintf "  [run] %s\n%!" msg
+       else ignore);
+    base_params = None;
+  }
+
+let emit ~csv figure =
+  Report.print_figure figure;
+  match csv with
+  | None -> ()
+  | Some dir ->
+    let path = Report.write_csv ~dir figure in
+    Printf.printf "(csv written to %s)\n%!" path
+
+let run_table1 ~quick = Report.print_table1 (Figures.params_for ~quick)
+
+let run_fig234 opts ~csv ~wanted =
+  let f2, f3, f4 = Figures.fig2_3_4 opts in
+  List.iter
+    (fun (id, figure) -> if List.mem id wanted then emit ~csv figure)
+    [ ("fig2", f2); ("fig3", f3); ("fig4", f4) ]
+
+let run_fig567 opts ~csv ~wanted =
+  let f5, f6, f7 = Figures.fig5_6_7 opts in
+  List.iter
+    (fun (id, figure) -> if List.mem id wanted then emit ~csv figure)
+    [ ("fig5", f5); ("fig6", f6); ("fig7", f7) ]
+
+let run_fig8 opts ~csv = emit ~csv (Figures.fig8 opts)
+
+let run_ablations opts ~csv ~wanted =
+  if List.mem "ablate-propagation" wanted then
+    emit ~csv (Figures.ablate_propagation opts);
+  if List.mem "ablate-applicators" wanted then
+    emit ~csv (Figures.ablate_applicators opts);
+  if List.mem "ablate-pcsi" wanted then emit ~csv (Figures.ablate_pcsi opts);
+  if List.mem "ablate-delay" wanted then emit ~csv (Figures.ablate_delay opts);
+  (* Extension study; run explicitly (kept out of `all` so the default
+     output matches the paper's evaluation set). *)
+  if List.mem "ablate-contention" wanted then
+    emit ~csv (Figures.ablate_contention opts)
+
+(* --- Bechamel microbenchmarks ---------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Lsr_storage in
+  (* A pre-populated database for read benchmarks. *)
+  let populated () =
+    let db = Mvcc.create () in
+    let txn = Mvcc.begin_txn db in
+    for i = 0 to 9_999 do
+      Mvcc.write db txn (Printf.sprintf "key:%05d" i) (Some (string_of_int i))
+    done;
+    (match Mvcc.commit db txn with
+    | Mvcc.Committed _ -> ()
+    | Mvcc.Aborted _ -> assert false);
+    db
+  in
+  let read_db = populated () in
+  let mvcc_commit =
+    Test.make ~name:"mvcc/txn-10-writes"
+      (Staged.stage (fun () ->
+           let db = Mvcc.create () in
+           let txn = Mvcc.begin_txn db in
+           for i = 0 to 9 do
+             Mvcc.write db txn (string_of_int i) (Some "v")
+           done;
+           Mvcc.commit db txn))
+  in
+  let mvcc_read =
+    let counter = ref 0 in
+    Test.make ~name:"mvcc/snapshot-read"
+      (Staged.stage (fun () ->
+           incr counter;
+           let txn = Mvcc.begin_txn read_db in
+           let v =
+             Mvcc.read read_db txn
+               (Printf.sprintf "key:%05d" (!counter mod 10_000))
+           in
+           Mvcc.end_read read_db txn;
+           v))
+  in
+  let row_codec =
+    let row =
+      [
+        ("id", Row.Int 42);
+        ("title", Row.Text "the art of lazy replication");
+        ("price", Row.Float 30.5);
+        ("in_stock", Row.Bool true);
+      ]
+    in
+    Test.make ~name:"row/encode-decode"
+      (Staged.stage (fun () -> Row.decode (Row.encode row)))
+  in
+  let replication_pipeline =
+    Test.make ~name:"replication/one-txn-end-to-end"
+      (Staged.stage (fun () ->
+           let open Lsr_core in
+           let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+           let c = System.connect sys "bench" in
+           (match System.update sys c (fun h -> Handle.put h "x" "1") with
+           | Ok () -> ()
+           | Error _ -> assert false);
+           System.pump sys))
+  in
+  let propagation_poll =
+    let open Lsr_core in
+    let primary = Primary.create () in
+    let prop = Propagation.create ~from:0 (Primary.wal primary) in
+    Test.make ~name:"replication/update+poll"
+      (Staged.stage (fun () ->
+           (match
+              Primary.execute primary (fun db txn ->
+                  Mvcc.write db txn "k" (Some "v"))
+            with
+           | Primary.Committed _ -> ()
+           | Primary.Aborted _ -> assert false);
+           Propagation.poll prop))
+  in
+  let checker_bench =
+    let open Lsr_core in
+    (* A synthetic 1000-transaction history to analyze. *)
+    let history = History.create () in
+    for i = 1 to 1000 do
+      let first_op = History.tick history in
+      let finished = History.tick history in
+      History.add history
+        {
+          History.id = History.fresh_id history;
+          session = Printf.sprintf "s%d" (i mod 20);
+          kind = (if i mod 5 = 0 then History.Update else History.Read_only);
+          site = "synthetic";
+          first_op;
+          finished;
+          snapshot = i - (i mod 3);
+          commit_ts = (if i mod 5 = 0 then Some i else None);
+          reads = [];
+          writes = [];
+        }
+    done;
+    Test.make ~name:"checker/inversions-1k-txns"
+      (Staged.stage (fun () -> Checker.inversions history))
+  in
+  let sim_engine =
+    Test.make ~name:"sim/1k-events"
+      (Staged.stage (fun () ->
+           let open Lsr_sim in
+           let eng = Engine.create () in
+           for i = 1 to 1000 do
+             ignore (Engine.schedule eng ~delay:(float_of_int i) (fun () -> ()))
+           done;
+           Engine.run eng))
+  in
+  let sim_small_run =
+    Test.make ~name:"sim/30s-replicated-system"
+      (Staged.stage (fun () ->
+           let params =
+             {
+               Lsr_workload.Params.default with
+               Lsr_workload.Params.num_secondaries = 2;
+               clients_per_secondary = 5;
+               warmup = 5.;
+               duration = 30.;
+             }
+           in
+           Sim_system.run
+             (Sim_system.config params Lsr_core.Session.Strong_session ~seed:1)))
+  in
+  [
+    mvcc_commit;
+    mvcc_read;
+    row_codec;
+    propagation_poll;
+    replication_pipeline;
+    checker_bench;
+    sim_engine;
+    sim_small_run;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.75) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+        in
+        (name, nanos, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    |> List.map (fun (name, nanos, r2) ->
+           [ name; Printf.sprintf "%.1f" nanos; Printf.sprintf "%.4f" r2 ])
+  in
+  Lsr_stats.Table_fmt.print ~title:"Microbenchmarks (Bechamel, OLS estimates)"
+    ~header:[ "benchmark"; "ns/run"; "r2" ] rows
+
+(* --- Command line ------------------------------------------------------------ *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Shorter runs and fewer replications (shape-preserving)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let seed_arg =
+  let doc = "Root random seed for the sweeps." in
+  Arg.(value & opt int 20060912 & info [ "seed" ] ~doc)
+
+let csv_arg =
+  let doc = "Also write each figure as CSV into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let verbose_arg =
+  let doc = "Print per-run progress to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let all_targets =
+  [
+    "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+    "ablate-propagation"; "ablate-applicators"; "ablate-pcsi";
+    "ablate-delay"; "micro";
+  ]
+
+(* Runnable explicitly but excluded from `all` (extension studies). *)
+let extra_targets = [ "ablate-contention" ]
+
+let targets_arg =
+  let doc =
+    "What to regenerate: table1, fig2..fig8, figures (all figures), \
+     ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
+     ablate-delay, micro or all (default)."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
+
+let expand target =
+  match target with
+  | "all" -> all_targets
+  | "figures" -> [ "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8" ]
+  | "ablations" ->
+    [ "ablate-propagation"; "ablate-applicators"; "ablate-pcsi"; "ablate-delay" ]
+  | t -> [ t ]
+
+let main quick seed csv verbose targets =
+  let wanted = List.concat_map expand targets in
+  let unknown =
+    List.filter
+      (fun t -> not (List.mem t all_targets || List.mem t extra_targets))
+      wanted
+  in
+  match unknown with
+  | t :: _ -> `Error (false, Printf.sprintf "unknown target %S" t)
+  | [] ->
+    let opts = opts ~quick ~seed ~verbose in
+    Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
+      (if quick then "quick" else "paper-scale")
+      seed;
+    if List.mem "table1" wanted then run_table1 ~quick;
+    if List.exists (fun t -> List.mem t [ "fig2"; "fig3"; "fig4" ]) wanted then
+      run_fig234 opts ~csv ~wanted;
+    if List.exists (fun t -> List.mem t [ "fig5"; "fig6"; "fig7" ]) wanted then
+      run_fig567 opts ~csv ~wanted;
+    if List.mem "fig8" wanted then run_fig8 opts ~csv;
+    run_ablations opts ~csv ~wanted;
+    if List.mem "micro" wanted then run_micro ();
+    `Ok ()
+
+let cmd =
+  let doc =
+    "regenerate the evaluation of 'Lazy Database Replication with Snapshot \
+     Isolation' (VLDB 2006)"
+  in
+  let info = Cmd.info "lsr-bench" ~doc in
+  Cmd.v info
+    Term.(
+      ret (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ targets_arg))
+
+let () = exit (Cmd.eval cmd)

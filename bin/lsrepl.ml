@@ -1,0 +1,321 @@
+(* lsrepl: command-line front end for the lazy-replication library.
+
+   - `lsrepl simulate`  runs one simulation of the replicated system and
+     prints the measured outcome (optionally validating it with the checker);
+   - `lsrepl demo`      walks the paper's bookstore scenario under a chosen
+     guarantee, showing inversions or their prevention;
+   - `lsrepl params`    prints the Table 1 parameter set;
+   - `lsrepl trace`     runs a small scripted workload and dumps the recorded
+     history with the checker's verdict. *)
+
+open Cmdliner
+open Lsr_core
+open Lsr_workload
+open Lsr_experiments
+
+let guarantee_conv =
+  let parse = function
+    | "weak" -> Ok Session.Weak
+    | "pcsi" -> Ok Session.Prefix_consistent
+    | "session" -> Ok Session.Strong_session
+    | "strong" -> Ok Session.Strong
+    | s ->
+      Error
+        (`Msg (Printf.sprintf "unknown guarantee %S (weak|pcsi|session|strong)" s))
+  in
+  let print ppf g =
+    Format.pp_print_string ppf
+      (match g with
+      | Session.Weak -> "weak"
+      | Session.Prefix_consistent -> "pcsi"
+      | Session.Strong_session -> "session"
+      | Session.Strong -> "strong")
+  in
+  Arg.conv (parse, print)
+
+let guarantee_arg =
+  let doc = "Correctness guarantee: weak, pcsi, session or strong." in
+  Arg.(value & opt guarantee_conv Session.Strong_session & info [ "guarantee"; "g" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+(* --- simulate ------------------------------------------------------------------ *)
+
+let simulate guarantee seed secondaries clients browsing duration serial ship
+    validate =
+  let params =
+    let base = if browsing then Params.browsing Params.default else Params.default in
+    {
+      base with
+      Params.num_secondaries = secondaries;
+      clients_per_secondary = clients;
+      duration;
+      warmup = min (duration /. 5.) Params.default.Params.warmup;
+    }
+  in
+  let cfg =
+    {
+      (Sim_system.config params guarantee ~seed) with
+      Sim_system.record_history = validate;
+      serial_refresh = serial;
+      ship_aborted = ship;
+    }
+  in
+  Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n%!"
+    (Session.guarantee_name guarantee)
+    secondaries clients
+    (if browsing then "95/5" else "80/20")
+    duration;
+  let o = Sim_system.run cfg in
+  let rows =
+    [
+      [ "throughput (<=3s)"; Printf.sprintf "%.2f tps" o.Sim_system.throughput_fast ];
+      [ "read-only response time"; Printf.sprintf "%.3f s" o.Sim_system.read_rt_mean ];
+      [ "read-only p95"; Printf.sprintf "%.3f s" o.Sim_system.read_rt_p95 ];
+      [ "update response time"; Printf.sprintf "%.3f s" o.Sim_system.update_rt_mean ];
+      [ "update p95"; Printf.sprintf "%.3f s" o.Sim_system.update_rt_p95 ];
+      [ "reads completed"; string_of_int o.Sim_system.reads_completed ];
+      [ "updates completed"; string_of_int o.Sim_system.updates_completed ];
+      [ "update aborts (restarted)"; string_of_int o.Sim_system.aborts ];
+      [ "reads blocked on session"; string_of_int o.Sim_system.blocked_reads ];
+      [ "mean session wait"; Printf.sprintf "%.2f s" o.Sim_system.block_wait_mean ];
+      [ "refresh transactions"; string_of_int o.Sim_system.refresh_commits ];
+      [ "mean replica staleness"; Printf.sprintf "%.2f s" o.Sim_system.refresh_staleness_mean ];
+      [ "wasted refresh operations"; string_of_int o.Sim_system.wasted_ops ];
+      [ "primary utilization"; Printf.sprintf "%.1f%%" (100. *. o.Sim_system.primary_utilization) ];
+      [ "secondary utilization"; Printf.sprintf "%.1f%%" (100. *. o.Sim_system.secondary_utilization) ];
+    ]
+  in
+  Lsr_stats.Table_fmt.print ~title:"outcome" ~header:[ "metric"; "value" ] rows;
+  if validate then
+    match o.Sim_system.check_errors with
+    | [] -> print_endline "\nchecker: run satisfies its guarantee and completeness"
+    | es ->
+      print_endline "\nchecker: VIOLATIONS FOUND";
+      List.iter (fun e -> print_endline ("  " ^ e)) es
+
+let simulate_cmd =
+  let secondaries =
+    Arg.(value & opt int 5 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
+  in
+  let clients =
+    Arg.(value & opt int 20 & info [ "clients"; "c" ] ~doc:"Clients per secondary.")
+  in
+  let browsing =
+    Arg.(value & flag & info [ "browsing" ] ~doc:"Use the 95/5 TPC-W browsing mix.")
+  in
+  let duration =
+    Arg.(value & opt float 600. & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
+  in
+  let serial =
+    Arg.(value & flag & info [ "serial-refresh" ] ~doc:"Disable concurrent applicators.")
+  in
+  let ship =
+    Arg.(value & flag & info [ "ship-aborted" ] ~doc:"Eager propagation of aborted work.")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Record the history and run the checker.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulation of the replicated system")
+    Term.(
+      const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
+      $ browsing $ duration $ serial $ ship $ validate)
+
+(* --- demo ----------------------------------------------------------------------- *)
+
+let demo guarantee =
+  let sys = System.create ~secondaries:2 ~guarantee () in
+  Printf.printf "bookstore demo under %s\n\n" (Session.guarantee_name guarantee);
+  let alice = System.connect sys "alice" in
+  (match
+     System.update sys alice (fun h ->
+         Handle.put h "order:1" "placed";
+         Handle.put h "stock:sicp" "2")
+   with
+  | Ok () -> print_endline "T_buy committed at the primary"
+  | Error _ -> print_endline "T_buy aborted");
+  (match System.read_nowait sys alice (fun h -> Handle.get h "order:1") with
+  | Some (Some v) -> Printf.printf "T_check (no waiting): order is %s\n" v
+  | Some None ->
+    print_endline
+      "T_check (no waiting): order NOT VISIBLE — transaction inversion"
+  | None ->
+    print_endline
+      "T_check would block: the session guarantee forbids the stale read");
+  let v = System.read sys alice (fun h -> Handle.get h "order:1") in
+  Printf.printf "T_check (waiting allowed): order is %s\n"
+    (Option.value ~default:"<missing>" v);
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> print_endline "\nchecker: guarantee satisfied"
+  | Error es ->
+    print_endline "\nchecker report:";
+    List.iter (fun e -> print_endline ("  " ^ e)) es
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk the paper's bookstore scenario")
+    Term.(const demo $ guarantee_arg)
+
+(* --- params ---------------------------------------------------------------------- *)
+
+let params_cmd =
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the Table 1 simulation parameters")
+    Term.(const (fun () -> Report.print_table1 Params.default) $ const ())
+
+(* --- sql -------------------------------------------------------------------------- *)
+
+(* A line-oriented SQL shell against an embedded replicated system. Each
+   line is one statement; lines starting with '\\' are meta commands. Reads
+   stdin to EOF, so scripts pipe straight in. *)
+let sql guarantee secondaries schema_spec =
+  let schema =
+    (* "books:price,stock;orders:status" *)
+    if schema_spec = "" then []
+    else
+      String.split_on_char ';' schema_spec
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun entry ->
+             match String.split_on_char ':' entry with
+             | [ table; fields ] ->
+               (table, String.split_on_char ',' fields |> List.filter (( <> ) ""))
+             | _ -> failwith (Printf.sprintf "bad schema entry %S" entry))
+  in
+  let sys = System.create ~secondaries ~schema ~guarantee () in
+  let client = ref (System.connect sys "shell") in
+  Printf.printf
+    "lsrepl sql shell — %s, %d secondaries%s\n\
+     statements end at end of line; BEGIN/COMMIT/ROLLBACK group a \
+     transaction; meta: \\pump \\connect <session> \\check \\quit\n"
+    (Session.guarantee_name guarantee)
+    secondaries
+    (if schema = [] then "" else ", indexed schema loaded");
+  let quit = ref false in
+  (* BEGIN ... COMMIT buffers statements into one transaction. *)
+  let pending : string list option ref = ref None in
+  (try
+     while not !quit do
+       print_string (match !pending with None -> "sql> " | Some _ -> "sql*> ");
+       let line = String.trim (read_line ()) in
+       let upper = String.uppercase_ascii line in
+       if line <> "" then
+         if upper = "BEGIN" then begin
+           match !pending with
+           | Some _ -> print_endline "error: already inside a transaction"
+           | None -> pending := Some []
+         end
+         else if upper = "ROLLBACK" then begin
+           pending := None;
+           print_endline "transaction discarded"
+         end
+         else if upper = "COMMIT" then begin
+           match !pending with
+           | None -> print_endline "error: no transaction in progress"
+           | Some stmts -> (
+             pending := None;
+             match Lsr_sql.Sql.run_script sys !client (List.rev stmts) with
+             | Ok results ->
+               List.iter
+                 (fun r -> print_endline (Lsr_sql.Executor.render r))
+                 results
+             | Error msg -> print_endline ("error (rolled back): " ^ msg))
+         end
+         else if !pending <> None then
+           pending :=
+             Option.map (fun stmts -> line :: stmts) !pending
+         else if String.length line > 0 && line.[0] = '\\' then begin
+           match String.split_on_char ' ' line with
+           | [ "\\quit" ] | [ "\\q" ] -> quit := true
+           | [ "\\pump" ] ->
+             System.pump sys;
+             print_endline "replicas refreshed"
+           | [ "\\connect"; label ] ->
+             client := System.connect sys label;
+             Printf.printf "session %s @ secondary %d\n" label
+               (System.client_secondary !client)
+           | [ "\\check" ] -> (
+             System.pump sys;
+             match System.check sys with
+             | Ok () -> print_endline "checker: ok"
+             | Error es -> List.iter print_endline es)
+           | _ -> print_endline "meta commands: \\pump \\connect <s> \\check \\quit"
+         end
+         else
+           match Lsr_sql.Sql.run sys !client line with
+           | Ok result -> print_endline (Lsr_sql.Executor.render result)
+           | Error msg -> print_endline ("error: " ^ msg)
+     done
+   with End_of_file -> ());
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es ->
+    print_endline "final checker report:";
+    List.iter print_endline es
+
+let sql_cmd =
+  let secondaries =
+    Arg.(value & opt int 2 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
+  in
+  let schema =
+    let doc = "Secondary indexes, e.g. \"books:price,stock;orders:status\"." in
+    Arg.(value & opt string "" & info [ "schema" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Interactive SQL shell on a replicated system")
+    Term.(const sql $ guarantee_arg $ secondaries $ schema)
+
+(* --- trace ----------------------------------------------------------------------- *)
+
+let trace guarantee seed steps =
+  let sys = System.create ~secondaries:2 ~guarantee () in
+  let clients = Array.init 3 (fun i -> System.connect sys (Printf.sprintf "c%d" i)) in
+  let rng = Lsr_sim.Rng.create seed in
+  for _ = 1 to steps do
+    let c = clients.(Lsr_sim.Rng.uniform rng ~lo:0 ~hi:2) in
+    let key = Printf.sprintf "k%d" (Lsr_sim.Rng.uniform rng ~lo:0 ~hi:5) in
+    match Lsr_sim.Rng.uniform rng ~lo:0 ~hi:3 with
+    | 0 ->
+      ignore
+        (System.update sys c (fun h ->
+             Handle.put h key (string_of_int (Lsr_sim.Rng.uniform rng ~lo:0 ~hi:99))))
+    | 1 | 2 -> ignore (System.read sys c (fun h -> Handle.get h key))
+    | _ -> System.pump sys
+  done;
+  System.pump sys;
+  print_endline "recorded history (completion order):";
+  List.iter
+    (fun txn -> Format.printf "  %a@." History.pp_txn txn)
+    (History.transactions (System.history sys));
+  let report = Checker.analyze (System.history sys) in
+  Printf.printf
+    "\nweak-SI violations: %d\ninversions (all): %d\ninversions (in-session): %d\n"
+    (List.length report.Checker.weak_si_violations)
+    (List.length report.Checker.inversions_all)
+    (List.length report.Checker.inversions_in_session);
+  List.iter
+    (fun inv -> Format.printf "  %a@." Checker.pp_inversion inv)
+    report.Checker.inversions_in_session;
+  Printf.printf "guarantee %s satisfied: %b\n"
+    (Session.guarantee_name guarantee)
+    (Checker.satisfies guarantee report)
+
+let trace_cmd =
+  let steps =
+    Arg.(value & opt int 25 & info [ "steps"; "n" ] ~doc:"Workload steps.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a random workload and dump the checked history")
+    Term.(const trace $ guarantee_arg $ seed_arg $ steps)
+
+let () =
+  let info =
+    Cmd.info "lsrepl"
+      ~doc:"lazy database replication with snapshot isolation (VLDB 2006)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ simulate_cmd; demo_cmd; params_cmd; trace_cmd; sql_cmd ]))

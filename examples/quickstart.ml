@@ -1,0 +1,56 @@
+(* Quickstart: a lazy-master replicated database in a few lines.
+
+   Run with: dune exec examples/quickstart.exe
+
+   Demonstrates the core API: create a system, connect a client session,
+   run update and read-only transactions, control lazy propagation, and see
+   why the paper's strong session SI matters. *)
+
+open Lsr_core
+
+let () =
+  (* A primary plus two secondaries, guaranteeing strong session SI. *)
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Strong_session () in
+  let alice = System.connect sys "alice" in
+
+  (* Update transactions are forwarded to the primary. *)
+  (match
+     System.update sys alice (fun h ->
+         Handle.put h "greeting" "hello, replicas!")
+   with
+  | Ok () -> print_endline "update committed at the primary"
+  | Error _ -> print_endline "update aborted");
+
+  (* Propagation is lazy: the secondaries have not heard about it yet. *)
+  Printf.printf "secondary 0 is at seq %d, primary at %d\n"
+    (Secondary.seq_dbsec (System.secondary sys 0))
+    (Lsr_storage.Mvcc.latest_commit_ts (System.primary_db sys));
+
+  (* Other sessions have no ordering constraint: they read whatever their
+     secondary currently has — fast, never waiting, possibly stale. *)
+  let bob = System.connect sys "bob" in
+  (match System.read_nowait sys bob (fun h -> Handle.get h "greeting") with
+  | Some (Some value) -> Printf.printf "bob reads without waiting: %s\n" value
+  | Some None ->
+    print_endline
+      "bob reads without waiting: <nothing> — a stale copy, and that's \
+       allowed across sessions"
+  | None -> print_endline "bob would have blocked (impossible cross-session)");
+
+  (* But Alice's session guarantee means her next read WAITS until her own
+     update is visible — no transaction inversion. *)
+  let v = System.read sys alice (fun h -> Handle.get h "greeting") in
+  Printf.printf "alice reads back: %s\n" (Option.value ~default:"<nothing>" v);
+  Printf.printf "(reads that had to wait for the session guarantee: %d)\n"
+    (System.blocked_reads sys);
+
+  (* Drive lazy replication explicitly, then everyone sees everything. *)
+  System.pump sys;
+  let fresh = System.read sys bob (fun h -> Handle.get h "greeting") in
+  Printf.printf "after pump, bob reads: %s\n"
+    (Option.value ~default:"<nothing>" fresh);
+
+  (* Every run can be verified against the paper's definitions. *)
+  match System.check sys with
+  | Ok () -> print_endline "checker: history is strong session SI + complete"
+  | Error es -> List.iter print_endline es

@@ -1,0 +1,86 @@
+(** Mechanical verification of the paper's correctness criteria over a
+    recorded {!History}, plus the completeness property of Theorem 3.1 over
+    a pair of database instances.
+
+    An {e inversion} witnesses a violation of Definition 2.1/2.2: a committed
+    transaction [t1] whose commit precedes the first operation of [t2] (in
+    wall order), yet [t2] saw a database state older than the one [t1]
+    produced (or, for a read-only [t1], older than the one [t1] observed —
+    the case-4 requirement of Theorem 4.1 that snapshots never move
+    backwards). *)
+
+open Lsr_storage
+
+type inversion = { earlier : History.txn; later : History.txn }
+
+val pp_inversion : Format.formatter -> inversion -> unit
+
+(** All inversions in wall order. [same_session_only] restricts to pairs
+    with equal session labels; [earlier_updates_only] restricts the earlier
+    transaction to committed updates — the PCSI requirement, which does not
+    order read-only transactions against each other. *)
+val inversions :
+  ?same_session_only:bool -> ?earlier_updates_only:bool -> History.t ->
+  inversion list
+
+(** [is_strong_si h] — no inversion between any pair (Definition 2.1). *)
+val is_strong_si : History.t -> bool
+
+(** [is_strong_session_si h] — no inversion within any session
+    (Definition 2.2). *)
+val is_strong_session_si : History.t -> bool
+
+(** [check_weak_si h] verifies that the history is (global) weak SI: every
+    transaction observed a transaction-consistent snapshot. Concretely, each
+    recorded read must return the value of the key in the primary state
+    sequence at the transaction's snapshot timestamp — unless the
+    transaction itself wrote the key earlier (read-your-writes; such reads
+    are checked against the pending write instead when determinable, else
+    skipped). Returns the list of violations (empty = weak SI holds). *)
+val check_weak_si : History.t -> string list
+
+(** {2 Serializability (§7, Fekete et al)}
+
+    SI is weaker than serializability: write skew produces histories that
+    are SI yet have a cycle in the multi-version serialization graph. The
+    graph is built from recorded reads/writes and snapshots:
+    - ww: consecutive writers of a key, in commit order;
+    - wr: the writer of the version a transaction read, to the reader;
+    - rw (anti-dependency): a reader of a version to the writer of the
+      {e next} version of that key.
+
+    Reads of keys the transaction itself wrote are ignored
+    (read-your-writes). *)
+
+(** [serialization_cycle h] is a dependency cycle (as history transaction
+    ids, in order) when one exists. *)
+val serialization_cycle : History.t -> int list option
+
+(** [is_serializable h] — no cycle in the serialization graph. *)
+val is_serializable : History.t -> bool
+
+(** [check_completeness ~primary ~secondary] verifies Theorem 3.1 on actual
+    database instances: the sequence of committed states of [secondary] is a
+    prefix of the primary's — same writesets installed in the same order —
+    and the final secondary state equals the corresponding primary state
+    [S^i_p]. Returns [Error message] on the first divergence. *)
+val check_completeness : primary:Mvcc.t -> secondary:Mvcc.t -> (unit, string) result
+
+(** Full report for a finished run: weak-SI violations and inversions at
+    each strictness level. *)
+type report = {
+  weak_si_violations : string list;
+  inversions_all : inversion list;  (** any pair (strong SI) *)
+  inversions_in_session : inversion list;  (** same session (strong session SI) *)
+  inversions_after_update : inversion list;
+      (** same session, earlier transaction is an update (PCSI) *)
+}
+
+val analyze : History.t -> report
+
+(** [satisfies guarantee report] — does the run meet the advertised
+    guarantee? [Weak] requires weak SI only; [Prefix_consistent] additionally
+    no in-session inversions whose earlier transaction is an update;
+    [Strong_session] no in-session inversions at all; [Strong] no inversions
+    anywhere. *)
+val satisfies : Session.guarantee -> report -> bool

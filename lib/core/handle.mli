@@ -1,0 +1,49 @@
+(** Transaction handle given to client code by {!System}.
+
+    Wraps one open {!Lsr_storage.Mvcc} transaction and records every read and
+    write into the run's {!History}, so finished executions can be checked
+    against the SI definitions. Both raw key-value and relational
+    ({!Lsr_storage.Row}) access are provided. *)
+
+open Lsr_storage
+
+type t
+
+(** Used by {!System}; client code receives handles ready-made. [schema]
+    maps table names to their indexed fields (see {!Lsr_storage.Table});
+    tables not listed have no indexes. *)
+val make : ?schema:(string * string list) list -> Mvcc.t -> Mvcc.txn -> t
+
+val db : t -> Mvcc.t
+val txn : t -> Mvcc.txn
+
+(** {2 Key-value access (recorded)} *)
+
+val get : t -> string -> string option
+val put : t -> string -> string -> unit
+val del : t -> string -> unit
+
+(** {2 Relational access (recorded)} *)
+
+val row_get : t -> table:string -> pk:string -> Row.t option
+val row_put : t -> table:string -> pk:string -> Row.t -> unit
+val row_del : t -> table:string -> pk:string -> unit
+
+(** [row_update t ~table ~pk f] rewrites a row in place; false when absent. *)
+val row_update : t -> table:string -> pk:string -> (Row.t -> Row.t) -> bool
+
+val row_scan : t -> table:string -> where:(Row.t -> bool) -> (string * Row.t) list
+
+(** [row_lookup t ~table ~field ~value] uses the table's secondary index
+    (declared in the system schema).
+    @raise Invalid_argument when the field is not indexed. *)
+val row_lookup :
+  t -> table:string -> field:string -> value:Row.scalar -> (string * Row.t) list
+
+(** Indexed fields declared for a table in the system schema. *)
+val indexed_fields : t -> table:string -> string list
+
+(** {2 Recorded operations} *)
+
+(** Reads observed so far (oldest first). *)
+val reads : t -> (string * string option) list

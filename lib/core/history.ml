@@ -1,0 +1,47 @@
+open Lsr_storage
+
+type kind =
+  | Read_only
+  | Update
+
+type txn = {
+  id : int;
+  session : string;
+  kind : kind;
+  site : string;
+  first_op : int;
+  finished : int;
+  snapshot : Timestamp.t;
+  commit_ts : Timestamp.t option;
+  reads : (string * string option) list;
+  writes : Wal.update list;
+}
+
+type t = {
+  mutable events : int;
+  mutable ids : int;
+  mutable txns : txn list;  (* newest first *)
+}
+
+let create () = { events = 0; ids = 0; txns = [] }
+
+let tick t =
+  t.events <- t.events + 1;
+  t.events
+
+let fresh_id t =
+  t.ids <- t.ids + 1;
+  t.ids
+
+let add t txn = t.txns <- txn :: t.txns
+let transactions t = List.rev t.txns
+let length t = List.length t.txns
+
+let pp_txn ppf txn =
+  Format.fprintf ppf "T%d[%s;%s;%s;ops %d..%d;snap %a%a]" txn.id txn.session
+    (match txn.kind with Read_only -> "ro" | Update -> "up")
+    txn.site txn.first_op txn.finished Timestamp.pp txn.snapshot
+    (fun ppf -> function
+      | None -> ()
+      | Some ts -> Format.fprintf ppf ";commit %a" Timestamp.pp ts)
+    txn.commit_ts

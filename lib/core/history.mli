@@ -1,0 +1,54 @@
+(** Recorded global execution histories.
+
+    The embedded system and the simulator both append one record per finished
+    transaction; {!Checker} then decides mechanically whether the history is
+    weak SI, strong session SI, or strong SI (Definitions 2.1 and 2.2), and
+    exhibits the witnessing transaction inversions when it is not.
+
+    Two orders coexist in a record:
+    - {e wall order} ([first_op], [finished]): a global, monotonically
+      increasing event counter capturing the real submission/completion order
+      across all sites — the "executes after" of the definitions;
+    - {e snapshot order} ([snapshot], [commit_ts]): primary commit
+      timestamps, i.e. positions in the sequence of database states
+      [S^0, S^1, ...]. *)
+
+open Lsr_storage
+
+type kind =
+  | Read_only
+  | Update
+
+type txn = {
+  id : int;  (** unique within the history *)
+  session : string;
+  kind : kind;
+  site : string;  (** where the transaction executed *)
+  first_op : int;  (** wall order of the transaction's first operation *)
+  finished : int;  (** wall order of its commit *)
+  snapshot : Timestamp.t;
+      (** primary commit timestamp of the database state the transaction saw *)
+  commit_ts : Timestamp.t option;
+      (** primary commit timestamp, for committed update transactions *)
+  reads : (string * string option) list;
+      (** recorded reads (key, observed value), oldest first *)
+  writes : Wal.update list;  (** effective writes, for committed updates *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [tick t] advances and returns the global event counter. *)
+val tick : t -> int
+
+(** [fresh_id t] allocates a history-unique transaction id. *)
+val fresh_id : t -> int
+
+val add : t -> txn -> unit
+
+(** Transactions in completion order. *)
+val transactions : t -> txn list
+
+val length : t -> int
+val pp_txn : Format.formatter -> txn -> unit

@@ -1,0 +1,35 @@
+open Lsr_storage
+
+let default_ticket = "$ticket$"
+
+let guard ?(ticket = default_ticket) db txn =
+  let current =
+    match Mvcc.read db txn ticket with
+    | None -> 0
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+  in
+  Mvcc.write db txn ticket (Some (string_of_int (current + 1)))
+
+let run ?(ticket = default_ticket) ?(max_attempts = 10) db body =
+  let rec attempt n =
+    if n > max_attempts then Error max_attempts
+    else begin
+      let txn = Mvcc.begin_txn db in
+      let value =
+        try body txn
+        with exn ->
+          Mvcc.abort db txn;
+          raise exn
+      in
+      guard ~ticket db txn;
+      match Mvcc.commit db txn with
+      | Mvcc.Committed ts -> Ok (value, ts)
+      | Mvcc.Aborted _ -> attempt (n + 1)
+    end
+  in
+  attempt 1
+
+let ticket_value ?(ticket = default_ticket) db =
+  match Mvcc.read_at db (Mvcc.latest_commit_ts db) ticket with
+  | None -> 0
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)

@@ -1,0 +1,38 @@
+open Lsr_storage
+
+type t = { db : Mvcc.t }
+
+let create ?(name = "primary") () = { db = Mvcc.create ~name () }
+let db t = t.db
+let wal t = Mvcc.wal t.db
+
+type 'a outcome =
+  | Committed of {
+      value : 'a;
+      commit_ts : Timestamp.t;
+      snapshot : Timestamp.t;
+      writes : Wal.update list;
+    }
+  | Aborted of Mvcc.abort_reason
+
+let execute t ?(force_abort = false) body =
+  let snapshot = Mvcc.latest_commit_ts t.db in
+  let txn = Mvcc.begin_txn t.db in
+  let value =
+    try body t.db txn
+    with exn ->
+      Mvcc.abort t.db txn;
+      raise exn
+  in
+  if force_abort then begin
+    Mvcc.abort t.db txn;
+    Aborted Mvcc.Forced
+  end
+  else begin
+    let writes = Mvcc.pending_writes txn in
+    match Mvcc.commit t.db txn with
+    | Mvcc.Committed commit_ts -> Committed { value; commit_ts; snapshot; writes }
+    | Mvcc.Aborted reason -> Aborted reason
+  end
+
+let latest_commit_ts t = Mvcc.latest_commit_ts t.db

@@ -1,0 +1,64 @@
+open Lsr_storage
+
+type t = {
+  wal : Wal.t;
+  mutable cursor : int;
+  ship_aborted : bool;
+  (* Per-transaction accumulated updates (newest first), per Algorithm 3.1's
+     update lists. *)
+  update_lists : (int, Wal.update list) Hashtbl.t;
+}
+
+let create ?from ?(ship_aborted = false) wal =
+  let cursor = match from with Some o -> o | None -> Wal.length wal in
+  { wal; cursor; ship_aborted; update_lists = Hashtbl.create 64 }
+
+let record_of_entry t entry =
+  match entry with
+  | Wal.Start { txn; ts } ->
+    Hashtbl.replace t.update_lists txn [];
+    Some (Txn_record.Start_rec { txn; start_ts = ts })
+  | Wal.Update { txn; update } ->
+    let sofar = Option.value ~default:[] (Hashtbl.find_opt t.update_lists txn) in
+    Hashtbl.replace t.update_lists txn (update :: sofar);
+    None
+  | Wal.Commit { txn; ts } ->
+    let accumulated =
+      Option.value ~default:[] (Hashtbl.find_opt t.update_lists txn)
+    in
+    Hashtbl.remove t.update_lists txn;
+    (* Squash to one update per key, last write wins, preserving first-write
+       order: the refresh transaction re-executes these verbatim. *)
+    let seen = Hashtbl.create 8 in
+    let latest = Hashtbl.create 8 in
+    List.iter
+      (fun { Wal.key; value } ->
+        if not (Hashtbl.mem latest key) then Hashtbl.add latest key value)
+      accumulated;
+    let updates =
+      List.filter_map
+        (fun { Wal.key; value = _ } ->
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some { Wal.key; value = Hashtbl.find latest key }
+          end)
+        (List.rev accumulated)
+    in
+    Some (Txn_record.Commit_rec { txn; commit_ts = ts; updates })
+  | Wal.Abort { txn } ->
+    let wasted =
+      if t.ship_aborted then
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt t.update_lists txn))
+      else []
+    in
+    Hashtbl.remove t.update_lists txn;
+    Some (Txn_record.Abort_rec { txn; wasted })
+
+let poll t =
+  let entries, next = Wal.read_from t.wal t.cursor in
+  t.cursor <- next;
+  List.filter_map (record_of_entry t) entries
+
+let position t = t.cursor
+let in_flight t = Hashtbl.length t.update_lists

@@ -1,0 +1,32 @@
+(** Primary update propagation — Algorithm 3.1.
+
+    A log sniffer over the primary's {!Lsr_storage.Wal}. Start records are
+    forwarded the moment they appear (so a long-running transaction cannot
+    stall propagation); update records are accumulated into per-transaction
+    update lists; a transaction's updates are shipped only with its commit
+    record, so work for transactions that later abort is never sent to (or
+    executed at) the secondaries. Because the log is consumed in append
+    order, emitted records are in primary timestamp order. *)
+
+open Lsr_storage
+
+type t
+
+(** [create wal] is a propagator with its cursor at the current log head,
+    i.e. it forwards entries appended from now on. Use [~from:0] to replay
+    the whole log (e.g. when attaching a fresh secondary). [ship_aborted]
+    (default false) attaches aborted transactions' update lists to their
+    abort records — the "simple method" of §3.2 whose wasted secondary work
+    the ablation benchmarks quantify. *)
+val create : ?from:int -> ?ship_aborted:bool -> Wal.t -> t
+
+(** [poll t] consumes the log entries appended since the last poll and
+    returns the records to broadcast, in order. *)
+val poll : t -> Txn_record.t list
+
+(** Log offset of the cursor (entries below it have been consumed). *)
+val position : t -> int
+
+(** Transactions whose start record was seen but whose commit/abort has not
+    yet been, i.e. in-flight at the primary (for monitoring). *)
+val in_flight : t -> int

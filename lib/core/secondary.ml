@@ -1,0 +1,170 @@
+open Lsr_storage
+
+exception Refresh_conflict of { txn : int; key : string }
+
+type applicator_phase =
+  | Applying of Wal.update list  (* updates not yet executed *)
+  | Awaiting_commit
+  | Committed_phase
+
+type applicator = {
+  primary_txn : int;
+  commit_ts : Timestamp.t;
+  refresh : Mvcc.txn;
+  mutable phase : applicator_phase;
+}
+
+type t = {
+  db : Mvcc.t;
+  update_queue : Txn_record.t Queue.t;
+  pending : Timestamp.t Queue.t;
+  (* Primary txn id -> open refresh transaction (started, not yet dispatched
+     to an applicator). *)
+  refresh_txns : (int, Mvcc.txn) Hashtbl.t;
+  mutable applicators : applicator list;
+  mutable seq_dbsec : Timestamp.t;
+  on_refresh_commit : Timestamp.t -> unit;
+}
+
+type refresher_outcome =
+  | Started of int
+  | Dispatched of applicator
+  | Aborted of int
+  | Blocked_on_pending
+  | Idle
+
+let make db on_refresh_commit =
+  {
+    db;
+    update_queue = Queue.create ();
+    pending = Queue.create ();
+    refresh_txns = Hashtbl.create 32;
+    applicators = [];
+    seq_dbsec = Timestamp.zero;
+    on_refresh_commit;
+  }
+
+let create ?(name = "secondary") ?(on_refresh_commit = fun _ -> ()) () =
+  make (Mvcc.create ~name ()) on_refresh_commit
+
+let create_from ?(name = "secondary") ?(on_refresh_commit = fun _ -> ()) backup =
+  make (Mvcc.restore ~name backup) on_refresh_commit
+
+let db t = t.db
+let enqueue t record = Queue.add record t.update_queue
+let seq_dbsec t = t.seq_dbsec
+let reseed_seq t ts = t.seq_dbsec <- ts
+
+let refresher_step t =
+  match Queue.peek_opt t.update_queue with
+  | None -> Idle
+  | Some (Txn_record.Start_rec { txn; _ }) ->
+    if not (Queue.is_empty t.pending) then Blocked_on_pending
+    else begin
+      ignore (Queue.pop t.update_queue);
+      let refresh = Mvcc.begin_txn t.db in
+      Hashtbl.replace t.refresh_txns txn refresh;
+      Started txn
+    end
+  | Some (Txn_record.Commit_rec { txn; commit_ts; updates }) ->
+    ignore (Queue.pop t.update_queue);
+    let refresh =
+      match Hashtbl.find_opt t.refresh_txns txn with
+      | Some r -> r
+      | None ->
+        (* Propagation is FIFO and starts precede commits in the log, so a
+           missing refresh transaction is a protocol violation. *)
+        invalid_arg
+          (Printf.sprintf
+             "Secondary.refresher_step: commit record for T%d without start" txn)
+    in
+    Hashtbl.remove t.refresh_txns txn;
+    Queue.add commit_ts t.pending;
+    let app =
+      { primary_txn = txn; commit_ts; refresh; phase = Applying updates }
+    in
+    t.applicators <- t.applicators @ [ app ];
+    Dispatched app
+  | Some (Txn_record.Abort_rec { txn; wasted = _ }) ->
+    ignore (Queue.pop t.update_queue);
+    (match Hashtbl.find_opt t.refresh_txns txn with
+    | Some refresh ->
+      Hashtbl.remove t.refresh_txns txn;
+      Mvcc.abort t.db refresh
+    | None -> ());
+    Aborted txn
+
+type applicator_outcome =
+  | Applied of Wal.update
+  | Waiting_commit
+  | Committed of Timestamp.t
+  | Done
+
+let applicator_step t app =
+  match app.phase with
+  | Committed_phase -> Done
+  | Applying [] ->
+    app.phase <- Awaiting_commit;
+    Waiting_commit
+  | Applying (update :: rest) ->
+    Mvcc.write t.db app.refresh update.Wal.key update.Wal.value;
+    app.phase <- (match rest with [] -> Awaiting_commit | _ -> Applying rest);
+    Applied update
+  | Awaiting_commit -> (
+    match Queue.peek_opt t.pending with
+    | Some head when Timestamp.equal head app.commit_ts -> (
+      match Mvcc.commit t.db app.refresh with
+      | Mvcc.Committed _local_ts ->
+        ignore (Queue.pop t.pending);
+        app.phase <- Committed_phase;
+        t.seq_dbsec <- app.commit_ts;
+        t.applicators <-
+          List.filter (fun a -> a.primary_txn <> app.primary_txn) t.applicators;
+        t.on_refresh_commit app.commit_ts;
+        Committed app.commit_ts
+      | Mvcc.Aborted (Mvcc.Write_conflict key) ->
+        raise (Refresh_conflict { txn = app.primary_txn; key })
+      | Mvcc.Aborted Mvcc.Forced ->
+        raise (Refresh_conflict { txn = app.primary_txn; key = "<forced>" }))
+    | Some _ | None -> Waiting_commit)
+
+let applicator_txn app = app.primary_txn
+let applicator_commit_ts app = app.commit_ts
+let applicator_local_start app = Mvcc.start_ts app.refresh
+let active_applicators t = t.applicators
+
+let drain t =
+  let committed = ref 0 in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    (* Run the refresher as far as it can go. *)
+    let refresher_live = ref true in
+    while !refresher_live do
+      match refresher_step t with
+      | Started _ | Dispatched _ | Aborted _ -> progressed := true
+      | Blocked_on_pending | Idle -> refresher_live := false
+    done;
+    (* Give every active applicator one full pass. *)
+    let apps = t.applicators in
+    List.iter
+      (fun app ->
+        let live = ref true in
+        while !live do
+          match applicator_step t app with
+          | Applied _ -> progressed := true
+          | Committed _ ->
+            incr committed;
+            progressed := true;
+            live := false
+          | Waiting_commit | Done -> live := false
+        done)
+      apps
+  done;
+  !committed
+
+let update_queue_length t = Queue.length t.update_queue
+let pending_queue_length t = Queue.length t.pending
+let peek_update t = Queue.peek_opt t.update_queue
+let pending_head t = Queue.peek_opt t.pending
+let pending_timestamps t = List.of_seq (Queue.to_seq t.pending)

@@ -1,0 +1,129 @@
+(** Secondary-site refresh machinery — Algorithms 3.2 and 3.3.
+
+    A secondary holds a full database copy, a FIFO {e update queue} of
+    propagated records, a FIFO {e pending queue} of primary commit
+    timestamps, and a set of {e applicators}, each installing one refresh
+    transaction.
+
+    The refresher consumes the update queue:
+    - a {e start} record blocks until the pending queue is empty, then opens
+      the refresh transaction (this enforces relationships 1 and 2 of §3.1:
+      a refresh transaction starts only after every refresh transaction whose
+      primary counterpart committed before this one started has committed
+      locally);
+    - a {e commit} record appends the primary commit timestamp to the pending
+      queue and hands the update list to an applicator;
+    - an {e abort} record discards the refresh transaction.
+
+    An applicator executes its transaction's updates (concurrently with other
+    applicators), then waits until its commit timestamp reaches the head of
+    the pending queue before committing — enforcing relationship 3 (local
+    commits in primary commit order). After committing it advances
+    [seq(DBsec)], the sequence number used by ALG-STRONG-SESSION-SI.
+
+    The module is a pure state machine: each transition is a [*_step]
+    function, so the embedded system can drain it synchronously while the
+    simulator interleaves steps under virtual time. *)
+
+open Lsr_storage
+
+type t
+
+exception Refresh_conflict of { txn : int; key : string }
+(** Raised if a refresh transaction fails first-committer-wins locally. The
+    propagation/refresh ordering rules make this impossible (Theorem 3.1);
+    raising loudly turns any protocol bug into a test failure. *)
+
+(** [create ~name ()] is a fresh secondary with an empty database copy.
+    [on_refresh_commit] fires after each refresh transaction commits, with
+    the primary commit timestamp just installed (used to wake blocked
+    read-only transactions). *)
+val create : ?name:string -> ?on_refresh_commit:(Timestamp.t -> unit) -> unit -> t
+
+(** [create_from backup] is a secondary whose database copy is restored from
+    a serialized primary state ({!Lsr_storage.Mvcc.serialize}) — the §3.4
+    recovery path. [seq(DBsec)] still starts at zero; reseed it with
+    {!reseed_seq}. *)
+val create_from :
+  ?name:string -> ?on_refresh_commit:(Timestamp.t -> unit) -> string -> t
+
+(** The local database copy. *)
+val db : t -> Mvcc.t
+
+(** [enqueue t record] appends a propagated record to the update queue
+    (records must arrive in primary log order; the channel is FIFO). *)
+val enqueue : t -> Txn_record.t -> unit
+
+(** [seq_dbsec t] is the primary commit timestamp of the latest refresh
+    transaction committed here — the state of this copy "in terms of the
+    primary database" (§4). *)
+val seq_dbsec : t -> Timestamp.t
+
+(** [reseed_seq t ts] reinitializes [seq(DBsec)] after recovery from a
+    database copy whose state corresponds to primary timestamp [ts] (§4's
+    dummy-transaction recovery). *)
+val reseed_seq : t -> Timestamp.t -> unit
+
+(** {2 Refresher (Algorithm 3.2)} *)
+
+type refresher_outcome =
+  | Started of int  (** opened the refresh transaction for this primary txn *)
+  | Dispatched of applicator
+      (** commit record consumed; an applicator now owns the refresh txn *)
+  | Aborted of int  (** abort record consumed *)
+  | Blocked_on_pending
+      (** head is a start record but the pending queue is not empty *)
+  | Idle  (** update queue empty *)
+
+and applicator
+
+(** One refresher iteration: examine the head of the update queue. *)
+val refresher_step : t -> refresher_outcome
+
+(** {2 Applicator (Algorithm 3.3)} *)
+
+type applicator_outcome =
+  | Applied of Wal.update  (** executed one update inside the refresh txn *)
+  | Waiting_commit
+      (** all updates executed; commit record not yet at pending-queue head *)
+  | Committed of Timestamp.t
+      (** refresh transaction committed; value is the primary commit ts *)
+  | Done  (** already committed earlier *)
+
+val applicator_step : t -> applicator -> applicator_outcome
+
+(** Primary transaction id and commit timestamp an applicator installs. *)
+val applicator_txn : applicator -> int
+
+val applicator_commit_ts : applicator -> Timestamp.t
+
+(** Local start timestamp of the refresh transaction (issued by this
+    secondary's own concurrency control when the start record was
+    processed). Lets tests verify relationships 1 and 2 of §3.1 directly. *)
+val applicator_local_start : applicator -> Timestamp.t
+
+(** Applicators dispatched but not yet committed. *)
+val active_applicators : t -> applicator list
+
+(** {2 Synchronous drain (embedded mode)} *)
+
+(** [drain t] runs refresher and applicator steps until no progress is
+    possible (update queue empty or waiting for records not yet received).
+    Returns the number of refresh transactions committed. *)
+val drain : t -> int
+
+(** {2 Introspection} *)
+
+val update_queue_length : t -> int
+val pending_queue_length : t -> int
+
+(** Head of the update queue, without consuming it (the simulator inspects
+    abort records for their wasted-work payload before stepping). *)
+val peek_update : t -> Txn_record.t option
+
+(** Head of the pending queue: the primary commit timestamp that must commit
+    locally next. *)
+val pending_head : t -> Timestamp.t option
+
+(** Pending queue contents, head first (primary commit timestamps). *)
+val pending_timestamps : t -> Timestamp.t list

@@ -1,0 +1,59 @@
+open Lsr_storage
+
+type guarantee =
+  | Weak
+  | Prefix_consistent
+  | Strong_session
+  | Strong
+
+let guarantee_name = function
+  | Weak -> "ALG-WEAK-SI"
+  | Prefix_consistent -> "ALG-PCSI"
+  | Strong_session -> "ALG-STRONG-SESSION-SI"
+  | Strong -> "ALG-STRONG-SI"
+
+let pp_guarantee ppf g = Format.pp_print_string ppf (guarantee_name g)
+let all_guarantees = [ Strong_session; Weak; Strong ]
+
+type t = {
+  guarantee : guarantee;
+  seqs : (string, Timestamp.t) Hashtbl.t;
+  read_floors : (string, Timestamp.t) Hashtbl.t;
+}
+
+let create guarantee =
+  { guarantee; seqs = Hashtbl.create 64; read_floors = Hashtbl.create 64 }
+
+let guarantee t = t.guarantee
+
+let global_label = "<global>"
+
+let effective_label t label =
+  match t.guarantee with
+  | Strong -> global_label
+  | Weak | Prefix_consistent | Strong_session -> label
+
+let lookup tbl label =
+  Option.value ~default:Timestamp.zero (Hashtbl.find_opt tbl label)
+
+let seq t label = lookup t.seqs (effective_label t label)
+let read_floor t label = lookup t.read_floors (effective_label t label)
+
+let raise_to tbl label ts =
+  if Timestamp.compare ts (lookup tbl label) > 0 then Hashtbl.replace tbl label ts
+
+let note_update_commit t ~label ~commit_ts =
+  raise_to t.seqs (effective_label t label) commit_ts
+
+let note_read t ~label ~snapshot =
+  match t.guarantee with
+  | Strong_session | Strong ->
+    raise_to t.read_floors (effective_label t label) snapshot
+  | Weak | Prefix_consistent -> ()
+
+let may_read t ~label ~seq_dbsec =
+  match t.guarantee with
+  | Weak -> true
+  | Prefix_consistent -> Timestamp.compare (seq t label) seq_dbsec <= 0
+  | Strong_session | Strong ->
+    Timestamp.compare (max (seq t label) (read_floor t label)) seq_dbsec <= 0

@@ -1,0 +1,73 @@
+(** Session labels, sequence numbers, and the correctness guarantees of the
+    paper's performance study (§4, §6), plus the related-work comparison
+    point of §7:
+
+    - [Weak] — ALG-WEAK-SI: global weak SI only; transactions never wait, and
+      transaction inversions are possible.
+    - [Strong_session] — ALG-STRONG-SESSION-SI: one sequence number [seq(c)]
+      per session; a read-only transaction from session [c] waits until
+      [seq(c) <= seq(DBsec)] at its secondary, preventing inversions within
+      the session. The session also never observes snapshots moving
+      backwards: the manager tracks the largest snapshot each session has
+      read ([read floor]), which matters when a session migrates between
+      secondaries.
+    - [Prefix_consistent] — PCSI (Elnikety et al, contrasted in §7): a
+      transaction must see the effects of earlier {e update} transactions of
+      its own session, but no ordering is enforced between two read-only
+      transactions — under secondary migration a later read may see an older
+      snapshot than an earlier one.
+    - [Strong] — ALG-STRONG-SI: a single system-wide session, i.e. a total
+      ordering constraint between all transactions.
+
+    The manager is the bookkeeping shared by both the embedded system and the
+    simulator: it maps session labels to sequence numbers and answers the
+    blocking predicate. *)
+
+open Lsr_storage
+
+type guarantee =
+  | Weak
+  | Prefix_consistent
+  | Strong_session
+  | Strong
+
+val guarantee_name : guarantee -> string
+val pp_guarantee : Format.formatter -> guarantee -> unit
+
+(** The paper's three algorithms, in plotting order (PCSI excluded). *)
+val all_guarantees : guarantee list
+
+type t
+
+val create : guarantee -> t
+val guarantee : t -> guarantee
+
+(** [effective_label t label] is the label used for ordering: the client's
+    own label normally, one global label under [Strong]. (Under [Weak] the
+    result is never consulted.) *)
+val effective_label : t -> string -> string
+
+(** [seq t label] is [seq(c)]: the primary commit timestamp of the last
+    update transaction committed by session [c] ([Timestamp.zero] if none). *)
+val seq : t -> string -> Timestamp.t
+
+(** [read_floor t label] is the largest snapshot a read-only transaction of
+    session [c] has observed (tracked under [Strong_session] and [Strong]
+    only; always [Timestamp.zero] otherwise). *)
+val read_floor : t -> string -> Timestamp.t
+
+(** [note_update_commit t ~label ~commit_ts] records that session [label]
+    committed an update transaction at the primary with [commit_ts]. *)
+val note_update_commit : t -> label:string -> commit_ts:Timestamp.t -> unit
+
+(** [note_read t ~label ~snapshot] records the snapshot a read-only
+    transaction of session [label] observed (raises the read floor under
+    [Strong_session]/[Strong]; no-op otherwise). *)
+val note_read : t -> label:string -> snapshot:Timestamp.t -> unit
+
+(** [may_read t ~label ~seq_dbsec] — may a read-only transaction from
+    session [label] start at a secondary whose copy reflects [seq_dbsec]?
+    - [Weak]: always;
+    - [Prefix_consistent]: [seq(c) <= seq_dbsec];
+    - [Strong_session] / [Strong]: [max (seq c) (read_floor c) <= seq_dbsec]. *)
+val may_read : t -> label:string -> seq_dbsec:Timestamp.t -> bool

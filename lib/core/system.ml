@@ -1,0 +1,292 @@
+open Lsr_storage
+
+type slot = {
+  mutable site : Secondary.t;
+  mutable crashed : bool;
+  (* False once the site has crashed: its state sequence is no longer a
+     prefix of the primary's, so only final-state equality can be checked. *)
+  mutable clean : bool;
+}
+
+type t = {
+  primary : Primary.t;
+  propagator : Propagation.t;
+  slots : slot array;
+  sessions : Session.t;
+  history : History.t;
+  schema : (string * string list) list;
+  mutable next_client : int;
+  mutable blocked_reads : int;
+}
+
+type client = { label : string; secondary : int }
+
+let make_slot i =
+  {
+    site = Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ();
+    crashed = false;
+    clean = true;
+  }
+
+let create ?(secondaries = 1) ?(schema = []) ~guarantee () =
+  if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
+  let primary = Primary.create () in
+  {
+    primary;
+    propagator = Propagation.create ~from:0 (Primary.wal primary);
+    slots = Array.init secondaries make_slot;
+    sessions = Session.create guarantee;
+    history = History.create ();
+    schema;
+    next_client = 0;
+    blocked_reads = 0;
+  }
+
+let guarantee t = Session.guarantee t.sessions
+let primary t = t.primary
+let primary_db t = Primary.db t.primary
+let secondaries t = Array.length t.slots
+
+let slot t i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "System: no secondary %d" i);
+  t.slots.(i)
+
+let secondary t i = (slot t i).site
+let secondary_db t i = Secondary.db (slot t i).site
+let sessions t = t.sessions
+let history t = t.history
+
+let connect t ?secondary label =
+  let secondary =
+    match secondary with
+    | Some i ->
+      ignore (slot t i);
+      i
+    | None ->
+      let i = t.next_client mod Array.length t.slots in
+      t.next_client <- t.next_client + 1;
+      i
+  in
+  { label; secondary }
+
+let client_label c = c.label
+let client_secondary c = c.secondary
+
+(* Move a session to another secondary (load balancing / failover). The
+   label is preserved, so its ordering constraints travel with it — this is
+   exactly where strong session SI and PCSI diverge. *)
+let migrate t client secondary =
+  ignore (slot t secondary);
+  { client with secondary }
+
+(* --- Replication control -------------------------------------------------- *)
+
+let propagate t =
+  let records = Propagation.poll t.propagator in
+  List.iter
+    (fun record ->
+      Array.iter
+        (fun s -> if not s.crashed then Secondary.enqueue s.site record)
+        t.slots)
+    records;
+  List.length records
+
+let refresh_one t i =
+  let s = slot t i in
+  if s.crashed then 0 else Secondary.drain s.site
+
+let refresh_all t =
+  Array.to_list t.slots
+  |> List.mapi (fun i _ -> refresh_one t i)
+  |> List.fold_left ( + ) 0
+
+let pump t =
+  ignore (propagate t);
+  ignore (refresh_all t)
+
+let blocked_reads t = t.blocked_reads
+
+let compact t =
+  Wal.truncate_before (Primary.wal t.primary) (Propagation.position t.propagator);
+  let reclaimed = ref 0 in
+  let vacuum_db db =
+    reclaimed := !reclaimed + Mvcc.vacuum db ~before:(Mvcc.latest_commit_ts db)
+  in
+  vacuum_db (Primary.db t.primary);
+  Array.iter (fun s -> if not s.crashed then vacuum_db (Secondary.db s.site)) t.slots;
+  !reclaimed
+
+(* --- Transactions ---------------------------------------------------------- *)
+
+let update t client ?force_abort body =
+  let first_op = History.tick t.history in
+  let handle_ref = ref None in
+  let wrapped db txn =
+    let h = Handle.make ~schema:t.schema db txn in
+    handle_ref := Some h;
+    body h
+  in
+  match Primary.execute t.primary ?force_abort wrapped with
+  | Primary.Committed { value; commit_ts; snapshot; writes } ->
+    Session.note_update_commit t.sessions ~label:client.label ~commit_ts;
+    let finished = History.tick t.history in
+    let reads =
+      match !handle_ref with Some h -> Handle.reads h | None -> []
+    in
+    History.add t.history
+      {
+        History.id = History.fresh_id t.history;
+        session = client.label;
+        kind = History.Update;
+        site = "primary";
+        first_op;
+        finished;
+        snapshot;
+        commit_ts = Some commit_ts;
+        reads;
+        writes;
+      };
+    Ok value
+  | Primary.Aborted reason ->
+    let finished = History.tick t.history in
+    let reads =
+      match !handle_ref with Some h -> Handle.reads h | None -> []
+    in
+    History.add t.history
+      {
+        History.id = History.fresh_id t.history;
+        session = client.label;
+        kind = History.Update;
+        site = "primary";
+        first_op;
+        finished;
+        snapshot = Timestamp.zero;
+        commit_ts = None;
+        reads;
+        writes = [];
+      };
+    Error reason
+
+let run_read t client body =
+  let s = slot t client.secondary in
+  if s.crashed then
+    failwith (Printf.sprintf "secondary %d is down" client.secondary);
+  let db = Secondary.db s.site in
+  let first_op = History.tick t.history in
+  let snapshot = Secondary.seq_dbsec s.site in
+  Session.note_read t.sessions ~label:client.label ~snapshot;
+  let txn = Mvcc.begin_txn db in
+  let h = Handle.make ~schema:t.schema db txn in
+  let value = body h in
+  Mvcc.end_read db txn;
+  let finished = History.tick t.history in
+  History.add t.history
+    {
+      History.id = History.fresh_id t.history;
+      session = client.label;
+      kind = History.Read_only;
+      site = Printf.sprintf "secondary-%d" client.secondary;
+      first_op;
+      finished;
+      snapshot;
+      commit_ts = None;
+      reads = Handle.reads h;
+      writes = [];
+    };
+  value
+
+let session_condition t client =
+  let s = slot t client.secondary in
+  Session.may_read t.sessions ~label:client.label
+    ~seq_dbsec:(Secondary.seq_dbsec s.site)
+
+let read t client body =
+  if (slot t client.secondary).crashed then
+    failwith (Printf.sprintf "secondary %d is down" client.secondary);
+  if not (session_condition t client) then begin
+    t.blocked_reads <- t.blocked_reads + 1;
+    (* Waiting for lazy replication to catch up: in the embedded system this
+       means driving propagation and refresh ourselves. One pump must
+       suffice — seq(c) only ever holds timestamps of commits already in the
+       primary log. *)
+    pump t;
+    if not (session_condition t client) then
+      failwith "System.read: session condition unsatisfiable after pump"
+  end;
+  run_read t client body
+
+let read_nowait t client body =
+  if session_condition t client then Some (run_read t client body) else None
+
+(* --- Failures -------------------------------------------------------------- *)
+
+let crash_secondary t i =
+  let s = slot t i in
+  s.crashed <- true;
+  s.clean <- false
+
+let recover_secondary t i =
+  let s = slot t i in
+  if not s.crashed then invalid_arg "System.recover_secondary: not crashed";
+  (* Install a quiesced copy of the primary database (§3.4), shipped in its
+     serialized backup form... *)
+  let backup = Mvcc.serialize (Primary.db t.primary) in
+  let fresh =
+    Secondary.create_from ~name:(Printf.sprintf "secondary-%d" i) backup
+  in
+  (* ... and reinitialize seq(DBsec) from a dummy transaction's view of the
+     primary's latest committed state (§4). *)
+  let dummy = Mvcc.begin_txn (Primary.db t.primary) in
+  let seed = Mvcc.latest_commit_ts (Primary.db t.primary) in
+  Mvcc.end_read (Primary.db t.primary) dummy;
+  Secondary.reseed_seq fresh seed;
+  s.site <- fresh;
+  s.crashed <- false
+
+let is_crashed t i = (slot t i).crashed
+
+(* --- Verification ----------------------------------------------------------- *)
+
+let check t =
+  let errors = ref [] in
+  let add_error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun i s ->
+      if not s.crashed then
+        if s.clean then begin
+          match
+            Checker.check_completeness ~primary:(Primary.db t.primary)
+              ~secondary:(Secondary.db s.site)
+          with
+          | Ok () -> ()
+          | Error e -> add_error "secondary %d: %s" i e
+        end
+        else begin
+          (* Recovered site: its history is not a prefix, but once fully
+             refreshed its state must match the primary's current state. *)
+          let expected = Mvcc.committed_state (Primary.db t.primary) in
+          let actual = Mvcc.committed_state (Secondary.db s.site) in
+          if
+            Secondary.update_queue_length s.site = 0
+            && expected <> actual
+          then add_error "recovered secondary %d diverges from primary" i
+        end)
+    t.slots;
+  let report = Checker.analyze t.history in
+  List.iter (fun v -> add_error "weak SI violation: %s" v) report.weak_si_violations;
+  if not (Checker.satisfies (guarantee t) report) then begin
+    let offending =
+      match guarantee t with
+      | Session.Strong -> report.inversions_all
+      | Session.Prefix_consistent -> report.inversions_after_update
+      | Session.Strong_session | Session.Weak -> report.inversions_in_session
+    in
+    List.iter
+      (fun inv ->
+        add_error "inversion under %s: %s"
+          (Session.guarantee_name (guarantee t))
+          (Format.asprintf "%a" Checker.pp_inversion inv))
+      offending
+  end;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,129 @@
+(** The embedded lazy-master replicated database (Figure 1).
+
+    One primary plus [n] secondaries, the propagator of Algorithm 3.1, the
+    refresh machinery of Algorithms 3.2/3.3, and the session manager of §4 —
+    all driven deterministically in a single thread. Propagation is {e lazy}:
+    updates reach the secondaries only when {!propagate}/{!pump} runs (or
+    when a blocked read forces synchronization), so staleness and transaction
+    inversions can be provoked and observed deterministically in tests and
+    examples. The simulator in [lsr_experiments] wires the same protocol
+    components to virtual time instead.
+
+    Clients connect to a secondary and submit transactions; read-only
+    transactions run at that secondary, update transactions are forwarded to
+    the primary (§3). Every finished transaction is recorded in a
+    {!History} for offline checking. *)
+
+open Lsr_storage
+
+type t
+
+(** A client session: a label and the secondary it is connected to. *)
+type client
+
+(** [create ~guarantee ~secondaries ()] builds a system with that many
+    secondary sites (default 1). [schema] maps table names to secondary
+    index declarations applied by every transaction handle (see
+    {!Lsr_storage.Table}). *)
+val create :
+  ?secondaries:int -> ?schema:(string * string list) list ->
+  guarantee:Session.guarantee -> unit -> t
+
+val guarantee : t -> Session.guarantee
+val primary : t -> Primary.t
+val primary_db : t -> Mvcc.t
+val secondaries : t -> int
+val secondary : t -> int -> Secondary.t
+val secondary_db : t -> int -> Mvcc.t
+val sessions : t -> Session.t
+val history : t -> History.t
+
+(** [connect t label] opens a client session. Clients are assigned to
+    secondaries round-robin unless [secondary] is given. A fresh [label]
+    starts a fresh session (ordering constraints never span labels). *)
+val connect : t -> ?secondary:int -> string -> client
+
+val client_label : client -> string
+val client_secondary : client -> int
+
+(** [migrate t c i] rebinds the session to secondary [i] (load balancing /
+    failover), keeping its label and therefore its ordering constraints.
+    Under [Strong_session] a migrated session still never sees snapshots
+    move backwards (the manager tracks its read floor); under
+    [Prefix_consistent] only its own updates constrain it, so a read after
+    migration may observe an older snapshot. *)
+val migrate : t -> client -> int -> client
+
+(** {2 Transactions} *)
+
+(** [update t c body] forwards an update transaction to the primary. The
+    body runs against the primary copy via a recording {!Handle}. On commit,
+    the session's [seq(c)] advances to the new primary commit timestamp.
+    [force_abort] makes the transaction abort at commit (the simulator's
+    [abort_prob]); the caller sees [Error Forced]. *)
+val update :
+  t -> client -> ?force_abort:bool -> (Handle.t -> 'a) ->
+  ('a, Mvcc.abort_reason) result
+
+(** [read t c body] runs a read-only transaction at the client's secondary.
+    Under [Strong_session]/[Strong], if the session ordering condition
+    [seq(c) <= seq(DBsec)] does not hold, the read {e waits} — which in the
+    embedded system means forcing propagation and refresh until the copy
+    catches up (equivalent to the client waiting for lazy replication).
+    Never waits under [Weak]. *)
+val read : t -> client -> (Handle.t -> 'a) -> 'a
+
+(** [read_nowait t c body] is [read] but returns [None] instead of waiting
+    when the session condition does not hold. *)
+val read_nowait : t -> client -> (Handle.t -> 'a) -> 'a option
+
+(** {2 Replication control (lazy!)} *)
+
+(** Poll the primary log and broadcast new records to every live secondary's
+    update queue. Returns the number of records shipped. *)
+val propagate : t -> int
+
+(** Drain the refresh machinery at one / all secondaries. Returns refresh
+    transactions committed. *)
+val refresh_one : t -> int -> int
+
+val refresh_all : t -> int
+
+(** [pump t] = [propagate] then [refresh_all]: bring every secondary up to
+    date with the primary. *)
+val pump : t -> unit
+
+(** Reads that had to wait for the session condition so far. *)
+val blocked_reads : t -> int
+
+(** [compact t] reclaims storage across the system: the primary log is
+    truncated below the propagator cursor (those records have been
+    broadcast to every live secondary's queue), and version chains at the
+    primary and at every live secondary are vacuumed down to their latest
+    committed version. Returns the number of versions reclaimed. Call it
+    after {!pump}: snapshot reconstruction below the current state becomes
+    unavailable, so lagging secondaries must have caught up first. *)
+val compact : t -> int
+
+(** {2 Failures (§3.4, §4)} *)
+
+(** [crash_secondary t i] drops the site's queues, refresh state and
+    database copy — everything §3.4 says is lost. Reads and writes through
+    clients of a crashed secondary raise until recovery. *)
+val crash_secondary : t -> int -> unit
+
+(** [recover_secondary t i] installs a (quiesced) copy of the primary
+    database and reinitializes [seq(DBsec)] from a dummy transaction at the
+    primary, after which the site resumes receiving propagated updates. *)
+val recover_secondary : t -> int -> unit
+
+val is_crashed : t -> int -> bool
+
+(** {2 Verification} *)
+
+(** Run the full checker battery: completeness of every never-crashed
+    secondary against the primary (Theorem 3.1), final-state equality for
+    recovered ones, weak SI of the recorded history (Theorem 3.2), and the
+    advertised session guarantee. [Error] carries human-readable
+    violations. Call after {!pump} for completeness to be meaningful. *)
+val check : t -> (unit, string list) result

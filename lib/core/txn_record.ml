@@ -1,0 +1,18 @@
+open Lsr_storage
+
+type t =
+  | Start_rec of { txn : int; start_ts : Timestamp.t }
+  | Commit_rec of { txn : int; commit_ts : Timestamp.t; updates : Wal.update list }
+  | Abort_rec of { txn : int; wasted : Wal.update list }
+
+let txn = function
+  | Start_rec { txn; _ } | Commit_rec { txn; _ } | Abort_rec { txn; _ } -> txn
+
+let pp ppf = function
+  | Start_rec { txn; start_ts } ->
+    Format.fprintf ppf "start(T%d)@%a" txn Timestamp.pp start_ts
+  | Commit_rec { txn; commit_ts; updates } ->
+    Format.fprintf ppf "commit(T%d)@%a[%d updates]" txn Timestamp.pp commit_ts
+      (List.length updates)
+  | Abort_rec { txn; wasted } ->
+    Format.fprintf ppf "abort(T%d)[%d wasted]" txn (List.length wasted)

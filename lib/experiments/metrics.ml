@@ -1,0 +1,82 @@
+open Lsr_sim
+
+type t = {
+  warmup : float;
+  cap : float;
+  mutable fast : int;
+  read_rt : Stat.t;
+  update_rt : Stat.t;
+  read_rt_hist : Lsr_stats.Histogram.t;
+  update_rt_hist : Lsr_stats.Histogram.t;
+  mutable aborts : int;
+  mutable fcw_aborts : int;
+  mutable blocked : int;
+  block_wait : Stat.t;
+  staleness : Stat.t;
+  mutable refreshes : int;
+  mutable wasted : int;
+}
+
+let create ~warmup ~cap =
+  {
+    warmup;
+    cap;
+    fast = 0;
+    read_rt = Stat.create ();
+    update_rt = Stat.create ();
+    read_rt_hist = Lsr_stats.Histogram.create ();
+    update_rt_hist = Lsr_stats.Histogram.create ();
+    aborts = 0;
+    fcw_aborts = 0;
+    blocked = 0;
+    block_wait = Stat.create ();
+    staleness = Stat.create ();
+    refreshes = 0;
+    wasted = 0;
+  }
+
+let measuring t now = now > t.warmup
+
+let note_completion t ~now ~response_time ~is_update =
+  if measuring t now then begin
+    if response_time <= t.cap then t.fast <- t.fast + 1;
+    Stat.record (if is_update then t.update_rt else t.read_rt) response_time;
+    Lsr_stats.Histogram.record
+      (if is_update then t.update_rt_hist else t.read_rt_hist)
+      response_time
+  end
+
+let note_abort t ~now = if measuring t now then t.aborts <- t.aborts + 1
+
+let note_fcw_abort t ~now =
+  if measuring t now then begin
+    t.aborts <- t.aborts + 1;
+    t.fcw_aborts <- t.fcw_aborts + 1
+  end
+
+let note_block t ~now ~wait =
+  if measuring t now then begin
+    t.blocked <- t.blocked + 1;
+    Stat.record t.block_wait wait
+  end
+
+let note_refresh t ~now ~staleness =
+  if measuring t now then begin
+    t.refreshes <- t.refreshes + 1;
+    Stat.record t.staleness staleness
+  end
+
+let note_wasted_ops t ~now n = if measuring t now then t.wasted <- t.wasted + n
+
+let fast_completions t = t.fast
+let read_rt t = t.read_rt
+let update_rt t = t.update_rt
+let read_rt_hist t = t.read_rt_hist
+let update_rt_hist t = t.update_rt_hist
+let aborts t = t.aborts
+let fcw_aborts t = t.fcw_aborts
+let blocked_reads t = t.blocked
+let block_wait t = t.block_wait
+let refresh_staleness t = t.staleness
+let refresh_commits t = t.refreshes
+let wasted_ops t = t.wasted

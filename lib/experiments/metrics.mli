@@ -1,0 +1,51 @@
+(** Per-run measurement collection for the simulated system.
+
+    The paper's throughput curves are "response time-related": they count
+    transactions finishing within 3 seconds (§6.2). Response times are
+    tallied per transaction class; all counters ignore the warm-up window. *)
+
+open Lsr_sim
+
+type t
+
+val create : warmup:float -> cap:float -> t
+
+(** [note_completion t ~now ~response_time ~is_update] records one finished
+    transaction. *)
+val note_completion : t -> now:float -> response_time:float -> is_update:bool -> unit
+
+val note_abort : t -> now:float -> unit
+
+(** A real first-committer-wins conflict at the primary (as opposed to the
+    paper's forced [abort_prob] aborts, which [note_abort] also counts). *)
+val note_fcw_abort : t -> now:float -> unit
+
+(** [note_block t ~now ~wait] — a read-only transaction waited [wait]
+    seconds for its session condition. *)
+val note_block : t -> now:float -> wait:float -> unit
+
+(** [note_refresh t ~now ~staleness] — a refresh transaction committed;
+    [staleness] is seconds since its primary commit. *)
+val note_refresh : t -> now:float -> staleness:float -> unit
+
+val note_wasted_ops : t -> now:float -> int -> unit
+
+(** {2 Reduction} *)
+
+(** Transactions finishing within the cap, post warm-up. *)
+val fast_completions : t -> int
+
+val read_rt : t -> Stat.t
+val update_rt : t -> Stat.t
+
+(** Full response-time distributions (for percentile reporting). *)
+val read_rt_hist : t -> Lsr_stats.Histogram.t
+
+val update_rt_hist : t -> Lsr_stats.Histogram.t
+val aborts : t -> int
+val fcw_aborts : t -> int
+val blocked_reads : t -> int
+val block_wait : t -> Stat.t
+val refresh_staleness : t -> Stat.t
+val refresh_commits : t -> int
+val wasted_ops : t -> int

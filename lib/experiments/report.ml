@@ -1,0 +1,88 @@
+open Lsr_stats
+
+let cell_of_interval (i : Confidence.interval) =
+  if i.Confidence.half_width = 0. then Table_fmt.float_cell i.Confidence.mean
+  else
+    Printf.sprintf "%s ±%s"
+      (Table_fmt.float_cell i.Confidence.mean)
+      (Table_fmt.float_cell i.Confidence.half_width)
+
+let xs_of (figure : Figures.figure) =
+  match figure.Figures.series with
+  | [] -> []
+  | s :: _ -> List.map (fun p -> p.Figures.x) s.Figures.points
+
+let point_for series x =
+  List.find_opt (fun p -> p.Figures.x = x) series.Figures.points
+
+let render_figure (figure : Figures.figure) =
+  let xs = xs_of figure in
+  let header =
+    figure.Figures.xlabel
+    :: List.map (fun s -> s.Figures.label) figure.Figures.series
+  in
+  let rows =
+    List.map
+      (fun x ->
+        Table_fmt.float_cell x
+        :: List.map
+             (fun s ->
+               match point_for s x with
+               | Some p -> cell_of_interval p.Figures.interval
+               | None -> "")
+             figure.Figures.series)
+      xs
+  in
+  let table = Table_fmt.render ~header rows in
+  let notes =
+    match figure.Figures.notes with
+    | [] -> ""
+    | notes -> "\n" ^ String.concat "\n" (List.map (fun n -> "note: " ^ n) notes)
+  in
+  Printf.sprintf "== %s: %s ==\ny-axis: %s\n%s%s" figure.Figures.id
+    figure.Figures.title figure.Figures.ylabel table notes
+
+let print_figure figure = Printf.printf "\n%s\n%!" (render_figure figure)
+
+let csv_of_figure (figure : Figures.figure) =
+  let xs = xs_of figure in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf figure.Figures.xlabel;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf ",%s mean,%s ci95" s.Figures.label s.Figures.label))
+    figure.Figures.series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun s ->
+          match point_for s x with
+          | Some p ->
+            Buffer.add_string buf
+              (Printf.sprintf ",%g,%g" p.Figures.interval.Confidence.mean
+                 p.Figures.interval.Confidence.half_width)
+          | None -> Buffer.add_string buf ",,")
+        figure.Figures.series;
+      Buffer.add_char buf '\n')
+    xs;
+  Buffer.contents buf
+
+let write_csv ~dir figure =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (figure.Figures.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (csv_of_figure figure);
+  close_out oc;
+  path
+
+let print_table1 params =
+  let rows =
+    List.map
+      (fun (name, description, value) -> [ name; description; value ])
+      (Lsr_workload.Params.table1_rows params)
+  in
+  Table_fmt.print ~title:"Table 1: Simulation Model Parameters"
+    ~header:[ "parameter"; "description"; "default" ] rows

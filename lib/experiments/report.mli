@@ -1,0 +1,16 @@
+(** Rendering of experiment results: paper-style series tables on stdout and
+    optional CSV dumps for plotting. *)
+
+val render_figure : Figures.figure -> string
+
+val print_figure : Figures.figure -> unit
+
+(** [csv_of_figure f] with header [x, <series> mean, <series> ci, ...]. *)
+val csv_of_figure : Figures.figure -> string
+
+(** [write_csv ~dir f] writes [<dir>/<id>.csv], creating [dir] if needed,
+    and returns the path. *)
+val write_csv : dir:string -> Figures.figure -> string
+
+(** Reprint Table 1 for a parameter set. *)
+val print_table1 : Lsr_workload.Params.t -> unit

@@ -1,0 +1,393 @@
+open Lsr_sim
+open Lsr_storage
+open Lsr_core
+open Lsr_workload
+
+type config = {
+  params : Params.t;
+  guarantee : Session.guarantee;
+  seed : int;
+  record_history : bool;
+  serial_refresh : bool;
+  ship_aborted : bool;
+  migrate_prob : float;
+}
+
+let config params guarantee ~seed =
+  {
+    params;
+    guarantee;
+    seed;
+    record_history = false;
+    serial_refresh = false;
+    ship_aborted = false;
+    migrate_prob = 0.;
+  }
+
+type outcome = {
+  throughput_fast : float;
+  read_rt_mean : float;
+  update_rt_mean : float;
+  read_rt_p95 : float;
+  update_rt_p95 : float;
+  reads_completed : int;
+  updates_completed : int;
+  aborts : int;
+  fcw_aborts : int;
+  blocked_reads : int;
+  block_wait_mean : float;
+  refresh_staleness_mean : float;
+  refresh_commits : int;
+  wasted_ops : int;
+  primary_utilization : float;
+  secondary_utilization : float;
+  check_errors : string list;
+}
+
+type sec_site = {
+  index : int;
+  sec : Secondary.t;
+  res : Resource.t;
+  queue_cond : Condition.t;  (* signalled when records arrive *)
+  pending_cond : Condition.t;  (* signalled when the pending queue pops *)
+  session_cond : Condition.t;  (* signalled after each refresh commit *)
+  mutable last_delivery : float;  (* keeps jittered deliveries FIFO *)
+}
+
+type state = {
+  cfg : config;
+  eng : Engine.t;
+  primary : Primary.t;
+  primary_res : Resource.t;
+  propagator : Propagation.t;
+  sites : sec_site array;
+  sessions : Session.t;
+  metrics : Metrics.t;
+  history : History.t;  (* used only when cfg.record_history *)
+  (* Primary commit timestamp -> virtual commit time, for staleness. *)
+  commit_times : (Timestamp.t, float) Hashtbl.t;
+  jitter_rng : Rng.t;
+  mutable label_counter : int;
+}
+
+let make_site cfg eng index =
+  let queue_cond = Condition.create () in
+  let pending_cond = Condition.create () in
+  let session_cond = Condition.create () in
+  let sec = Secondary.create ~name:(Printf.sprintf "secondary-%d" index) () in
+  ignore cfg;
+  { index; sec; res = Resource.create eng ~discipline:Resource.Processor_sharing;
+    queue_cond; pending_cond; session_cond; last_delivery = 0. }
+
+(* --- Propagator process (Algorithm 3.1 under a 10 s cycle) ---------------- *)
+
+let propagator_process st () =
+  let p = st.cfg.params in
+  let deliver site records () =
+    List.iter (Secondary.enqueue site.sec) records;
+    Condition.signal site.queue_cond
+  in
+  let rec cycle () =
+    Process.delay p.Params.propagation_delay;
+    let records = Propagation.poll st.propagator in
+    if records <> [] then
+      Array.iter
+        (fun site ->
+          if p.Params.propagation_jitter <= 0. then deliver site records ()
+          else begin
+            (* Per-destination scheduling variance; delivery times to one
+               site never reorder (the channel stays FIFO). *)
+            let now = Engine.now st.eng in
+            let at =
+              Float.max site.last_delivery
+                (now +. (Rng.float st.jitter_rng *. p.Params.propagation_jitter))
+            in
+            site.last_delivery <- at;
+            ignore
+              (Engine.schedule st.eng ~delay:(at -. now) (deliver site records))
+          end)
+        st.sites;
+    cycle ()
+  in
+  cycle ()
+
+(* --- Refresher and applicator processes (Algorithms 3.2 / 3.3) ------------ *)
+
+let run_applicator st site app =
+  let p = st.cfg.params in
+  let rec go () =
+    match Secondary.applicator_step site.sec app with
+    | Secondary.Applied _ ->
+      Resource.use site.res p.Params.op_service_time;
+      go ()
+    | Secondary.Waiting_commit ->
+      let mine = Secondary.applicator_commit_ts app in
+      Condition.await site.pending_cond (fun () ->
+          Secondary.pending_head site.sec = Some mine);
+      go ()
+    | Secondary.Committed ts ->
+      let now = Engine.now st.eng in
+      (match Hashtbl.find_opt st.commit_times ts with
+      | Some committed_at ->
+        Metrics.note_refresh st.metrics ~now ~staleness:(now -. committed_at)
+      | None -> Metrics.note_refresh st.metrics ~now ~staleness:0.);
+      Condition.signal site.pending_cond;
+      Condition.signal site.session_cond
+    | Secondary.Done -> ()
+  in
+  go ()
+
+let refresher_process st site () =
+  let p = st.cfg.params in
+  let rec loop () =
+    let head = Secondary.peek_update site.sec in
+    match Secondary.refresher_step site.sec with
+    | Secondary.Started _ -> loop ()
+    | Secondary.Aborted _ ->
+      (* The eager-propagation ablation pays for the aborted transaction's
+         updates before discarding them. *)
+      (match head with
+      | Some (Txn_record.Abort_rec { wasted; _ }) when wasted <> [] ->
+        let n = List.length wasted in
+        Resource.use site.res (float_of_int n *. p.Params.op_service_time);
+        Metrics.note_wasted_ops st.metrics ~now:(Engine.now st.eng) n
+      | Some _ | None -> ());
+      loop ()
+    | Secondary.Dispatched app ->
+      if st.cfg.serial_refresh then run_applicator st site app
+      else Process.spawn st.eng (fun () -> run_applicator st site app);
+      loop ()
+    | Secondary.Blocked_on_pending ->
+      Condition.await site.pending_cond (fun () ->
+          Secondary.pending_queue_length site.sec = 0);
+      loop ()
+    | Secondary.Idle ->
+      Condition.await site.queue_cond (fun () ->
+          Secondary.update_queue_length site.sec > 0);
+      loop ()
+  in
+  loop ()
+
+(* --- Client processes ------------------------------------------------------ *)
+
+let fresh_label st =
+  st.label_counter <- st.label_counter + 1;
+  Printf.sprintf "s%d" st.label_counter
+
+let execute_update st rng label spec =
+  let p = st.cfg.params in
+  let pdb = Primary.db st.primary in
+  let first_op = History.tick st.history in
+  let rec attempt () =
+    let snapshot = Mvcc.latest_commit_ts pdb in
+    let txn = Mvcc.begin_txn pdb in
+    let reads = ref [] in
+    List.iter
+      (fun op ->
+        Resource.use st.primary_res p.Params.op_service_time;
+        match op with
+        | Txn_gen.Read_op key ->
+          let v = Mvcc.read pdb txn key in
+          if st.cfg.record_history then reads := (key, v) :: !reads
+        | Txn_gen.Write_op (key, value) -> Mvcc.write pdb txn key (Some value))
+      spec.Txn_gen.ops;
+    if Rng.bernoulli rng ~p:p.Params.abort_prob then begin
+      Mvcc.abort pdb txn;
+      Metrics.note_abort st.metrics ~now:(Engine.now st.eng);
+      attempt ()
+    end
+    else begin
+      let writes = Mvcc.pending_writes txn in
+      match Mvcc.commit pdb txn with
+      | Mvcc.Committed commit_ts ->
+        Hashtbl.replace st.commit_times commit_ts (Engine.now st.eng);
+        Session.note_update_commit st.sessions ~label ~commit_ts;
+        if st.cfg.record_history then
+          History.add st.history
+            {
+              History.id = History.fresh_id st.history;
+              session = label;
+              kind = History.Update;
+              site = "primary";
+              first_op;
+              finished = History.tick st.history;
+              snapshot;
+              commit_ts = Some commit_ts;
+              reads = List.rev !reads;
+              writes;
+            }
+      | Mvcc.Aborted (Mvcc.Write_conflict _) ->
+        (* A real conflict under the first-committer-wins rule (key skew);
+           restart like any other abort to maintain the offered load. *)
+        Metrics.note_fcw_abort st.metrics ~now:(Engine.now st.eng);
+        attempt ()
+      | Mvcc.Aborted Mvcc.Forced ->
+        Metrics.note_abort st.metrics ~now:(Engine.now st.eng);
+        attempt ()
+    end
+  in
+  attempt ()
+
+let execute_read st site label spec =
+  let p = st.cfg.params in
+  let sdb = Secondary.db site.sec in
+  let may_read () =
+    Session.may_read st.sessions ~label ~seq_dbsec:(Secondary.seq_dbsec site.sec)
+  in
+  if not (may_read ()) then begin
+    let wait_start = Engine.now st.eng in
+    Condition.await site.session_cond may_read;
+    Metrics.note_block st.metrics ~now:(Engine.now st.eng)
+      ~wait:(Engine.now st.eng -. wait_start)
+  end;
+  let first_op = History.tick st.history in
+  let snapshot = Secondary.seq_dbsec site.sec in
+  Session.note_read st.sessions ~label ~snapshot;
+  let txn = Mvcc.begin_txn sdb in
+  let reads = ref [] in
+  List.iter
+    (fun op ->
+      Resource.use site.res p.Params.op_service_time;
+      match op with
+      | Txn_gen.Read_op key ->
+        let v = Mvcc.read sdb txn key in
+        if st.cfg.record_history then reads := (key, v) :: !reads
+      | Txn_gen.Write_op _ -> assert false (* read-only by construction *))
+    spec.Txn_gen.ops;
+  Mvcc.end_read sdb txn;
+  if st.cfg.record_history then
+    History.add st.history
+      {
+        History.id = History.fresh_id st.history;
+        session = label;
+        kind = History.Read_only;
+        site = Printf.sprintf "secondary-%d" site.index;
+        first_op;
+        finished = History.tick st.history;
+        snapshot;
+        commit_ts = None;
+        reads = List.rev !reads;
+        writes = [];
+      }
+
+let client_process st site rng () =
+  let p = st.cfg.params in
+  let label = ref (fresh_label st) in
+  let session_end = ref (Rng.exponential rng ~mean:p.Params.session_time) in
+  let rec loop () =
+    Process.delay (Rng.exponential rng ~mean:p.Params.think_time);
+    let now = Engine.now st.eng in
+    if now > !session_end then begin
+      label := fresh_label st;
+      session_end := now +. Rng.exponential rng ~mean:p.Params.session_time
+    end;
+    let spec = Txn_gen.generate p rng in
+    let t0 = Engine.now st.eng in
+    (match spec.Txn_gen.kind with
+    | Txn_gen.Update -> execute_update st rng !label spec
+    | Txn_gen.Read_only ->
+      (* Optional load-balancing migration: serve this read from a random
+         secondary instead of the home site. *)
+      let site =
+        if
+          st.cfg.migrate_prob > 0.
+          && Rng.bernoulli rng ~p:st.cfg.migrate_prob
+        then st.sites.(Rng.uniform rng ~lo:0 ~hi:(Array.length st.sites - 1))
+        else site
+      in
+      execute_read st site !label spec);
+    let now = Engine.now st.eng in
+    Metrics.note_completion st.metrics ~now ~response_time:(now -. t0)
+      ~is_update:(Txn_gen.is_update spec);
+    loop ()
+  in
+  loop ()
+
+(* --- Assembly --------------------------------------------------------------- *)
+
+let run cfg =
+  let p = cfg.params in
+  let eng = Engine.create () in
+  let primary = Primary.create () in
+  let st =
+    {
+      cfg;
+      eng;
+      primary;
+      primary_res = Resource.create eng ~discipline:Resource.Processor_sharing;
+      propagator =
+        Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted
+          (Primary.wal primary);
+      sites = Array.init p.Params.num_secondaries (make_site cfg eng);
+      sessions = Session.create cfg.guarantee;
+      metrics = Metrics.create ~warmup:p.Params.warmup ~cap:p.Params.response_time_cap;
+      history = History.create ();
+      commit_times = Hashtbl.create 4096;
+      jitter_rng = Rng.create (cfg.seed lxor 0x5EED);
+      label_counter = 0;
+    }
+  in
+  let root = Rng.create cfg.seed in
+  Process.spawn eng (propagator_process st);
+  Array.iter (fun site -> Process.spawn eng (refresher_process st site)) st.sites;
+  Array.iter
+    (fun site ->
+      for _ = 1 to p.Params.clients_per_secondary do
+        let rng = Rng.split root in
+        Process.spawn eng (client_process st site rng)
+      done)
+    st.sites;
+  Engine.run ~until:p.Params.duration eng;
+  let m = st.metrics in
+  let measured = p.Params.duration -. p.Params.warmup in
+  let check_errors =
+    if not cfg.record_history then []
+    else begin
+      let errors = ref [] in
+      let report = Checker.analyze st.history in
+      List.iter
+        (fun v -> errors := ("weak SI violation: " ^ v) :: !errors)
+        report.Checker.weak_si_violations;
+      if not (Checker.satisfies cfg.guarantee report) then
+        errors :=
+          Printf.sprintf "guarantee %s violated"
+            (Session.guarantee_name cfg.guarantee)
+          :: !errors;
+      Array.iter
+        (fun site ->
+          match
+            Checker.check_completeness ~primary:(Primary.db st.primary)
+              ~secondary:(Secondary.db site.sec)
+          with
+          | Ok () -> ()
+          | Error e ->
+            errors := Printf.sprintf "secondary %d: %s" site.index e :: !errors)
+        st.sites;
+      List.rev !errors
+    end
+  in
+  let secondary_utilization =
+    let busy =
+      Array.fold_left (fun acc site -> acc +. Resource.busy_time site.res) 0. st.sites
+    in
+    busy /. (p.Params.duration *. float_of_int (Array.length st.sites))
+  in
+  {
+    throughput_fast = float_of_int (Metrics.fast_completions m) /. measured;
+    read_rt_mean = Stat.mean (Metrics.read_rt m);
+    update_rt_mean = Stat.mean (Metrics.update_rt m);
+    read_rt_p95 = Lsr_stats.Histogram.p95 (Metrics.read_rt_hist m);
+    update_rt_p95 = Lsr_stats.Histogram.p95 (Metrics.update_rt_hist m);
+    reads_completed = Stat.count (Metrics.read_rt m);
+    updates_completed = Stat.count (Metrics.update_rt m);
+    aborts = Metrics.aborts m;
+    fcw_aborts = Metrics.fcw_aborts m;
+    blocked_reads = Metrics.blocked_reads m;
+    block_wait_mean = Stat.mean (Metrics.block_wait m);
+    refresh_staleness_mean = Stat.mean (Metrics.refresh_staleness m);
+    refresh_commits = Metrics.refresh_commits m;
+    wasted_ops = Metrics.wasted_ops m;
+    primary_utilization = Resource.busy_time st.primary_res /. p.Params.duration;
+    secondary_utilization;
+    check_errors;
+  }

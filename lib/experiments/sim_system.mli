@@ -1,0 +1,72 @@
+(** The simulated lazy-master replicated system of §5.
+
+    Wires the {e real} protocol components — {!Lsr_core.Propagation},
+    {!Lsr_core.Secondary}, {!Lsr_core.Session}, each site backed by a live
+    {!Lsr_storage.Mvcc} instance — to virtual time: every site is a shared
+    {!Lsr_sim.Resource} (the paper's round-robin server, modelled as
+    processor sharing), clients are processes that think, start sessions and
+    submit transactions per {!Lsr_workload.Params}, the propagator is a
+    10-second-cycle log sniffer, and each secondary runs one refresher
+    process plus concurrent applicator processes.
+
+    Because the data operations really execute, a run both measures
+    performance and (optionally) records a {!Lsr_core.History} that the
+    checker validates afterwards — the simulator cannot quietly violate the
+    guarantees it is measuring. *)
+
+open Lsr_core
+open Lsr_workload
+
+type config = {
+  params : Params.t;
+  guarantee : Session.guarantee;
+  seed : int;
+  record_history : bool;
+      (** record every transaction and run the checker battery at the end
+          (memory-heavy; meant for validation runs, not performance sweeps) *)
+  serial_refresh : bool;
+      (** ablation: the refresher waits for each applicator to commit before
+          processing the next record (no concurrent applicators) *)
+  ship_aborted : bool;
+      (** ablation: the "simple method" of §3.2 — aborted transactions'
+          updates are propagated and their execution cost is paid at every
+          secondary before being discarded *)
+  migrate_prob : float;
+      (** probability that a read-only transaction is served by a random
+          secondary instead of the client's home site (0 in the paper's
+          model). Exercises the strong-session-SI read floor and the PCSI
+          comparison. *)
+}
+
+(** [config params guarantee ~seed] with ablations off and no recording. *)
+val config : Params.t -> Session.guarantee -> seed:int -> config
+
+type outcome = {
+  throughput_fast : float;
+      (** transactions finishing within the response-time cap, per second of
+          measured time — the y-axis of Figures 2, 5 and 8 *)
+  read_rt_mean : float;  (** mean read-only response time (Figures 3, 6) *)
+  update_rt_mean : float;  (** mean update response time (Figures 4, 7) *)
+  read_rt_p95 : float;  (** 95th-percentile read-only response time *)
+  update_rt_p95 : float;
+  reads_completed : int;
+  updates_completed : int;
+  aborts : int;  (** all update aborts (forced + first-committer-wins) *)
+  fcw_aborts : int;
+      (** real write-write conflicts at the primary (nonzero under key
+          skew); included in [aborts] *)
+  blocked_reads : int;  (** read-only transactions that waited on seq(c) *)
+  block_wait_mean : float;
+  refresh_staleness_mean : float;
+      (** seconds between an update's primary commit and its refresh commit *)
+  refresh_commits : int;
+  wasted_ops : int;  (** update operations executed for aborted transactions *)
+  primary_utilization : float;
+  secondary_utilization : float;  (** mean over secondaries *)
+  check_errors : string list;
+      (** empty when the run satisfied its guarantee (always empty when
+          [record_history = false]) *)
+}
+
+(** [run config] executes one independent replication and reduces it. *)
+val run : config -> outcome

@@ -1,0 +1,24 @@
+(** Array-backed binary min-heap, ordered by a user-supplied comparison.
+
+    Used by {!Engine} as the pending-event queue. The heap is a mutable
+    structure; all operations are amortized O(log n) except [peek] which is
+    O(1). *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (a total order; the
+    minimum element according to [cmp] is served first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [peek h] is the minimum element, or [None] when [h] is empty. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum element.
+    @raise Invalid_argument when [h] is empty. *)
+val pop : 'a t -> 'a
+
+val clear : 'a t -> unit

@@ -1,0 +1,21 @@
+type waiter = { pred : unit -> bool; waker : unit Process.waker }
+
+type t = { mutable waiters : waiter list }
+
+let create () = { waiters = [] }
+
+(* Re-check the predicate after waking: another process scheduled for the
+   same instant may have invalidated it between signal and resumption. *)
+let rec await t pred =
+  if not (pred ()) then begin
+    Process.suspend (fun waker -> t.waiters <- { pred; waker } :: t.waiters);
+    await t pred
+  end
+
+let signal t =
+  let ready, blocked = List.partition (fun w -> w.pred ()) t.waiters in
+  t.waiters <- blocked;
+  (* Wake in registration order so equal-time resumptions are deterministic. *)
+  List.iter (fun w -> w.waker ()) (List.rev ready)
+
+let waiting t = List.length t.waiters

@@ -1,0 +1,23 @@
+(** Predicate-style waiting for processes.
+
+    A condition owns a set of parked processes, each with a predicate. When
+    {!signal} is called, every parked process whose predicate now holds is
+    resumed. This is the building block for the paper's blocking rules: a
+    refresher waiting for the pending queue to drain, or a read-only
+    transaction waiting until [seq(c) <= seq(DBsec)]. *)
+
+type t
+
+val create : unit -> t
+
+(** [await t pred] returns immediately when [pred ()] already holds;
+    otherwise parks the calling process until a [signal] finds [pred ()]
+    true. Must be called from within a process. *)
+val await : t -> (unit -> bool) -> unit
+
+(** [signal t] re-evaluates the predicates of all parked processes and wakes
+    those whose predicate holds. *)
+val signal : t -> unit
+
+(** Number of processes currently parked. *)
+val waiting : t -> int

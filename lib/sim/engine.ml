@@ -1,0 +1,76 @@
+type state = Pending | Fired | Cancelled
+
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable state : state;
+}
+
+type handle = event
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable live : int;
+  heap : event Binheap.t;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { now = 0.; seq = 0; live = 0; heap = Binheap.create ~cmp:compare_events }
+
+let now t = t.now
+
+let schedule t ~delay action =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Engine.schedule: delay must be finite and non-negative";
+  let ev = { time = t.now +. delay; seq = t.seq; action; state = Pending } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Binheap.push t.heap ev;
+  ev
+
+let cancel t ev =
+  match ev.state with
+  | Pending ->
+    ev.state <- Cancelled;
+    t.live <- t.live - 1
+  | Fired | Cancelled -> ()
+
+let rec step t =
+  if Binheap.is_empty t.heap then false
+  else begin
+    let ev = Binheap.pop t.heap in
+    match ev.state with
+    | Cancelled | Fired -> step t
+    | Pending ->
+      ev.state <- Fired;
+      t.live <- t.live - 1;
+      t.now <- ev.time;
+      ev.action ();
+      true
+  end
+
+let run ?until t =
+  let within time =
+    match until with None -> true | Some limit -> time <= limit
+  in
+  let rec loop () =
+    match Binheap.peek t.heap with
+    | None -> ()
+    | Some ev when ev.state <> Pending ->
+      ignore (Binheap.pop t.heap);
+      loop ()
+    | Some ev when within ev.time -> if step t then loop ()
+    | Some _ -> ()
+  in
+  loop ();
+  match until with
+  | Some limit -> t.now <- max t.now limit
+  | None -> ()
+
+let pending t = t.live

@@ -1,0 +1,37 @@
+(** Discrete-event simulation core: a virtual clock and an ordered queue of
+    pending events.
+
+    The engine replaces the event-scheduling layer of the CSIM package used by
+    the paper. Events scheduled for the same instant fire in scheduling order
+    (FIFO tie-breaking), which keeps simulations deterministic for a fixed
+    random seed. *)
+
+type t
+
+(** Cancellable reference to a scheduled event. *)
+type handle
+
+val create : unit -> t
+
+(** Current virtual time, in seconds. Starts at 0. *)
+val now : t -> float
+
+(** [schedule t ~delay f] arranges for [f] to run at time [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** [cancel t h] prevents a pending event from firing. Cancelling an event
+    that already fired (or was already cancelled) is a no-op. *)
+val cancel : t -> handle -> unit
+
+(** [step t] fires the earliest pending event, advancing the clock to its
+    time. Returns [false] when no events remain. *)
+val step : t -> bool
+
+(** [run ?until t] fires events until the queue drains or the clock would
+    pass [until]. When stopped by [until], the clock is set to exactly
+    [until] and remaining events stay queued. *)
+val run : ?until:float -> t -> unit
+
+(** Number of pending (non-cancelled) events. *)
+val pending : t -> int

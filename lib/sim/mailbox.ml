@@ -1,0 +1,20 @@
+type 'a t = {
+  messages : 'a Queue.t;
+  receivers : 'a Process.waker Queue.t;
+}
+
+let create () = { messages = Queue.create (); receivers = Queue.create () }
+
+let send t msg =
+  match Queue.take_opt t.receivers with
+  | Some waker -> waker msg
+  | None -> Queue.add msg t.messages
+
+let recv t =
+  match Queue.take_opt t.messages with
+  | Some msg -> msg
+  | None -> Process.suspend (fun waker -> Queue.add waker t.receivers)
+
+let peek t = Queue.peek_opt t.messages
+let length t = Queue.length t.messages
+let is_empty t = Queue.is_empty t.messages

@@ -1,0 +1,22 @@
+(** Unbounded FIFO message queue between processes.
+
+    Models the reliable, order-preserving channels the paper assumes for
+    update propagation ("propagated messages are not lost or reordered"). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send t msg] enqueues [msg] and wakes one waiting receiver, if any.
+    Never blocks; may be called from outside a process. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv t] dequeues the oldest message, parking the calling process until
+    one is available. Must be called from within a process. *)
+val recv : 'a t -> 'a
+
+(** [peek t] is the oldest message without removing it. *)
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,39 @@
+(** Process-oriented simulation on top of {!Engine}, in the style of CSIM
+    processes.
+
+    A process is an ordinary OCaml function executed under an effect handler.
+    Inside a process, {!delay} advances virtual time and {!suspend} parks the
+    process until some other party calls the waker it was given. All
+    higher-level synchronization ({!Condition}, {!Mailbox}, {!Resource}) is
+    built on these two primitives.
+
+    Processes are cooperative and single-domain: exactly one process runs at
+    any instant, so shared mutable state needs no locking. *)
+
+(** A waker resumes a suspended process with a value. Calling a waker more
+    than once is a no-op after the first call. The process resumes at the
+    current virtual time, after events already queued for that instant. *)
+type 'a waker = 'a -> unit
+
+(** [spawn engine f] starts [f] as a process at the current virtual time.
+    Exceptions escaping [f] are re-raised out of the engine's event loop. *)
+val spawn : Engine.t -> (unit -> unit) -> unit
+
+(** [spawn_at engine ~delay f] starts [f] after [delay] seconds. *)
+val spawn_at : Engine.t -> delay:float -> (unit -> unit) -> unit
+
+(** [delay seconds] suspends the calling process for [seconds] of virtual
+    time. Must be called from within a process. *)
+val delay : float -> unit
+
+(** [suspend register] parks the calling process. [register] receives the
+    waker and typically stores it in a queue; the process resumes when the
+    waker is applied. Must be called from within a process. *)
+val suspend : ('a waker -> unit) -> 'a
+
+(** [engine ()] is the engine driving the calling process.
+    @raise Failure when called outside a process. *)
+val engine : unit -> Engine.t
+
+(** [now ()] is the current virtual time of the calling process's engine. *)
+val now : unit -> float

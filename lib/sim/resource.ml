@@ -1,0 +1,144 @@
+type discipline =
+  | Fifo
+  | Round_robin of float
+  | Processor_sharing
+
+type job = { mutable remaining : float; waker : unit Process.waker }
+
+type t = {
+  eng : Engine.t;
+  discipline : discipline;
+  (* Processor sharing: the set of jobs in simultaneous service. *)
+  mutable active : job list;
+  mutable last_update : float;
+  mutable completion : Engine.handle option;
+  (* Fifo / round-robin: the waiting line and the server state. *)
+  queue : job Queue.t;
+  mutable serving : bool;
+  mutable busy : float;
+}
+
+let epsilon = 1e-9
+
+let create eng ~discipline =
+  (match discipline with
+  | Round_robin quantum when quantum <= 0. ->
+    invalid_arg "Resource.create: round-robin quantum must be positive"
+  | Fifo | Round_robin _ | Processor_sharing -> ());
+  {
+    eng;
+    discipline;
+    active = [];
+    last_update = Engine.now eng;
+    completion = None;
+    queue = Queue.create ();
+    serving = false;
+    busy = 0.;
+  }
+
+(* --- Processor sharing ---------------------------------------------------
+
+   All [n] active jobs progress at rate [1/n]. We advance the fluid state
+   lazily: on every arrival and every completion event we charge the elapsed
+   time to each job, then reschedule the next completion for the job with the
+   least remaining work. *)
+
+let ps_advance t =
+  let now = Engine.now t.eng in
+  let elapsed = now -. t.last_update in
+  let n = List.length t.active in
+  if elapsed > 0. && n > 0 then begin
+    let rate = 1. /. float_of_int n in
+    List.iter (fun j -> j.remaining <- j.remaining -. (elapsed *. rate)) t.active;
+    t.busy <- t.busy +. elapsed
+  end;
+  t.last_update <- now
+
+let rec ps_reschedule t =
+  (match t.completion with
+  | Some h ->
+    Engine.cancel t.eng h;
+    t.completion <- None
+  | None -> ());
+  match t.active with
+  | [] -> ()
+  | jobs ->
+    let least = List.fold_left (fun acc j -> min acc j.remaining) infinity jobs in
+    let n = float_of_int (List.length jobs) in
+    let delay = max 0. (least *. n) in
+    t.completion <- Some (Engine.schedule t.eng ~delay (fun () -> ps_complete t))
+
+and ps_complete t =
+  t.completion <- None;
+  ps_advance t;
+  let done_, running = List.partition (fun j -> j.remaining <= epsilon) t.active in
+  t.active <- running;
+  List.iter (fun j -> j.waker ()) done_;
+  ps_reschedule t
+
+let ps_use t amount =
+  Process.suspend (fun waker ->
+      ps_advance t;
+      t.active <- t.active @ [ { remaining = amount; waker } ];
+      ps_reschedule t)
+
+(* --- Fifo ---------------------------------------------------------------- *)
+
+let rec fifo_start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.serving <- false
+  | Some job ->
+    t.serving <- true;
+    ignore
+      (Engine.schedule t.eng ~delay:job.remaining (fun () ->
+           t.busy <- t.busy +. job.remaining;
+           job.waker ();
+           fifo_start_next t))
+
+let fifo_use t amount =
+  Process.suspend (fun waker ->
+      Queue.add { remaining = amount; waker } t.queue;
+      if not t.serving then fifo_start_next t)
+
+(* --- Round robin ---------------------------------------------------------
+
+   The head job receives at most one quantum of service, then yields the
+   server and re-enters the back of the line unless finished. This is the
+   discipline in the paper's simulation model (1 ms slice). *)
+
+let rec rr_serve_slice t quantum =
+  match Queue.take_opt t.queue with
+  | None -> t.serving <- false
+  | Some job ->
+    t.serving <- true;
+    let slice = min quantum job.remaining in
+    ignore
+      (Engine.schedule t.eng ~delay:slice (fun () ->
+           t.busy <- t.busy +. slice;
+           job.remaining <- job.remaining -. slice;
+           if job.remaining <= epsilon then job.waker ()
+           else Queue.add job t.queue;
+           rr_serve_slice t quantum))
+
+let rr_use t quantum amount =
+  Process.suspend (fun waker ->
+      Queue.add { remaining = amount; waker } t.queue;
+      if not t.serving then rr_serve_slice t quantum)
+
+(* --- Common --------------------------------------------------------------- *)
+
+let use t amount =
+  if not (Float.is_finite amount) || amount < 0. then
+    invalid_arg "Resource.use: amount must be finite and non-negative";
+  if amount > 0. then
+    match t.discipline with
+    | Processor_sharing -> ps_use t amount
+    | Fifo -> fifo_use t amount
+    | Round_robin quantum -> rr_use t quantum amount
+
+let load t =
+  match t.discipline with
+  | Processor_sharing -> List.length t.active
+  | Fifo | Round_robin _ -> Queue.length t.queue + if t.serving then 1 else 0
+
+let busy_time t = t.busy

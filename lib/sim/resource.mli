@@ -1,0 +1,36 @@
+(** A shared server with a choice of queueing disciplines.
+
+    Each site in the simulation model is one such resource ("the server is a
+    shared resource with a round-robin queueing scheme having a time slice of
+    0.001 seconds", §5). Three disciplines are provided:
+
+    - [Fifo]: jobs are served one at a time to completion, in arrival order.
+    - [Round_robin quantum]: jobs take turns receiving [quantum] seconds of
+      service — the paper's discipline, exact but event-heavy.
+    - [Processor_sharing]: the fluid limit of round-robin as the quantum goes
+      to zero; all queued jobs progress simultaneously at rate [1/n]. This is
+      the default for experiments because the paper's 1 ms slice against 20 ms
+      operations is indistinguishable from processor sharing while costing
+      20x fewer events. *)
+
+type discipline =
+  | Fifo
+  | Round_robin of float  (** time slice in seconds, must be positive *)
+  | Processor_sharing
+
+type t
+
+(** [create engine ~discipline] is a new single-server resource. *)
+val create : Engine.t -> discipline:discipline -> t
+
+(** [use t amount] consumes [amount] seconds of service, blocking the calling
+    process until the job completes under the resource's discipline. Must be
+    called from within a process.
+    @raise Invalid_argument if [amount] is negative or not finite. *)
+val use : t -> float -> unit
+
+(** Jobs currently queued or in service. *)
+val load : t -> int
+
+(** Total service time delivered so far (for utilization reporting). *)
+val busy_time : t -> float

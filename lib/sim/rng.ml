@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let float t =
+  (* Use the top 53 bits for a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  let span = hi - lo + 1 in
+  lo + int_of_float (float t *. float_of_int span)
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = float t in
+  -.mean *. log (1. -. u)
+
+let bernoulli t ~p = float t < p
+
+let zipf t ~n ~s =
+  if n < 1 then invalid_arg "Rng.zipf: n < 1";
+  if s < 0. then invalid_arg "Rng.zipf: s < 0";
+  if s = 0. then uniform t ~lo:1 ~hi:n
+  else begin
+    let u = float t in
+    let nf = float_of_int n in
+    let k =
+      if Float.abs (s -. 1.) < 1e-9 then
+        (* H(k) ~ ln k: invert u = ln k / ln n. *)
+        Float.exp (u *. Float.log nf)
+      else begin
+        (* H_s(k) ~ (k^(1-s) - 1) / (1 - s): invert the normalized CDF. *)
+        let e = 1. -. s in
+        ((u *. ((nf ** e) -. 1.)) +. 1.) ** (1. /. e)
+      end
+    in
+    max 1 (min n (int_of_float k))
+  end

@@ -1,0 +1,23 @@
+(** Streaming sample statistics (Welford accumulation).
+
+    One tally per measured quantity: response times by transaction class,
+    queue lengths, and so on. Numerically stable for long runs. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val clear : t -> unit
+
+(** [merge a b] is a fresh tally equivalent to recording both sample sets. *)
+val merge : t -> t -> t

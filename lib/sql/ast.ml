@@ -1,0 +1,164 @@
+type literal =
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Null
+
+type comparison =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type cond =
+  | True
+  | Cmp of { column : string; op : comparison; value : literal }
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type order =
+  | Asc of string
+  | Desc of string
+
+type aggregate =
+  | Count_all
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type projection =
+  | All
+  | Columns of string list
+  | Aggregates of aggregate list
+
+type statement =
+  | Select of {
+      projection : projection;
+      table : string;
+      where : cond;
+      group_by : string option;
+      having : cond;  (* filter over grouped rows; True when absent *)
+      order_by : order option;
+      limit : int option;
+    }
+  | Insert of { table : string; row : (string * literal) list }
+  | Update of { table : string; set : (string * literal) list; where : cond }
+  | Delete of { table : string; where : cond }
+  | Explain of statement
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Lossless float rendering that always lexes back as a float: %.17g
+   round-trips the value; append ".0" when it printed like an integer. *)
+let float_text f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s
+  else s ^ ".0"
+
+let pp_literal ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.pp_print_string ppf (float_text f)
+  | Text s -> Format.fprintf ppf "'%s'" (escape_text s)
+  | Bool true -> Format.pp_print_string ppf "TRUE"
+  | Bool false -> Format.pp_print_string ppf "FALSE"
+  | Null -> Format.pp_print_string ppf "NULL"
+
+let comparison_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Precedence: OR < AND < NOT < comparison. Parenthesize when a child binds
+   looser than its context requires. *)
+let rec pp_cond_prec prec ppf cond =
+  let level = function
+    | Or _ -> 1
+    | And _ -> 2
+    | Not _ -> 3
+    | Cmp _ | True -> 4
+  in
+  let wrap body =
+    if level cond < prec then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match cond with
+  | True -> Format.pp_print_string ppf "TRUE"
+  | Cmp { column; op; value } ->
+    Format.fprintf ppf "%s %s %a" column (comparison_symbol op) pp_literal value
+  (* The parser is right-associative, so the LEFT child must bind strictly
+     tighter than the operator to print without parentheses. *)
+  | And (a, b) ->
+    wrap (fun ppf ->
+        Format.fprintf ppf "%a AND %a" (pp_cond_prec 3) a (pp_cond_prec 2) b)
+  | Or (a, b) ->
+    wrap (fun ppf ->
+        Format.fprintf ppf "%a OR %a" (pp_cond_prec 2) a (pp_cond_prec 1) b)
+  | Not a -> wrap (fun ppf -> Format.fprintf ppf "NOT %a" (pp_cond_prec 4) a)
+
+let pp_cond ppf cond = pp_cond_prec 0 ppf cond
+
+let pp_assignments ppf set =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (column, value) ->
+      Format.fprintf ppf "%s = %a" column pp_literal value)
+    ppf set
+
+let aggregate_text = function
+  | Count_all -> "COUNT(*)"
+  | Sum c -> Printf.sprintf "SUM(%s)" c
+  | Avg c -> Printf.sprintf "AVG(%s)" c
+  | Min c -> Printf.sprintf "MIN(%s)" c
+  | Max c -> Printf.sprintf "MAX(%s)" c
+
+let rec pp_statement ppf = function
+  | Explain inner -> Format.fprintf ppf "EXPLAIN %a" pp_statement inner
+  | Select { projection; table; where; group_by; having; order_by; limit } ->
+    Format.fprintf ppf "SELECT %s FROM %s"
+      (match projection with
+      | All -> "*"
+      | Columns cs -> String.concat ", " cs
+      | Aggregates aggs -> String.concat ", " (List.map aggregate_text aggs))
+      table;
+    if where <> True then Format.fprintf ppf " WHERE %a" pp_cond where;
+    (match group_by with
+    | Some c -> Format.fprintf ppf " GROUP BY %s" c
+    | None -> ());
+    (match having with
+    | True -> ()
+    | cond -> Format.fprintf ppf " HAVING %a" pp_cond cond);
+    (match order_by with
+    | Some (Asc c) -> Format.fprintf ppf " ORDER BY %s ASC" c
+    | Some (Desc c) -> Format.fprintf ppf " ORDER BY %s DESC" c
+    | None -> ());
+    (match limit with
+    | Some n -> Format.fprintf ppf " LIMIT %d" n
+    | None -> ())
+  | Insert { table; row } ->
+    Format.fprintf ppf "INSERT INTO %s (%s) VALUES (%a)" table
+      (String.concat ", " (List.map fst row))
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_literal)
+      (List.map snd row)
+  | Update { table; set; where } ->
+    Format.fprintf ppf "UPDATE %s SET %a" table pp_assignments set;
+    if where <> True then Format.fprintf ppf " WHERE %a" pp_cond where
+  | Delete { table; where } ->
+    Format.fprintf ppf "DELETE FROM %s" table;
+    if where <> True then Format.fprintf ppf " WHERE %a" pp_cond where
+
+let to_string statement = Format.asprintf "%a" pp_statement statement

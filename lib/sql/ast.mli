@@ -1,0 +1,71 @@
+(** Abstract syntax of the SQL subset.
+
+    Deliberately small but useful: single-table statements whose WHERE
+    clauses are boolean combinations of column/literal comparisons. Every
+    table has a TEXT primary-key column named [pk] (the storage layer's
+    row key); INSERT must bind it. *)
+
+type literal =
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Null  (** matches absent columns *)
+
+type comparison =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type cond =
+  | True
+  | Cmp of { column : string; op : comparison; value : literal }
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type order =
+  | Asc of string
+  | Desc of string
+
+type aggregate =
+  | Count_all  (** COUNT over all matching rows *)
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type projection =
+  | All  (** the star projection *)
+  | Columns of string list
+  | Aggregates of aggregate list
+      (** e.g. [SELECT COUNT(pk), AVG(price) FROM ...] with COUNT written as
+          star in concrete syntax; aggregates and plain columns cannot be
+          mixed (no GROUP BY in this subset) *)
+
+type statement =
+  | Select of {
+      projection : projection;
+      table : string;
+      where : cond;
+      group_by : string option;
+      having : cond;  (** filter over grouped result rows; [True] if absent *)
+      order_by : order option;
+      limit : int option;
+    }
+  | Insert of { table : string; row : (string * literal) list }
+  | Update of { table : string; set : (string * literal) list; where : cond }
+  | Delete of { table : string; where : cond }
+  | Explain of statement
+      (** shows the access path (index lookup vs full scan) without
+          executing; nesting EXPLAIN is rejected by the parser *)
+
+val pp_literal : Format.formatter -> literal -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp_statement : Format.formatter -> statement -> unit
+
+(** Render back to parsable SQL (used by the parser round-trip tests). *)
+val to_string : statement -> string

@@ -1,0 +1,393 @@
+open Lsr_storage
+open Ast
+
+type result =
+  | Rows of { columns : string list option; rows : (string * Row.t) list }
+  | Affected of int
+  | Plan of string list
+
+exception Semantic_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Semantic_error s)) fmt
+
+let scalar_of_literal = function
+  | Int i -> Some (Row.Int i)
+  | Float f -> Some (Row.Float f)
+  | Text s -> Some (Row.Text s)
+  | Bool b -> Some (Row.Bool b)
+  | Null -> None
+
+(* Comparison between a stored scalar and a literal: numerics compare across
+   Int/Float; otherwise types must match. [None] = incomparable. *)
+let compare_scalar_literal scalar literal =
+  match (scalar, literal) with
+  | Row.Int a, Int b -> Some (compare a b)
+  | Row.Int a, Float b -> Some (Float.compare (float_of_int a) b)
+  | Row.Float a, Int b -> Some (Float.compare a (float_of_int b))
+  | Row.Float a, Float b -> Some (Float.compare a b)
+  | Row.Text a, Text b -> Some (String.compare a b)
+  | Row.Bool a, Bool b -> Some (Bool.compare a b)
+  | (Row.Int _ | Row.Float _ | Row.Text _ | Row.Bool _), _ -> None
+
+let eval_cmp row ~column ~op ~value =
+  match (Row.find row column, value) with
+  | None, Null -> op = Eq
+  | Some _, Null -> op = Ne
+  | None, _ -> false
+  | Some scalar, literal -> (
+    match compare_scalar_literal scalar literal with
+    | None -> false
+    | Some c -> (
+      match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0))
+
+let rec eval_cond row = function
+  | True -> true
+  | Cmp { column; op; value } -> eval_cmp row ~column ~op ~value
+  | And (a, b) -> eval_cond row a && eval_cond row b
+  | Or (a, b) -> eval_cond row a || eval_cond row b
+  | Not a -> not (eval_cond row a)
+
+(* Equality conjuncts available at the top level of the condition (the AND
+   spine): candidates for index lookups. *)
+let rec equality_conjuncts = function
+  | Cmp { column; op = Eq; value } -> (
+    match scalar_of_literal value with
+    | Some scalar -> [ (column, scalar) ]
+    | None -> [])
+  | And (a, b) -> equality_conjuncts a @ equality_conjuncts b
+  | True | Cmp _ | Or _ | Not _ -> []
+
+(* The access path for [where]: an index lookup when a top-level equality
+   conjunct hits an indexed column, otherwise a full scan. *)
+let access_path handle ~table ~where =
+  let indexed = Lsr_core.Handle.indexed_fields handle ~table in
+  List.find_opt
+    (fun (column, _) -> List.mem column indexed)
+    (equality_conjuncts where)
+
+(* Rows matching [where], through an index when one applies. *)
+let matching handle ~table ~where =
+  let candidates =
+    match access_path handle ~table ~where with
+    | Some (field, value) -> Lsr_core.Handle.row_lookup handle ~table ~field ~value
+    | None -> Lsr_core.Handle.row_scan handle ~table ~where:(fun _ -> true)
+  in
+  List.filter (fun (_, row) -> eval_cond row where) candidates
+
+let pk_of_row row =
+  match List.assoc_opt "pk" row with
+  | Some (Text s) -> s
+  | Some (Int i) -> string_of_int i
+  | Some (Float _ | Bool _ | Null) -> fail "pk must be TEXT or INT"
+  | None -> fail "INSERT must bind the pk column"
+
+let row_of_assignments assignments =
+  List.filter_map
+    (fun (column, literal) ->
+      match scalar_of_literal literal with
+      | Some scalar -> Some (column, scalar)
+      | None -> None)
+    assignments
+
+let apply_set row set =
+  List.fold_left
+    (fun row (column, literal) ->
+      match scalar_of_literal literal with
+      | Some scalar -> Row.set row column scalar
+      | None -> List.remove_assoc column row)
+    row set
+
+let order_rows order_by rows =
+  match order_by with
+  | None -> rows
+  | Some order ->
+    let column, flip =
+      match order with Asc c -> (c, 1) | Desc c -> (c, -1)
+    in
+    let compare_rows (pk_a, a) (pk_b, b) =
+      let c =
+        match (Row.find a column, Row.find b column) with
+        | None, None -> 0
+        | None, Some _ -> -1
+        | Some _, None -> 1
+        | Some x, Some y -> compare x y
+      in
+      let c = if c = 0 then String.compare pk_a pk_b else c in
+      flip * c
+    in
+    List.stable_sort compare_rows rows
+
+let truncate limit rows =
+  match limit with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+
+let project projection rows =
+  match projection with
+  | All | Aggregates _ -> rows
+  | Columns cs ->
+    List.map
+      (fun (pk, row) ->
+        ( pk,
+          List.filter_map
+            (fun c -> Option.map (fun v -> (c, v)) (Row.find row c))
+            cs ))
+      rows
+
+(* --- Aggregates -------------------------------------------------------------- *)
+
+let numeric = function
+  | Row.Int i -> Some (float_of_int i)
+  | Row.Float f -> Some f
+  | Row.Text _ | Row.Bool _ -> None
+
+let aggregate_name = function
+  | Count_all -> "count"
+  | Sum c -> "sum_" ^ c
+  | Avg c -> "avg_" ^ c
+  | Min c -> "min_" ^ c
+  | Max c -> "max_" ^ c
+
+(* [None] when the aggregate is undefined (no qualifying values), mirroring
+   SQL's NULL result for empty SUM/AVG/MIN/MAX. *)
+let eval_aggregate rows agg =
+  let column_values c =
+    List.filter_map (fun (_, row) -> Row.find row c) rows
+  in
+  match agg with
+  | Count_all -> Some (Row.Int (List.length rows))
+  | Sum c -> (
+    match List.filter_map numeric (column_values c) with
+    | [] -> None
+    | vs -> Some (Row.Float (List.fold_left ( +. ) 0. vs)))
+  | Avg c -> (
+    match List.filter_map numeric (column_values c) with
+    | [] -> None
+    | vs ->
+      Some (Row.Float (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))))
+  | Min c -> (
+    match column_values c with
+    | [] -> None
+    | v :: vs -> Some (List.fold_left min v vs))
+  | Max c -> (
+    match column_values c with
+    | [] -> None
+    | v :: vs -> Some (List.fold_left max v vs))
+
+let describe_access handle ~table ~where =
+  match access_path handle ~table ~where with
+  | Some (field, value) ->
+    Printf.sprintf "access: index lookup %s.%s = %s" table field
+      (Format.asprintf "%a" Row.pp_scalar value)
+  | None -> Printf.sprintf "access: full scan of %s" table
+
+let describe_filter where =
+  match where with
+  | True -> []
+  | _ -> [ Format.asprintf "filter: %a" pp_cond where ]
+
+let rec explain handle = function
+  | Explain inner -> explain handle inner
+  | Select { projection; table; where; group_by; having; order_by; limit } ->
+    [
+      (match projection with
+      | All -> "select *"
+      | Columns cs -> "select " ^ String.concat ", " cs
+      | Aggregates aggs ->
+        "aggregate " ^ String.concat ", " (List.map aggregate_name aggs));
+      describe_access handle ~table ~where;
+    ]
+    @ describe_filter where
+    @ (match group_by with Some c -> [ "group by " ^ c ] | None -> [])
+    @ (match having with
+      | True -> []
+      | cond -> [ Format.asprintf "having: %a" pp_cond cond ])
+    @ (match order_by with
+      | Some (Asc c) -> [ "order by " ^ c ^ " asc" ]
+      | Some (Desc c) -> [ "order by " ^ c ^ " desc" ]
+      | None -> [])
+    @ (match limit with Some n -> [ Printf.sprintf "limit %d" n ] | None -> [])
+  | Insert { table; row } ->
+    [ Printf.sprintf "point write %s[%s]" table
+        (match List.assoc_opt "pk" row with
+        | Some lit -> Format.asprintf "%a" pp_literal lit
+        | None -> "?") ]
+  | Update { table; where; set } ->
+    [
+      Printf.sprintf "update %s (%d assignments)" table (List.length set);
+      describe_access handle ~table ~where;
+    ]
+    @ describe_filter where
+  | Delete { table; where } ->
+    [ Printf.sprintf "delete from %s" table; describe_access handle ~table ~where ]
+    @ describe_filter where
+
+let execute_exn handle = function
+  | Explain inner -> Plan (explain handle inner)
+  | Select
+      { projection = Aggregates aggs; table; where; group_by = None;
+        having = _; order_by; limit } ->
+    if order_by <> None || limit <> None then
+      fail "ORDER BY / LIMIT do not apply to ungrouped aggregate queries";
+    let rows = matching handle ~table ~where in
+    let names = List.map aggregate_name aggs in
+    let row =
+      List.filter_map
+        (fun agg ->
+          Option.map (fun v -> (aggregate_name agg, v)) (eval_aggregate rows agg))
+        aggs
+    in
+    Rows { columns = Some names; rows = [ ("", row) ] }
+  | Select
+      { projection = Aggregates aggs; table; where; group_by = Some group;
+        having; order_by; limit } ->
+    let rows = matching handle ~table ~where in
+    (* Partition by the group column's value; rows lacking it form their own
+       NULL group (carried without the group field). *)
+    let buckets : (string, Row.scalar option * (string * Row.t) list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun (pk, row) ->
+        let value = Row.find row group in
+        let key =
+          match value with Some v -> Row.scalar_key v | None -> "\x00null"
+        in
+        let _, members =
+          Option.value ~default:(value, []) (Hashtbl.find_opt buckets key)
+        in
+        Hashtbl.replace buckets key (value, (pk, row) :: members))
+      rows;
+    let result_rows =
+      Hashtbl.fold
+        (fun key (value, members) acc ->
+          let aggregated =
+            List.filter_map
+              (fun agg ->
+                Option.map
+                  (fun v -> (aggregate_name agg, v))
+                  (eval_aggregate members agg))
+              aggs
+          in
+          let row =
+            match value with
+            | Some v -> (group, v) :: aggregated
+            | None -> aggregated
+          in
+          (key, row) :: acc)
+        buckets []
+      |> List.filter (fun (_, row) -> eval_cond row having)
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> order_rows order_by
+      |> truncate limit
+    in
+    Rows
+      { columns = Some (group :: List.map aggregate_name aggs); rows = result_rows }
+  | Select { projection; table; where; group_by = _; having = _; order_by; limit }
+    ->
+    let rows =
+      matching handle ~table ~where
+      |> order_rows order_by
+      |> truncate limit
+      |> project projection
+    in
+    let columns =
+      match projection with
+      | Columns cs -> Some cs
+      | All | Aggregates _ -> None
+    in
+    Rows { columns; rows }
+  | Insert { table; row } ->
+    let pk = pk_of_row row in
+    Lsr_core.Handle.row_put handle ~table ~pk (row_of_assignments row);
+    Affected 1
+  | Update { table; set; where } ->
+    let targets = matching handle ~table ~where in
+    List.iter
+      (fun (pk, row) ->
+        Lsr_core.Handle.row_put handle ~table ~pk (apply_set row set))
+      targets;
+    Affected (List.length targets)
+  | Delete { table; where } ->
+    let targets = matching handle ~table ~where in
+    List.iter (fun (pk, _) -> Lsr_core.Handle.row_del handle ~table ~pk) targets;
+    Affected (List.length targets)
+
+let execute handle stmt =
+  match execute_exn handle stmt with
+  | result -> Ok result
+  | exception Semantic_error msg -> Error msg
+
+let is_read_only = function
+  | Select _ | Explain _ -> true (* EXPLAIN never executes its statement *)
+  | Insert _ | Update _ | Delete _ -> false
+
+(* Minimal aligned text table (lsr_sql stays independent of lsr_stats). *)
+let render_table header body =
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let columns = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (List.nth header i))
+      body
+  in
+  let widths = List.init columns width in
+  let line row =
+    String.concat " | "
+      (List.mapi
+         (fun i w ->
+           let c = cell row i in
+           c ^ String.make (max 0 (w - String.length c)) ' ')
+         widths)
+  in
+  let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: rule :: List.map line body)
+
+let render = function
+  | Affected n -> Printf.sprintf "%d row%s affected" n (if n = 1 then "" else "s")
+  | Plan steps -> String.concat "\n" (List.map (fun s -> "  " ^ s) steps)
+  | Rows { columns; rows } ->
+    let header =
+      match columns with
+      | Some cs -> cs
+      | None ->
+        (* Union of observed column names, pk first. *)
+        let seen = Hashtbl.create 8 in
+        let ordered = ref [] in
+        List.iter
+          (fun (_, row) ->
+            List.iter
+              (fun (c, _) ->
+                if not (Hashtbl.mem seen c) then begin
+                  Hashtbl.add seen c ();
+                  ordered := c :: !ordered
+                end)
+              row)
+          rows;
+        "pk" :: List.filter (fun c -> c <> "pk") (List.rev !ordered)
+    in
+    let cell row c =
+      match List.assoc_opt c row with
+      | Some v -> Format.asprintf "%a" Row.pp_scalar v
+      | None -> ""
+    in
+    let body =
+      List.map
+        (fun (pk, row) ->
+          List.map
+            (fun c -> if c = "pk" && List.assoc_opt "pk" row = None then pk else cell row c)
+            header)
+        rows
+    in
+    let count_line =
+      Printf.sprintf "(%d row%s)" (List.length rows)
+        (if List.length rows = 1 then "" else "s")
+    in
+    render_table header body ^ "\n" ^ count_line

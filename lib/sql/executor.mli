@@ -1,0 +1,36 @@
+(** Executes parsed statements against a transaction {!Lsr_core.Handle}.
+
+    Because execution goes through the handle, SQL statements run inside
+    replicated transactions: route read-only statements through
+    [System.read] and updates through [System.update] and they inherit the
+    session guarantee, history recording and index maintenance for free.
+
+    Semantics notes:
+    - every table's primary key is the column [pk] (TEXT or INT); INSERT
+      must bind it, and inserting an existing [pk] replaces the row;
+    - a comparison on a column the row lacks is false, except
+      [col = NULL] (true when absent) and [col <> NULL] (true when present);
+    - [value = NULL] in INSERT/SET omits/removes the column;
+    - equality conjuncts on indexed columns are answered through the
+      secondary index instead of a scan. *)
+
+open Lsr_storage
+
+type result =
+  | Rows of { columns : string list option; rows : (string * Row.t) list }
+      (** matching rows with their primary keys, projected when [columns]
+          is [Some _]; sorted per ORDER BY (primary key by default) *)
+  | Affected of int  (** rows inserted / updated / deleted *)
+  | Plan of string list  (** EXPLAIN output, one step per line *)
+
+(** [execute handle stmt] runs one statement inside the handle's
+    transaction. Returns [Error] for semantic problems (missing [pk],
+    type-confused ORDER BY column, ...). *)
+val execute :
+  Lsr_core.Handle.t -> Ast.statement -> (result, string) Stdlib.result
+
+(** True for statements that can run in a read-only transaction. *)
+val is_read_only : Ast.statement -> bool
+
+(** Render a result as an aligned text table / affected-count line. *)
+val render : result -> string

@@ -1,0 +1,108 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int_lit i -> Format.fprintf ppf "integer %d" i
+  | Float_lit f -> Format.fprintf ppf "float %F" f
+  | String_lit s -> Format.fprintf ppf "string %S" s
+  | Symbol s -> Format.fprintf ppf "%S" s
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan pos acc =
+    if pos >= n then Ok (List.rev (Eof :: acc))
+    else
+      match input.[pos] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (pos + 1) acc
+      | '(' | ')' | ',' | '*' | '=' | ';' ->
+        scan (pos + 1) (Symbol (String.make 1 input.[pos]) :: acc)
+      | '<' ->
+        if pos + 1 < n && input.[pos + 1] = '>' then
+          scan (pos + 2) (Symbol "<>" :: acc)
+        else if pos + 1 < n && input.[pos + 1] = '=' then
+          scan (pos + 2) (Symbol "<=" :: acc)
+        else scan (pos + 1) (Symbol "<" :: acc)
+      | '>' ->
+        if pos + 1 < n && input.[pos + 1] = '=' then
+          scan (pos + 2) (Symbol ">=" :: acc)
+        else scan (pos + 1) (Symbol ">" :: acc)
+      | '!' when pos + 1 < n && input.[pos + 1] = '=' ->
+        scan (pos + 2) (Symbol "<>" :: acc)
+      | '\'' -> scan_string (pos + 1) (Buffer.create 16) acc
+      | '-' when pos + 1 < n && is_digit input.[pos + 1] ->
+        scan_number pos (pos + 1) acc
+      | c when is_digit c -> scan_number pos pos acc
+      | c when is_ident_start c -> scan_ident pos pos acc
+      | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c pos)
+  and scan_string pos buf acc =
+    if pos >= n then Error "unterminated string literal"
+    else if input.[pos] = '\'' then
+      if pos + 1 < n && input.[pos + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        scan_string (pos + 2) buf acc
+      end
+      else scan (pos + 1) (String_lit (Buffer.contents buf) :: acc)
+    else begin
+      Buffer.add_char buf input.[pos];
+      scan_string (pos + 1) buf acc
+    end
+  and scan_number start pos acc =
+    let rec digits pos =
+      if pos < n && is_digit input.[pos] then digits (pos + 1) else pos
+    in
+    let int_end = digits pos in
+    (* Fraction: '.' followed by optional digits ("100." is a float). *)
+    let frac_end =
+      if int_end < n && input.[int_end] = '.' then digits (int_end + 1)
+      else int_end
+    in
+    (* Exponent: e/E [+-] digits. *)
+    let exp_end =
+      if
+        frac_end < n
+        && (input.[frac_end] = 'e' || input.[frac_end] = 'E')
+        &&
+        let p =
+          if frac_end + 1 < n && (input.[frac_end + 1] = '+' || input.[frac_end + 1] = '-')
+          then frac_end + 2
+          else frac_end + 1
+        in
+        p < n && is_digit input.[p]
+      then begin
+        let p =
+          if input.[frac_end + 1] = '+' || input.[frac_end + 1] = '-' then
+            frac_end + 2
+          else frac_end + 1
+        in
+        digits p
+      end
+      else frac_end
+    in
+    if exp_end > int_end then begin
+      let text = String.sub input start (exp_end - start) in
+      match float_of_string_opt text with
+      | Some f -> scan exp_end (Float_lit f :: acc)
+      | None -> Error (Printf.sprintf "bad number %S" text)
+    end
+    else begin
+      let text = String.sub input start (int_end - start) in
+      match int_of_string_opt text with
+      | Some i -> scan int_end (Int_lit i :: acc)
+      | None -> Error (Printf.sprintf "bad number %S" text)
+    end
+  and scan_ident start pos acc =
+    if pos < n && is_ident_char input.[pos] then scan_ident start (pos + 1) acc
+    else scan pos (Ident (String.sub input start (pos - start)) :: acc)
+  in
+  scan 0 []

@@ -1,0 +1,19 @@
+(** Hand-rolled SQL tokenizer.
+
+    Keywords are case-insensitive; identifiers keep their case; strings are
+    single-quoted with [''] escaping doubled quotes. *)
+
+type token =
+  | Ident of string  (** identifier or keyword, normalized to uppercase when
+                         matched as a keyword by the parser *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string  (** one of ( ) , * = <> < <= > >= ; *)
+  | Eof
+
+val pp_token : Format.formatter -> token -> unit
+
+(** [tokenize input] is the token list (terminated by [Eof]), or a message
+    pointing at the offending character. *)
+val tokenize : string -> (token list, string) result

@@ -1,0 +1,285 @@
+open Ast
+
+exception Syntax_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+(* A mutable cursor over the token list. *)
+type cursor = { mutable tokens : Lexer.token list }
+
+let peek cur = match cur.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance cur =
+  match cur.tokens with [] -> () | _ :: rest -> cur.tokens <- rest
+
+let next cur =
+  let t = peek cur in
+  advance cur;
+  t
+
+(* Keyword matching: identifiers compared case-insensitively. *)
+let is_keyword kw = function
+  | Lexer.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let expect_keyword cur kw =
+  let t = next cur in
+  if not (is_keyword kw t) then
+    fail "expected %s but found %s" kw (Format.asprintf "%a" Lexer.pp_token t)
+
+let expect_symbol cur sym =
+  match next cur with
+  | Lexer.Symbol s when s = sym -> ()
+  | t -> fail "expected %S but found %s" sym (Format.asprintf "%a" Lexer.pp_token t)
+
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
+    "DELETE"; "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "ORDER"; "BY";
+    "ASC"; "DESC"; "LIMIT"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "EXPLAIN";
+    "GROUP"; "HAVING" ]
+
+let ident cur =
+  match next cur with
+  | Lexer.Ident s when not (List.mem (String.uppercase_ascii s) reserved) -> s
+  | t -> fail "expected an identifier but found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let literal cur =
+  match next cur with
+  | Lexer.Int_lit i -> Int i
+  | Lexer.Float_lit f -> Float f
+  | Lexer.String_lit s -> Text s
+  | Lexer.Ident s as t -> (
+    match String.uppercase_ascii s with
+    | "TRUE" -> Bool true
+    | "FALSE" -> Bool false
+    | "NULL" -> Null
+    | _ -> fail "expected a literal but found %s" (Format.asprintf "%a" Lexer.pp_token t))
+  | t -> fail "expected a literal but found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let comparison cur =
+  match next cur with
+  | Lexer.Symbol "=" -> Eq
+  | Lexer.Symbol "<>" -> Ne
+  | Lexer.Symbol "<" -> Lt
+  | Lexer.Symbol "<=" -> Le
+  | Lexer.Symbol ">" -> Gt
+  | Lexer.Symbol ">=" -> Ge
+  | t -> fail "expected a comparison operator but found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* Aggregate output columns ("count", "sum_x") are legal column names in
+   conditions and ORDER BY even though they collide with reserved function
+   keywords. *)
+let column_ident cur =
+  match peek cur with
+  | Lexer.Ident s
+    when List.mem (String.uppercase_ascii s)
+           [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ] ->
+    advance cur;
+    s
+  | _ -> ident cur
+
+let rec cond cur =
+  let left = conjunction cur in
+  if is_keyword "OR" (peek cur) then begin
+    advance cur;
+    Or (left, cond cur)
+  end
+  else left
+
+and conjunction cur =
+  let left = atom cur in
+  if is_keyword "AND" (peek cur) then begin
+    advance cur;
+    And (left, conjunction cur)
+  end
+  else left
+
+and atom cur =
+  match peek cur with
+  | t when is_keyword "NOT" t ->
+    advance cur;
+    Not (atom cur)
+  | t when is_keyword "TRUE" t ->
+    advance cur;
+    True
+  | Lexer.Symbol "(" ->
+    advance cur;
+    let inner = cond cur in
+    expect_symbol cur ")";
+    inner
+  | _ ->
+    let column = column_ident cur in
+    let op = comparison cur in
+    let value = literal cur in
+    Cmp { column; op; value }
+
+let where_clause cur =
+  if is_keyword "WHERE" (peek cur) then begin
+    advance cur;
+    cond cur
+  end
+  else True
+
+let comma_separated cur parse_item =
+  let rec more acc =
+    if peek cur = Lexer.Symbol "," then begin
+      advance cur;
+      more (parse_item cur :: acc)
+    end
+    else List.rev acc
+  in
+  more [ parse_item cur ]
+
+let aggregate_keyword = function
+  | Lexer.Ident s -> (
+    match String.uppercase_ascii s with
+    | ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") as kw -> Some kw
+    | _ -> None)
+  | _ -> None
+
+let aggregate cur =
+  match aggregate_keyword (peek cur) with
+  | None -> fail "expected an aggregate function"
+  | Some kw ->
+    advance cur;
+    expect_symbol cur "(";
+    let agg =
+      if kw = "COUNT" then begin
+        expect_symbol cur "*";
+        Count_all
+      end
+      else begin
+        let column = ident cur in
+        match kw with
+        | "SUM" -> Sum column
+        | "AVG" -> Avg column
+        | "MIN" -> Min column
+        | "MAX" -> Max column
+        | _ -> assert false
+      end
+    in
+    expect_symbol cur ")";
+    agg
+
+let select cur =
+  let projection =
+    if peek cur = Lexer.Symbol "*" then begin
+      advance cur;
+      All
+    end
+    else if aggregate_keyword (peek cur) <> None then
+      Aggregates (comma_separated cur aggregate)
+    else Columns (comma_separated cur ident)
+  in
+  expect_keyword cur "FROM";
+  let table = ident cur in
+  let where = where_clause cur in
+  let group_by =
+    if is_keyword "GROUP" (peek cur) then begin
+      advance cur;
+      expect_keyword cur "BY";
+      (match projection with
+      | Aggregates _ -> ()
+      | All | Columns _ -> fail "GROUP BY requires an aggregate projection");
+      Some (ident cur)
+    end
+    else None
+  in
+  let having =
+    if is_keyword "HAVING" (peek cur) then begin
+      advance cur;
+      if group_by = None then fail "HAVING requires GROUP BY";
+      cond cur
+    end
+    else True
+  in
+  let order_by =
+    if is_keyword "ORDER" (peek cur) then begin
+      advance cur;
+      expect_keyword cur "BY";
+      let column = column_ident cur in
+      if is_keyword "DESC" (peek cur) then begin
+        advance cur;
+        Some (Desc column)
+      end
+      else begin
+        if is_keyword "ASC" (peek cur) then advance cur;
+        Some (Asc column)
+      end
+    end
+    else None
+  in
+  let limit =
+    if is_keyword "LIMIT" (peek cur) then begin
+      advance cur;
+      match next cur with
+      | Lexer.Int_lit n when n >= 0 -> Some n
+      | t -> fail "expected a limit count but found %s" (Format.asprintf "%a" Lexer.pp_token t)
+    end
+    else None
+  in
+  Select { projection; table; where; group_by; having; order_by; limit }
+
+let insert cur =
+  expect_keyword cur "INTO";
+  let table = ident cur in
+  expect_symbol cur "(";
+  let columns = comma_separated cur ident in
+  expect_symbol cur ")";
+  expect_keyword cur "VALUES";
+  expect_symbol cur "(";
+  let values = comma_separated cur literal in
+  expect_symbol cur ")";
+  if List.length columns <> List.length values then
+    fail "INSERT: %d columns but %d values" (List.length columns)
+      (List.length values);
+  Insert { table; row = List.combine columns values }
+
+let update cur =
+  let table = ident cur in
+  expect_keyword cur "SET";
+  let assignment cur =
+    let column = ident cur in
+    expect_symbol cur "=";
+    let value = literal cur in
+    (column, value)
+  in
+  let set = comma_separated cur assignment in
+  let where = where_clause cur in
+  Update { table; set; where }
+
+let delete cur =
+  expect_keyword cur "FROM";
+  let table = ident cur in
+  let where = where_clause cur in
+  Delete { table; where }
+
+let statement cur =
+  let rec go ~explain_seen =
+    match next cur with
+    | t when is_keyword "SELECT" t -> select cur
+    | t when is_keyword "INSERT" t -> insert cur
+    | t when is_keyword "UPDATE" t -> update cur
+    | t when is_keyword "DELETE" t -> delete cur
+    | t when is_keyword "EXPLAIN" t ->
+      if explain_seen then fail "EXPLAIN cannot be nested"
+      else Explain (go ~explain_seen:true)
+    | t ->
+      fail "expected SELECT, INSERT, UPDATE, DELETE or EXPLAIN but found %s"
+        (Format.asprintf "%a" Lexer.pp_token t)
+  in
+  go ~explain_seen:false
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+    let cur = { tokens } in
+    match statement cur with
+    | stmt -> (
+      (* Allow one trailing semicolon, then require end of input. *)
+      if peek cur = Lexer.Symbol ";" then advance cur;
+      match peek cur with
+      | Lexer.Eof -> Ok stmt
+      | t -> Error (Format.asprintf "trailing input: %a" Lexer.pp_token t))
+    | exception Syntax_error msg -> Error msg)

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}).
+
+    Grammar (keywords case-insensitive, [;] optional):
+
+    {v
+    statement := EXPLAIN inner | inner
+    inner     := select | insert | update | delete
+    select    := SELECT ( "*" | column {"," column} | agg {"," agg} )
+                 FROM ident [WHERE cond] [GROUP BY ident [HAVING cond]]
+                 [ORDER BY ident [ASC|DESC]] [LIMIT int]
+    agg       := COUNT "(" "*" ")"
+               | (SUM | AVG | MIN | MAX) "(" ident ")"
+    insert    := INSERT INTO ident "(" ident {"," ident} ")"
+                 VALUES "(" literal {"," literal} ")"
+    update    := UPDATE ident SET ident "=" literal {"," ident "=" literal}
+                 [WHERE cond]
+    delete    := DELETE FROM ident [WHERE cond]
+    cond      := disjunct {OR disjunct}
+    disjunct  := conjunct {AND conjunct}
+    conjunct  := NOT conjunct | "(" cond ")" | TRUE
+               | ident ("=" | "<>" | "<" | "<=" | ">" | ">=") literal
+    literal   := int | float | "string" | TRUE | FALSE | NULL
+    v} *)
+
+(** [parse input] is the statement, or a human-readable syntax error. *)
+val parse : string -> (Ast.statement, string) result

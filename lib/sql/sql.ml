@@ -1,0 +1,70 @@
+let exec handle input =
+  match Parser.parse input with
+  | Error e -> Error ("syntax error: " ^ e)
+  | Ok stmt -> Executor.execute handle stmt
+
+let parse_all inputs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | input :: rest -> (
+      match Parser.parse input with
+      | Error e -> Error (Printf.sprintf "syntax error in %S: %s" input e)
+      | Ok stmt -> go (stmt :: acc) rest)
+  in
+  go [] inputs
+
+let execute_all handle stmts =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | stmt :: rest -> (
+      match Executor.execute handle stmt with
+      | Ok result -> go (result :: acc) rest
+      | Error msg -> failwith msg)
+  in
+  go [] stmts
+
+let run_script system client inputs =
+  match parse_all inputs with
+  | Error e -> Error e
+  | Ok stmts ->
+    if List.for_all Executor.is_read_only stmts then
+      match
+        Lsr_core.System.read system client (fun handle ->
+            execute_all handle stmts)
+      with
+      | results -> Ok results
+      | exception Failure msg -> Error msg
+    else begin
+      match
+        Lsr_core.System.update system client (fun handle ->
+            execute_all handle stmts)
+      with
+      | Ok results -> Ok results
+      | Error Lsr_storage.Mvcc.Forced -> Error "transaction aborted"
+      | Error (Lsr_storage.Mvcc.Write_conflict key) ->
+        Error (Printf.sprintf "write conflict on %s (first committer wins)" key)
+      | exception Failure msg -> Error msg
+    end
+
+let run system client input =
+  match Parser.parse input with
+  | Error e -> Error ("syntax error: " ^ e)
+  | Ok stmt ->
+    if Executor.is_read_only stmt then
+      Lsr_core.System.read system client (fun handle ->
+          Executor.execute handle stmt)
+    else begin
+      (* The body may fail semantically; abort the transaction in that case
+         rather than committing half a statement. *)
+      match
+        Lsr_core.System.update system client (fun handle ->
+            match Executor.execute handle stmt with
+            | Ok result -> result
+            | Error msg -> failwith msg)
+      with
+      | Ok result -> Ok result
+      | Error Lsr_storage.Mvcc.Forced -> Error "transaction aborted"
+      | Error (Lsr_storage.Mvcc.Write_conflict key) ->
+        Error (Printf.sprintf "write conflict on %s (first committer wins)" key)
+      | exception Failure msg -> Error msg
+    end

@@ -1,0 +1,27 @@
+(** Convenience entry points: parse-and-execute SQL against the replicated
+    system or a raw transaction handle.
+
+    Read-only statements run as read-only transactions at the client's
+    secondary (subject to the session guarantee); everything else is
+    forwarded to the primary as an update transaction. *)
+
+(** [exec handle sql] parses and executes one statement inside an already
+    open transaction. *)
+val exec : Lsr_core.Handle.t -> string -> (Executor.result, string) result
+
+(** [run system client sql] parses [sql], routes it as a transaction of
+    [client]'s session, and returns the result (or a parse/semantic/abort
+    error message). *)
+val run :
+  Lsr_core.System.t -> Lsr_core.System.client -> string ->
+  (Executor.result, string) result
+
+(** [run_script system client sqls] executes several statements inside ONE
+    transaction (the shell's BEGIN ... COMMIT): atomically, against a single
+    snapshot, with intermediate results visible to later statements
+    (read-your-writes). The transaction is read-only — and routed to the
+    client's secondary — only when every statement is. Any parse or
+    semantic error aborts the whole transaction. *)
+val run_script :
+  Lsr_core.System.t -> Lsr_core.System.client -> string list ->
+  (Executor.result list, string) result

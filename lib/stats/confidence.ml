@@ -1,0 +1,34 @@
+type interval = {
+  mean : float;
+  half_width : float;
+  n : int;
+}
+
+(* Two-sided 97.5% quantiles of the Student t distribution. *)
+let t_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical ~df =
+  if df < 1 then invalid_arg "Confidence.t_critical: df < 1";
+  if df <= Array.length t_table then t_table.(df - 1) else 1.96
+
+let of_samples = function
+  | [] -> invalid_arg "Confidence.of_samples: empty sample list"
+  | [ x ] -> { mean = x; half_width = 0.; n = 1 }
+  | xs ->
+    let tally = Lsr_sim.Stat.create () in
+    List.iter (Lsr_sim.Stat.record tally) xs;
+    let n = Lsr_sim.Stat.count tally in
+    let sem = Lsr_sim.Stat.stddev tally /. sqrt (float_of_int n) in
+    {
+      mean = Lsr_sim.Stat.mean tally;
+      half_width = t_critical ~df:(n - 1) *. sem;
+      n;
+    }
+
+let pp ppf i = Format.fprintf ppf "%.3f ± %.3f" i.mean i.half_width
+let to_string i = Format.asprintf "%a" pp i

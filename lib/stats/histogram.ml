@@ -1,0 +1,48 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  (* Cached sorted view, invalidated by writes. *)
+  mutable sorted : float array option;
+}
+
+let create () = { data = [||]; size = 0; sorted = None }
+
+let record t x =
+  if t.size = Array.length t.data then begin
+    let fresh = Array.make (max 1024 (2 * t.size)) 0. in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- None
+
+let count t = t.size
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.data 0 t.size in
+    Array.sort Float.compare s;
+    t.sorted <- Some s;
+    s
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if t.size = 0 then 0.
+  else begin
+    let s = sorted t in
+    (* Nearest rank: the ceil(q * n)-th smallest sample (1-based). *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.size)) in
+    s.(max 0 (min (t.size - 1) (rank - 1)))
+  end
+
+let median t = quantile t 0.5
+let p95 t = quantile t 0.95
+let p99 t = quantile t 0.99
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0;
+  t.sorted <- None

@@ -1,0 +1,22 @@
+(** Exact sample store with quantile queries.
+
+    Means hide tail latency; the simulator additionally reports p50/p95/p99
+    response times through this module. Samples are kept exactly (the
+    paper-scale runs produce at most a few hundred thousand per class);
+    quantiles sort on demand, so query at the end of a run. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+
+(** [quantile t q] for [q] in [0, 1]; 0 when empty. Uses the
+    nearest-rank definition.
+    @raise Invalid_argument when [q] is outside [0, 1]. *)
+val quantile : t -> float -> float
+
+val median : t -> float
+val p95 : t -> float
+val p99 : t -> float
+val clear : t -> unit

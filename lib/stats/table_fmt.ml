@@ -1,0 +1,34 @@
+let float_cell f =
+  let s = Printf.sprintf "%.2f" f in
+  match String.ends_with ~suffix:".00" s with
+  | true -> String.sub s 0 (String.length s - 3)
+  | false -> s
+
+let render ~header rows =
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header)
+      rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (cell header i))
+      rows
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let c = cell row i in
+           String.make (max 0 (w - String.length c)) ' ' ^ c)
+         widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~header rows)

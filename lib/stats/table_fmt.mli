@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the benchmark harness: aligned columns
+    with a header rule, in the spirit of the rows/series the paper's figures
+    plot. *)
+
+(** [render ~header rows] lays out all cells right-aligned per column.
+    Rows may be ragged; missing cells render empty. *)
+val render : header:string list -> string list list -> string
+
+(** [print ~title ~header rows] renders with a title line to stdout. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Format a float compactly ([%.2f], trimming a trailing [.00]). *)
+val float_cell : float -> string

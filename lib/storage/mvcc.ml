@@ -1,0 +1,293 @@
+type version = { committed_at : Timestamp.t; value : string option }
+
+type txn_state = Active | Committed_ | Aborted_
+
+type txn = {
+  id : int;
+  start_ts : Timestamp.t;
+  (* Buffered writes, newest-first; replayed in reverse for the log and the
+     version store so that later writes to the same key win. *)
+  mutable writes : Wal.update list;
+  writes_by_key : (string, string option) Hashtbl.t;
+  mutable state : txn_state;
+}
+
+type abort_reason =
+  | Write_conflict of string
+  | Forced
+
+type commit_result =
+  | Committed of Timestamp.t
+  | Aborted of abort_reason
+
+type t = {
+  name : string;
+  clock : Timestamp.source;
+  (* Per-key version chains, newest first. *)
+  store : (string, version list) Hashtbl.t;
+  wal : Wal.t;
+  mutable next_txn_id : int;
+  (* Commit timestamps with the writes installed, newest first; the basis of
+     the S^i state sequence. *)
+  mutable commits : (Timestamp.t * Wal.update list) list;
+  mutable commit_count : int;
+  mutable latest_commit : Timestamp.t;
+}
+
+let create ?(name = "db") () =
+  {
+    name;
+    clock = Timestamp.source ();
+    store = Hashtbl.create 1024;
+    wal = Wal.create ();
+    next_txn_id = 0;
+    commits = [];
+    commit_count = 0;
+    latest_commit = Timestamp.zero;
+  }
+
+let name t = t.name
+let wal t = t.wal
+
+let make_txn t start_ts =
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  Wal.append t.wal (Wal.Start { txn = id; ts = start_ts });
+  { id; start_ts; writes = []; writes_by_key = Hashtbl.create 8; state = Active }
+
+let begin_txn t = make_txn t (Timestamp.next t.clock)
+
+let begin_txn_at t ~snapshot =
+  if Timestamp.compare snapshot (Timestamp.current t.clock) > 0 then
+    invalid_arg "Mvcc.begin_txn_at: snapshot is in the future";
+  (* The clock still advances so commit timestamps stay unique and larger
+     than every issued timestamp; only the snapshot is taken in the past. *)
+  ignore (Timestamp.next t.clock);
+  make_txn t snapshot
+
+let txn_id txn = txn.id
+let start_ts txn = txn.start_ts
+
+let require_active txn op =
+  match txn.state with
+  | Active -> ()
+  | Committed_ | Aborted_ ->
+    invalid_arg (Printf.sprintf "Mvcc.%s: transaction %d is not active" op txn.id)
+
+let visible_version versions ~at =
+  let rec find = function
+    | [] -> None
+    | v :: rest -> if Timestamp.compare v.committed_at at <= 0 then Some v else find rest
+  in
+  find versions
+
+let snapshot_read t ~at key =
+  match Hashtbl.find_opt t.store key with
+  | None -> None
+  | Some versions -> (
+    match visible_version versions ~at with
+    | None -> None
+    | Some v -> v.value)
+
+let read t txn key =
+  require_active txn "read";
+  match Hashtbl.find_opt txn.writes_by_key key with
+  | Some value -> value
+  | None -> snapshot_read t ~at:txn.start_ts key
+
+let write t txn key value =
+  require_active txn "write";
+  Wal.append t.wal (Wal.Update { txn = txn.id; update = { key; value } });
+  txn.writes <- { Wal.key; value } :: txn.writes;
+  Hashtbl.replace txn.writes_by_key key value
+
+let first_committer_conflict t txn =
+  (* A committed version newer than our snapshot on any written key means a
+     concurrent transaction committed that write first. *)
+  let conflicting key =
+    match Hashtbl.find_opt t.store key with
+    | None -> false
+    | Some [] -> false
+    | Some (newest :: _) -> Timestamp.compare newest.committed_at txn.start_ts > 0
+  in
+  Hashtbl.fold
+    (fun key _ acc -> match acc with Some _ -> acc | None -> if conflicting key then Some key else None)
+    txn.writes_by_key None
+
+let install t ~commit_ts updates =
+  let apply { Wal.key; value } =
+    let versions = Option.value ~default:[] (Hashtbl.find_opt t.store key) in
+    Hashtbl.replace t.store key ({ committed_at = commit_ts; value } :: versions)
+  in
+  List.iter apply updates;
+  t.commits <- (commit_ts, updates) :: t.commits;
+  t.commit_count <- t.commit_count + 1;
+  t.latest_commit <- commit_ts
+
+(* Squash the newest-first write buffer into one update per key, preserving
+   first-write order between keys and keeping the last value written. *)
+let effective_updates txn =
+  let ordered = List.rev txn.writes in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun { Wal.key; value = _ } ->
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some { Wal.key; value = Hashtbl.find txn.writes_by_key key }
+      end)
+    ordered
+
+let commit t txn =
+  require_active txn "commit";
+  match first_committer_conflict t txn with
+  | Some key ->
+    txn.state <- Aborted_;
+    Wal.append t.wal (Wal.Abort { txn = txn.id });
+    Aborted (Write_conflict key)
+  | None ->
+    let commit_ts = Timestamp.next t.clock in
+    install t ~commit_ts (effective_updates txn);
+    txn.state <- Committed_;
+    Wal.append t.wal (Wal.Commit { txn = txn.id; ts = commit_ts });
+    Committed commit_ts
+
+let abort t txn =
+  require_active txn "abort";
+  txn.state <- Aborted_;
+  Wal.append t.wal (Wal.Abort { txn = txn.id })
+
+let end_read _t txn =
+  require_active txn "end_read";
+  if Hashtbl.length txn.writes_by_key > 0 then
+    invalid_arg "Mvcc.end_read: transaction has writes; commit or abort it";
+  txn.state <- Committed_
+
+let pending_writes txn = effective_updates txn
+let written_keys txn = List.map (fun { Wal.key; _ } -> key) (effective_updates txn)
+
+let latest_commit_ts t = t.latest_commit
+let commit_count t = t.commit_count
+
+let read_at t ts key = snapshot_read t ~at:ts key
+
+let state_at t ts =
+  let bindings =
+    Hashtbl.fold
+      (fun key versions acc ->
+        match visible_version versions ~at:ts with
+        | Some { value = Some v; _ } -> (key, v) :: acc
+        | Some { value = None; _ } | None -> acc)
+      t.store []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bindings
+
+let nth_state t i =
+  if i < 0 || i > t.commit_count then
+    invalid_arg
+      (Printf.sprintf "Mvcc.nth_state: %d outside [0, %d]" i t.commit_count);
+  if i = 0 then []
+  else begin
+    (* The i-th commit's timestamp, counting from oldest = 1. *)
+    let commits_oldest_first = List.rev t.commits in
+    let ts, _ = List.nth commits_oldest_first (i - 1) in
+    state_at t ts
+  end
+
+let committed_state t = state_at t t.latest_commit
+
+let fold_keys t ~prefix ~init ~f =
+  let matches key =
+    String.length key >= String.length prefix
+    && String.sub key 0 (String.length prefix) = prefix
+  in
+  Hashtbl.fold (fun key _ acc -> if matches key then f acc key else acc) t.store init
+
+let commit_history t = List.rev_map fst t.commits
+let commits_with_updates t = List.rev t.commits
+
+(* --- Maintenance ----------------------------------------------------------- *)
+
+let vacuum t ~before =
+  let reclaimed = ref 0 in
+  let trim versions =
+    (* Keep every version newer than [before] plus the single version
+       visible at [before] (the first at or below it, chains being newest
+       first). *)
+    let rec walk kept = function
+      | [] -> List.rev kept
+      | v :: rest ->
+        if Timestamp.compare v.committed_at before <= 0 then begin
+          reclaimed := !reclaimed + List.length rest;
+          List.rev (v :: kept)
+        end
+        else walk (v :: kept) rest
+    in
+    walk [] versions
+  in
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) t.store [] in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.store key with
+      | None -> ()
+      | Some versions -> Hashtbl.replace t.store key (trim versions))
+    keys;
+  !reclaimed
+
+let version_count t =
+  Hashtbl.fold (fun _ versions acc -> acc + List.length versions) t.store 0
+
+let encode_string buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let serialize t =
+  let bindings = committed_state t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (string_of_int (List.length bindings));
+  Buffer.add_char buf ';';
+  List.iter
+    (fun (key, value) ->
+      encode_string buf key;
+      encode_string buf value)
+    bindings;
+  Buffer.contents buf
+
+let restore ?name data =
+  let pos = ref 0 in
+  let fail msg = failwith ("Mvcc.restore: " ^ msg) in
+  let read_until ch =
+    match String.index_from_opt data !pos ch with
+    | None -> fail "missing delimiter"
+    | Some i ->
+      let sub = String.sub data !pos (i - !pos) in
+      pos := i + 1;
+      sub
+  in
+  let read_int_until ch =
+    match int_of_string_opt (read_until ch) with
+    | Some i -> i
+    | None -> fail "bad length"
+  in
+  let read_string () =
+    let len = read_int_until ':' in
+    if len < 0 || !pos + len > String.length data then fail "bad string length";
+    let sub = String.sub data !pos len in
+    pos := !pos + len;
+    sub
+  in
+  let count = read_int_until ';' in
+  if count < 0 then fail "negative count";
+  let t = create ?name () in
+  let txn = begin_txn t in
+  for _ = 1 to count do
+    let key = read_string () in
+    let value = read_string () in
+    write t txn key (Some value)
+  done;
+  if !pos <> String.length data then fail "trailing bytes";
+  (match commit t txn with
+  | Committed _ -> ()
+  | Aborted _ -> fail "initial commit aborted");
+  t

@@ -1,0 +1,45 @@
+(** Typed rows and their wire encoding.
+
+    A row is a flat record of named scalar fields. Rows are stored in
+    {!Mvcc} as strings via a small length-prefixed codec, so the replication
+    machinery (which ships opaque key/value updates) needs no knowledge of
+    schemas. *)
+
+type scalar =
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+type t = (string * scalar) list
+
+val equal_scalar : scalar -> scalar -> bool
+val equal : t -> t -> bool
+val pp_scalar : Format.formatter -> scalar -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Field access. *)
+
+val find : t -> string -> scalar option
+
+(** @raise Not_found when absent or of the wrong type. *)
+val int_exn : t -> string -> int
+
+val float_exn : t -> string -> float
+val text_exn : t -> string -> string
+val bool_exn : t -> string -> bool
+
+(** [set row field v] replaces (or adds) one field. *)
+val set : t -> string -> scalar -> t
+
+(** [scalar_key v] is an injective string encoding of [v], used to build
+    secondary-index storage keys. Not order-preserving across types; equal
+    scalars (and only equal scalars) map to equal strings. *)
+val scalar_key : scalar -> string
+
+(** {2 Codec} *)
+
+val encode : t -> string
+
+(** @raise Failure on malformed input. *)
+val decode : string -> t

@@ -1,0 +1,122 @@
+type t = {
+  db : Mvcc.t;
+  name : string;
+  prefix : string;
+  indexes : string list;
+}
+
+let define ?(indexes = []) db ~name =
+  { db; name; prefix = "t:" ^ name ^ ":"; indexes }
+
+let name t = t.name
+let indexes t = t.indexes
+let storage_key t ~pk = t.prefix ^ pk
+
+(* Index entries: "i:<table>:<field>:<len>:<scalar>|<pk>". The length prefix
+   makes the encoding injective even when the scalar contains ':' or '|'. *)
+let index_prefix t ~field ~value =
+  let sk = Row.scalar_key value in
+  Printf.sprintf "i:%s:%s:%d:%s|" t.name field (String.length sk) sk
+
+let index_key t ~field ~value ~pk = index_prefix t ~field ~value ^ pk
+
+let index_entries t row ~pk =
+  List.filter_map
+    (fun field ->
+      match Row.find row field with
+      | Some value -> Some (index_key t ~field ~value ~pk)
+      | None -> None)
+    t.indexes
+
+let get t txn ~pk =
+  match Mvcc.read t.db txn (storage_key t ~pk) with
+  | None -> None
+  | Some encoded -> Some (Row.decode encoded)
+
+let maintain_indexes t txn ~pk ~old_row ~new_row =
+  if t.indexes <> [] then begin
+    let old_entries =
+      match old_row with Some row -> index_entries t row ~pk | None -> []
+    in
+    let new_entries =
+      match new_row with Some row -> index_entries t row ~pk | None -> []
+    in
+    List.iter
+      (fun key ->
+        if not (List.mem key new_entries) then Mvcc.write t.db txn key None)
+      old_entries;
+    List.iter
+      (fun key ->
+        if not (List.mem key old_entries) then Mvcc.write t.db txn key (Some ""))
+      new_entries
+  end
+
+let insert t txn ~pk row =
+  let old_row = if t.indexes = [] then None else get t txn ~pk in
+  Mvcc.write t.db txn (storage_key t ~pk) (Some (Row.encode row));
+  maintain_indexes t txn ~pk ~old_row ~new_row:(Some row)
+
+let update t txn ~pk f =
+  match get t txn ~pk with
+  | None -> false
+  | Some row ->
+    let updated = f row in
+    Mvcc.write t.db txn (storage_key t ~pk) (Some (Row.encode updated));
+    maintain_indexes t txn ~pk ~old_row:(Some row) ~new_row:(Some updated);
+    true
+
+let delete t txn ~pk =
+  let old_row = if t.indexes = [] then None else get t txn ~pk in
+  Mvcc.write t.db txn (storage_key t ~pk) None;
+  maintain_indexes t txn ~pk ~old_row ~new_row:None
+
+(* Keys with [prefix] visible to [txn]: committed keys plus the
+   transaction's own fresh inserts. *)
+let candidate_keys t txn ~prefix =
+  let prefix_len = String.length prefix in
+  let has_prefix k =
+    String.length k >= prefix_len && String.sub k 0 prefix_len = prefix
+  in
+  let committed =
+    Mvcc.fold_keys t.db ~prefix ~init:[] ~f:(fun acc k -> k :: acc)
+  in
+  let own = List.filter has_prefix (Mvcc.written_keys txn) in
+  List.sort_uniq String.compare (own @ committed)
+
+let scan t txn ~where =
+  let prefix_len = String.length t.prefix in
+  let visible =
+    List.filter_map
+      (fun key ->
+        match Mvcc.read t.db txn key with
+        | None -> None
+        | Some encoded ->
+          let row = Row.decode encoded in
+          if where row then
+            Some (String.sub key prefix_len (String.length key - prefix_len), row)
+          else None)
+      (candidate_keys t txn ~prefix:t.prefix)
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) visible
+
+let count t txn ~where = List.length (scan t txn ~where)
+
+let lookup t txn ~field ~value =
+  if not (List.mem field t.indexes) then
+    invalid_arg
+      (Printf.sprintf "Table.lookup: no index on %s.%s" t.name field);
+  let prefix = index_prefix t ~field ~value in
+  let prefix_len = String.length prefix in
+  let rows =
+    List.filter_map
+      (fun key ->
+        match Mvcc.read t.db txn key with
+        | None -> None (* entry deleted in this snapshot *)
+        | Some _ ->
+          let pk = String.sub key prefix_len (String.length key - prefix_len) in
+          (match get t txn ~pk with
+          | Some row when Row.find row field = Some value -> Some (pk, row)
+          | Some _ | None -> None))
+      (candidate_keys t txn ~prefix)
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

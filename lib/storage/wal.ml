@@ -1,0 +1,63 @@
+type update = { key : string; value : string option }
+
+type entry =
+  | Start of { txn : int; ts : Timestamp.t }
+  | Update of { txn : int; update : update }
+  | Commit of { txn : int; ts : Timestamp.t }
+  | Abort of { txn : int }
+
+type t = {
+  mutable entries : entry array;
+  (* Entries below [base] have been reclaimed; absolute offset [i] lives at
+     [entries.(i - base)]. *)
+  mutable base : int;
+  mutable size : int;
+}
+
+let create () = { entries = [||]; base = 0; size = 0 }
+
+let dummy = Abort { txn = -1 }
+
+let append t e =
+  let used = t.size - t.base in
+  if used = Array.length t.entries then begin
+    let fresh = Array.make (max 16 (2 * used)) dummy in
+    Array.blit t.entries 0 fresh 0 used;
+    t.entries <- fresh
+  end;
+  t.entries.(used) <- e;
+  t.size <- t.size + 1
+
+let length t = t.size
+
+let entry t i =
+  if i < t.base || i >= t.size then
+    invalid_arg
+      (Printf.sprintf "Wal.entry: offset %d outside [%d, %d)" i t.base t.size);
+  t.entries.(i - t.base)
+
+let read_from t offset =
+  let offset = max offset t.base in
+  let rec collect i acc =
+    if i >= t.size then (List.rev acc, t.size)
+    else collect (i + 1) (entry t i :: acc)
+  in
+  collect offset []
+
+let truncate_before t offset =
+  let offset = min offset t.size in
+  if offset > t.base then begin
+    let keep = t.size - offset in
+    let fresh = Array.make (max 16 keep) dummy in
+    Array.blit t.entries (offset - t.base) fresh 0 keep;
+    t.entries <- fresh;
+    t.base <- offset
+  end
+
+let pp_entry ppf = function
+  | Start { txn; ts } -> Format.fprintf ppf "start(T%d)@%a" txn Timestamp.pp ts
+  | Update { txn; update = { key; value } } ->
+    Format.fprintf ppf "update(T%d, %s := %s)" txn key
+      (match value with Some v -> v | None -> "<delete>")
+  | Commit { txn; ts } -> Format.fprintf ppf "commit(T%d)@%a" txn Timestamp.pp ts
+  | Abort { txn } -> Format.fprintf ppf "abort(T%d)" txn

@@ -1,0 +1,39 @@
+(** Logical write-ahead log of a site.
+
+    The paper assumes "a logical log containing update records is available
+    ... each update transaction's start timestamp is inserted into the log,
+    followed by the transaction's update records, and then the transaction's
+    commit record tagged with its commit timestamp or the abort record"
+    (§3). The propagator of Algorithm 3.1 is a sniffer over this log. *)
+
+(** One logical update: assigning [value] to [key] ([None] deletes). *)
+type update = { key : string; value : string option }
+
+type entry =
+  | Start of { txn : int; ts : Timestamp.t }
+  | Update of { txn : int; update : update }
+  | Commit of { txn : int; ts : Timestamp.t }
+  | Abort of { txn : int }
+
+type t
+
+val create : unit -> t
+val append : t -> entry -> unit
+
+(** Number of entries ever appended. *)
+val length : t -> int
+
+(** [entry t i] is the [i]th entry (0-based).
+    @raise Invalid_argument when out of range. *)
+val entry : t -> int -> entry
+
+(** [read_from t offset] is all entries at positions [>= offset], in order,
+    paired with the next offset. The propagator uses this as its cursor. *)
+val read_from : t -> int -> entry list * int
+
+(** [truncate_before t offset] discards storage for entries below [offset]
+    (offsets remain stable). Models log reclamation once all secondaries
+    have consumed a prefix. Reading a discarded entry raises. *)
+val truncate_before : t -> int -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

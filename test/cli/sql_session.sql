@@ -1,0 +1,14 @@
+INSERT INTO books (pk, title, genre, price) VALUES ('sicp', 'SICP', 'cs', 45.0)
+INSERT INTO books (pk, title, genre, price) VALUES ('dune', 'Dune', 'scifi', 12.5)
+SELECT title FROM books WHERE genre = 'cs'
+EXPLAIN SELECT * FROM books WHERE genre = 'cs'
+BEGIN
+UPDATE books SET price = 40.0 WHERE pk = 'sicp'
+DELETE FROM books WHERE pk = 'dune'
+COMMIT
+SELECT COUNT(*), MIN(price) FROM books
+INSERT INTO books (pk, title, genre, price) VALUES ('taocp', 'TAOCP', 'cs', 180.0)
+SELECT COUNT(*), MAX(price) FROM books GROUP BY genre HAVING count >= 1
+\pump
+\check
+\quit

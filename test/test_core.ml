@@ -1,0 +1,1705 @@
+(* Tests for the replication middleware (lsr_core): update propagation
+   (Algorithm 3.1), secondary refresh (Algorithms 3.2/3.3) including the
+   ordering relationships 1-3 of §3.1, session guarantees (§4), the history
+   checker (Definitions 2.1/2.2, Theorems 3.1/3.2), the anomaly detectors
+   (P0-P5) and the embedded replicated system. *)
+
+open Lsr_storage
+open Lsr_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str_opt = Alcotest.(check (option string))
+
+let commit_exn db txn =
+  match Mvcc.commit db txn with
+  | Mvcc.Committed ts -> ts
+  | Mvcc.Aborted _ -> Alcotest.fail "unexpected abort"
+
+(* Run an update transaction at a primary, returning its commit ts. *)
+let update_at primary writes =
+  match
+    Primary.execute primary (fun db txn ->
+        List.iter (fun (k, v) -> Mvcc.write db txn k v) writes)
+  with
+  | Primary.Committed { commit_ts; _ } -> commit_ts
+  | Primary.Aborted _ -> Alcotest.fail "unexpected primary abort"
+
+(* --- Propagation (Algorithm 3.1) ------------------------------------------------ *)
+
+let test_propagation_commit_carries_updates () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  ignore (update_at primary [ ("x", Some "1"); ("y", Some "2") ]);
+  match Propagation.poll prop with
+  | [ Txn_record.Start_rec _; Txn_record.Commit_rec { updates; _ } ] ->
+    check_int "both updates shipped" 2 (List.length updates)
+  | records ->
+    Alcotest.failf "unexpected records: %d" (List.length records)
+
+let test_propagation_start_before_commit () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  let db = Primary.db primary in
+  (* Begin a transaction but do not commit yet: its start record must
+     propagate immediately (liveness, §3.2). *)
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "x" (Some "1");
+  (match Propagation.poll prop with
+  | [ Txn_record.Start_rec { txn = id; _ } ] ->
+    check_int "start of in-flight txn" (Mvcc.txn_id txn) id
+  | _ -> Alcotest.fail "expected exactly the start record");
+  check_int "one in flight" 1 (Propagation.in_flight prop);
+  ignore (commit_exn db txn);
+  (match Propagation.poll prop with
+  | [ Txn_record.Commit_rec _ ] -> ()
+  | _ -> Alcotest.fail "expected the commit record");
+  check_int "none in flight" 0 (Propagation.in_flight prop)
+
+let test_propagation_abort_discards_updates () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  let db = Primary.db primary in
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "x" (Some "1");
+  Mvcc.abort db txn;
+  match Propagation.poll prop with
+  | [ Txn_record.Start_rec _; Txn_record.Abort_rec { wasted; _ } ] ->
+    check_int "no wasted work shipped by default" 0 (List.length wasted)
+  | _ -> Alcotest.fail "expected start + abort"
+
+let test_propagation_ship_aborted () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 ~ship_aborted:true (Primary.wal primary) in
+  let db = Primary.db primary in
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "x" (Some "1");
+  Mvcc.write db txn "y" (Some "2");
+  Mvcc.abort db txn;
+  match Propagation.poll prop with
+  | [ Txn_record.Start_rec _; Txn_record.Abort_rec { wasted; _ } ] ->
+    check_int "eager mode ships aborted work" 2 (List.length wasted)
+  | _ -> Alcotest.fail "expected start + abort"
+
+let test_propagation_squashes_rewrites () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  (match
+     Primary.execute primary (fun db txn ->
+         Mvcc.write db txn "x" (Some "first");
+         Mvcc.write db txn "x" (Some "second"))
+   with
+  | Primary.Committed _ -> ()
+  | Primary.Aborted _ -> Alcotest.fail "abort");
+  match Propagation.poll prop with
+  | [ Txn_record.Start_rec _; Txn_record.Commit_rec { updates; _ } ] -> (
+    match updates with
+    | [ { Wal.key = "x"; value = Some "second" } ] -> ()
+    | _ -> Alcotest.fail "updates not squashed to last write")
+  | _ -> Alcotest.fail "unexpected records"
+
+let test_propagation_order_is_log_order () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  let ts1 = update_at primary [ ("a", Some "1") ] in
+  let ts2 = update_at primary [ ("b", Some "2") ] in
+  check_bool "ts1 < ts2" true (Timestamp.compare ts1 ts2 < 0);
+  let commits =
+    List.filter_map
+      (function
+        | Txn_record.Commit_rec { commit_ts; _ } -> Some commit_ts
+        | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> None)
+      (Propagation.poll prop)
+  in
+  Alcotest.(check (list int)) "commit records in ts order" [ ts1; ts2 ] commits
+
+let test_propagation_cursor_position () =
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  ignore (update_at primary [ ("a", Some "1") ]);
+  ignore (Propagation.poll prop);
+  check_int "cursor at log end" (Wal.length (Primary.wal primary))
+    (Propagation.position prop)
+
+let test_propagation_from_offset () =
+  (* A propagator attached mid-log only ships what follows its cursor. *)
+  let primary = Primary.create () in
+  ignore (update_at primary [ ("old", Some "1") ]);
+  let prop = Propagation.create (Primary.wal primary) in
+  ignore (update_at primary [ ("new", Some "2") ]);
+  let keys =
+    List.concat_map
+      (function
+        | Txn_record.Commit_rec { updates; _ } ->
+          List.map (fun { Wal.key; _ } -> key) updates
+        | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> [])
+      (Propagation.poll prop)
+  in
+  Alcotest.(check (list string)) "only new updates shipped" [ "new" ] keys
+
+(* --- Secondary refresh (Algorithms 3.2/3.3) -------------------------------------- *)
+
+(* Feed the propagated records of [actions] into a fresh secondary. *)
+let replicate_to_secondary records =
+  let sec = Secondary.create () in
+  List.iter (Secondary.enqueue sec) records;
+  sec
+
+let records_of primary =
+  Propagation.poll (Propagation.create ~from:0 (Primary.wal primary))
+
+let test_refresh_applies_updates () =
+  let primary = Primary.create () in
+  ignore (update_at primary [ ("x", Some "1") ]);
+  ignore (update_at primary [ ("y", Some "2") ]);
+  let sec = replicate_to_secondary (records_of primary) in
+  check_int "two refresh commits" 2 (Secondary.drain sec);
+  let db = Secondary.db sec in
+  Alcotest.(check (list (pair string string)))
+    "secondary state equals primary"
+    (Mvcc.committed_state (Primary.db primary))
+    (Mvcc.committed_state db)
+
+let test_refresh_sets_seq_dbsec () =
+  let primary = Primary.create () in
+  let ts = update_at primary [ ("x", Some "1") ] in
+  let sec = replicate_to_secondary (records_of primary) in
+  Alcotest.(check int) "initially zero" Timestamp.zero (Secondary.seq_dbsec sec);
+  ignore (Secondary.drain sec);
+  Alcotest.(check int) "seq(DBsec) = primary commit ts" ts
+    (Secondary.seq_dbsec sec)
+
+let test_refresh_abort_record () =
+  let primary = Primary.create () in
+  let db = Primary.db primary in
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "x" (Some "junk");
+  Mvcc.abort db txn;
+  ignore (update_at primary [ ("y", Some "ok") ]);
+  let sec = replicate_to_secondary (records_of primary) in
+  check_int "only the committed txn refreshes" 1 (Secondary.drain sec);
+  check_str_opt "aborted write never applied" None
+    (Mvcc.read_at (Secondary.db sec)
+       (Mvcc.latest_commit_ts (Secondary.db sec))
+       "x")
+
+let test_refresher_blocks_start_on_pending () =
+  (* Sequential primary txns: T1 commits before T2 starts. The refresher
+     must not start R2 while R1's commit is pending (relationship 2). *)
+  let primary = Primary.create () in
+  ignore (update_at primary [ ("x", Some "1") ]);
+  ignore (update_at primary [ ("y", Some "2") ]);
+  let sec = replicate_to_secondary (records_of primary) in
+  (* Process T1's start and commit records but do not run the applicator. *)
+  (match Secondary.refresher_step sec with
+  | Secondary.Started _ -> ()
+  | _ -> Alcotest.fail "expected Started for T1");
+  (match Secondary.refresher_step sec with
+  | Secondary.Dispatched _ -> ()
+  | _ -> Alcotest.fail "expected Dispatched for T1");
+  (* T2's start record is next, but R1 has not committed: blocked. *)
+  (match Secondary.refresher_step sec with
+  | Secondary.Blocked_on_pending -> ()
+  | _ -> Alcotest.fail "expected Blocked_on_pending for T2's start");
+  check_int "pending holds R1" 1 (Secondary.pending_queue_length sec);
+  (* Run R1 to completion; then T2 can start. *)
+  let app = List.hd (Secondary.active_applicators sec) in
+  let rec finish () =
+    match Secondary.applicator_step sec app with
+    | Secondary.Committed _ -> ()
+    | Secondary.Applied _ | Secondary.Waiting_commit -> finish ()
+    | Secondary.Done -> ()
+  in
+  finish ();
+  match Secondary.refresher_step sec with
+  | Secondary.Started _ -> ()
+  | _ -> Alcotest.fail "T2's refresh should start after R1 commits"
+
+let test_applicators_commit_in_primary_order () =
+  (* Two concurrent primary txns with disjoint writesets: their refresh
+     transactions run concurrently but must commit in primary commit order
+     (relationship 3), even if the later one finishes its work first. *)
+  let primary = Primary.create () in
+  let db = Primary.db primary in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  Mvcc.write db t1 "x" (Some "t1");
+  Mvcc.write db t1 "x2" (Some "t1");
+  Mvcc.write db t2 "y" (Some "t2");
+  let ts1 = commit_exn db t1 in
+  let ts2 = commit_exn db t2 in
+  let sec = replicate_to_secondary (records_of primary) in
+  (* Both starts arrive before both commits (concurrent txns), so the
+     refresher dispatches two applicators. *)
+  let rec dispatch_all apps =
+    match Secondary.refresher_step sec with
+    | Secondary.Started _ -> dispatch_all apps
+    | Secondary.Dispatched app -> dispatch_all (app :: apps)
+    | Secondary.Idle -> List.rev apps
+    | Secondary.Aborted _ | Secondary.Blocked_on_pending ->
+      Alcotest.fail "unexpected refresher outcome"
+  in
+  let apps = dispatch_all [] in
+  check_int "two applicators" 2 (List.length apps);
+  let r1 = List.find (fun a -> Secondary.applicator_commit_ts a = ts1) apps in
+  let r2 = List.find (fun a -> Secondary.applicator_commit_ts a = ts2) apps in
+  (* Drive R2 to completion of its work: it must wait for R1. *)
+  let rec drive app =
+    match Secondary.applicator_step sec app with
+    | Secondary.Applied _ -> drive app
+    | other -> other
+  in
+  (match drive r2 with
+  | Secondary.Waiting_commit -> ()
+  | _ -> Alcotest.fail "R2 must wait for R1's commit");
+  (match drive r1 with
+  | Secondary.Committed ts -> Alcotest.(check int) "R1 commits first" ts1 ts
+  | _ -> Alcotest.fail "R1 should commit");
+  match Secondary.applicator_step sec r2 with
+  | Secondary.Committed ts -> Alcotest.(check int) "R2 commits second" ts2 ts
+  | _ -> Alcotest.fail "R2 should commit after R1"
+
+let test_refresh_commit_order_matches_primary_random () =
+  (* Randomized version of Lemma 3.3: whatever the interleaving of disjoint
+     primary transactions, refresh commits occur in primary commit order. *)
+  let primary = Primary.create () in
+  for i = 1 to 20 do
+    ignore (update_at primary [ (Printf.sprintf "k%d" i, Some (string_of_int i)) ])
+  done;
+  let sec = replicate_to_secondary (records_of primary) in
+  ignore (Secondary.drain sec);
+  match
+    Checker.check_completeness ~primary:(Primary.db primary)
+      ~secondary:(Secondary.db sec)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_commit_without_start_rejected () =
+  let sec = Secondary.create () in
+  Secondary.enqueue sec
+    (Txn_record.Commit_rec { txn = 99; commit_ts = 5; updates = [] });
+  Alcotest.check_raises "protocol violation"
+    (Invalid_argument
+       "Secondary.refresher_step: commit record for T99 without start")
+    (fun () -> ignore (Secondary.refresher_step sec))
+
+let test_reseed_seq () =
+  let sec = Secondary.create () in
+  Secondary.reseed_seq sec 42;
+  Alcotest.(check int) "reseeded" 42 (Secondary.seq_dbsec sec)
+
+let test_on_refresh_commit_callback () =
+  let primary = Primary.create () in
+  let ts = update_at primary [ ("x", Some "1") ] in
+  let seen = ref [] in
+  let sec = Secondary.create ~on_refresh_commit:(fun t -> seen := t :: !seen) () in
+  List.iter (Secondary.enqueue sec) (records_of primary);
+  ignore (Secondary.drain sec);
+  Alcotest.(check (list int)) "callback fired with primary ts" [ ts ] !seen
+
+(* Randomized verification of the §3.1 ordering relationships 1 and 2 at
+   the timestamp level (Lemmas 3.1/3.2): for a random mix of concurrent and
+   sequential primary transactions, replay at a secondary and compare the
+   LOCAL start/commit timestamps of refresh transactions against the
+   PRIMARY start/commit relationships. *)
+let prop_refresh_ordering_relationships =
+  let gen =
+    (* per txn: overlap-with-next flag *)
+    QCheck.Gen.(list_size (int_range 2 8) bool)
+  in
+  QCheck.Test.make ~name:"relationships 1-3 hold at refresh (Lemmas 3.1-3.3)"
+    ~count:200 (QCheck.make gen) (fun overlaps ->
+      let primary = Primary.create () in
+      let db = Primary.db primary in
+      (* Build a schedule: each transaction either commits before the next
+         starts (sequential) or overlaps it (concurrent, disjoint keys). *)
+      let stamps = ref [] in
+      let rec build i pending = function
+        | [] ->
+          List.iter
+            (fun (txn, start) ->
+              let c = commit_exn db txn in
+              stamps := (start, c) :: !stamps)
+            (List.rev pending)
+        | overlap :: rest ->
+          let txn = Mvcc.begin_txn db in
+          let start = Mvcc.start_ts txn in
+          Mvcc.write db txn (Printf.sprintf "k%d" i) (Some (string_of_int i));
+          if overlap then build (i + 1) ((txn, start) :: pending) rest
+          else begin
+            List.iter
+              (fun (t, s) ->
+                let c = commit_exn db t in
+                stamps := (s, c) :: !stamps)
+              (List.rev ((txn, start) :: pending));
+            build (i + 1) [] rest
+          end
+      in
+      build 0 [] overlaps;
+      let primary_stamps = List.rev !stamps in
+      (* Replay at a secondary, recording local start and commit stamps via
+         the applicators and the refresh-commit callback. *)
+      let local = Hashtbl.create 16 in
+      (* primary commit ts -> (local start, local commit order index) *)
+      let order = ref 0 in
+      let sec = Secondary.create () in
+      List.iter (Secondary.enqueue sec) (records_of primary);
+      let rec drive () =
+        match Secondary.refresher_step sec with
+        | Secondary.Started _ -> drive ()
+        | Secondary.Dispatched app ->
+          let rec run () =
+            match Secondary.applicator_step sec app with
+            | Secondary.Committed pts ->
+              incr order;
+              Hashtbl.replace local pts
+                (Secondary.applicator_local_start app, !order)
+            | Secondary.Applied _ | Secondary.Waiting_commit -> run ()
+            | Secondary.Done -> ()
+          in
+          run ();
+          drive ()
+        | Secondary.Aborted _ -> drive ()
+        | Secondary.Blocked_on_pending ->
+          (* cannot happen in this driver: applicators run to completion *)
+          false |> ignore;
+          drive ()
+        | Secondary.Idle -> ()
+      in
+      drive ();
+      (* Local commit timestamps, in local commit order: the nth refresh
+         commit produced the nth entry (both use the secondary's counter). *)
+      let local_commits = Array.of_list (Mvcc.commit_history (Secondary.db sec)) in
+      (* Check all three relationships for every pair, using the secondary's
+         own timestamps:
+         rel 1: startp(T1) < commitp(T2) => starts(R1) < commits(R2)
+         rel 2: commitp(T1) < startp(T2) => commits(R1) < starts(R2)
+         rel 3: commitp(T1) < commitp(T2) => commits(R1) < commits(R2) *)
+      let ok = ref true in
+      List.iter
+        (fun (s1, c1) ->
+          List.iter
+            (fun (s2, c2) ->
+              match (Hashtbl.find_opt local c1, Hashtbl.find_opt local c2) with
+              | Some (ls1, lo1), Some (ls2, lo2) ->
+                let lc1 = local_commits.(lo1 - 1)
+                and lc2 = local_commits.(lo2 - 1) in
+                if s1 < c2 && not (ls1 < lc2) then ok := false;
+                if c1 < s2 && not (lc1 < ls2) then ok := false;
+                if c1 < c2 && not (lc1 < lc2) then ok := false
+              | _ -> ok := false)
+            primary_stamps)
+        primary_stamps;
+      !ok)
+
+(* Exhaustive interleaving exploration (bounded model checking): for a fixed
+   propagated schedule, enumerate EVERY order in which the refresher and the
+   applicators can take steps. Completeness (Theorem 3.1) must hold on every
+   path, and no path may raise Refresh_conflict. Each path re-executes the
+   schedule from scratch, choosing the [n]th enabled action at each point. *)
+let test_exhaustive_interleavings () =
+  (* Schedule: T1 and T2 concurrent with disjoint writesets, then T3
+     sequential after both — exercises both the pending-queue blocking and
+     concurrent applicators. *)
+  let build_primary () =
+    let primary = Primary.create () in
+    let db = Primary.db primary in
+    let t1 = Mvcc.begin_txn db in
+    let t2 = Mvcc.begin_txn db in
+    Mvcc.write db t1 "x" (Some "t1");
+    Mvcc.write db t2 "y" (Some "t2");
+    ignore (commit_exn db t1);
+    ignore (commit_exn db t2);
+    ignore (update_at primary [ ("x", Some "t3"); ("z", Some "t3") ]);
+    primary
+  in
+  let reference = Mvcc.committed_state (Primary.db (build_primary ())) in
+  (* Run one path guided by [choices]; returns [`Done commits] when the
+     schedule drained, or [`Need_choice] when the guidance ran out. *)
+  let run_path choices =
+    let primary = build_primary () in
+    let sec = replicate_to_secondary (records_of primary) in
+    let commits = ref [] in
+    (* Applicators that returned Waiting_commit while not at the head of the
+       pending queue make no progress until a commit pops the queue; exclude
+       them from the enabled set so every path terminates. *)
+    let blocked = ref [] in
+    let is_blocked app = List.memq app !blocked in
+    let rec go choices =
+      let refresher_enabled =
+        match Secondary.peek_update sec with
+        | None -> false
+        | Some (Txn_record.Start_rec _) ->
+          Secondary.pending_queue_length sec = 0
+        | Some (Txn_record.Commit_rec _ | Txn_record.Abort_rec _) -> true
+      in
+      let apps =
+        List.filter
+          (fun a -> not (is_blocked a))
+          (Secondary.active_applicators sec)
+      in
+      let actions =
+        (if refresher_enabled then [ `Refresher ] else [])
+        @ List.map (fun a -> `Applicator a) apps
+      in
+      match actions with
+      | [] -> `Done (List.rev !commits)
+      | _ -> (
+        match choices with
+        | [] -> `Need_choice (List.length actions)
+        | choice :: rest -> (
+          let action = List.nth actions (choice mod List.length actions) in
+          match action with
+          | `Refresher ->
+            ignore (Secondary.refresher_step sec);
+            go rest
+          | `Applicator app -> (
+            match Secondary.applicator_step sec app with
+            | Secondary.Committed ts ->
+              commits := ts :: !commits;
+              blocked := [] (* the head moved: everyone may retry *);
+              go rest
+            | Secondary.Waiting_commit ->
+              (match Secondary.pending_head sec with
+              | Some head
+                when Timestamp.equal head (Secondary.applicator_commit_ts app)
+                ->
+                () (* its turn: stepping again will commit *)
+              | Some _ | None -> blocked := app :: !blocked);
+              go rest
+            | Secondary.Applied _ | Secondary.Done -> go rest)))
+    in
+    match go choices with
+    | `Done commits ->
+      let final = Mvcc.committed_state (Secondary.db sec) in
+      `Done (commits, final)
+    | `Need_choice n -> `Need_choice n
+  in
+  (* DFS over choice sequences. *)
+  let explored = ref 0 in
+  let rec explore prefix =
+    match run_path prefix with
+    | `Done (commits, final) ->
+      incr explored;
+      check_bool "refresh commits in primary order" true
+        (List.sort Timestamp.compare commits = commits);
+      Alcotest.(check (list (pair string string)))
+        "final state matches primary" reference final
+    | `Need_choice n ->
+      for i = 0 to n - 1 do
+        explore (prefix @ [ i ])
+      done
+  in
+  explore [];
+  check_bool "explored many interleavings" true (!explored >= 10)
+
+let test_pretty_printers () =
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    n = 0 || scan 0
+  in
+  let rec_text =
+    Format.asprintf "%a" Txn_record.pp
+      (Txn_record.Commit_rec
+         { txn = 7; commit_ts = 42; updates = [ { Wal.key = "x"; value = Some "1" } ] })
+  in
+  check_bool "commit record pp" true
+    (contains "T7" rec_text && contains "1 updates" rec_text);
+  let txn =
+    {
+      History.id = 3;
+      session = "c1";
+      kind = History.Read_only;
+      site = "secondary-0";
+      first_op = 5;
+      finished = 6;
+      snapshot = 9;
+      commit_ts = None;
+      reads = [];
+      writes = [];
+    }
+  in
+  let txn_text = Format.asprintf "%a" History.pp_txn txn in
+  check_bool "history txn pp" true (contains "T3" txn_text && contains "c1" txn_text);
+  let inv_text =
+    Format.asprintf "%a" Checker.pp_inversion
+      { Checker.earlier = txn; later = txn }
+  in
+  check_bool "inversion pp" true (contains "inverted" inv_text)
+
+(* --- Session guarantees ------------------------------------------------------------ *)
+
+let test_session_weak_never_blocks () =
+  let mgr = Session.create Session.Weak in
+  Session.note_update_commit mgr ~label:"c1" ~commit_ts:10;
+  check_bool "weak always may read" true
+    (Session.may_read mgr ~label:"c1" ~seq_dbsec:0)
+
+let test_session_strong_session_blocks_own_label () =
+  let mgr = Session.create Session.Strong_session in
+  Session.note_update_commit mgr ~label:"c1" ~commit_ts:10;
+  check_bool "own session blocked on stale copy" false
+    (Session.may_read mgr ~label:"c1" ~seq_dbsec:5);
+  check_bool "own session allowed on fresh copy" true
+    (Session.may_read mgr ~label:"c1" ~seq_dbsec:10);
+  check_bool "other session unaffected" true
+    (Session.may_read mgr ~label:"c2" ~seq_dbsec:0)
+
+let test_session_strong_blocks_everyone () =
+  let mgr = Session.create Session.Strong in
+  Session.note_update_commit mgr ~label:"c1" ~commit_ts:10;
+  check_bool "every session blocked" false
+    (Session.may_read mgr ~label:"c2" ~seq_dbsec:5)
+
+let test_session_seq_monotone () =
+  let mgr = Session.create Session.Strong_session in
+  Session.note_update_commit mgr ~label:"c1" ~commit_ts:10;
+  Session.note_update_commit mgr ~label:"c1" ~commit_ts:7;
+  Alcotest.(check int) "seq never regresses" 10 (Session.seq mgr "c1")
+
+let test_session_pcsi_ignores_read_floor () =
+  (* PCSI orders a session's reads only after its own updates; strong
+     session SI additionally never lets snapshots move backwards. *)
+  let pcsi = Session.create Session.Prefix_consistent in
+  let strong_session = Session.create Session.Strong_session in
+  List.iter
+    (fun mgr -> Session.note_read mgr ~label:"c" ~snapshot:10)
+    [ pcsi; strong_session ];
+  check_bool "PCSI: older copy fine after a read" true
+    (Session.may_read pcsi ~label:"c" ~seq_dbsec:5);
+  check_bool "strong session: older copy refused" false
+    (Session.may_read strong_session ~label:"c" ~seq_dbsec:5);
+  Alcotest.(check int) "read floor tracked" 10
+    (Session.read_floor strong_session "c");
+  Alcotest.(check int) "read floor not tracked under PCSI" 0
+    (Session.read_floor pcsi "c")
+
+let test_session_pcsi_blocks_after_update () =
+  let mgr = Session.create Session.Prefix_consistent in
+  Session.note_update_commit mgr ~label:"c" ~commit_ts:10;
+  check_bool "PCSI blocks own-update staleness" false
+    (Session.may_read mgr ~label:"c" ~seq_dbsec:5)
+
+let test_session_guarantee_names () =
+  Alcotest.(check string) "weak" "ALG-WEAK-SI" (Session.guarantee_name Session.Weak);
+  Alcotest.(check string) "session" "ALG-STRONG-SESSION-SI"
+    (Session.guarantee_name Session.Strong_session);
+  Alcotest.(check string) "strong" "ALG-STRONG-SI"
+    (Session.guarantee_name Session.Strong);
+  Alcotest.(check string) "pcsi" "ALG-PCSI"
+    (Session.guarantee_name Session.Prefix_consistent)
+
+(* --- Checker ------------------------------------------------------------------------ *)
+
+let mk_txn ~id ~session ~kind ~first_op ~finished ~snapshot ?commit_ts
+    ?(reads = []) ?(writes = []) () =
+  {
+    History.id;
+    session;
+    kind;
+    site = "test";
+    first_op;
+    finished;
+    snapshot;
+    commit_ts;
+    reads;
+    writes;
+  }
+
+let history_of txns =
+  let h = History.create () in
+  List.iter (History.add h) txns;
+  h
+
+let test_checker_detects_inversion_update_then_read () =
+  (* Case 3 of Theorem 4.1: update commits (state 5), then a read in the
+     same session sees state 3: inversion. *)
+  let h =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"c" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 ~commit_ts:5 ();
+        mk_txn ~id:2 ~session:"c" ~kind:History.Read_only ~first_op:3 ~finished:4
+          ~snapshot:3 ();
+      ]
+  in
+  check_int "one inversion" 1 (List.length (Checker.inversions h));
+  check_int "also in-session" 1
+    (List.length (Checker.inversions ~same_session_only:true h));
+  check_bool "not strong SI" false (Checker.is_strong_si h);
+  check_bool "not strong session SI" false (Checker.is_strong_session_si h)
+
+let test_checker_cross_session_inversion_allowed_in_session_mode () =
+  let h =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"c1" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 ~commit_ts:5 ();
+        mk_txn ~id:2 ~session:"c2" ~kind:History.Read_only ~first_op:3 ~finished:4
+          ~snapshot:3 ();
+      ]
+  in
+  check_int "global inversion exists" 1 (List.length (Checker.inversions h));
+  check_int "no in-session inversion" 0
+    (List.length (Checker.inversions ~same_session_only:true h));
+  check_bool "strong session SI holds" true (Checker.is_strong_session_si h)
+
+let test_checker_read_read_inversion () =
+  (* Case 4: snapshots must not move backwards within a session. *)
+  let h =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"c" ~kind:History.Read_only ~first_op:1 ~finished:2
+          ~snapshot:7 ();
+        mk_txn ~id:2 ~session:"c" ~kind:History.Read_only ~first_op:3 ~finished:4
+          ~snapshot:3 ();
+      ]
+  in
+  check_int "backward snapshot is an inversion" 1
+    (List.length (Checker.inversions ~same_session_only:true h))
+
+let test_checker_concurrent_txns_not_inverted () =
+  (* Overlapping transactions impose no ordering constraint. *)
+  let h =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"c" ~kind:History.Update ~first_op:1 ~finished:5
+          ~snapshot:0 ~commit_ts:9 ();
+        mk_txn ~id:2 ~session:"c" ~kind:History.Read_only ~first_op:3 ~finished:4
+          ~snapshot:0 ();
+      ]
+  in
+  check_int "no inversion between concurrent txns" 0
+    (List.length (Checker.inversions h))
+
+let test_checker_aborted_txns_ignored () =
+  let h =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"c" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 () (* aborted: no commit_ts *);
+        mk_txn ~id:2 ~session:"c" ~kind:History.Read_only ~first_op:3 ~finished:4
+          ~snapshot:0 ();
+      ]
+  in
+  check_int "aborted updates pin nothing" 0 (List.length (Checker.inversions h))
+
+let test_checker_weak_si_read_validation () =
+  (* A read of x at snapshot 2 must observe the writer at ts<=2, not later. *)
+  let w1 =
+    mk_txn ~id:1 ~session:"w" ~kind:History.Update ~first_op:1 ~finished:2
+      ~snapshot:0 ~commit_ts:2
+      ~writes:[ { Wal.key = "x"; value = Some "old" } ]
+      ()
+  in
+  let w2 =
+    mk_txn ~id:2 ~session:"w" ~kind:History.Update ~first_op:3 ~finished:4
+      ~snapshot:2 ~commit_ts:4
+      ~writes:[ { Wal.key = "x"; value = Some "new" } ]
+      ()
+  in
+  let good_read =
+    mk_txn ~id:3 ~session:"r" ~kind:History.Read_only ~first_op:5 ~finished:6
+      ~snapshot:2
+      ~reads:[ ("x", Some "old") ]
+      ()
+  in
+  let bad_read =
+    mk_txn ~id:4 ~session:"r" ~kind:History.Read_only ~first_op:7 ~finished:8
+      ~snapshot:2
+      ~reads:[ ("x", Some "new") ]
+      ()
+  in
+  check_int "consistent history passes" 0
+    (List.length (Checker.check_weak_si (history_of [ w1; w2; good_read ])));
+  check_int "inconsistent read flagged" 1
+    (List.length (Checker.check_weak_si (history_of [ w1; w2; bad_read ])))
+
+let test_checker_completeness_positive_negative () =
+  let primary = Mvcc.create () in
+  let sec = Mvcc.create () in
+  let apply db writes =
+    let txn = Mvcc.begin_txn db in
+    List.iter (fun (k, v) -> Mvcc.write db txn k (Some v)) writes;
+    ignore (commit_exn db txn)
+  in
+  apply primary [ ("a", "1") ];
+  apply primary [ ("b", "2") ];
+  apply sec [ ("a", "1") ];
+  (* Prefix: ok. *)
+  (match Checker.check_completeness ~primary ~secondary:sec with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Divergent writeset: flagged. *)
+  apply sec [ ("b", "WRONG") ];
+  match Checker.check_completeness ~primary ~secondary:sec with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "divergence not detected"
+
+let test_checker_completeness_secondary_ahead () =
+  let primary = Mvcc.create () in
+  let sec = Mvcc.create () in
+  let txn = Mvcc.begin_txn sec in
+  Mvcc.write sec txn "x" (Some "1");
+  ignore (commit_exn sec txn);
+  match Checker.check_completeness ~primary ~secondary:sec with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "secondary ahead of primary not detected"
+
+let test_checker_satisfies () =
+  let clean =
+    {
+      Checker.weak_si_violations = [];
+      inversions_all = [];
+      inversions_in_session = [];
+      inversions_after_update = [];
+    }
+  in
+  let dummy =
+    mk_txn ~id:0 ~session:"c" ~kind:History.Read_only ~first_op:0 ~finished:0
+      ~snapshot:0 ()
+  in
+  let inv = { Checker.earlier = dummy; later = dummy } in
+  check_bool "clean satisfies strong" true (Checker.satisfies Session.Strong clean);
+  let cross = { clean with Checker.inversions_all = [ inv ] } in
+  check_bool "cross-session inversion ok for session SI" true
+    (Checker.satisfies Session.Strong_session cross);
+  check_bool "but not for strong SI" false (Checker.satisfies Session.Strong cross);
+  let in_session = { cross with Checker.inversions_in_session = [ inv ] } in
+  check_bool "in-session inversion violates session SI" false
+    (Checker.satisfies Session.Strong_session in_session);
+  check_bool "weak allows all inversions" true
+    (Checker.satisfies Session.Weak in_session);
+  let broken = { clean with Checker.weak_si_violations = [ "x" ] } in
+  check_bool "weak SI violation breaks everything" false
+    (Checker.satisfies Session.Weak broken)
+
+(* --- Serializability (serialization-graph test) ---------------------------------------- *)
+
+(* Record a committed update transaction into a history. *)
+let record_update h ~session ~reads ~writes db body =
+  let first_op = History.tick h in
+  let snapshot = Mvcc.latest_commit_ts db in
+  let txn = Mvcc.begin_txn db in
+  body txn;
+  let observed = List.map (fun k -> (k, Mvcc.read db txn k)) reads in
+  List.iter (fun (k, v) -> Mvcc.write db txn k (Some v)) writes;
+  let pending = Mvcc.pending_writes txn in
+  match Mvcc.commit db txn with
+  | Mvcc.Committed cts ->
+    History.add h
+      {
+        History.id = History.fresh_id h;
+        session;
+        kind = History.Update;
+        site = "primary";
+        first_op;
+        finished = History.tick h;
+        snapshot;
+        commit_ts = Some cts;
+        reads = observed;
+        writes = pending;
+      }
+  | Mvcc.Aborted _ -> Alcotest.fail "unexpected abort while recording"
+
+let test_serializable_serial_history () =
+  let h = History.create () in
+  let db = Mvcc.create () in
+  record_update h ~session:"a" ~reads:[] ~writes:[ ("x", "1") ] db (fun _ -> ());
+  record_update h ~session:"b" ~reads:[ "x" ] ~writes:[ ("y", "2") ] db
+    (fun _ -> ());
+  record_update h ~session:"a" ~reads:[ "y" ] ~writes:[ ("x", "3") ] db
+    (fun _ -> ());
+  check_bool "serial history is serializable" true (Checker.is_serializable h)
+
+let test_write_skew_not_serializable () =
+  (* The classic SI write-skew execution has an rw-rw cycle. *)
+  let h = History.create () in
+  let db = Mvcc.create () in
+  record_update h ~session:"init" ~reads:[] ~writes:[ ("x", "1"); ("y", "1") ]
+    db (fun _ -> ());
+  (* Two concurrent transactions, interleaved by hand. *)
+  let first_op1 = History.tick h in
+  let snap = Mvcc.latest_commit_ts db in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  let r1 = [ ("x", Mvcc.read db t1 "x"); ("y", Mvcc.read db t1 "y") ] in
+  let r2 = [ ("x", Mvcc.read db t2 "x"); ("y", Mvcc.read db t2 "y") ] in
+  Mvcc.write db t1 "x" (Some "0");
+  Mvcc.write db t2 "y" (Some "0");
+  let w1 = Mvcc.pending_writes t1 and w2 = Mvcc.pending_writes t2 in
+  let c1 = match Mvcc.commit db t1 with Mvcc.Committed c -> c | _ -> assert false in
+  let first_op2 = History.tick h in
+  let c2 = match Mvcc.commit db t2 with Mvcc.Committed c -> c | _ -> assert false in
+  History.add h
+    {
+      History.id = History.fresh_id h;
+      session = "s1";
+      kind = History.Update;
+      site = "primary";
+      first_op = first_op1;
+      finished = History.tick h;
+      snapshot = snap;
+      commit_ts = Some c1;
+      reads = r1;
+      writes = w1;
+    };
+  History.add h
+    {
+      History.id = History.fresh_id h;
+      session = "s2";
+      kind = History.Update;
+      site = "primary";
+      first_op = first_op2;
+      finished = History.tick h;
+      snapshot = snap;
+      commit_ts = Some c2;
+      reads = r2;
+      writes = w2;
+    };
+  check_bool "write skew breaks serializability" false (Checker.is_serializable h);
+  match Checker.serialization_cycle h with
+  | Some cycle -> check_bool "cycle has >= 2 nodes" true (List.length cycle >= 2)
+  | None -> Alcotest.fail "expected a cycle"
+
+let test_one_sr_prevents_write_skew () =
+  (* The same two on-call doctors, but guarded with the ticket: the second
+     committer aborts, and a retried execution preserves the invariant. *)
+  let db = Mvcc.create () in
+  let seed = Mvcc.begin_txn db in
+  Mvcc.write db seed "oncall:a" (Some "yes");
+  Mvcc.write db seed "oncall:b" (Some "yes");
+  ignore (commit_exn db seed);
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  let on_call txn =
+    (if Mvcc.read db txn "oncall:a" = Some "yes" then 1 else 0)
+    + if Mvcc.read db txn "oncall:b" = Some "yes" then 1 else 0
+  in
+  if on_call t1 >= 2 then Mvcc.write db t1 "oncall:a" (Some "no");
+  if on_call t2 >= 2 then Mvcc.write db t2 "oncall:b" (Some "no");
+  One_sr.guard db t1;
+  One_sr.guard db t2;
+  (match Mvcc.commit db t1 with
+  | Mvcc.Committed _ -> ()
+  | Mvcc.Aborted _ -> Alcotest.fail "first guarded commit must succeed");
+  (match Mvcc.commit db t2 with
+  | Mvcc.Aborted (Mvcc.Write_conflict _) -> ()
+  | _ -> Alcotest.fail "guard must force a conflict");
+  let still_on k = Mvcc.read_at db (Mvcc.latest_commit_ts db) k = Some "yes" in
+  check_bool "invariant preserved" true (still_on "oncall:a" || still_on "oncall:b")
+
+let test_one_sr_run_retries () =
+  let db = Mvcc.create () in
+  (* Interleave a conflicting guarded commit inside the body's first
+     execution to force one retry. *)
+  let attempts = ref 0 in
+  let result =
+    One_sr.run db (fun txn ->
+        incr attempts;
+        ignore (Mvcc.read db txn "x");
+        if !attempts = 1 then begin
+          match One_sr.run db (fun inner -> Mvcc.write db inner "x" (Some "other")) with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "inner run failed"
+        end;
+        Mvcc.write db txn "x" (Some "mine"))
+  in
+  (match result with
+  | Ok ((), _) -> ()
+  | Error _ -> Alcotest.fail "outer run should retry and succeed");
+  check_int "two attempts" 2 !attempts;
+  check_int "two guarded commits" 2 (One_sr.ticket_value db);
+  check_str_opt "last committed value" (Some "mine")
+    (Mvcc.read_at db (Mvcc.latest_commit_ts db) "x")
+
+let test_one_sr_run_gives_up () =
+  let db = Mvcc.create () in
+  let result =
+    One_sr.run ~max_attempts:3 db (fun txn ->
+        ignore (Mvcc.read db txn "y");
+        (* Always lose the race to a fresh guarded commit. *)
+        (match One_sr.run db (fun inner -> Mvcc.write db inner "y" (Some "w")) with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "inner run failed");
+        Mvcc.write db txn "y" (Some "mine"))
+  in
+  match result with
+  | Error attempts -> check_int "gave up after max attempts" 3 attempts
+  | Ok _ -> Alcotest.fail "should have exhausted retries"
+
+let test_one_sr_custom_ticket_domains () =
+  (* Different tickets do not conflict with each other. *)
+  let db = Mvcc.create () in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  One_sr.guard ~ticket:"$t:books$" db t1;
+  One_sr.guard ~ticket:"$t:orders$" db t2;
+  (match Mvcc.commit db t1 with Mvcc.Committed _ -> () | _ -> Alcotest.fail "t1");
+  (match Mvcc.commit db t2 with
+  | Mvcc.Committed _ -> ()
+  | Mvcc.Aborted _ -> Alcotest.fail "distinct tickets must not conflict");
+  check_int "books domain count" 1 (One_sr.ticket_value ~ticket:"$t:books$" db)
+
+(* Guarded random workloads are always serializable. *)
+let prop_one_sr_serializable =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 10)
+        (pair (list_size (int_range 0 2) (int_range 0 3))
+           (list_size (int_range 1 2) (int_range 0 3))))
+  in
+  QCheck.Test.make ~name:"guarded histories are serializable" ~count:100
+    (QCheck.make gen) (fun specs ->
+      let h = History.create () in
+      let db = Mvcc.create () in
+      List.iteri
+        (fun i (reads, writes) ->
+          let reads = List.map (Printf.sprintf "k%d") reads in
+          let writes =
+            List.map (fun k -> (Printf.sprintf "k%d" k, Printf.sprintf "v%d" i)) writes
+          in
+          let first_op = History.tick h in
+          let snapshot = Mvcc.latest_commit_ts db in
+          match
+            One_sr.run db (fun txn ->
+                let observed = List.map (fun k -> (k, Mvcc.read db txn k)) reads in
+                List.iter (fun (k, v) -> Mvcc.write db txn k (Some v)) writes;
+                (observed, Mvcc.pending_writes txn))
+          with
+          | Ok ((observed, pending), cts) ->
+            History.add h
+              {
+                History.id = History.fresh_id h;
+                session = Printf.sprintf "s%d" (i mod 3);
+                kind = History.Update;
+                site = "primary";
+                first_op;
+                finished = History.tick h;
+                snapshot;
+                commit_ts = Some cts;
+                reads = observed;
+                writes = pending;
+              }
+          | Error _ -> ())
+        specs;
+      Checker.is_serializable h)
+
+(* The optimized O(n log n) inversion sweep must agree with a direct O(n^2)
+   transcription of Definitions 2.1/2.2. *)
+let prop_inversions_match_bruteforce =
+  let txn_gen =
+    QCheck.Gen.(
+      map
+        (fun (id, (sess, (kind, (a, (b, snap))))) ->
+          let first_op = min a b and finished = max a b in
+          let kind = if kind then History.Update else History.Read_only in
+          let commit_ts =
+            match kind with
+            | History.Update -> if snap mod 3 = 0 then None else Some (snap + 1)
+            | History.Read_only -> None
+          in
+          {
+            History.id;
+            session = Printf.sprintf "s%d" sess;
+            kind;
+            site = "x";
+            first_op;
+            finished = finished + 1;
+            snapshot = snap;
+            commit_ts;
+            reads = [];
+            writes = [];
+          })
+        (pair (int_range 0 1000)
+           (pair (int_range 0 2)
+              (pair bool (pair (int_range 0 30) (pair (int_range 0 30) (int_range 0 10)))))))
+  in
+  let bruteforce ~same_session txns =
+    let committed (t : History.txn) =
+      match (t.kind, t.commit_ts) with
+      | History.Update, Some _ -> true
+      | History.Update, None -> false
+      | History.Read_only, _ -> true
+    in
+    let state (t : History.txn) =
+      match t.kind with
+      | History.Update -> Option.get t.commit_ts
+      | History.Read_only -> t.snapshot
+    in
+    let committed_txns = List.filter committed txns in
+    List.exists
+      (fun (t2 : History.txn) ->
+        List.exists
+          (fun (t1 : History.txn) ->
+            t1.History.finished < t2.History.first_op
+            && ((not same_session) || t1.session = t2.session)
+            && t2.snapshot < state t1)
+          committed_txns)
+      committed_txns
+  in
+  QCheck.Test.make ~name:"inversion sweep = brute force" ~count:300
+    QCheck.(make Gen.(list_size (int_range 0 12) txn_gen))
+    (fun txns ->
+      let h = History.create () in
+      List.iter (History.add h) txns;
+      Checker.inversions h <> [] = bruteforce ~same_session:false txns
+      && Checker.inversions ~same_session_only:true h <> []
+         = bruteforce ~same_session:true txns)
+
+(* --- Anomaly detectors --------------------------------------------------------------- *)
+
+let test_anomaly_dirty_write () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Begin 2;
+      Anomaly.Write { txn = 1; key = "x"; value = Some "a"; preds = [] };
+      Anomaly.Write { txn = 2; key = "x"; value = Some "b"; preds = [] };
+      Anomaly.Commit 1;
+      Anomaly.Commit 2;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P0 witnessed" [ (1, 2) ]
+    (Anomaly.dirty_writes h);
+  check_bool "not SI safe" false (Anomaly.si_safe h)
+
+let test_anomaly_dirty_read () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Begin 2;
+      Anomaly.Write { txn = 1; key = "x"; value = Some "dirty"; preds = [] };
+      Anomaly.Read { txn = 2; key = "x"; value = Some "dirty" };
+      Anomaly.Abort 1;
+      Anomaly.Commit 2;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P1 witnessed" [ (1, 2) ]
+    (Anomaly.dirty_reads h)
+
+let test_anomaly_fuzzy_read () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Read { txn = 1; key = "x"; value = Some "v1" };
+      Anomaly.Begin 2;
+      Anomaly.Write { txn = 2; key = "x"; value = Some "v2"; preds = [] };
+      Anomaly.Commit 2;
+      Anomaly.Read { txn = 1; key = "x"; value = Some "v2" };
+      Anomaly.Commit 1;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P2 witnessed" [ (1, 2) ]
+    (Anomaly.fuzzy_reads h)
+
+let test_anomaly_phantom () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Pred_read { txn = 1; pred = "price<10"; result = [ "a" ] };
+      Anomaly.Begin 2;
+      Anomaly.Write
+        { txn = 2; key = "b"; value = Some "cheap"; preds = [ "price<10" ] };
+      Anomaly.Commit 2;
+      Anomaly.Pred_read { txn = 1; pred = "price<10"; result = [ "a"; "b" ] };
+      Anomaly.Commit 1;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P3 witnessed" [ (1, 2) ]
+    (Anomaly.phantoms h)
+
+let test_anomaly_lost_update () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Begin 2;
+      Anomaly.Read { txn = 1; key = "x"; value = Some "0" };
+      Anomaly.Write { txn = 2; key = "x"; value = Some "t2"; preds = [] };
+      Anomaly.Commit 2;
+      Anomaly.Write { txn = 1; key = "x"; value = Some "t1"; preds = [] };
+      Anomaly.Commit 1;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P4 witnessed" [ (1, 2) ]
+    (Anomaly.lost_updates h)
+
+let test_anomaly_write_skew () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Begin 2;
+      Anomaly.Read { txn = 1; key = "x"; value = Some "1" };
+      Anomaly.Read { txn = 1; key = "y"; value = Some "1" };
+      Anomaly.Read { txn = 2; key = "x"; value = Some "1" };
+      Anomaly.Read { txn = 2; key = "y"; value = Some "1" };
+      Anomaly.Write { txn = 2; key = "x"; value = Some "0"; preds = [] };
+      Anomaly.Commit 2;
+      Anomaly.Write { txn = 1; key = "y"; value = Some "0"; preds = [] };
+      Anomaly.Commit 1;
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "P5 witnessed" [ (1, 2) ]
+    (Anomaly.write_skews h);
+  (* Write skew alone leaves the history SI-safe: SI admits P5. *)
+  check_bool "P5 does not break si_safe" true (Anomaly.si_safe h)
+
+let test_anomaly_clean_serial_history () =
+  let h =
+    [
+      Anomaly.Begin 1;
+      Anomaly.Write { txn = 1; key = "x"; value = Some "1"; preds = [] };
+      Anomaly.Commit 1;
+      Anomaly.Begin 2;
+      Anomaly.Read { txn = 2; key = "x"; value = Some "1" };
+      Anomaly.Write { txn = 2; key = "x"; value = Some "2"; preds = [] };
+      Anomaly.Commit 2;
+    ]
+  in
+  check_bool "serial history is SI safe" true (Anomaly.si_safe h);
+  check_int "no P5 either" 0 (List.length (Anomaly.write_skews h))
+
+(* A random MVCC execution, transcribed to an anomaly trace, exhibits none of
+   P0-P4. The detectors are value-based, so written values are made unique —
+   as in Adya-style formalizations, versions must be distinguishable. *)
+let prop_mvcc_histories_si_safe =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 6)
+        (list_size (int_range 1 4) (pair (int_range 0 3) bool)))
+  in
+  QCheck.Test.make ~name:"Mvcc histories exhibit no P0-P4" ~count:200
+    (QCheck.make gen) (fun txn_specs ->
+      let db = Mvcc.create () in
+      let trace = ref [] in
+      let emit op = trace := op :: !trace in
+      (* Run pairs of transactions concurrently. *)
+      let rec run = function
+        | [] -> ()
+        | [ spec ] -> run_pair spec []
+        | a :: b :: rest ->
+          run_pair a b;
+          run rest
+      and run_pair a b =
+        let start spec =
+          let txn = Mvcc.begin_txn db in
+          emit (Anomaly.Begin (Mvcc.txn_id txn));
+          (txn, spec)
+        in
+        let ta, sa = start a in
+        let tb, sb = start b in
+        let counter = ref 0 in
+        let step (txn, ops) =
+          List.iter
+            (fun (k, is_delete) ->
+              let key = Printf.sprintf "k%d" k in
+              let id = Mvcc.txn_id txn in
+              let seen = Mvcc.read db txn key in
+              emit (Anomaly.Read { txn = id; key; value = seen });
+              incr counter;
+              let v =
+                if is_delete then None
+                else Some (Printf.sprintf "v%d.%d" id !counter)
+              in
+              Mvcc.write db txn key v;
+              emit (Anomaly.Write { txn = id; key; value = v; preds = [] }))
+            ops
+        in
+        step (ta, sa);
+        step (tb, sb);
+        let finish txn =
+          match Mvcc.commit db txn with
+          | Mvcc.Committed _ -> emit (Anomaly.Commit (Mvcc.txn_id txn))
+          | Mvcc.Aborted _ -> emit (Anomaly.Abort (Mvcc.txn_id txn))
+        in
+        finish ta;
+        finish tb
+      in
+      run txn_specs;
+      Anomaly.si_safe (List.rev !trace))
+
+(* --- Embedded System ------------------------------------------------------------------ *)
+
+let test_system_weak_shows_inversion () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "alice" in
+  (match System.update sys c (fun h -> Handle.put h "order" "placed") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  (* No pump: the copy is stale, so the session sees old data. *)
+  let v = System.read sys c (fun h -> Handle.get h "order") in
+  check_str_opt "stale read under weak SI" None v;
+  let report = Checker.analyze (System.history sys) in
+  check_int "inversion recorded" 1 (List.length report.Checker.inversions_in_session);
+  check_int "still weak SI" 0 (List.length report.Checker.weak_si_violations)
+
+let test_system_strong_session_reads_own_writes () =
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Strong_session () in
+  let c = System.connect sys "bob" in
+  (match System.update sys c (fun h -> Handle.put h "order" "placed") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let v = System.read sys c (fun h -> Handle.get h "order") in
+  check_str_opt "read-your-writes" (Some "placed") v;
+  check_int "the read had to wait" 1 (System.blocked_reads sys);
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_strong_session_cross_session_stale_ok () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Strong_session () in
+  let writer = System.connect sys "writer" in
+  let reader = System.connect sys "reader" in
+  (match System.update sys writer (fun h -> Handle.put h "x" "new") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  (* Different session: may read stale data without waiting. *)
+  let v = System.read sys reader (fun h -> Handle.get h "x") in
+  check_str_opt "other session reads stale" None v;
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_strong_blocks_cross_session () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Strong () in
+  let writer = System.connect sys "writer" in
+  let reader = System.connect sys "reader" in
+  (match System.update sys writer (fun h -> Handle.put h "x" "new") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let v = System.read sys reader (fun h -> Handle.get h "x") in
+  check_str_opt "strong SI: cross-session read waits and sees it" (Some "new") v;
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_read_nowait () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Strong_session () in
+  let c = System.connect sys "c" in
+  (match System.update sys c (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  check_bool "nowait returns None while stale" true
+    (System.read_nowait sys c (fun h -> Handle.get h "x") = None);
+  System.pump sys;
+  check_bool "nowait succeeds after pump" true
+    (System.read_nowait sys c (fun h -> Handle.get h "x") = Some (Some "1"))
+
+let test_system_forced_abort () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "c" in
+  (match System.update sys c ~force_abort:true (fun h -> Handle.put h "x" "1") with
+  | Error Mvcc.Forced -> ()
+  | Error (Mvcc.Write_conflict _) | Ok _ -> Alcotest.fail "expected forced abort");
+  System.pump sys;
+  let v = System.read sys c (fun h -> Handle.get h "x") in
+  check_str_opt "aborted update never replicates" None v;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_fcw_abort_surfaces () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "c" in
+  (* Two "concurrent" updates can't happen in the embedded driver (updates
+     run to completion), so exercise the error path via force_abort and a
+     direct conflicting pair at the primary. *)
+  let db = System.primary_db sys in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  Mvcc.write db t1 "x" (Some "1");
+  Mvcc.write db t2 "x" (Some "2");
+  ignore (commit_exn db t1);
+  (match Mvcc.commit db t2 with
+  | Mvcc.Aborted (Mvcc.Write_conflict _) -> ()
+  | _ -> Alcotest.fail "conflict expected");
+  System.pump sys;
+  (* The replicated machinery survives aborted writers in the log. *)
+  let v = System.read sys c (fun h -> Handle.get h "x") in
+  check_str_opt "first committer replicated" (Some "1") v
+
+let test_system_multi_secondary_consistency () =
+  let sys = System.create ~secondaries:4 ~guarantee:Session.Strong_session () in
+  let clients = List.init 8 (fun i -> System.connect sys (Printf.sprintf "c%d" i)) in
+  List.iteri
+    (fun i c ->
+      for j = 0 to 5 do
+        match
+          System.update sys c (fun h ->
+              Handle.put h (Printf.sprintf "key%d_%d" i j) (string_of_int j))
+        with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "update failed"
+      done)
+    clients;
+  System.pump sys;
+  let reference = Mvcc.committed_state (System.primary_db sys) in
+  for i = 0 to 3 do
+    Alcotest.(check (list (pair string string)))
+      (Printf.sprintf "secondary %d converged" i)
+      reference
+      (Mvcc.committed_state (System.secondary_db sys i))
+  done;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_row_api () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Strong_session () in
+  let c = System.connect sys "shop" in
+  (match
+     System.update sys c (fun h ->
+         Handle.row_put h ~table:"books" ~pk:"1"
+           [ ("title", Row.Text "sicp"); ("stock", Row.Int 3) ])
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert failed");
+  (match
+     System.update sys c (fun h ->
+         check_bool "row_update" true
+           (Handle.row_update h ~table:"books" ~pk:"1" (fun row ->
+                Row.set row "stock" (Row.Int 2))))
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let stock =
+    System.read sys c (fun h ->
+        match Handle.row_get h ~table:"books" ~pk:"1" with
+        | Some row -> Row.int_exn row "stock"
+        | None -> -1)
+  in
+  check_int "replicated row visible in session" 2 stock;
+  let count =
+    System.read sys c (fun h ->
+        List.length (Handle.row_scan h ~table:"books" ~where:(fun _ -> true)))
+  in
+  check_int "scan" 1 count;
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_handle_schema_and_reads () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  let h = Handle.make ~schema:[ ("books", [ "genre" ]) ] db txn in
+  Alcotest.(check (list string)) "indexed fields" [ "genre" ]
+    (Handle.indexed_fields h ~table:"books");
+  Alcotest.(check (list string)) "unknown table has none" []
+    (Handle.indexed_fields h ~table:"orders");
+  ignore (Handle.get h "missing");
+  Handle.put h "k" "v";
+  ignore (Handle.get h "k");
+  (* Reads are recorded in order, including read-your-writes. *)
+  match Handle.reads h with
+  | [ ("missing", None); ("k", Some "v") ] -> ()
+  | reads -> Alcotest.failf "unexpected recorded reads (%d)" (List.length reads)
+
+let test_system_crash_recovery () =
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Strong_session () in
+  let c = System.connect sys ~secondary:0 "c" in
+  (match System.update sys c (fun h -> Handle.put h "a" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  System.pump sys;
+  System.crash_secondary sys 0;
+  check_bool "crashed" true (System.is_crashed sys 0);
+  (* Updates continue while the site is down. *)
+  (match System.update sys c (fun h -> Handle.put h "b" "2") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  ignore (System.propagate sys);
+  (match System.read sys c (fun _ -> ()) with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "reads at a crashed site must fail");
+  System.recover_secondary sys 0;
+  check_bool "recovered" false (System.is_crashed sys 0);
+  (* The recovered copy has the full primary state and a reseeded seq. *)
+  let v = System.read sys c (fun h -> Handle.get h "b") in
+  check_str_opt "recovered copy serves session reads" (Some "2") v;
+  (* Updates after recovery flow through refresh again. *)
+  (match System.update sys c (fun h -> Handle.put h "c" "3") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  System.pump sys;
+  Alcotest.(check (list (pair string string)))
+    "recovered secondary tracks primary"
+    (Mvcc.committed_state (System.primary_db sys))
+    (Mvcc.committed_state (System.secondary_db sys 0));
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let migration_scenario guarantee =
+  (* A session updates, reads at an up-to-date secondary, then migrates to
+     a secondary that has not yet refreshed. Its next read would observe an
+     older snapshot: strong session SI must wait, PCSI may proceed only if
+     the stale copy still includes the session's own update. *)
+  let sys = System.create ~secondaries:2 ~guarantee () in
+  let c = System.connect sys ~secondary:0 "mover" in
+  (match System.update sys c (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  (* Refresh only secondary 0. *)
+  ignore (System.propagate sys);
+  ignore (System.refresh_one sys 0);
+  (* An unrelated update advances the primary; refresh it into secondary 0
+     only, so secondary 0 is ahead of secondary 1. *)
+  let other = System.connect sys ~secondary:0 "other" in
+  (match System.update sys other (fun h -> Handle.put h "y" "2") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  ignore (System.propagate sys);
+  ignore (System.refresh_one sys 0);
+  (* Read at the fresh secondary: snapshot includes both updates. *)
+  ignore (System.read sys c (fun h -> Handle.get h "y"));
+  (* Partially refresh secondary 1: apply the session's own update (x) but
+     leave the later one (y) queued, so the copy is valid but older than the
+     snapshot the session just observed. *)
+  let lagging = System.secondary sys 1 in
+  let rec apply_first () =
+    match Secondary.refresher_step lagging with
+    | Secondary.Started _ -> apply_first ()
+    | Secondary.Dispatched app ->
+      let rec drive () =
+        match Secondary.applicator_step lagging app with
+        | Secondary.Committed _ -> ()
+        | Secondary.Applied _ | Secondary.Waiting_commit -> drive ()
+        | Secondary.Done -> ()
+      in
+      drive ()
+    | Secondary.Aborted _ | Secondary.Blocked_on_pending | Secondary.Idle ->
+      Alcotest.fail "unexpected refresher outcome while lagging"
+  in
+  apply_first ();
+  (* Migrate to the lagging secondary (has x but not y). *)
+  let moved = System.migrate sys c 1 in
+  System.read_nowait sys moved (fun h -> (Handle.get h "x", Handle.get h "y"))
+
+let test_system_migration_strong_session_blocks () =
+  match migration_scenario Session.Strong_session with
+  | None -> () (* must wait: the stale copy would move its snapshot back *)
+  | Some _ ->
+    Alcotest.fail "strong session SI allowed a backward snapshot after migration"
+
+let test_system_migration_pcsi_proceeds () =
+  match migration_scenario Session.Prefix_consistent with
+  | Some (x, y) ->
+    check_str_opt "own update still visible" (Some "1") x;
+    check_str_opt "other's update may be missing" None y
+  | None -> Alcotest.fail "PCSI should not wait here"
+
+let test_system_pcsi_guarantee_checked () =
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Prefix_consistent () in
+  let c = System.connect sys "c" in
+  (match System.update sys c (fun h -> Handle.put h "k" "v") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let v = System.read sys c (fun h -> Handle.get h "k") in
+  check_str_opt "PCSI reads own update" (Some "v") v;
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_connect_round_robin () =
+  let sys = System.create ~secondaries:3 ~guarantee:Session.Weak () in
+  let cs = List.init 6 (fun i -> System.connect sys (Printf.sprintf "c%d" i)) in
+  Alcotest.(check (list int)) "round robin assignment" [ 0; 1; 2; 0; 1; 2 ]
+    (List.map System.client_secondary cs)
+
+let test_system_bad_secondary_index () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  Alcotest.check_raises "bad index" (Invalid_argument "System: no secondary 5")
+    (fun () -> ignore (System.connect sys ~secondary:5 "c"))
+
+(* Randomized end-to-end property: any interleaving of updates, reads and
+   pumps satisfies the advertised guarantee and completeness. *)
+let prop_system_random_guarantee guarantee name =
+  let action_gen =
+    QCheck.Gen.(
+      list_size (int_range 5 40)
+        (pair (int_range 0 3) (pair (int_range 0 2) (int_range 0 5))))
+  in
+  QCheck.Test.make ~name ~count:60 (QCheck.make action_gen) (fun actions ->
+      let sys = System.create ~secondaries:2 ~guarantee () in
+      let clients =
+        Array.init 3 (fun i -> System.connect sys (Printf.sprintf "c%d" i))
+      in
+      List.iter
+        (fun (action, (who, key)) ->
+          let c = clients.(who) in
+          let k = Printf.sprintf "k%d" key in
+          match action with
+          | 0 ->
+            ignore
+              (System.update sys c (fun h -> Handle.put h k (string_of_int key)))
+          | 1 -> ignore (System.read sys c (fun h -> Handle.get h k))
+          | 2 -> ignore (System.propagate sys)
+          | _ -> System.pump sys)
+        actions;
+      System.pump sys;
+      match System.check sys with Ok () -> true | Error _ -> false)
+
+let prop_system_session_guarantee =
+  prop_system_random_guarantee Session.Strong_session
+    "random runs satisfy strong session SI"
+
+let prop_system_strong_guarantee =
+  prop_system_random_guarantee Session.Strong "random runs satisfy strong SI"
+
+let prop_system_weak_guarantee =
+  prop_system_random_guarantee Session.Weak "random runs satisfy weak SI"
+
+let prop_system_pcsi_guarantee =
+  prop_system_random_guarantee Session.Prefix_consistent
+    "random runs satisfy PCSI"
+
+(* --- Suite -------------------------------------------------------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lsr_core"
+    [
+      ( "propagation",
+        [
+          Alcotest.test_case "commit carries updates" `Quick
+            test_propagation_commit_carries_updates;
+          Alcotest.test_case "start before commit (liveness)" `Quick
+            test_propagation_start_before_commit;
+          Alcotest.test_case "abort discards updates" `Quick
+            test_propagation_abort_discards_updates;
+          Alcotest.test_case "ship_aborted mode" `Quick test_propagation_ship_aborted;
+          Alcotest.test_case "squashes rewrites" `Quick
+            test_propagation_squashes_rewrites;
+          Alcotest.test_case "log order preserved" `Quick
+            test_propagation_order_is_log_order;
+          Alcotest.test_case "cursor position" `Quick test_propagation_cursor_position;
+          Alcotest.test_case "attach mid-log" `Quick test_propagation_from_offset;
+        ] );
+      ( "secondary-refresh",
+        [
+          Alcotest.test_case "applies updates" `Quick test_refresh_applies_updates;
+          Alcotest.test_case "sets seq(DBsec)" `Quick test_refresh_sets_seq_dbsec;
+          Alcotest.test_case "abort record" `Quick test_refresh_abort_record;
+          Alcotest.test_case "start blocks on pending (rel 1/2)" `Quick
+            test_refresher_blocks_start_on_pending;
+          Alcotest.test_case "commits in primary order (rel 3)" `Quick
+            test_applicators_commit_in_primary_order;
+          Alcotest.test_case "random order matches primary" `Quick
+            test_refresh_commit_order_matches_primary_random;
+          Alcotest.test_case "commit without start rejected" `Quick
+            test_commit_without_start_rejected;
+          Alcotest.test_case "reseed seq" `Quick test_reseed_seq;
+          Alcotest.test_case "refresh commit callback" `Quick
+            test_on_refresh_commit_callback;
+          Alcotest.test_case "exhaustive interleavings" `Quick
+            test_exhaustive_interleavings;
+          Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+        ]
+        @ qsuite [ prop_refresh_ordering_relationships ] );
+      ( "session",
+        [
+          Alcotest.test_case "weak never blocks" `Quick test_session_weak_never_blocks;
+          Alcotest.test_case "strong session blocks own label" `Quick
+            test_session_strong_session_blocks_own_label;
+          Alcotest.test_case "strong blocks everyone" `Quick
+            test_session_strong_blocks_everyone;
+          Alcotest.test_case "seq monotone" `Quick test_session_seq_monotone;
+          Alcotest.test_case "pcsi ignores read floor" `Quick
+            test_session_pcsi_ignores_read_floor;
+          Alcotest.test_case "pcsi blocks after update" `Quick
+            test_session_pcsi_blocks_after_update;
+          Alcotest.test_case "guarantee names" `Quick test_session_guarantee_names;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "update-then-read inversion" `Quick
+            test_checker_detects_inversion_update_then_read;
+          Alcotest.test_case "cross-session allowed for session SI" `Quick
+            test_checker_cross_session_inversion_allowed_in_session_mode;
+          Alcotest.test_case "read-read inversion" `Quick
+            test_checker_read_read_inversion;
+          Alcotest.test_case "concurrent txns not inverted" `Quick
+            test_checker_concurrent_txns_not_inverted;
+          Alcotest.test_case "aborted txns ignored" `Quick
+            test_checker_aborted_txns_ignored;
+          Alcotest.test_case "weak SI read validation" `Quick
+            test_checker_weak_si_read_validation;
+          Alcotest.test_case "completeness" `Quick
+            test_checker_completeness_positive_negative;
+          Alcotest.test_case "secondary ahead" `Quick
+            test_checker_completeness_secondary_ahead;
+          Alcotest.test_case "satisfies matrix" `Quick test_checker_satisfies;
+        ]
+        @ qsuite [ prop_inversions_match_bruteforce ] );
+      ( "serializability",
+        [
+          Alcotest.test_case "serial history serializable" `Quick
+            test_serializable_serial_history;
+          Alcotest.test_case "write skew not serializable" `Quick
+            test_write_skew_not_serializable;
+          Alcotest.test_case "ticket prevents write skew" `Quick
+            test_one_sr_prevents_write_skew;
+          Alcotest.test_case "one_sr run retries" `Quick test_one_sr_run_retries;
+          Alcotest.test_case "one_sr gives up" `Quick test_one_sr_run_gives_up;
+          Alcotest.test_case "ticket domains" `Quick
+            test_one_sr_custom_ticket_domains;
+        ]
+        @ qsuite [ prop_one_sr_serializable ] );
+      ( "anomaly",
+        [
+          Alcotest.test_case "P0 dirty write" `Quick test_anomaly_dirty_write;
+          Alcotest.test_case "P1 dirty read" `Quick test_anomaly_dirty_read;
+          Alcotest.test_case "P2 fuzzy read" `Quick test_anomaly_fuzzy_read;
+          Alcotest.test_case "P3 phantom" `Quick test_anomaly_phantom;
+          Alcotest.test_case "P4 lost update" `Quick test_anomaly_lost_update;
+          Alcotest.test_case "P5 write skew" `Quick test_anomaly_write_skew;
+          Alcotest.test_case "clean serial history" `Quick
+            test_anomaly_clean_serial_history;
+        ]
+        @ qsuite [ prop_mvcc_histories_si_safe ] );
+      ( "system",
+        [
+          Alcotest.test_case "weak shows inversion" `Quick
+            test_system_weak_shows_inversion;
+          Alcotest.test_case "session reads own writes" `Quick
+            test_system_strong_session_reads_own_writes;
+          Alcotest.test_case "cross-session stale ok (session)" `Quick
+            test_system_strong_session_cross_session_stale_ok;
+          Alcotest.test_case "strong blocks cross-session" `Quick
+            test_system_strong_blocks_cross_session;
+          Alcotest.test_case "read_nowait" `Quick test_system_read_nowait;
+          Alcotest.test_case "forced abort" `Quick test_system_forced_abort;
+          Alcotest.test_case "fcw abort in log" `Quick test_system_fcw_abort_surfaces;
+          Alcotest.test_case "multi-secondary consistency" `Quick
+            test_system_multi_secondary_consistency;
+          Alcotest.test_case "row api" `Quick test_system_row_api;
+          Alcotest.test_case "handle schema/reads" `Quick
+            test_handle_schema_and_reads;
+          Alcotest.test_case "crash recovery" `Quick test_system_crash_recovery;
+          Alcotest.test_case "migration: strong session blocks" `Quick
+            test_system_migration_strong_session_blocks;
+          Alcotest.test_case "migration: pcsi proceeds" `Quick
+            test_system_migration_pcsi_proceeds;
+          Alcotest.test_case "pcsi checked end-to-end" `Quick
+            test_system_pcsi_guarantee_checked;
+          Alcotest.test_case "round robin connect" `Quick
+            test_system_connect_round_robin;
+          Alcotest.test_case "bad secondary index" `Quick
+            test_system_bad_secondary_index;
+        ]
+        @ qsuite
+            [
+              prop_system_session_guarantee;
+              prop_system_strong_guarantee;
+              prop_system_weak_guarantee;
+              prop_system_pcsi_guarantee;
+            ] );
+    ]

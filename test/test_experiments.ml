@@ -1,0 +1,379 @@
+(* Tests for the experiment layer (lsr_experiments): metrics reduction, the
+   simulated replicated system, its validation against the checker, the
+   ablation switches, and result rendering. Simulation runs here use small
+   configurations so the suite stays fast. *)
+
+open Lsr_core
+open Lsr_workload
+open Lsr_experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_warmup_filtering () =
+  let m = Metrics.create ~warmup:100. ~cap:3. in
+  Metrics.note_completion m ~now:50. ~response_time:1. ~is_update:false;
+  check_int "warm-up completions ignored" 0 (Metrics.fast_completions m);
+  Metrics.note_completion m ~now:150. ~response_time:1. ~is_update:false;
+  Metrics.note_completion m ~now:160. ~response_time:5. ~is_update:true;
+  check_int "only fast ones counted" 1 (Metrics.fast_completions m);
+  check_int "read rt recorded" 1 (Lsr_sim.Stat.count (Metrics.read_rt m));
+  check_int "update rt recorded" 1 (Lsr_sim.Stat.count (Metrics.update_rt m))
+
+let test_metrics_counters () =
+  let m = Metrics.create ~warmup:0. ~cap:3. in
+  Metrics.note_abort m ~now:1.;
+  Metrics.note_block m ~now:1. ~wait:2.5;
+  Metrics.note_refresh m ~now:1. ~staleness:7.;
+  Metrics.note_wasted_ops m ~now:1. 4;
+  check_int "aborts" 1 (Metrics.aborts m);
+  check_int "blocked" 1 (Metrics.blocked_reads m);
+  Alcotest.(check (float 1e-9)) "wait" 2.5 (Lsr_sim.Stat.mean (Metrics.block_wait m));
+  Alcotest.(check (float 1e-9)) "staleness" 7.
+    (Lsr_sim.Stat.mean (Metrics.refresh_staleness m));
+  check_int "refreshes" 1 (Metrics.refresh_commits m);
+  check_int "wasted" 4 (Metrics.wasted_ops m)
+
+(* --- Sim_system --------------------------------------------------------------- *)
+
+let tiny_params =
+  {
+    Params.default with
+    Params.num_secondaries = 2;
+    clients_per_secondary = 5;
+    warmup = 20.;
+    duration = 180.;
+    propagation_delay = 5.;
+  }
+
+let run ?(params = tiny_params) ?(seed = 11) ?(record = false) ?(serial = false)
+    ?(ship = false) guarantee =
+  Sim_system.run
+    {
+      (Sim_system.config params guarantee ~seed) with
+      Sim_system.record_history = record;
+      serial_refresh = serial;
+      ship_aborted = ship;
+    }
+
+let test_sim_produces_work () =
+  let o = run Session.Weak in
+  check_bool "transactions completed" true (o.Sim_system.reads_completed > 50);
+  check_bool "updates completed" true (o.Sim_system.updates_completed > 5);
+  check_bool "refreshes happened" true (o.Sim_system.refresh_commits > 5);
+  check_bool "throughput positive" true (o.Sim_system.throughput_fast > 0.)
+
+let test_sim_all_guarantees_validate () =
+  List.iter
+    (fun g ->
+      let o = run ~record:true g in
+      Alcotest.(check (list string))
+        (Session.guarantee_name g ^ " checker clean")
+        [] o.Sim_system.check_errors)
+    Session.all_guarantees
+
+let test_sim_weak_never_blocks () =
+  let o = run Session.Weak in
+  check_int "no blocked reads under weak" 0 o.Sim_system.blocked_reads
+
+let test_sim_blocking_ordering () =
+  (* Strong blocks at least as much as session, which blocks more than
+     weak (zero). *)
+  let weak = run Session.Weak in
+  let session = run Session.Strong_session in
+  let strong = run Session.Strong in
+  check_bool "session blocks some reads" true (session.Sim_system.blocked_reads > 0);
+  check_bool "strong blocks more" true
+    (strong.Sim_system.blocked_reads >= session.Sim_system.blocked_reads);
+  check_int "weak blocks none" 0 weak.Sim_system.blocked_reads
+
+let test_sim_strong_read_rt_dominates () =
+  let weak = run Session.Weak in
+  let strong = run Session.Strong in
+  check_bool "strong SI read latency much larger" true
+    (strong.Sim_system.read_rt_mean > 2. *. weak.Sim_system.read_rt_mean)
+
+let test_sim_deterministic () =
+  let a = run ~seed:99 Session.Strong_session in
+  let b = run ~seed:99 Session.Strong_session in
+  check_bool "same seed, identical outcome" true
+    (a.Sim_system.throughput_fast = b.Sim_system.throughput_fast
+    && a.Sim_system.read_rt_mean = b.Sim_system.read_rt_mean
+    && a.Sim_system.reads_completed = b.Sim_system.reads_completed);
+  let c = run ~seed:100 Session.Strong_session in
+  check_bool "different seed, different run" true
+    (a.Sim_system.reads_completed <> c.Sim_system.reads_completed)
+
+let test_sim_serial_refresh_staler () =
+  (* Serial refresh cannot be fresher than concurrent applicators. *)
+  let conc = run ~seed:5 Session.Strong_session in
+  let serial = run ~seed:5 ~serial:true Session.Strong_session in
+  check_bool "serial refresh staleness >= concurrent" true
+    (serial.Sim_system.refresh_staleness_mean
+    >= conc.Sim_system.refresh_staleness_mean -. 0.5);
+  let o = run ~record:true ~serial:true Session.Strong_session in
+  Alcotest.(check (list string)) "serial refresh still correct" []
+    o.Sim_system.check_errors
+
+let test_sim_ship_aborted_wastes_work () =
+  let params = { tiny_params with Params.abort_prob = 0.2 } in
+  let eager = run ~params ~ship:true Session.Weak in
+  let lazy_ = run ~params Session.Weak in
+  check_bool "eager mode executes wasted ops" true (eager.Sim_system.wasted_ops > 0);
+  check_int "commit-time mode wastes nothing" 0 lazy_.Sim_system.wasted_ops
+
+let test_sim_ship_aborted_still_correct () =
+  let params = { tiny_params with Params.abort_prob = 0.15 } in
+  let o = run ~params ~ship:true ~record:true Session.Strong_session in
+  Alcotest.(check (list string)) "eager ablation passes checker" []
+    o.Sim_system.check_errors
+
+let test_sim_utilization_bounds () =
+  let o = run Session.Weak in
+  check_bool "primary utilization in [0,1]" true
+    (o.Sim_system.primary_utilization >= 0. && o.Sim_system.primary_utilization <= 1.);
+  check_bool "secondary utilization in [0,1]" true
+    (o.Sim_system.secondary_utilization >= 0.
+    && o.Sim_system.secondary_utilization <= 1.)
+
+let test_sim_staleness_reflects_delay () =
+  (* Mean staleness is at least of the order of half the propagation cycle. *)
+  let o = run Session.Weak in
+  check_bool "staleness >= 1s with 5s cycles" true
+    (o.Sim_system.refresh_staleness_mean >= 1.)
+
+let test_sim_pcsi_validates () =
+  let o = run ~record:true Session.Prefix_consistent in
+  Alcotest.(check (list string)) "PCSI run checker clean" []
+    o.Sim_system.check_errors;
+  check_bool "PCSI blocks fewer reads than strong session" true
+    (o.Sim_system.blocked_reads
+    <= (run Session.Strong_session).Sim_system.blocked_reads)
+
+let run_migrating ?(record = false) guarantee =
+  (* Strong jitter + always-migrating reads: the configuration where the
+     read floor demonstrably matters (replicas diverge by many seconds and
+     every read may land on a staler copy than the one before). *)
+  let params = { tiny_params with Params.propagation_jitter = 20. } in
+  Sim_system.run
+    {
+      (Sim_system.config params guarantee ~seed:31) with
+      Sim_system.migrate_prob = 1.0;
+      record_history = record;
+    }
+
+let test_sim_migration_validates () =
+  List.iter
+    (fun g ->
+      let o = run_migrating ~record:true g in
+      Alcotest.(check (list string))
+        (Session.guarantee_name g ^ " migrating run clean")
+        [] o.Sim_system.check_errors)
+    [ Session.Strong_session; Session.Prefix_consistent; Session.Weak ]
+
+let test_sim_migration_pcsi_waits_less () =
+  (* Under migration, strong session SI's read floor forces extra waits that
+     PCSI does not require. *)
+  let session = run_migrating Session.Strong_session in
+  let pcsi = run_migrating Session.Prefix_consistent in
+  check_bool "PCSI blocks fewer migrated reads" true
+    (pcsi.Sim_system.blocked_reads < session.Sim_system.blocked_reads)
+
+let test_sim_contention_fcw_aborts () =
+  (* Skewed keys make the real first-committer-wins rule fire at the
+     primary; the run must still satisfy its guarantee and completeness
+     (abort records propagate, secondaries discard the work). *)
+  let params =
+    {
+      tiny_params with
+      Params.key_skew = 1.2;
+      key_space = 50;
+      clients_per_secondary = 10;
+      abort_prob = 0. (* isolate real conflicts from forced aborts *);
+    }
+  in
+  let o = run ~params ~record:true Session.Strong_session in
+  check_bool "real conflicts occurred" true (o.Sim_system.fcw_aborts > 0);
+  check_int "all aborts are conflicts" o.Sim_system.fcw_aborts
+    o.Sim_system.aborts;
+  Alcotest.(check (list string)) "contended run still correct" []
+    o.Sim_system.check_errors
+
+let test_sim_uniform_has_no_fcw () =
+  let params = { tiny_params with Params.abort_prob = 0. } in
+  let o = run ~params Session.Weak in
+  check_int "no conflicts with 100k uniform keys" 0 o.Sim_system.fcw_aborts
+
+let test_sim_config_defaults () =
+  let cfg = Sim_system.config tiny_params Session.Weak ~seed:3 in
+  check_bool "no recording by default" false cfg.Sim_system.record_history;
+  check_bool "no serial refresh by default" false cfg.Sim_system.serial_refresh;
+  check_bool "no eager aborts by default" false cfg.Sim_system.ship_aborted;
+  Alcotest.(check (float 0.)) "no migration by default" 0.
+    cfg.Sim_system.migrate_prob
+
+(* --- Figures / Report rendering ------------------------------------------------- *)
+
+let synthetic_figure =
+  {
+    Figures.id = "figX";
+    title = "Synthetic";
+    xlabel = "x";
+    ylabel = "y";
+    series =
+      [
+        {
+          Figures.label = "a";
+          points =
+            [
+              { Figures.x = 1.; interval = { Lsr_stats.Confidence.mean = 10.; half_width = 0.5; n = 3 } };
+              { Figures.x = 2.; interval = { Lsr_stats.Confidence.mean = 20.; half_width = 1.; n = 3 } };
+            ];
+        };
+        {
+          Figures.label = "b";
+          points =
+            [
+              { Figures.x = 1.; interval = { Lsr_stats.Confidence.mean = 5.; half_width = 0.; n = 1 } };
+              { Figures.x = 2.; interval = { Lsr_stats.Confidence.mean = 6.; half_width = 0.; n = 1 } };
+            ];
+        };
+      ];
+    notes = [ "a synthetic note" ];
+  }
+
+let test_report_render () =
+  let rendered = Report.render_figure synthetic_figure in
+  let contains needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec scan i = i + n <= h && (String.sub rendered i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "has id" true (contains "figX");
+  check_bool "has series label" true (contains "a");
+  check_bool "has interval" true (contains "10 ±0.50");
+  check_bool "has note" true (contains "synthetic note")
+
+let test_report_csv () =
+  let csv = Report.csv_of_figure synthetic_figure in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "x,a mean,a ci95,b mean,b ci95" (List.hd lines);
+  Alcotest.(check string) "first row" "1,10,0.5,5,0" (List.nth lines 1)
+
+let test_report_write_csv () =
+  let dir = Filename.temp_file "lsr" "" in
+  Sys.remove dir;
+  let path = Report.write_csv ~dir synthetic_figure in
+  check_bool "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "content written" "x,a mean,a ci95,b mean,b ci95" first;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let tiny_sweep_params =
+  {
+    Params.default with
+    Params.clients_per_secondary = 4;
+    warmup = 10.;
+    duration = 60.;
+    replications = 2;
+    propagation_delay = 3.;
+  }
+
+let tiny_opts =
+  { Figures.default_opts with Figures.quick = true; base_params = Some tiny_sweep_params }
+
+let series_by_label (figure : Figures.figure) label =
+  List.find (fun s -> s.Figures.label = label) figure.Figures.series
+
+let test_figures_tiny_fig234 () =
+  let f2, f3, f4 = Figures.fig2_3_4 tiny_opts in
+  Alcotest.(check string) "fig2 id" "fig2" f2.Figures.id;
+  List.iter
+    (fun (figure : Figures.figure) ->
+      check_int "three series" 3 (List.length figure.Figures.series);
+      List.iter
+        (fun s -> check_int "five points" 5 (List.length s.Figures.points))
+        figure.Figures.series)
+    [ f2; f3; f4 ];
+  (* Strong SI must show the signature pattern even at tiny scale: higher
+     read latency than weak SI at the largest load point. *)
+  let last series =
+    (List.nth series.Figures.points 4).Figures.interval.Lsr_stats.Confidence.mean
+  in
+  check_bool "strong read RT dominates weak" true
+    (last (series_by_label f3 "ALG-STRONG-SI")
+    > last (series_by_label f3 "ALG-WEAK-SI"))
+
+let test_figures_tiny_fig5_ideal_line () =
+  let f5, _, _ = Figures.fig5_6_7 tiny_opts in
+  check_int "ideal + three algorithms" 4 (List.length f5.Figures.series);
+  let ideal = series_by_label f5 "ideal (linear)" in
+  let points = ideal.Figures.points in
+  let ratio (p : Figures.point) =
+    p.Figures.interval.Lsr_stats.Confidence.mean /. p.Figures.x
+  in
+  let r0 = ratio (List.hd points) in
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-6)) "ideal line is linear" r0 (ratio p))
+    points
+
+let test_params_for () =
+  check_bool "quick shrinks" true
+    ((Figures.params_for ~quick:true).Params.duration
+    < (Figures.params_for ~quick:false).Params.duration);
+  Alcotest.(check int) "paper-scale replications" 5
+    (Figures.params_for ~quick:false).Params.replications
+
+let () =
+  Alcotest.run "lsr_experiments"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "warmup filtering" `Quick test_metrics_warmup_filtering;
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+        ] );
+      ( "sim_system",
+        [
+          Alcotest.test_case "produces work" `Quick test_sim_produces_work;
+          Alcotest.test_case "all guarantees validate" `Slow
+            test_sim_all_guarantees_validate;
+          Alcotest.test_case "weak never blocks" `Quick test_sim_weak_never_blocks;
+          Alcotest.test_case "blocking ordering" `Quick test_sim_blocking_ordering;
+          Alcotest.test_case "strong read rt dominates" `Quick
+            test_sim_strong_read_rt_dominates;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "serial refresh staler" `Slow
+            test_sim_serial_refresh_staler;
+          Alcotest.test_case "ship_aborted wastes work" `Quick
+            test_sim_ship_aborted_wastes_work;
+          Alcotest.test_case "ship_aborted still correct" `Slow
+            test_sim_ship_aborted_still_correct;
+          Alcotest.test_case "utilization bounds" `Quick test_sim_utilization_bounds;
+          Alcotest.test_case "staleness reflects delay" `Quick
+            test_sim_staleness_reflects_delay;
+          Alcotest.test_case "config defaults" `Quick test_sim_config_defaults;
+          Alcotest.test_case "pcsi validates" `Slow test_sim_pcsi_validates;
+          Alcotest.test_case "migration validates" `Slow
+            test_sim_migration_validates;
+          Alcotest.test_case "migration: pcsi waits less" `Quick
+            test_sim_migration_pcsi_waits_less;
+          Alcotest.test_case "contention: fcw aborts + correct" `Slow
+            test_sim_contention_fcw_aborts;
+          Alcotest.test_case "uniform: no fcw" `Quick test_sim_uniform_has_no_fcw;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "write csv" `Quick test_report_write_csv;
+          Alcotest.test_case "params_for" `Quick test_params_for;
+          Alcotest.test_case "tiny fig2/3/4 sweep" `Slow test_figures_tiny_fig234;
+          Alcotest.test_case "fig5 ideal line" `Slow test_figures_tiny_fig5_ideal_line;
+        ] );
+    ]

@@ -1,0 +1,661 @@
+(* Tests for the discrete-event simulation engine (lsr_sim): event ordering,
+   processes, synchronization primitives, queueing disciplines, random
+   streams and statistics. *)
+
+open Lsr_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Binheap ----------------------------------------------------------------- *)
+
+let test_binheap_basic () =
+  let h = Binheap.create ~cmp:Int.compare in
+  check_bool "empty" true (Binheap.is_empty h);
+  List.iter (Binheap.push h) [ 5; 1; 4; 1; 3 ];
+  check_int "length" 5 (Binheap.length h);
+  check_int "peek" 1 (Option.get (Binheap.peek h));
+  let drained = List.init 5 (fun _ -> Binheap.pop h) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] drained;
+  check_bool "empty again" true (Binheap.is_empty h)
+
+let test_binheap_pop_empty () =
+  let h = Binheap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Binheap.pop: empty heap")
+    (fun () -> ignore (Binheap.pop h))
+
+let test_binheap_clear () =
+  let h = Binheap.create ~cmp:Int.compare in
+  List.iter (Binheap.push h) [ 3; 2; 1 ];
+  Binheap.clear h;
+  check_bool "cleared" true (Binheap.is_empty h);
+  Binheap.push h 9;
+  check_int "usable after clear" 9 (Binheap.pop h)
+
+let prop_binheap_sorts =
+  QCheck.Test.make ~name:"binheap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Binheap.create ~cmp:Int.compare in
+      List.iter (Binheap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Binheap.pop h) in
+      drained = List.sort Int.compare xs)
+
+(* --- Engine ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule eng ~delay:3. (note "c"));
+  ignore (Engine.schedule eng ~delay:1. (note "a"));
+  ignore (Engine.schedule eng ~delay:2. (note "b"));
+  Engine.run eng;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3. (Engine.now eng)
+
+let test_engine_fifo_ties () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~delay:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~delay:1. (fun () -> fired := true) in
+  Engine.cancel eng h;
+  Engine.cancel eng h (* double cancel is a no-op *);
+  Engine.run eng;
+  check_bool "cancelled event did not fire" false !fired;
+  check_int "no pending" 0 (Engine.pending eng)
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule eng ~delay:1. (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule eng ~delay:5. (fun () -> fired := 5 :: !fired));
+  Engine.run ~until:2. eng;
+  Alcotest.(check (list int)) "only early event" [ 1 ] !fired;
+  check_float "clock parked at until" 2. (Engine.now eng);
+  check_int "late event still pending" 1 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "late event fires on resume" [ 5; 1 ] !fired
+
+let test_engine_nested_schedule () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule eng ~delay:1. (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule eng ~delay:1. (fun () -> log := "inner" :: !log))));
+  Engine.run eng;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "final time" 2. (Engine.now eng)
+
+let test_engine_negative_delay () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: delay must be finite and non-negative")
+    (fun () -> ignore (Engine.schedule eng ~delay:(-1.) (fun () -> ())))
+
+(* --- Process ------------------------------------------------------------------ *)
+
+let test_process_delay () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      times := Process.now () :: !times;
+      Process.delay 2.;
+      times := Process.now () :: !times);
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9))) "delays accumulate" [ 1.; 3. ]
+    (List.rev !times)
+
+let test_process_spawn_at () =
+  let eng = Engine.create () in
+  let t = ref 0. in
+  Process.spawn_at eng ~delay:5. (fun () -> t := Process.now ());
+  Engine.run eng;
+  check_float "spawn_at start time" 5. !t
+
+let test_process_suspend_waker () =
+  let eng = Engine.create () in
+  let waker = ref None in
+  let result = ref 0 in
+  Process.spawn eng (fun () ->
+      let v = Process.suspend (fun w -> waker := Some w) in
+      result := v);
+  (* Wake it from a second process at t=2. *)
+  Process.spawn eng (fun () ->
+      Process.delay 2.;
+      (Option.get !waker) 42;
+      (* Double wake must be ignored. *)
+      (Option.get !waker) 99);
+  Engine.run eng;
+  check_int "suspend returns woken value once" 42 !result
+
+let test_process_engine_outside () =
+  Alcotest.check_raises "engine() outside process"
+    (Failure "Process.engine: not inside a process") (fun () ->
+      ignore (Process.engine ()))
+
+let test_process_spawn_within_process () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Process.spawn eng (fun () ->
+      log := "parent" :: !log;
+      Process.spawn eng (fun () ->
+          Process.delay 1.;
+          log := "child" :: !log);
+      Process.delay 2.;
+      log := "parent-done" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "child interleaves"
+    [ "parent"; "child"; "parent-done" ]
+    (List.rev !log)
+
+let test_engine_pending_counter () =
+  let eng = Engine.create () in
+  let a = Engine.schedule eng ~delay:1. (fun () -> ()) in
+  ignore (Engine.schedule eng ~delay:2. (fun () -> ()));
+  check_int "two pending" 2 (Engine.pending eng);
+  Engine.cancel eng a;
+  check_int "one after cancel" 1 (Engine.pending eng);
+  Engine.run eng;
+  check_int "none after run" 0 (Engine.pending eng)
+
+(* --- Condition ----------------------------------------------------------------- *)
+
+let test_condition_await_signal () =
+  let eng = Engine.create () in
+  let cond = Condition.create () in
+  let flag = ref false in
+  let resumed_at = ref 0. in
+  Process.spawn eng (fun () ->
+      Condition.await cond (fun () -> !flag);
+      resumed_at := Process.now ());
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      Condition.signal cond (* predicate still false: no wake *);
+      Process.delay 1.;
+      flag := true;
+      Condition.signal cond);
+  Engine.run eng;
+  check_float "woke when predicate held" 2. !resumed_at
+
+let test_condition_immediate () =
+  let eng = Engine.create () in
+  let cond = Condition.create () in
+  let ran = ref false in
+  Process.spawn eng (fun () ->
+      Condition.await cond (fun () -> true);
+      ran := true);
+  Engine.run eng;
+  check_bool "true predicate returns immediately" true !ran
+
+let test_condition_distinct_predicates () =
+  let eng = Engine.create () in
+  let cond = Condition.create () in
+  let level = ref 0 in
+  let woken = ref [] in
+  List.iter
+    (fun threshold ->
+      Process.spawn eng (fun () ->
+          Condition.await cond (fun () -> !level >= threshold);
+          woken := threshold :: !woken))
+    [ 3; 1; 2 ];
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      level := 1;
+      Condition.signal cond;
+      Process.delay 1.;
+      level := 3;
+      Condition.signal cond);
+  Engine.run eng;
+  Alcotest.(check (list int)) "woken as thresholds pass" [ 1; 3; 2 ]
+    (List.rev !woken)
+
+let test_condition_waiting_count () =
+  let eng = Engine.create () in
+  let cond = Condition.create () in
+  let release = ref false in
+  for _ = 1 to 3 do
+    Process.spawn eng (fun () -> Condition.await cond (fun () -> !release))
+  done;
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      check_int "three waiters" 3 (Condition.waiting cond);
+      release := true;
+      Condition.signal cond);
+  Engine.run eng;
+  check_int "all released" 0 (Condition.waiting cond)
+
+(* --- Mailbox ------------------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let received = ref [] in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  Mailbox.send mb 3;
+  Process.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        received := Mailbox.recv mb :: !received
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_blocking_recv () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got_at = ref 0. in
+  Process.spawn eng (fun () ->
+      ignore (Mailbox.recv mb);
+      got_at := Process.now ());
+  Process.spawn eng (fun () ->
+      Process.delay 3.;
+      Mailbox.send mb "hello");
+  Engine.run eng;
+  check_float "recv blocked until send" 3. !got_at
+
+let test_mailbox_peek_length () =
+  let mb = Mailbox.create () in
+  check_bool "empty" true (Mailbox.is_empty mb);
+  Mailbox.send mb 7;
+  Mailbox.send mb 8;
+  check_int "length" 2 (Mailbox.length mb);
+  check_int "peek is oldest" 7 (Option.get (Mailbox.peek mb))
+
+(* --- Resource ------------------------------------------------------------------- *)
+
+let test_resource_fifo () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Fifo in
+  let finish = Hashtbl.create 4 in
+  let job name amount =
+    Process.spawn eng (fun () ->
+        Resource.use res amount;
+        Hashtbl.replace finish name (Process.now ()))
+  in
+  job "a" 2.;
+  job "b" 1.;
+  Engine.run eng;
+  (* Fifo: a served 0-2, b served 2-3. *)
+  check_float "a completes" 2. (Hashtbl.find finish "a");
+  check_float "b queues behind a" 3. (Hashtbl.find finish "b");
+  check_float "busy time" 3. (Resource.busy_time res)
+
+let test_resource_ps_equal_share () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Processor_sharing in
+  let finish = Hashtbl.create 4 in
+  let job name amount =
+    Process.spawn eng (fun () ->
+        Resource.use res amount;
+        Hashtbl.replace finish name (Process.now ()))
+  in
+  job "a" 1.;
+  job "b" 1.;
+  Engine.run eng;
+  (* Both share the server, so both finish at t=2. *)
+  check_float "a shares" 2. (Hashtbl.find finish "a");
+  check_float "b shares" 2. (Hashtbl.find finish "b")
+
+let test_resource_ps_late_arrival () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Processor_sharing in
+  let finish = Hashtbl.create 4 in
+  Process.spawn eng (fun () ->
+      Resource.use res 2.;
+      Hashtbl.replace finish "first" (Process.now ()));
+  Process.spawn_at eng ~delay:1. (fun () ->
+      Resource.use res 0.5;
+      Hashtbl.replace finish "late" (Process.now ()));
+  Engine.run eng;
+  (* First runs alone 0-1 (1 unit done), then shares: late needs 0.5 at rate
+     1/2 -> done at t=2; first finishes its remaining 0.5 alone by 2.5. *)
+  check_float "late job" 2. (Hashtbl.find finish "late");
+  check_float "first job" 2.5 (Hashtbl.find finish "first")
+
+let test_resource_round_robin () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:(Resource.Round_robin 0.1) in
+  let finish = Hashtbl.create 4 in
+  let job name amount =
+    Process.spawn eng (fun () ->
+        Resource.use res amount;
+        Hashtbl.replace finish name (Process.now ()))
+  in
+  job "a" 0.5;
+  job "b" 0.5;
+  Engine.run eng;
+  (* Alternating 0.1 slices: a finishes at 0.9, b at 1.0. *)
+  check_float "a alternates" 0.9 (Hashtbl.find finish "a");
+  check_float "b alternates" 1.0 (Hashtbl.find finish "b")
+
+let test_resource_rr_approximates_ps () =
+  (* With a slice much smaller than jobs, round robin and processor sharing
+     agree — the modelling substitution used by the experiments. *)
+  let run discipline =
+    let eng = Engine.create () in
+    let res = Resource.create eng ~discipline in
+    let finish = ref [] in
+    for i = 1 to 4 do
+      Process.spawn_at eng
+        ~delay:(0.3 *. float_of_int i)
+        (fun () ->
+          Resource.use res 1.;
+          finish := (i, Process.now ()) :: !finish)
+    done;
+    Engine.run eng;
+    List.sort compare !finish
+  in
+  let rr = run (Resource.Round_robin 0.001) in
+  let ps = run Resource.Processor_sharing in
+  List.iter2
+    (fun (i, t_rr) (_, t_ps) ->
+      Alcotest.(check (float 0.01))
+        (Printf.sprintf "job %d same completion" i)
+        t_ps t_rr)
+    rr ps
+
+let test_resource_zero_amount () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Fifo in
+  let ran = ref false in
+  Process.spawn eng (fun () ->
+      Resource.use res 0.;
+      ran := true);
+  Engine.run eng;
+  check_bool "zero service returns immediately" true !ran
+
+let test_resource_load () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Processor_sharing in
+  Process.spawn eng (fun () -> Resource.use res 2.);
+  Process.spawn eng (fun () -> Resource.use res 2.);
+  Process.spawn_at eng ~delay:1. (fun () ->
+      check_int "two jobs in service" 2 (Resource.load res));
+  Engine.run eng;
+  check_int "drained" 0 (Resource.load res)
+
+let test_resource_bad_quantum () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "bad quantum"
+    (Invalid_argument "Resource.create: round-robin quantum must be positive")
+    (fun () ->
+      ignore (Resource.create eng ~discipline:(Resource.Round_robin 0.)))
+
+(* Work conservation: whatever the discipline and arrival pattern, every job
+   completes, total delivered service equals total demand, and no job
+   finishes before [arrival + amount]. *)
+let prop_resource_work_conservation =
+  let job_gen =
+    QCheck.Gen.(
+      list_size (int_range 1 15)
+        (pair (float_bound_inclusive 10.) (float_bound_exclusive 5.)))
+  in
+  let disciplines =
+    [
+      ("fifo", Resource.Fifo);
+      ("rr", Resource.Round_robin 0.05);
+      ("ps", Resource.Processor_sharing);
+    ]
+  in
+  QCheck.Test.make ~name:"resource disciplines conserve work" ~count:150
+    (QCheck.make job_gen) (fun jobs ->
+      (* amounts must be strictly positive *)
+      let jobs = List.map (fun (a, d) -> (a, d +. 0.01)) jobs in
+      List.for_all
+        (fun (_, discipline) ->
+          let eng = Engine.create () in
+          let res = Resource.create eng ~discipline in
+          let completions = ref [] in
+          List.iter
+            (fun (arrival, amount) ->
+              Process.spawn_at eng ~delay:arrival (fun () ->
+                  Resource.use res amount;
+                  completions := (arrival, amount, Process.now ()) :: !completions))
+            jobs;
+          Engine.run eng;
+          List.length !completions = List.length jobs
+          && List.for_all
+               (fun (arrival, amount, finish) ->
+                 finish >= arrival +. amount -. 1e-6)
+               !completions
+          &&
+          let total = List.fold_left (fun acc (_, a) -> acc +. a) 0. jobs in
+          Float.abs (Resource.busy_time res -. total) < 1e-3)
+        disciplines)
+
+(* --- Rng ----------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_rng_uniform_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:5 ~hi:15 in
+    check_bool "within bounds" true (x >= 5 && x <= 15)
+  done
+
+let test_rng_uniform_bad_range () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.uniform: lo > hi")
+    (fun () -> ignore (Rng.uniform rng ~lo:2 ~hi:1))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:7.
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "sample mean near 7"
+    true
+    (Float.abs (mean -. 7.) < 0.25)
+
+let test_rng_exponential_bad_mean () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "non-positive mean"
+    (Invalid_argument "Rng.exponential: mean must be positive") (fun () ->
+      ignore (Rng.exponential rng ~mean:0.))
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.2 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  check_bool "frequency near 0.2" true (Float.abs (freq -. 0.2) < 0.02)
+
+let test_rng_zipf_range_and_skew () =
+  let rng = Rng.create 23 in
+  let n = 1000 in
+  let draws s = List.init 5000 (fun _ -> Rng.zipf rng ~n ~s) in
+  let head_freq xs =
+    float_of_int (List.length (List.filter (fun x -> x <= 10) xs))
+    /. float_of_int (List.length xs)
+  in
+  let flat = draws 0. in
+  check_bool "all in range" true (List.for_all (fun x -> x >= 1 && x <= n) flat);
+  let f0 = head_freq flat in
+  let f09 = head_freq (draws 0.9) in
+  let f14 = head_freq (draws 1.4) in
+  check_bool "uniform hits head ~1%" true (f0 < 0.03);
+  check_bool "skew concentrates on head" true (f09 > 5. *. f0);
+  check_bool "more skew, more concentration" true (f14 > f09)
+
+let test_rng_zipf_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "n < 1" (Invalid_argument "Rng.zipf: n < 1") (fun () ->
+      ignore (Rng.zipf rng ~n:0 ~s:1.));
+  Alcotest.check_raises "s < 0" (Invalid_argument "Rng.zipf: s < 0") (fun () ->
+      ignore (Rng.zipf rng ~n:5 ~s:(-1.)))
+
+let test_rng_float_range () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+(* --- Stat ---------------------------------------------------------------------- *)
+
+let test_stat_basic () =
+  let s = Stat.create () in
+  List.iter (Stat.record s) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Stat.count s);
+  check_float "mean" 2.5 (Stat.mean s);
+  Alcotest.(check (float 1e-9)) "variance" (5. /. 3.) (Stat.variance s);
+  check_float "min" 1. (Stat.min s);
+  check_float "max" 4. (Stat.max s);
+  check_float "total" 10. (Stat.total s)
+
+let test_stat_empty () =
+  let s = Stat.create () in
+  check_float "empty mean" 0. (Stat.mean s);
+  check_float "empty variance" 0. (Stat.variance s)
+
+let test_stat_merge () =
+  let a = Stat.create () and b = Stat.create () and all = Stat.create () in
+  List.iter
+    (fun x ->
+      Stat.record all x;
+      if x < 3. then Stat.record a x else Stat.record b x)
+    [ 1.; 2.; 3.; 4.; 5. ];
+  let merged = Stat.merge a b in
+  check_int "merged count" (Stat.count all) (Stat.count merged);
+  Alcotest.(check (float 1e-9)) "merged mean" (Stat.mean all) (Stat.mean merged);
+  Alcotest.(check (float 1e-9)) "merged variance" (Stat.variance all)
+    (Stat.variance merged)
+
+let test_stat_merge_empty () =
+  let a = Stat.create () and b = Stat.create () in
+  Stat.record b 5.;
+  let m = Stat.merge a b in
+  check_int "merge with empty" 1 (Stat.count m);
+  check_float "mean preserved" 5. (Stat.mean m)
+
+let test_stat_clear () =
+  let s = Stat.create () in
+  Stat.record s 9.;
+  Stat.clear s;
+  check_int "cleared" 0 (Stat.count s)
+
+let prop_stat_mean_matches_naive =
+  QCheck.Test.make ~name:"Welford mean matches naive mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stat.create () in
+      List.iter (Stat.record s) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Stat.mean s -. naive) < 1e-6 *. (1. +. Float.abs naive))
+
+(* --- Suite ----------------------------------------------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lsr_sim"
+    [
+      ( "binheap",
+        [
+          Alcotest.test_case "push/pop sorted" `Quick test_binheap_basic;
+          Alcotest.test_case "pop empty raises" `Quick test_binheap_pop_empty;
+          Alcotest.test_case "clear" `Quick test_binheap_clear;
+        ]
+        @ qsuite [ prop_binheap_sorts ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo tie-break" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "delay" `Quick test_process_delay;
+          Alcotest.test_case "spawn_at" `Quick test_process_spawn_at;
+          Alcotest.test_case "suspend/waker once" `Quick test_process_suspend_waker;
+          Alcotest.test_case "engine() outside" `Quick test_process_engine_outside;
+          Alcotest.test_case "spawn within process" `Quick
+            test_process_spawn_within_process;
+          Alcotest.test_case "pending counter" `Quick test_engine_pending_counter;
+        ] );
+      ( "condition",
+        [
+          Alcotest.test_case "await/signal" `Quick test_condition_await_signal;
+          Alcotest.test_case "immediate pass" `Quick test_condition_immediate;
+          Alcotest.test_case "waiting count" `Quick test_condition_waiting_count;
+          Alcotest.test_case "distinct predicates" `Quick
+            test_condition_distinct_predicates;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo order" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
+          Alcotest.test_case "peek/length" `Quick test_mailbox_peek_length;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "fifo discipline" `Quick test_resource_fifo;
+          Alcotest.test_case "ps equal share" `Quick test_resource_ps_equal_share;
+          Alcotest.test_case "ps late arrival" `Quick test_resource_ps_late_arrival;
+          Alcotest.test_case "round robin slices" `Quick test_resource_round_robin;
+          Alcotest.test_case "rr approximates ps" `Quick
+            test_resource_rr_approximates_ps;
+          Alcotest.test_case "zero amount" `Quick test_resource_zero_amount;
+          Alcotest.test_case "load" `Quick test_resource_load;
+          Alcotest.test_case "bad quantum" `Quick test_resource_bad_quantum;
+        ]
+        @ qsuite [ prop_resource_work_conservation ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
+          Alcotest.test_case "uniform bad range" `Quick test_rng_uniform_bad_range;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "exponential bad mean" `Quick
+            test_rng_exponential_bad_mean;
+          Alcotest.test_case "bernoulli frequency" `Quick
+            test_rng_bernoulli_frequency;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "zipf range/skew" `Quick test_rng_zipf_range_and_skew;
+          Alcotest.test_case "zipf invalid" `Quick test_rng_zipf_invalid;
+        ] );
+      ( "stat",
+        [
+          Alcotest.test_case "basic moments" `Quick test_stat_basic;
+          Alcotest.test_case "empty" `Quick test_stat_empty;
+          Alcotest.test_case "merge" `Quick test_stat_merge;
+          Alcotest.test_case "merge with empty" `Quick test_stat_merge_empty;
+          Alcotest.test_case "clear" `Quick test_stat_clear;
+        ]
+        @ qsuite [ prop_stat_mean_matches_naive ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the statistics package (lsr_stats): confidence intervals and
+   table rendering. *)
+
+open Lsr_stats
+
+let check_bool = Alcotest.(check bool)
+
+let test_t_critical_values () =
+  Alcotest.(check (float 1e-3)) "df=1" 12.706 (Confidence.t_critical ~df:1);
+  Alcotest.(check (float 1e-3)) "df=4 (5 runs)" 2.776 (Confidence.t_critical ~df:4);
+  Alcotest.(check (float 1e-3)) "df=30" 2.042 (Confidence.t_critical ~df:30);
+  Alcotest.(check (float 1e-3)) "df>30 is normal" 1.96 (Confidence.t_critical ~df:100)
+
+let test_t_critical_invalid () =
+  Alcotest.check_raises "df=0" (Invalid_argument "Confidence.t_critical: df < 1")
+    (fun () -> ignore (Confidence.t_critical ~df:0))
+
+let test_interval_of_known_samples () =
+  (* Five samples with mean 10 and sample stddev 1: hw = 2.776 / sqrt 5. *)
+  let i = Confidence.of_samples [ 9.; 9.5; 10.; 10.5; 11. ] in
+  Alcotest.(check (float 1e-9)) "mean" 10. i.Confidence.mean;
+  Alcotest.(check int) "n" 5 i.Confidence.n;
+  let stddev = sqrt (2.5 /. 4.) in
+  Alcotest.(check (float 1e-6)) "half width"
+    (2.776 *. stddev /. sqrt 5.)
+    i.Confidence.half_width
+
+let test_interval_singleton () =
+  let i = Confidence.of_samples [ 3.5 ] in
+  Alcotest.(check (float 0.)) "mean" 3.5 i.Confidence.mean;
+  Alcotest.(check (float 0.)) "zero width" 0. i.Confidence.half_width
+
+let test_interval_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Confidence.of_samples: empty sample list") (fun () ->
+      ignore (Confidence.of_samples []))
+
+let test_interval_constant_samples () =
+  let i = Confidence.of_samples [ 2.; 2.; 2. ] in
+  Alcotest.(check (float 0.)) "zero width for constant" 0. i.Confidence.half_width
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_interval_to_string () =
+  let s = Confidence.to_string (Confidence.of_samples [ 1.; 2.; 3. ]) in
+  check_bool "contains plus-minus" true (contains ~needle:"\xc2\xb1" s)
+
+let test_table_render_alignment () =
+  let rendered =
+    Table_fmt.render ~header:[ "x"; "value" ]
+      [ [ "1"; "10.5" ]; [ "100"; "7" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines are the same width. *)
+  let widths = List.map String.length lines in
+  check_bool "aligned" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_ragged_rows () =
+  let rendered = Table_fmt.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  check_bool "no crash on ragged rows" true (String.length rendered > 0)
+
+let test_float_cell () =
+  Alcotest.(check string) "integral trims" "5" (Table_fmt.float_cell 5.0);
+  Alcotest.(check string) "decimals keep" "5.25" (Table_fmt.float_cell 5.25)
+
+(* --- Histogram ------------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check (float 0.)) "median" 50. (Histogram.median h);
+  Alcotest.(check (float 0.)) "p95" 95. (Histogram.p95 h);
+  Alcotest.(check (float 0.)) "p99" 99. (Histogram.p99 h);
+  Alcotest.(check (float 0.)) "q=0 is min" 1. (Histogram.quantile h 0.);
+  Alcotest.(check (float 0.)) "q=1 is max" 100. (Histogram.quantile h 1.)
+
+let test_histogram_unsorted_input () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 5.; 1.; 9.; 3.; 7. ];
+  Alcotest.(check (float 0.)) "median of odd set" 5. (Histogram.median h);
+  (* More samples after a quantile query invalidate the cache. *)
+  Histogram.record h 11.;
+  Alcotest.(check (float 0.)) "max updates" 11. (Histogram.quantile h 1.)
+
+let test_histogram_empty_and_clear () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Histogram.p95 h);
+  Histogram.record h 4.;
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h)
+
+let test_histogram_bad_q () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile: q outside [0, 1]") (fun () ->
+      ignore (Histogram.quantile h 1.5))
+
+let prop_histogram_matches_sorted_list =
+  QCheck.Test.make ~name:"quantile = nearest rank of sorted samples" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+              (float_range 0.01 1.))
+    (fun (xs, q) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let sorted = List.sort Float.compare xs in
+      let n = List.length xs in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      let expected = List.nth sorted (max 0 (min (n - 1) (rank - 1))) in
+      Histogram.quantile h q = expected)
+
+let () =
+  Alcotest.run "lsr_stats"
+    [
+      ( "confidence",
+        [
+          Alcotest.test_case "t critical values" `Quick test_t_critical_values;
+          Alcotest.test_case "t critical invalid" `Quick test_t_critical_invalid;
+          Alcotest.test_case "interval of known samples" `Quick
+            test_interval_of_known_samples;
+          Alcotest.test_case "singleton" `Quick test_interval_singleton;
+          Alcotest.test_case "empty raises" `Quick test_interval_empty;
+          Alcotest.test_case "constant samples" `Quick
+            test_interval_constant_samples;
+          Alcotest.test_case "to_string" `Quick test_interval_to_string;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "unsorted input" `Quick test_histogram_unsorted_input;
+          Alcotest.test_case "empty/clear" `Quick test_histogram_empty_and_clear;
+          Alcotest.test_case "bad q" `Quick test_histogram_bad_q;
+          QCheck_alcotest.to_alcotest prop_histogram_matches_sorted_list;
+        ] );
+      ( "table_fmt",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_render_alignment;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "float cell" `Quick test_float_cell;
+        ] );
+    ]

@@ -1,0 +1,928 @@
+(* Tests for the strong-SI multiversion storage engine (lsr_storage):
+   timestamps, logical log, MVCC semantics (snapshot visibility,
+   first-committer-wins, read-your-writes), the anomaly guarantees SI makes,
+   the row codec and the relational layer. *)
+
+open Lsr_storage
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str_opt = Alcotest.(check (option string))
+
+let commit_exn db txn =
+  match Mvcc.commit db txn with
+  | Mvcc.Committed ts -> ts
+  | Mvcc.Aborted _ -> Alcotest.fail "unexpected abort"
+
+let put db txn k v = Mvcc.write db txn k (Some v)
+
+(* One committed transaction writing the given bindings. *)
+let seed db bindings =
+  let txn = Mvcc.begin_txn db in
+  List.iter (fun (k, v) -> put db txn k v) bindings;
+  ignore (commit_exn db txn)
+
+(* --- Timestamp ----------------------------------------------------------------- *)
+
+let test_timestamp_monotonic () =
+  let src = Timestamp.source () in
+  let a = Timestamp.next src in
+  let b = Timestamp.next src in
+  check_bool "strictly increasing" true (Timestamp.compare a b < 0);
+  check_int "current is last issued" b (Timestamp.current src)
+
+(* --- Wal ------------------------------------------------------------------------ *)
+
+let test_wal_append_read () =
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Start { txn = 1; ts = 1 });
+  Wal.append wal
+    (Wal.Update { txn = 1; update = { Wal.key = "x"; value = Some "1" } });
+  Wal.append wal (Wal.Commit { txn = 1; ts = 2 });
+  check_int "length" 3 (Wal.length wal);
+  let entries, next = Wal.read_from wal 0 in
+  check_int "cursor" 3 next;
+  check_int "all entries" 3 (List.length entries);
+  let more, next' = Wal.read_from wal next in
+  check_int "no new entries" 0 (List.length more);
+  check_int "cursor stable" 3 next'
+
+let test_wal_entry_bounds () =
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Abort { txn = 1 });
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Wal.entry: offset 5 outside [0, 1)") (fun () ->
+      ignore (Wal.entry wal 5))
+
+let test_wal_truncate () =
+  let wal = Wal.create () in
+  for i = 1 to 10 do
+    Wal.append wal (Wal.Start { txn = i; ts = i })
+  done;
+  Wal.truncate_before wal 6;
+  check_int "length unchanged (offsets stable)" 10 (Wal.length wal);
+  (match Wal.entry wal 6 with
+  | Wal.Start { txn; _ } -> check_int "entry 6 survives" 7 txn
+  | _ -> Alcotest.fail "wrong entry");
+  Alcotest.check_raises "reclaimed entry"
+    (Invalid_argument "Wal.entry: offset 2 outside [6, 10)") (fun () ->
+      ignore (Wal.entry wal 2));
+  let entries, _ = Wal.read_from wal 0 in
+  check_int "read_from clamps to base" 4 (List.length entries)
+
+(* Truncation never changes what remains readable above the cut. *)
+let prop_wal_truncate_preserves_suffix =
+  QCheck.Test.make ~name:"wal truncation preserves the suffix" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 0 20) (int_range 0 100)) (int_range 0 25))
+    (fun (txns, cut) ->
+      let wal = Wal.create () in
+      List.iter (fun t -> Wal.append wal (Wal.Start { txn = t; ts = t })) txns;
+      let before, _ = Wal.read_from wal cut in
+      Wal.truncate_before wal cut;
+      let after, _ = Wal.read_from wal cut in
+      before = after && Wal.length wal = List.length txns)
+
+(* --- Mvcc: basic semantics ------------------------------------------------------- *)
+
+let test_visibility_committed_before_start () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let txn = Mvcc.begin_txn db in
+  check_str_opt "sees committed value" (Some "1") (Mvcc.read db txn "x")
+
+let test_snapshot_ignores_later_commit () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let reader = Mvcc.begin_txn db in
+  (* A concurrent writer commits x=2 after the reader started. *)
+  seed db [ ("x", "2") ];
+  check_str_opt "reader still sees old snapshot" (Some "1")
+    (Mvcc.read db reader "x");
+  let fresh = Mvcc.begin_txn db in
+  check_str_opt "new transaction sees new value (strong SI)" (Some "2")
+    (Mvcc.read db fresh "x")
+
+let test_read_your_writes () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "mine";
+  check_str_opt "own write visible" (Some "mine") (Mvcc.read db txn "x");
+  put db txn "y" "fresh";
+  check_str_opt "own insert visible" (Some "fresh") (Mvcc.read db txn "y")
+
+let test_delete_tombstone () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "x" None;
+  check_str_opt "own delete visible" None (Mvcc.read db txn "x");
+  ignore (commit_exn db txn);
+  let fresh = Mvcc.begin_txn db in
+  check_str_opt "delete committed" None (Mvcc.read db fresh "x");
+  check_bool "state omits deleted key" true
+    (not (List.mem_assoc "x" (Mvcc.committed_state db)))
+
+let test_first_committer_wins () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "0") ];
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  put db t1 "x" "t1";
+  put db t2 "x" "t2";
+  ignore (commit_exn db t1);
+  (match Mvcc.commit db t2 with
+  | Mvcc.Aborted (Mvcc.Write_conflict key) ->
+    Alcotest.(check string) "conflicting key" "x" key
+  | Mvcc.Aborted Mvcc.Forced -> Alcotest.fail "wrong abort reason"
+  | Mvcc.Committed _ -> Alcotest.fail "second committer must lose");
+  let fresh = Mvcc.begin_txn db in
+  check_str_opt "first committer's value" (Some "t1") (Mvcc.read db fresh "x")
+
+let test_sequential_overwrite_allowed () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  seed db [ ("x", "2") ];
+  let txn = Mvcc.begin_txn db in
+  check_str_opt "sequential writers both commit" (Some "2")
+    (Mvcc.read db txn "x")
+
+let test_disjoint_concurrent_commits () =
+  let db = Mvcc.create () in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  put db t1 "x" "1";
+  put db t2 "y" "2";
+  ignore (commit_exn db t1);
+  ignore (commit_exn db t2);
+  check_int "both committed" 2 (Mvcc.commit_count db)
+
+let test_write_skew_possible () =
+  (* The P5 pattern: disjoint write sets, crossed reads — SI admits it. *)
+  let db = Mvcc.create () in
+  seed db [ ("x", "1"); ("y", "1") ];
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  ignore (Mvcc.read db t1 "x");
+  ignore (Mvcc.read db t1 "y");
+  ignore (Mvcc.read db t2 "x");
+  ignore (Mvcc.read db t2 "y");
+  put db t1 "x" "t1";
+  put db t2 "y" "t2";
+  ignore (commit_exn db t1);
+  ignore (commit_exn db t2);
+  check_int "write skew committed (SI is not serializable)" 3
+    (Mvcc.commit_count db)
+
+let test_lost_update_prevented () =
+  (* P4 pattern: both read x, both write x; FCW kills the second. *)
+  let db = Mvcc.create () in
+  seed db [ ("x", "0") ];
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  ignore (Mvcc.read db t1 "x");
+  ignore (Mvcc.read db t2 "x");
+  put db t1 "x" "1";
+  put db t2 "x" "2";
+  ignore (commit_exn db t1);
+  match Mvcc.commit db t2 with
+  | Mvcc.Aborted (Mvcc.Write_conflict _) -> ()
+  | Mvcc.Aborted Mvcc.Forced | Mvcc.Committed _ ->
+    Alcotest.fail "lost update not prevented"
+
+let test_abort_discards () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "1";
+  Mvcc.abort db txn;
+  let fresh = Mvcc.begin_txn db in
+  check_str_opt "aborted write invisible" None (Mvcc.read db fresh "x");
+  check_int "nothing committed" 0 (Mvcc.commit_count db)
+
+let test_operations_after_end_raise () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  ignore (commit_exn db txn);
+  Alcotest.check_raises "read after commit"
+    (Invalid_argument
+       (Printf.sprintf "Mvcc.read: transaction %d is not active"
+          (Mvcc.txn_id txn))) (fun () -> ignore (Mvcc.read db txn "x"))
+
+let test_end_read_rejects_writers () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "1";
+  Alcotest.check_raises "end_read with writes"
+    (Invalid_argument "Mvcc.end_read: transaction has writes; commit or abort it")
+    (fun () -> Mvcc.end_read db txn)
+
+let test_end_read_creates_no_state () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let before = Mvcc.commit_count db in
+  let txn = Mvcc.begin_txn db in
+  ignore (Mvcc.read db txn "x");
+  Mvcc.end_read db txn;
+  check_int "no new state" before (Mvcc.commit_count db)
+
+let test_last_write_wins_within_txn () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "first";
+  put db txn "x" "second";
+  let writes = Mvcc.pending_writes txn in
+  check_int "squashed to one update" 1 (List.length writes);
+  ignore (commit_exn db txn);
+  let fresh = Mvcc.begin_txn db in
+  check_str_opt "last write wins" (Some "second") (Mvcc.read db fresh "x")
+
+(* --- Mvcc: state reconstruction --------------------------------------------------- *)
+
+let test_state_sequence () =
+  let db = Mvcc.create () in
+  Alcotest.(check (list (pair string string))) "S^0 empty" [] (Mvcc.nth_state db 0);
+  seed db [ ("a", "1") ];
+  seed db [ ("b", "2") ];
+  seed db [ ("a", "3") ];
+  check_int "three commits" 3 (Mvcc.commit_count db);
+  Alcotest.(check (list (pair string string)))
+    "S^1" [ ("a", "1") ] (Mvcc.nth_state db 1);
+  Alcotest.(check (list (pair string string)))
+    "S^2"
+    [ ("a", "1"); ("b", "2") ]
+    (Mvcc.nth_state db 2);
+  Alcotest.(check (list (pair string string)))
+    "S^3 = latest"
+    [ ("a", "3"); ("b", "2") ]
+    (Mvcc.nth_state db 3);
+  Alcotest.(check (list (pair string string)))
+    "committed_state" (Mvcc.nth_state db 3) (Mvcc.committed_state db)
+
+let test_nth_state_bounds () =
+  let db = Mvcc.create () in
+  Alcotest.check_raises "beyond last"
+    (Invalid_argument "Mvcc.nth_state: 1 outside [0, 0]") (fun () ->
+      ignore (Mvcc.nth_state db 1))
+
+let test_read_at () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let ts1 = Mvcc.latest_commit_ts db in
+  seed db [ ("x", "2") ];
+  check_str_opt "read_at old snapshot" (Some "1") (Mvcc.read_at db ts1 "x");
+  check_str_opt "read_at now" (Some "2")
+    (Mvcc.read_at db (Mvcc.latest_commit_ts db) "x")
+
+let test_commit_history_ordered () =
+  let db = Mvcc.create () in
+  seed db [ ("a", "1") ];
+  seed db [ ("b", "2") ];
+  let history = Mvcc.commit_history db in
+  check_int "two commits" 2 (List.length history);
+  check_bool "ascending" true (List.sort Timestamp.compare history = history)
+
+let test_fold_keys_prefix () =
+  let db = Mvcc.create () in
+  seed db [ ("t:books:1", "x"); ("t:books:2", "y"); ("t:orders:1", "z") ];
+  let books =
+    Mvcc.fold_keys db ~prefix:"t:books:" ~init:0 ~f:(fun acc _ -> acc + 1)
+  in
+  check_int "prefix filter" 2 books
+
+let test_wal_records_transaction () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "1";
+  ignore (commit_exn db txn);
+  let entries, _ = Wal.read_from (Mvcc.wal db) 0 in
+  match entries with
+  | [ Wal.Start s; Wal.Update u; Wal.Commit c ] ->
+    check_int "start txn id" (Mvcc.txn_id txn) s.txn;
+    Alcotest.(check string) "update key" "x" u.update.Wal.key;
+    check_bool "commit after start" true (c.ts > s.ts)
+  | _ -> Alcotest.fail "unexpected log shape"
+
+let test_wal_records_abort () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  put db txn "x" "1";
+  Mvcc.abort db txn;
+  let entries, _ = Wal.read_from (Mvcc.wal db) 0 in
+  match List.rev entries with
+  | Wal.Abort a :: _ -> check_int "abort logged" (Mvcc.txn_id txn) a.txn
+  | _ -> Alcotest.fail "abort record missing"
+
+(* --- Mvcc: qcheck properties -------------------------------------------------------- *)
+
+let small_key = QCheck.Gen.(map (Printf.sprintf "k%d") (int_range 0 5))
+
+let gen_txn_writes =
+  QCheck.Gen.(
+    list_size (int_range 1 4) (pair small_key (opt (string_size (return 2)))))
+
+let prop_fcw_exclusive =
+  (* Of two concurrent transactions writing a common key, exactly the first
+     committer survives. *)
+  QCheck.Test.make ~name:"FCW: concurrent conflicting commits are exclusive"
+    ~count:300
+    QCheck.(make Gen.(pair gen_txn_writes gen_txn_writes))
+    (fun (w1, w2) ->
+      let keys ws = List.sort_uniq compare (List.map fst ws) in
+      let overlap = List.exists (fun k -> List.mem k (keys w2)) (keys w1) in
+      let db = Mvcc.create () in
+      let t1 = Mvcc.begin_txn db in
+      let t2 = Mvcc.begin_txn db in
+      List.iter (fun (k, v) -> Mvcc.write db t1 k v) w1;
+      List.iter (fun (k, v) -> Mvcc.write db t2 k v) w2;
+      let ok1 =
+        match Mvcc.commit db t1 with Mvcc.Committed _ -> true | _ -> false
+      in
+      let ok2 =
+        match Mvcc.commit db t2 with Mvcc.Committed _ -> true | _ -> false
+      in
+      if overlap then ok1 && not ok2 else ok1 && ok2)
+
+let prop_snapshot_stability =
+  (* A reader's view never changes, no matter what commits around it. *)
+  QCheck.Test.make ~name:"snapshot stability under concurrent commits"
+    ~count:300
+    QCheck.(make Gen.(list_size (int_range 1 6) gen_txn_writes))
+    (fun txns ->
+      let db = Mvcc.create () in
+      seed db [ ("k0", "init0"); ("k3", "init3") ];
+      let reader = Mvcc.begin_txn db in
+      let probe () =
+        List.map
+          (fun k -> (k, Mvcc.read db reader k))
+          [ "k0"; "k1"; "k2"; "k3"; "k4"; "k5" ]
+      in
+      let before = probe () in
+      List.iter
+        (fun writes ->
+          let t = Mvcc.begin_txn db in
+          List.iter (fun (k, v) -> Mvcc.write db t k v) writes;
+          ignore (Mvcc.commit db t))
+        txns;
+      before = probe ())
+
+let prop_state_replay =
+  (* committed_state equals replaying commits_with_updates in order. *)
+  QCheck.Test.make ~name:"committed state = replay of commit writesets"
+    ~count:300
+    QCheck.(make Gen.(list_size (int_range 0 8) gen_txn_writes))
+    (fun txns ->
+      let db = Mvcc.create () in
+      List.iter
+        (fun writes ->
+          let t = Mvcc.begin_txn db in
+          List.iter (fun (k, v) -> Mvcc.write db t k v) writes;
+          ignore (Mvcc.commit db t))
+        txns;
+      let replayed = Hashtbl.create 16 in
+      List.iter
+        (fun (_, updates) ->
+          List.iter
+            (fun { Wal.key; value } ->
+              match value with
+              | Some v -> Hashtbl.replace replayed key v
+              | None -> Hashtbl.remove replayed key)
+            updates)
+        (Mvcc.commits_with_updates db);
+      let expected =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) replayed []
+        |> List.sort compare
+      in
+      expected = Mvcc.committed_state db)
+
+let prop_nth_state_prefix_monotone =
+  QCheck.Test.make ~name:"nth_state defined for every prefix" ~count:100
+    QCheck.(make Gen.(list_size (int_range 0 6) gen_txn_writes))
+    (fun txns ->
+      let db = Mvcc.create () in
+      List.iter
+        (fun writes ->
+          let t = Mvcc.begin_txn db in
+          List.iter (fun (k, v) -> Mvcc.write db t k v) writes;
+          ignore (Mvcc.commit db t))
+        txns;
+      let n = Mvcc.commit_count db in
+      List.for_all
+        (fun i ->
+          ignore (Mvcc.nth_state db i);
+          true)
+        (List.init (n + 1) Fun.id)
+      && Mvcc.nth_state db n = Mvcc.committed_state db)
+
+(* --- Time travel (weak-SI start-timestamp assignment, §2.1) ----------------------------- *)
+
+let test_time_travel_reads_history () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "v1") ];
+  let ts1 = Mvcc.latest_commit_ts db in
+  seed db [ ("x", "v2") ];
+  seed db [ ("x", "v3") ];
+  let txn = Mvcc.begin_txn_at db ~snapshot:ts1 in
+  check_str_opt "sees the historical state" (Some "v1") (Mvcc.read db txn "x");
+  Mvcc.end_read db txn;
+  let now_txn = Mvcc.begin_txn db in
+  check_str_opt "present unaffected" (Some "v3") (Mvcc.read db now_txn "x")
+
+let test_time_travel_snapshot_zero () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "v1") ];
+  let txn = Mvcc.begin_txn_at db ~snapshot:Timestamp.zero in
+  check_str_opt "before any commit" None (Mvcc.read db txn "x")
+
+let test_time_travel_future_rejected () =
+  let db = Mvcc.create () in
+  Alcotest.check_raises "future snapshot"
+    (Invalid_argument "Mvcc.begin_txn_at: snapshot is in the future") (fun () ->
+      ignore (Mvcc.begin_txn_at db ~snapshot:99))
+
+let test_time_travel_write_conflicts () =
+  (* Generalized SI: a writer from an old snapshot loses to any commit on
+     its written keys after that snapshot... *)
+  let db = Mvcc.create () in
+  seed db [ ("x", "v1") ];
+  let ts1 = Mvcc.latest_commit_ts db in
+  seed db [ ("x", "v2") ];
+  let stale = Mvcc.begin_txn_at db ~snapshot:ts1 in
+  put db stale "x" "stale-write";
+  (match Mvcc.commit db stale with
+  | Mvcc.Aborted (Mvcc.Write_conflict "x") -> ()
+  | _ -> Alcotest.fail "stale writer must lose FCW");
+  (* ... but commits cleanly on untouched keys. *)
+  let ok = Mvcc.begin_txn_at db ~snapshot:ts1 in
+  put db ok "y" "fine";
+  match Mvcc.commit db ok with
+  | Mvcc.Committed _ -> ()
+  | Mvcc.Aborted _ -> Alcotest.fail "non-conflicting old-snapshot write must commit"
+
+(* --- Maintenance: vacuum and backup --------------------------------------------------- *)
+
+let test_vacuum_reclaims_old_versions () =
+  let db = Mvcc.create () in
+  for i = 1 to 5 do
+    seed db [ ("x", string_of_int i) ]
+  done;
+  check_int "five versions" 5 (Mvcc.version_count db);
+  let cut = Mvcc.latest_commit_ts db in
+  let reclaimed = Mvcc.vacuum db ~before:cut in
+  check_int "four reclaimed" 4 reclaimed;
+  check_int "one version left" 1 (Mvcc.version_count db);
+  let txn = Mvcc.begin_txn db in
+  check_str_opt "latest value intact" (Some "5") (Mvcc.read db txn "x")
+
+let test_vacuum_preserves_recent_snapshots () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1") ];
+  let keep = Mvcc.latest_commit_ts db in
+  seed db [ ("x", "2") ];
+  seed db [ ("x", "3") ];
+  ignore (Mvcc.vacuum db ~before:keep);
+  check_str_opt "snapshot at cut intact" (Some "1") (Mvcc.read_at db keep "x");
+  check_str_opt "later snapshots intact" (Some "3")
+    (Mvcc.read_at db (Mvcc.latest_commit_ts db) "x")
+
+let test_vacuum_noop_when_single_version () =
+  let db = Mvcc.create () in
+  seed db [ ("x", "1"); ("y", "2") ];
+  check_int "nothing reclaimed" 0
+    (Mvcc.vacuum db ~before:(Mvcc.latest_commit_ts db))
+
+let test_serialize_restore_roundtrip () =
+  let db = Mvcc.create () in
+  seed db [ ("a", "1"); ("b", "two"); ("c", "3:with;delims") ];
+  seed db [ ("a", "updated") ];
+  let txn = Mvcc.begin_txn db in
+  Mvcc.write db txn "b" None;
+  (match Mvcc.commit db txn with Mvcc.Committed _ -> () | _ -> assert false);
+  let restored = Mvcc.restore (Mvcc.serialize db) in
+  Alcotest.(check (list (pair string string)))
+    "restored state equals source"
+    (Mvcc.committed_state db)
+    (Mvcc.committed_state restored);
+  check_int "one initial commit" 1 (Mvcc.commit_count restored)
+
+let test_serialize_empty () =
+  let db = Mvcc.create () in
+  let restored = Mvcc.restore (Mvcc.serialize db) in
+  Alcotest.(check (list (pair string string))) "empty state" []
+    (Mvcc.committed_state restored)
+
+let test_restore_garbage () =
+  List.iter
+    (fun garbage ->
+      match Mvcc.restore garbage with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail ("restored garbage: " ^ garbage))
+    [ "zzz"; "2;1:a"; "-1;"; "1;1:a999:x"; "0;extra" ]
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize/restore roundtrips committed state"
+    ~count:200
+    QCheck.(make Gen.(list_size (int_range 0 8) gen_txn_writes))
+    (fun txns ->
+      let db = Mvcc.create () in
+      List.iter
+        (fun writes ->
+          let t = Mvcc.begin_txn db in
+          List.iter (fun (k, v) -> Mvcc.write db t k v) writes;
+          ignore (Mvcc.commit db t))
+        txns;
+      Mvcc.committed_state (Mvcc.restore (Mvcc.serialize db))
+      = Mvcc.committed_state db)
+
+let test_wal_pp_entries () =
+  let render e = Format.asprintf "%a" Wal.pp_entry e in
+  Alcotest.(check string) "start" "start(T1)@5" (render (Wal.Start { txn = 1; ts = 5 }));
+  Alcotest.(check string) "update" "update(T1, x := 1)"
+    (render (Wal.Update { txn = 1; update = { Wal.key = "x"; value = Some "1" } }));
+  Alcotest.(check string) "delete" "update(T1, x := <delete>)"
+    (render (Wal.Update { txn = 1; update = { Wal.key = "x"; value = None } }));
+  Alcotest.(check string) "commit" "commit(T1)@9" (render (Wal.Commit { txn = 1; ts = 9 }));
+  Alcotest.(check string) "abort" "abort(T1)" (render (Wal.Abort { txn = 1 }))
+
+let test_row_pp () =
+  let text = Format.asprintf "%a" Row.pp [ ("a", Row.Int 1); ("b", Row.Bool true) ] in
+  Alcotest.(check string) "row rendering" "{a = 1; b = true}" text
+
+(* --- Row codec ---------------------------------------------------------------------- *)
+
+let sample_row =
+  [
+    ("id", Row.Int 42);
+    ("title", Row.Text "lazy replication; with \"quotes\" and 12:34 colons");
+    ("price", Row.Float 30.25);
+    ("negative", Row.Float (-1.5e-3));
+    ("available", Row.Bool true);
+    ("sold_out", Row.Bool false);
+    ("empty", Row.Text "");
+  ]
+
+let test_row_roundtrip () =
+  check_bool "roundtrip equality" true
+    (Row.equal sample_row (Row.decode (Row.encode sample_row)))
+
+let test_row_accessors () =
+  check_int "int" 42 (Row.int_exn sample_row "id");
+  Alcotest.(check (float 0.)) "float" 30.25 (Row.float_exn sample_row "price");
+  check_bool "bool" true (Row.bool_exn sample_row "available");
+  Alcotest.(check string) "text" "" (Row.text_exn sample_row "empty");
+  check_bool "missing field" true (Row.find sample_row "nope" = None)
+
+let test_row_accessor_type_errors () =
+  Alcotest.check_raises "wrong type" Not_found (fun () ->
+      ignore (Row.int_exn sample_row "title"))
+
+let test_row_set () =
+  let row = Row.set sample_row "id" (Row.Int 7) in
+  check_int "replaced" 7 (Row.int_exn row "id");
+  let row = Row.set row "new_field" (Row.Text "x") in
+  Alcotest.(check string) "added" "x" (Row.text_exn row "new_field")
+
+let test_row_decode_garbage () =
+  List.iter
+    (fun garbage ->
+      match Row.decode garbage with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail ("decoded garbage: " ^ garbage))
+    [ "zzz"; "2;i1:x"; "1;q1:a1:b"; "-1;"; "1;i2:ab3:xyz"; "0;trailing" ]
+
+let row_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        map (fun i -> Row.Int i) int;
+        map (fun f -> Row.Float f) (float_bound_inclusive 1e6);
+        map (fun s -> Row.Text s) (string_size (int_range 0 20));
+        map (fun b -> Row.Bool b) bool;
+      ]
+  in
+  list_size (int_range 0 8)
+    (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) scalar)
+
+let prop_row_roundtrip =
+  QCheck.Test.make ~name:"row codec roundtrips" ~count:500 (QCheck.make row_gen)
+    (fun row -> Row.equal row (Row.decode (Row.encode row)))
+
+(* --- Table -------------------------------------------------------------------------- *)
+
+let book title price = [ ("title", Row.Text title); ("price", Row.Float price) ]
+
+let test_table_crud () =
+  let db = Mvcc.create () in
+  let books = Table.define db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (book "sicp" 30.);
+  Table.insert books t1 ~pk:"2" (book "taocp" 90.);
+  ignore (commit_exn db t1);
+  let t2 = Mvcc.begin_txn db in
+  (match Table.get books t2 ~pk:"1" with
+  | Some row -> Alcotest.(check string) "get" "sicp" (Row.text_exn row "title")
+  | None -> Alcotest.fail "row missing");
+  check_bool "update existing" true
+    (Table.update books t2 ~pk:"2" (fun row ->
+         Row.set row "price" (Row.Float 80.)));
+  check_bool "update missing" false (Table.update books t2 ~pk:"99" Fun.id);
+  Table.delete books t2 ~pk:"1";
+  ignore (commit_exn db t2);
+  let t3 = Mvcc.begin_txn db in
+  check_bool "deleted" true (Table.get books t3 ~pk:"1" = None);
+  Alcotest.(check (float 0.))
+    "updated price" 80.
+    (Row.float_exn (Option.get (Table.get books t3 ~pk:"2")) "price")
+
+let test_table_scan_snapshot () =
+  let db = Mvcc.create () in
+  let books = Table.define db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (book "a" 10.);
+  Table.insert books t1 ~pk:"2" (book "b" 20.);
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  (* A later insert must stay invisible to the running scan (no phantom
+     within the snapshot). *)
+  let t2 = Mvcc.begin_txn db in
+  Table.insert books t2 ~pk:"3" (book "c" 30.);
+  ignore (commit_exn db t2);
+  let rows = Table.scan books reader ~where:(fun _ -> true) in
+  check_int "scan sees snapshot only" 2 (List.length rows);
+  let cheap =
+    Table.scan books reader ~where:(fun r -> Row.float_exn r "price" < 15.)
+  in
+  check_int "predicate scan" 1 (List.length cheap);
+  check_int "count agrees" 1
+    (Table.count books reader ~where:(fun r -> Row.float_exn r "price" < 15.))
+
+let test_table_scan_sees_own_inserts () =
+  let db = Mvcc.create () in
+  let books = Table.define db ~name:"books" in
+  let txn = Mvcc.begin_txn db in
+  Table.insert books txn ~pk:"1" (book "mine" 5.);
+  let rows = Table.scan books txn ~where:(fun _ -> true) in
+  check_int "own insert in scan" 1 (List.length rows)
+
+let test_table_isolation_between_tables () =
+  let db = Mvcc.create () in
+  let books = Table.define db ~name:"books" in
+  let orders = Table.define db ~name:"orders" in
+  let txn = Mvcc.begin_txn db in
+  Table.insert books txn ~pk:"1" (book "a" 1.);
+  Table.insert orders txn ~pk:"1" [ ("qty", Row.Int 2) ];
+  ignore (commit_exn db txn);
+  let reader = Mvcc.begin_txn db in
+  check_int "books scan" 1
+    (List.length (Table.scan books reader ~where:(fun _ -> true)));
+  check_int "orders scan" 1
+    (List.length (Table.scan orders reader ~where:(fun _ -> true)))
+
+(* --- Secondary indexes ------------------------------------------------------------------ *)
+
+let priced title price =
+  [ ("title", Row.Text title); ("price", Row.Int price) ]
+
+let test_index_lookup_basic () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (priced "a" 10);
+  Table.insert books t1 ~pk:"2" (priced "b" 20);
+  Table.insert books t1 ~pk:"3" (priced "c" 10);
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  let cheap = Table.lookup books reader ~field:"price" ~value:(Row.Int 10) in
+  Alcotest.(check (list string)) "index finds both" [ "1"; "3" ]
+    (List.map fst cheap);
+  check_int "single match" 1
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 20)));
+  check_int "no match" 0
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 99)))
+
+let test_index_follows_updates () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (priced "a" 10);
+  ignore (commit_exn db t1);
+  let t2 = Mvcc.begin_txn db in
+  ignore (Table.update books t2 ~pk:"1" (fun row -> Row.set row "price" (Row.Int 25)));
+  ignore (commit_exn db t2);
+  let reader = Mvcc.begin_txn db in
+  check_int "old entry gone" 0
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 10)));
+  check_int "new entry present" 1
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 25)))
+
+let test_index_follows_deletes () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (priced "a" 10);
+  ignore (commit_exn db t1);
+  let t2 = Mvcc.begin_txn db in
+  Table.delete books t2 ~pk:"1";
+  ignore (commit_exn db t2);
+  let reader = Mvcc.begin_txn db in
+  check_int "entry removed with row" 0
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 10)))
+
+let test_index_snapshot_isolation () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert books t1 ~pk:"1" (priced "a" 10);
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  (* Concurrent re-pricing is invisible to the running snapshot. *)
+  let t2 = Mvcc.begin_txn db in
+  ignore (Table.update books t2 ~pk:"1" (fun row -> Row.set row "price" (Row.Int 99)));
+  ignore (commit_exn db t2);
+  check_int "reader still finds the old price" 1
+    (List.length (Table.lookup books reader ~field:"price" ~value:(Row.Int 10)));
+  let fresh = Mvcc.begin_txn db in
+  check_int "fresh snapshot sees new price" 1
+    (List.length (Table.lookup books fresh ~field:"price" ~value:(Row.Int 99)))
+
+let test_index_sees_own_writes () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let txn = Mvcc.begin_txn db in
+  Table.insert books txn ~pk:"1" (priced "a" 10);
+  check_int "own insert visible in lookup" 1
+    (List.length (Table.lookup books txn ~field:"price" ~value:(Row.Int 10)))
+
+let test_index_unindexed_field_rejected () =
+  let db = Mvcc.create () in
+  let books = Table.define ~indexes:[ "price" ] db ~name:"books" in
+  let txn = Mvcc.begin_txn db in
+  Alcotest.check_raises "missing index"
+    (Invalid_argument "Table.lookup: no index on books.title") (fun () ->
+      ignore (Table.lookup books txn ~field:"title" ~value:(Row.Text "a")))
+
+let test_index_key_injective_with_delimiters () =
+  let db = Mvcc.create () in
+  let tbl = Table.define ~indexes:[ "tag" ] db ~name:"notes" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert tbl t1 ~pk:"1" [ ("tag", Row.Text "a:b|c") ];
+  Table.insert tbl t1 ~pk:"2" [ ("tag", Row.Text "a") ];
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  Alcotest.(check (list string)) "tricky value isolated" [ "1" ]
+    (List.map fst (Table.lookup tbl reader ~field:"tag" ~value:(Row.Text "a:b|c")));
+  Alcotest.(check (list string)) "plain value isolated" [ "2" ]
+    (List.map fst (Table.lookup tbl reader ~field:"tag" ~value:(Row.Text "a")))
+
+(* Lookup always agrees with a full predicate scan. *)
+let prop_index_agrees_with_scan =
+  let gen =
+    QCheck.Gen.(list_size (int_range 0 20) (pair (int_range 0 5) (int_range 0 3)))
+  in
+  QCheck.Test.make ~name:"index lookup = predicate scan" ~count:200
+    (QCheck.make gen) (fun ops ->
+      let db = Mvcc.create () in
+      let tbl = Table.define ~indexes:[ "grp" ] db ~name:"t" in
+      List.iter
+        (fun (pk, grp) ->
+          let txn = Mvcc.begin_txn db in
+          if grp = 3 then Table.delete tbl txn ~pk:(string_of_int pk)
+          else
+            Table.insert tbl txn ~pk:(string_of_int pk)
+              [ ("grp", Row.Int grp) ];
+          ignore (Mvcc.commit db txn))
+        ops;
+      let reader = Mvcc.begin_txn db in
+      List.for_all
+        (fun grp ->
+          let via_index =
+            Table.lookup tbl reader ~field:"grp" ~value:(Row.Int grp)
+          in
+          let via_scan =
+            Table.scan tbl reader ~where:(fun row ->
+                Row.find row "grp" = Some (Row.Int grp))
+          in
+          via_index = via_scan)
+        [ 0; 1; 2 ])
+
+(* --- Suite ---------------------------------------------------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lsr_storage"
+    [
+      ( "timestamp",
+        [ Alcotest.test_case "monotonic" `Quick test_timestamp_monotonic ] );
+      ( "wal",
+        [
+          Alcotest.test_case "append/read" `Quick test_wal_append_read;
+          Alcotest.test_case "entry bounds" `Quick test_wal_entry_bounds;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          QCheck_alcotest.to_alcotest prop_wal_truncate_preserves_suffix;
+          Alcotest.test_case "pp entries" `Quick test_wal_pp_entries;
+          Alcotest.test_case "row pp" `Quick test_row_pp;
+        ] );
+      ( "mvcc-semantics",
+        [
+          Alcotest.test_case "visibility of committed" `Quick
+            test_visibility_committed_before_start;
+          Alcotest.test_case "snapshot ignores later commits" `Quick
+            test_snapshot_ignores_later_commit;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "delete tombstone" `Quick test_delete_tombstone;
+          Alcotest.test_case "first committer wins" `Quick
+            test_first_committer_wins;
+          Alcotest.test_case "sequential overwrite ok" `Quick
+            test_sequential_overwrite_allowed;
+          Alcotest.test_case "disjoint concurrent commits" `Quick
+            test_disjoint_concurrent_commits;
+          Alcotest.test_case "write skew possible (P5)" `Quick
+            test_write_skew_possible;
+          Alcotest.test_case "lost update prevented (P4)" `Quick
+            test_lost_update_prevented;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "ops after end raise" `Quick
+            test_operations_after_end_raise;
+          Alcotest.test_case "end_read rejects writers" `Quick
+            test_end_read_rejects_writers;
+          Alcotest.test_case "end_read creates no state" `Quick
+            test_end_read_creates_no_state;
+          Alcotest.test_case "last write wins in txn" `Quick
+            test_last_write_wins_within_txn;
+        ] );
+      ( "mvcc-states",
+        [
+          Alcotest.test_case "state sequence S^i" `Quick test_state_sequence;
+          Alcotest.test_case "nth_state bounds" `Quick test_nth_state_bounds;
+          Alcotest.test_case "read_at" `Quick test_read_at;
+          Alcotest.test_case "commit history ordered" `Quick
+            test_commit_history_ordered;
+          Alcotest.test_case "fold_keys prefix" `Quick test_fold_keys_prefix;
+          Alcotest.test_case "wal records txn" `Quick test_wal_records_transaction;
+          Alcotest.test_case "wal records abort" `Quick test_wal_records_abort;
+        ]
+        @ qsuite
+            [
+              prop_fcw_exclusive;
+              prop_snapshot_stability;
+              prop_state_replay;
+              prop_nth_state_prefix_monotone;
+            ] );
+      ( "time-travel",
+        [
+          Alcotest.test_case "reads history" `Quick test_time_travel_reads_history;
+          Alcotest.test_case "snapshot zero" `Quick test_time_travel_snapshot_zero;
+          Alcotest.test_case "future rejected" `Quick
+            test_time_travel_future_rejected;
+          Alcotest.test_case "generalized-SI write conflicts" `Quick
+            test_time_travel_write_conflicts;
+        ] );
+      ( "mvcc-maintenance",
+        [
+          Alcotest.test_case "vacuum reclaims" `Quick
+            test_vacuum_reclaims_old_versions;
+          Alcotest.test_case "vacuum preserves recent" `Quick
+            test_vacuum_preserves_recent_snapshots;
+          Alcotest.test_case "vacuum noop" `Quick test_vacuum_noop_when_single_version;
+          Alcotest.test_case "serialize/restore roundtrip" `Quick
+            test_serialize_restore_roundtrip;
+          Alcotest.test_case "serialize empty" `Quick test_serialize_empty;
+          Alcotest.test_case "restore garbage" `Quick test_restore_garbage;
+        ]
+        @ qsuite [ prop_serialize_roundtrip ] );
+      ( "row",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_row_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_row_accessors;
+          Alcotest.test_case "accessor type errors" `Quick
+            test_row_accessor_type_errors;
+          Alcotest.test_case "set" `Quick test_row_set;
+          Alcotest.test_case "decode garbage" `Quick test_row_decode_garbage;
+        ]
+        @ qsuite [ prop_row_roundtrip ] );
+      ( "index",
+        [
+          Alcotest.test_case "lookup basic" `Quick test_index_lookup_basic;
+          Alcotest.test_case "follows updates" `Quick test_index_follows_updates;
+          Alcotest.test_case "follows deletes" `Quick test_index_follows_deletes;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_index_snapshot_isolation;
+          Alcotest.test_case "sees own writes" `Quick test_index_sees_own_writes;
+          Alcotest.test_case "unindexed field rejected" `Quick
+            test_index_unindexed_field_rejected;
+          Alcotest.test_case "delimiter injectivity" `Quick
+            test_index_key_injective_with_delimiters;
+        ]
+        @ qsuite [ prop_index_agrees_with_scan ] );
+      ( "table",
+        [
+          Alcotest.test_case "crud" `Quick test_table_crud;
+          Alcotest.test_case "scan snapshot (no phantoms)" `Quick
+            test_table_scan_snapshot;
+          Alcotest.test_case "scan sees own inserts" `Quick
+            test_table_scan_sees_own_inserts;
+          Alcotest.test_case "table isolation" `Quick
+            test_table_isolation_between_tables;
+        ] );
+    ]
