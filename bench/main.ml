@@ -54,6 +54,63 @@ let run_ablations opts ~csv ~wanted =
   if List.mem "ablate-contention" wanted then
     emit ~csv (Figures.ablate_contention opts)
 
+(* --- Fault-injection scenarios (docs/FAULTS.md) ----------------------------- *)
+
+(* Runs the simulated system with the propagation channels subjected to
+   increasingly hostile networks and prints the per-channel counters next to
+   the performance numbers: the protocol must keep its guarantees (check
+   errors = 0) while the retransmission layer pays for the faults in
+   staleness and queue depth. *)
+let run_faults ~quick ~seed =
+  let open Lsr_workload in
+  let params =
+    {
+      Params.default with
+      Params.num_secondaries = 3;
+      clients_per_secondary = 5;
+      warmup = 60.;
+      duration = (if quick then 300. else 900.);
+    }
+  in
+  let scenarios =
+    [
+      ("reliable", Some Lsr_faults.Channel.reliable);
+      ("mild", Some Lsr_faults.Channel.default);
+      ("chaos", Some Lsr_faults.Channel.chaos);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, faults) ->
+        let cfg =
+          {
+            (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
+            Sim_system.record_history = true;
+            faults;
+          }
+        in
+        let o = Sim_system.run cfg in
+        [
+          name;
+          Printf.sprintf "%.2f" o.Sim_system.throughput_fast;
+          Printf.sprintf "%.3f" o.Sim_system.refresh_staleness_mean;
+          string_of_int o.Sim_system.channel_dropped;
+          string_of_int o.Sim_system.channel_retransmitted;
+          string_of_int o.Sim_system.channel_duplicated;
+          string_of_int o.Sim_system.channel_max_queue;
+          string_of_int (List.length o.Sim_system.check_errors);
+        ])
+      scenarios
+  in
+  Lsr_stats.Table_fmt.print
+    ~title:"Fault injection on the propagation channels (strong session SI)"
+    ~header:
+      [
+        "scenario"; "tput"; "staleness"; "dropped"; "retrans"; "dup";
+        "max queue"; "check errs";
+      ]
+    rows
+
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
 let micro_tests () =
@@ -250,13 +307,14 @@ let all_targets =
   ]
 
 (* Runnable explicitly but excluded from `all` (extension studies). *)
-let extra_targets = [ "ablate-contention" ]
+let extra_targets = [ "ablate-contention"; "faults" ]
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
-     ablate-delay, micro or all (default)."
+     ablate-delay, micro or all (default). Extension studies (excluded \
+     from all): ablate-contention, faults."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -289,6 +347,7 @@ let main quick seed csv verbose targets =
       run_fig567 opts ~csv ~wanted;
     if List.mem "fig8" wanted then run_fig8 opts ~csv;
     run_ablations opts ~csv ~wanted;
+    if List.mem "faults" wanted then run_faults ~quick ~seed;
     if List.mem "micro" wanted then run_micro ();
     `Ok ()
 

@@ -1,11 +1,19 @@
 open Lsr_storage
 
+type channel = {
+  ch_send : Txn_record.t list -> unit;
+  ch_tick : unit -> Txn_record.t list;
+  ch_idle : unit -> bool;
+  ch_reset : unit -> unit;
+}
+
 type slot = {
   mutable site : Secondary.t;
   mutable crashed : bool;
   (* False once the site has crashed: its state sequence is no longer a
      prefix of the primary's, so only final-state equality can be checked. *)
   mutable clean : bool;
+  channel : channel option;
 }
 
 type t = {
@@ -21,20 +29,21 @@ type t = {
 
 type client = { label : string; secondary : int }
 
-let make_slot i =
+let make_slot ?faults i =
   {
     site = Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ();
     crashed = false;
     clean = true;
+    channel = Option.map (fun f -> f i) faults;
   }
 
-let create ?(secondaries = 1) ?(schema = []) ~guarantee () =
+let create ?(secondaries = 1) ?(schema = []) ?faults ~guarantee () =
   if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
   let primary = Primary.create () in
   {
     primary;
     propagator = Propagation.create ~from:0 (Primary.wal primary);
-    slots = Array.init secondaries make_slot;
+    slots = Array.init secondaries (make_slot ?faults);
     sessions = Session.create guarantee;
     history = History.create ();
     schema;
@@ -84,26 +93,56 @@ let migrate t client secondary =
 
 let propagate t =
   let records = Propagation.poll t.propagator in
-  List.iter
-    (fun record ->
-      Array.iter
-        (fun s -> if not s.crashed then Secondary.enqueue s.site record)
-        t.slots)
-    records;
+  if records <> [] then
+    Array.iter
+      (fun s ->
+        if not s.crashed then
+          match s.channel with
+          | None -> List.iter (Secondary.enqueue s.site) records
+          | Some ch -> ch.ch_send records)
+      t.slots;
   List.length records
 
+(* With a fault channel attached, one refresh advances the channel by one
+   tick (delivering whatever arrives in order) before draining the refresh
+   machinery; without one, records were enqueued directly by [propagate]. *)
 let refresh_one t i =
   let s = slot t i in
-  if s.crashed then 0 else Secondary.drain s.site
+  if s.crashed then 0
+  else begin
+    (match s.channel with
+    | None -> ()
+    | Some ch -> List.iter (Secondary.enqueue s.site) (ch.ch_tick ()));
+    Secondary.drain s.site
+  end
 
 let refresh_all t =
   Array.to_list t.slots
   |> List.mapi (fun i _ -> refresh_one t i)
   |> List.fold_left ( + ) 0
 
+let channels_busy t =
+  Array.exists
+    (fun s ->
+      (not s.crashed)
+      && match s.channel with Some ch -> not (ch.ch_idle ()) | None -> false)
+    t.slots
+
+(* Bound on channel ticks per pump: retransmission makes delivery certain
+   (loss < 1), but a pathological fault configuration could still take many
+   ticks; failing loudly beats spinning forever. *)
+let pump_tick_cap = 200_000
+
 let pump t =
   ignore (propagate t);
-  ignore (refresh_all t)
+  ignore (refresh_all t);
+  let ticks = ref 0 in
+  while channels_busy t do
+    incr ticks;
+    if !ticks > pump_tick_cap then
+      failwith "System.pump: fault channels failed to quiesce";
+    ignore (refresh_all t)
+  done
 
 let blocked_reads t = t.blocked_reads
 
@@ -224,11 +263,21 @@ let read_nowait t client body =
 let crash_secondary t i =
   let s = slot t i in
   s.crashed <- true;
-  s.clean <- false
+  s.clean <- false;
+  (* The site's connection state dies with it: messages in flight to it are
+     lost and both endpoints' sequence numbers restart on recovery. *)
+  Option.iter (fun ch -> ch.ch_reset ()) s.channel
 
 let recover_secondary t i =
   let s = slot t i in
   if not s.crashed then invalid_arg "System.recover_secondary: not crashed";
+  (* Quiesce propagation first: any primary commit not yet polled would be
+     included in the backup below AND broadcast later, and re-executing it at
+     the recovered site would briefly move seq(DBsec) backwards — a read in
+     that window would observe a state newer than its recorded snapshot.
+     Consuming the log up to the backup point makes backup and propagation
+     cursor agree ("quiesced copy", §3.4). *)
+  ignore (propagate t);
   (* Install a quiesced copy of the primary database (§3.4), shipped in its
      serialized backup form... *)
   let backup = Mvcc.serialize (Primary.db t.primary) in
@@ -241,6 +290,7 @@ let recover_secondary t i =
   let seed = Mvcc.latest_commit_ts (Primary.db t.primary) in
   Mvcc.end_read (Primary.db t.primary) dummy;
   Secondary.reseed_seq fresh seed;
+  Option.iter (fun ch -> ch.ch_reset ()) s.channel;
   s.site <- fresh;
   s.crashed <- false
 

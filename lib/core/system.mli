@@ -21,12 +21,32 @@ type t
 (** A client session: a label and the secondary it is connected to. *)
 type client
 
+(** A transport carrying propagated records to one secondary. When attached
+    (see {!create}), {!propagate} hands record batches to [ch_send] instead
+    of enqueueing them directly; each refresh pulls one [ch_tick]'s worth of
+    in-order deliveries into the secondary's update queue, and {!pump} keeps
+    refreshing until every channel reports [ch_idle]. [ch_reset] is invoked
+    on secondary crash and again on recovery (connection state is lost with
+    the site). The channel must deliver every record exactly once, in send
+    order — [Lsr_faults.Channel] provides such a transport over a lossy,
+    duplicating, reordering network. *)
+type channel = {
+  ch_send : Txn_record.t list -> unit;
+  ch_tick : unit -> Txn_record.t list;
+  ch_idle : unit -> bool;
+  ch_reset : unit -> unit;
+}
+
 (** [create ~guarantee ~secondaries ()] builds a system with that many
     secondary sites (default 1). [schema] maps table names to secondary
     index declarations applied by every transaction handle (see
-    {!Lsr_storage.Table}). *)
+    {!Lsr_storage.Table}). [faults], when given, is called once per
+    secondary index to attach a fault-injection {!channel} between the
+    propagator and that site; omitted, propagation is the paper's reliable
+    FIFO channel and behaviour is unchanged. *)
 val create :
   ?secondaries:int -> ?schema:(string * string list) list ->
+  ?faults:(int -> channel) ->
   guarantee:Session.guarantee -> unit -> t
 
 val guarantee : t -> Session.guarantee
@@ -79,18 +99,22 @@ val read_nowait : t -> client -> (Handle.t -> 'a) -> 'a option
 
 (** {2 Replication control (lazy!)} *)
 
-(** Poll the primary log and broadcast new records to every live secondary's
-    update queue. Returns the number of records shipped. *)
+(** Poll the primary log and broadcast new records to every live secondary
+    (into its update queue, or its fault {!channel} when one is attached).
+    Returns the number of records shipped. *)
 val propagate : t -> int
 
-(** Drain the refresh machinery at one / all secondaries. Returns refresh
-    transactions committed. *)
+(** Drain the refresh machinery at one / all secondaries. With a fault
+    channel attached, first advances the channel one tick and enqueues its
+    in-order deliveries. Returns refresh transactions committed. *)
 val refresh_one : t -> int -> int
 
 val refresh_all : t -> int
 
-(** [pump t] = [propagate] then [refresh_all]: bring every secondary up to
-    date with the primary. *)
+(** [pump t] = [propagate] then [refresh_all], repeated until every attached
+    fault channel is idle: bring every secondary up to date with the
+    primary.
+    @raise Failure if a channel fails to quiesce (saturated loss rate). *)
 val pump : t -> unit
 
 (** Reads that had to wait for the session condition so far. *)
@@ -108,13 +132,17 @@ val compact : t -> int
 (** {2 Failures (§3.4, §4)} *)
 
 (** [crash_secondary t i] drops the site's queues, refresh state and
-    database copy — everything §3.4 says is lost. Reads and writes through
-    clients of a crashed secondary raise until recovery. *)
+    database copy — everything §3.4 says is lost — and resets its fault
+    channel if one is attached (in-flight messages to a dead site are gone).
+    Reads and writes through clients of a crashed secondary raise until
+    recovery. *)
 val crash_secondary : t -> int -> unit
 
-(** [recover_secondary t i] installs a (quiesced) copy of the primary
-    database and reinitializes [seq(DBsec)] from a dummy transaction at the
-    primary, after which the site resumes receiving propagated updates. *)
+(** [recover_secondary t i] first quiesces propagation (so the backup point
+    and the propagation cursor agree — nothing already in the backup is
+    propagated again), then installs a quiesced copy of the primary database
+    and reinitializes [seq(DBsec)] from a dummy transaction at the primary,
+    after which the site resumes receiving propagated updates. *)
 val recover_secondary : t -> int -> unit
 
 val is_crashed : t -> int -> bool

@@ -11,6 +11,8 @@ type config = {
   serial_refresh : bool;
   ship_aborted : bool;
   migrate_prob : float;
+  faults : Lsr_faults.Channel.config option;
+  fault_tick : float;
 }
 
 let config params guarantee ~seed =
@@ -22,6 +24,8 @@ let config params guarantee ~seed =
     serial_refresh = false;
     ship_aborted = false;
     migrate_prob = 0.;
+    faults = None;
+    fault_tick = 1.0;
   }
 
 type outcome = {
@@ -42,6 +46,10 @@ type outcome = {
   primary_utilization : float;
   secondary_utilization : float;
   check_errors : string list;
+  channel_dropped : int;
+  channel_retransmitted : int;
+  channel_duplicated : int;
+  channel_max_queue : int;
 }
 
 type sec_site = {
@@ -52,6 +60,7 @@ type sec_site = {
   pending_cond : Condition.t;  (* signalled when the pending queue pops *)
   session_cond : Condition.t;  (* signalled after each refresh commit *)
   mutable last_delivery : float;  (* keeps jittered deliveries FIFO *)
+  chan : Lsr_faults.Channel.t option;  (* faulty transport, when configured *)
 }
 
 type state = {
@@ -70,14 +79,19 @@ type state = {
   mutable label_counter : int;
 }
 
-let make_site cfg eng index =
+let make_site cfg eng fault_rng index =
   let queue_cond = Condition.create () in
   let pending_cond = Condition.create () in
   let session_cond = Condition.create () in
   let sec = Secondary.create ~name:(Printf.sprintf "secondary-%d" index) () in
-  ignore cfg;
+  let chan =
+    Option.map
+      (fun fc ->
+        Lsr_faults.Channel.create ~config:fc ~rng:(Rng.split fault_rng) ())
+      cfg.faults
+  in
   { index; sec; res = Resource.create eng ~discipline:Resource.Processor_sharing;
-    queue_cond; pending_cond; session_cond; last_delivery = 0. }
+    queue_cond; pending_cond; session_cond; last_delivery = 0.; chan }
 
 (* --- Propagator process (Algorithm 3.1 under a 10 s cycle) ---------------- *)
 
@@ -93,6 +107,13 @@ let propagator_process st () =
     if records <> [] then
       Array.iter
         (fun site ->
+          match site.chan with
+          | Some ch ->
+            (* The faulty transport owns delivery: records go on the wire
+               here and surface, in order, from the channel process's ticks
+               (loss, duplication, delay and reordering happen inside). *)
+            Lsr_faults.Channel.send ch records
+          | None ->
           if p.Params.propagation_jitter <= 0. then deliver site records ()
           else begin
             (* Per-destination scheduling variance; delivery times to one
@@ -110,6 +131,21 @@ let propagator_process st () =
     cycle ()
   in
   cycle ()
+
+(* One process per faulty channel: each [fault_tick] virtual seconds the
+   channel advances one tick (arrivals, acks, retransmissions) and whatever
+   it delivers in order lands on the secondary's update queue. *)
+let channel_process st site ch () =
+  let rec loop () =
+    Process.delay st.cfg.fault_tick;
+    let records = Lsr_faults.Channel.tick ch in
+    if records <> [] then begin
+      List.iter (Secondary.enqueue site.sec) records;
+      Condition.signal site.queue_cond
+    end;
+    loop ()
+  in
+  loop ()
 
 (* --- Refresher and applicator processes (Algorithms 3.2 / 3.3) ------------ *)
 
@@ -318,7 +354,9 @@ let run cfg =
       propagator =
         Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted
           (Primary.wal primary);
-      sites = Array.init p.Params.num_secondaries (make_site cfg eng);
+      sites =
+        Array.init p.Params.num_secondaries
+          (make_site cfg eng (Rng.create (cfg.seed lxor 0xFA17)));
       sessions = Session.create cfg.guarantee;
       metrics = Metrics.create ~warmup:p.Params.warmup ~cap:p.Params.response_time_cap;
       history = History.create ();
@@ -329,6 +367,12 @@ let run cfg =
   in
   let root = Rng.create cfg.seed in
   Process.spawn eng (propagator_process st);
+  Array.iter
+    (fun site ->
+      match site.chan with
+      | Some ch -> Process.spawn eng (channel_process st site ch)
+      | None -> ())
+    st.sites;
   Array.iter (fun site -> Process.spawn eng (refresher_process st site)) st.sites;
   Array.iter
     (fun site ->
@@ -372,6 +416,15 @@ let run cfg =
     in
     busy /. (p.Params.duration *. float_of_int (Array.length st.sites))
   in
+  let channel_stats =
+    Array.fold_left
+      (fun acc site ->
+        match site.chan with
+        | Some ch ->
+          Lsr_faults.Channel.add_stats acc (Lsr_faults.Channel.stats ch)
+        | None -> acc)
+      Lsr_faults.Channel.zero_stats st.sites
+  in
   {
     throughput_fast = float_of_int (Metrics.fast_completions m) /. measured;
     read_rt_mean = Stat.mean (Metrics.read_rt m);
@@ -390,4 +443,10 @@ let run cfg =
     primary_utilization = Resource.busy_time st.primary_res /. p.Params.duration;
     secondary_utilization;
     check_errors;
+    channel_dropped = channel_stats.Lsr_faults.Channel.dropped;
+    channel_retransmitted = channel_stats.Lsr_faults.Channel.retransmitted;
+    channel_duplicated = channel_stats.Lsr_faults.Channel.duplicated;
+    channel_max_queue =
+      max channel_stats.Lsr_faults.Channel.max_flight
+        channel_stats.Lsr_faults.Channel.max_ooo;
   }

@@ -36,9 +36,19 @@ type config = {
           secondary instead of the client's home site (0 in the paper's
           model). Exercises the strong-session-SI read floor and the PCSI
           comparison. *)
+  faults : Lsr_faults.Channel.config option;
+      (** when set, each secondary receives propagated records through a
+          fault-injection {!Lsr_faults.Channel} (loss / duplication / delay /
+          bounded reordering with sequence numbers, acks and retransmission)
+          instead of the paper's reliable FIFO link; [None] (the paper's
+          model) leaves propagation untouched *)
+  fault_tick : float;
+      (** virtual seconds per channel tick (base one-hop latency; also the
+          granularity of retransmission timeouts) *)
 }
 
-(** [config params guarantee ~seed] with ablations off and no recording. *)
+(** [config params guarantee ~seed] with ablations off, no recording and no
+    fault injection ([fault_tick] defaults to 1 s). *)
 val config : Params.t -> Session.guarantee -> seed:int -> config
 
 type outcome = {
@@ -66,6 +76,12 @@ type outcome = {
   check_errors : string list;
       (** empty when the run satisfied its guarantee (always empty when
           [record_history = false]) *)
+  channel_dropped : int;
+      (** transmissions lost by the fault channels (0 without [faults]) *)
+  channel_retransmitted : int;  (** sender timeouts that resent a record *)
+  channel_duplicated : int;  (** extra copies injected by the network *)
+  channel_max_queue : int;
+      (** peak in-flight / out-of-order buffer depth over all channels *)
 }
 
 (** [run config] executes one independent replication and reduces it. *)

@@ -1,0 +1,41 @@
+open Lsr_storage
+open Lsr_core
+
+type backup = { state : string; ts : Timestamp.t }
+
+let backup primary =
+  {
+    state = Mvcc.serialize (Primary.db primary);
+    ts = Mvcc.latest_commit_ts (Primary.db primary);
+  }
+
+let replay_filter ~after records =
+  (* Transactions whose commit lies beyond the backup point; everything else
+     is either already in the backup or installed nothing. *)
+  let wanted = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Txn_record.Commit_rec { txn; commit_ts; _ }
+        when Timestamp.compare commit_ts after > 0 ->
+        Hashtbl.replace wanted txn ()
+      | Txn_record.Start_rec _ | Txn_record.Commit_rec _
+      | Txn_record.Abort_rec _ -> ())
+    records;
+  List.filter
+    (function
+      | Txn_record.Start_rec { txn; _ } | Txn_record.Commit_rec { txn; _ } ->
+        Hashtbl.mem wanted txn
+      | Txn_record.Abort_rec _ -> false)
+    records
+
+let restore ?(name = "recovered") ~primary b =
+  let fresh = Secondary.create_from ~name b.state in
+  Secondary.reseed_seq fresh b.ts;
+  (* Replaying from offset 0 raises inside Wal.read_from if the log prefix
+     has been reclaimed — a stale backup plus a truncated log is data loss,
+     and must say so. *)
+  let replayer = Propagation.create ~from:0 (Primary.wal primary) in
+  let records = Propagation.poll replayer in
+  List.iter (Secondary.enqueue fresh) (replay_filter ~after:b.ts records);
+  ignore (Secondary.drain fresh);
+  fresh

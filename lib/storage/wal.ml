@@ -37,7 +37,13 @@ let entry t i =
   t.entries.(i - t.base)
 
 let read_from t offset =
-  let offset = max offset t.base in
+  (* A reader below the truncation point has lost records: silently clamping
+     to [base] would make a propagator (or a recovery replay) skip entries
+     without anyone noticing. Fail loudly instead. *)
+  if offset < t.base then
+    invalid_arg
+      (Printf.sprintf "Wal.read_from: offset %d below truncation point %d"
+         offset t.base);
   let rec collect i acc =
     if i >= t.size then (List.rev acc, t.size)
     else collect (i + 1) (entry t i :: acc)

@@ -28,7 +28,11 @@ val length : t -> int
 val entry : t -> int -> entry
 
 (** [read_from t offset] is all entries at positions [>= offset], in order,
-    paired with the next offset. The propagator uses this as its cursor. *)
+    paired with the next offset. The propagator uses this as its cursor.
+    Reading at exactly [length t] returns [([], length t)].
+    @raise Invalid_argument when [offset] lies below the truncation point
+    ({!truncate_before}): records there are gone, and skipping them silently
+    would corrupt any consumer's view of the log. *)
 val read_from : t -> int -> entry list * int
 
 (** [truncate_before t offset] discards storage for entries below [offset]

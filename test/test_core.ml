@@ -68,6 +68,20 @@ let test_propagation_abort_discards_updates () =
     check_int "no wasted work shipped by default" 0 (List.length wasted)
   | _ -> Alcotest.fail "expected start + abort"
 
+(* A propagator whose cursor lies below the log's truncation point has lost
+   records; polling must raise instead of silently resuming at the cut. *)
+let test_propagation_truncated_log_fails_loudly () =
+  let primary = Primary.create () in
+  ignore (update_at primary [ ("x", Some "1") ]);
+  ignore (update_at primary [ ("y", Some "2") ]);
+  let late = Propagation.create ~from:0 (Primary.wal primary) in
+  Wal.truncate_before (Primary.wal primary) (Wal.length (Primary.wal primary));
+  Alcotest.check_raises "poll below the cut"
+    (Invalid_argument
+       (Printf.sprintf "Wal.read_from: offset 0 below truncation point %d"
+          (Wal.length (Primary.wal primary))))
+    (fun () -> ignore (Propagation.poll late))
+
 let test_propagation_ship_aborted () =
   let primary = Primary.create () in
   let prop = Propagation.create ~from:0 ~ship_aborted:true (Primary.wal primary) in
@@ -1576,6 +1590,8 @@ let () =
           Alcotest.test_case "abort discards updates" `Quick
             test_propagation_abort_discards_updates;
           Alcotest.test_case "ship_aborted mode" `Quick test_propagation_ship_aborted;
+          Alcotest.test_case "truncated log fails loudly" `Quick
+            test_propagation_truncated_log_fails_loudly;
           Alcotest.test_case "squashes rewrites" `Quick
             test_propagation_squashes_rewrites;
           Alcotest.test_case "log order preserved" `Quick

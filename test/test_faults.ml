@@ -1,0 +1,524 @@
+(* Tests for the fault-injection layer (lsr_faults): the sequenced
+   loss/dup/delay/reorder channel, the injector wiring into the embedded
+   system, stale-backup + log-replay recovery, and the randomized protocol
+   harness that checks the paper's guarantees (weak SI, session guarantees,
+   Theorem 3.1 completeness) under adversarial fault schedules with a
+   crash/restart in the middle.
+
+   The number of randomized trials is controlled by the FAULT_TRIALS
+   environment variable (default 40; CI sets 200). Seeds are fixed, so a
+   reported failure replays exactly. *)
+
+open Lsr_storage
+open Lsr_core
+open Lsr_faults
+module Rng = Lsr_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let start_rec i = Txn_record.Start_rec { txn = i; start_ts = i }
+
+let commit_rec i =
+  Txn_record.Commit_rec
+    {
+      txn = i;
+      commit_ts = i;
+      updates = [ { Wal.key = Printf.sprintf "k%d" i; value = Some "v" } ];
+    }
+
+(* The canonical record stream for n transactions, in primary log order. *)
+let stream n =
+  List.concat_map (fun i -> [ start_rec i; commit_rec i ]) (List.init n succ)
+
+(* --- Channel: delivery semantics --------------------------------------------- *)
+
+let test_channel_reliable_fifo () =
+  let ch =
+    Channel.create ~config:Channel.reliable ~rng:(Rng.create 1) ()
+  in
+  let records = stream 5 in
+  Channel.send ch records;
+  let delivered = Channel.drain ch in
+  check_bool "exact sequence" true (delivered = records);
+  check_bool "idle after drain" true (Channel.idle ch);
+  let s = Channel.stats ch in
+  check_int "sent" 10 s.Channel.sent;
+  check_int "delivered" 10 s.Channel.delivered;
+  check_int "no drops" 0 s.Channel.dropped;
+  check_int "no retransmits" 0 s.Channel.retransmitted
+
+let test_channel_lossy_exactly_once_in_order () =
+  let ch = Channel.create ~config:Channel.chaos ~rng:(Rng.create 42) () in
+  let records = stream 40 in
+  (* Interleave sends and ticks so retransmissions overlap fresh traffic. *)
+  let collected = ref [] in
+  let rec feed_collect = function
+    | [] -> ()
+    | a :: b :: rest ->
+      Channel.send ch [ a; b ];
+      collected := List.rev_append (Channel.tick ch) !collected;
+      feed_collect rest
+    | [ a ] -> Channel.send ch [ a ]
+  in
+  feed_collect records;
+  collected := List.rev_append (Channel.drain ch) !collected;
+  let delivered = List.rev !collected in
+  check_bool "exactly the sent sequence, in order" true (delivered = records);
+  let s = Channel.stats ch in
+  check_bool "faults actually happened" true (s.Channel.dropped > 0);
+  check_bool "loss was repaired by retransmission" true
+    (s.Channel.retransmitted > 0);
+  check_bool "queues were observed" true (s.Channel.max_flight > 0)
+
+let test_channel_duplicates_suppressed () =
+  let config = { Channel.reliable with Channel.dup = 1.0; reorder_window = 3 } in
+  let ch = Channel.create ~config ~rng:(Rng.create 7) () in
+  let records = stream 10 in
+  Channel.send ch records;
+  let delivered = Channel.drain ch in
+  check_bool "every record exactly once" true (delivered = records);
+  let s = Channel.stats ch in
+  check_int "every transmission duplicated" 20 s.Channel.duplicated;
+  check_bool "late copies discarded" true (s.Channel.stale_ignored > 0)
+
+let test_channel_reorder_restores_order () =
+  let config =
+    { Channel.reliable with Channel.reorder = 0.9; reorder_window = 5 }
+  in
+  let ch = Channel.create ~config ~rng:(Rng.create 11) () in
+  let records = stream 20 in
+  Channel.send ch records;
+  let delivered = Channel.drain ch in
+  check_bool "order restored" true (delivered = records);
+  let s = Channel.stats ch in
+  check_bool "reordering happened" true (s.Channel.reordered > 0);
+  check_bool "out-of-order buffer used" true (s.Channel.max_ooo > 0)
+
+let test_channel_reset_forgets_connection_state () =
+  let ch = Channel.create ~config:Channel.default ~rng:(Rng.create 3) () in
+  Channel.send ch (stream 6);
+  ignore (Channel.tick ch);
+  check_bool "busy before reset" true (not (Channel.idle ch));
+  Channel.reset ch;
+  check_bool "idle after reset" true (Channel.idle ch);
+  check_int "nothing unacked" 0 (Channel.unacked ch);
+  (* A fresh conversation starts at sequence zero on both sides. *)
+  let records = stream 3 in
+  Channel.send ch records;
+  check_bool "post-reset delivery works" true (Channel.drain ch = records)
+
+let test_channel_rejects_bad_config () =
+  let bad cfg =
+    try
+      ignore (Channel.create ~config:cfg ~rng:(Rng.create 1) ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "loss = 1 rejected" true
+    (bad { Channel.reliable with Channel.loss = 1.0 });
+  check_bool "ack_loss = 1 rejected" true
+    (bad { Channel.reliable with Channel.ack_loss = 1.0 });
+  check_bool "negative prob rejected" true
+    (bad { Channel.reliable with Channel.dup = -0.1 });
+  check_bool "rto 0 rejected" true
+    (bad { Channel.reliable with Channel.rto = 0 });
+  check_bool "backoff < 1 rejected" true
+    (bad { Channel.reliable with Channel.backoff = 0.5 });
+  check_bool "max_rto < rto rejected" true
+    (bad { Channel.reliable with Channel.rto = 8; max_rto = 4 })
+
+let test_channel_deterministic_replay () =
+  let run seed =
+    let ch = Channel.create ~config:Channel.chaos ~rng:(Rng.create seed) () in
+    Channel.send ch (stream 25);
+    let d = Channel.drain ch in
+    (d, Channel.stats ch)
+  in
+  let d1, s1 = run 99 in
+  let d2, s2 = run 99 in
+  check_bool "same deliveries" true (d1 = d2);
+  check_bool "same stats" true (s1 = s2);
+  let _, s3 = run 100 in
+  check_bool "different seed, different schedule" true (s1 <> s3)
+
+(* Any fault configuration (with liveness) delivers exactly the sent
+   sequence, in order — the channel is a reliable FIFO link no matter what
+   the network underneath does. *)
+let prop_channel_is_reliable_fifo =
+  QCheck.Test.make ~name:"channel delivers exactly once, in order" ~count:150
+    QCheck.(pair (int_range 0 10_000) (int_range 0 30))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let config =
+        {
+          Channel.loss = 0.5 *. Rng.float rng;
+          dup = 0.4 *. Rng.float rng;
+          delay = Rng.float rng;
+          max_delay = Rng.uniform rng ~lo:1 ~hi:6;
+          reorder = Rng.float rng;
+          reorder_window = Rng.uniform rng ~lo:1 ~hi:5;
+          ack_loss = 0.5 *. Rng.float rng;
+          rto = Rng.uniform rng ~lo:2 ~hi:6;
+          backoff = 1. +. Rng.float rng;
+          max_rto = Rng.uniform rng ~lo:8 ~hi:32;
+        }
+      in
+      let ch = Channel.create ~config ~rng () in
+      let records = stream n in
+      (* Send in random-sized batches, ticking in between. *)
+      let rec feed acc = function
+        | [] -> acc
+        | rest ->
+          let k = Rng.uniform rng ~lo:1 ~hi:4 in
+          let batch = List.filteri (fun i _ -> i < k) rest in
+          let rest' = List.filteri (fun i _ -> i >= k) rest in
+          Channel.send ch batch;
+          let acc = List.rev_append (Channel.tick ch) acc in
+          feed acc rest'
+      in
+      let acc = feed [] records in
+      let delivered = List.rev_append (Channel.drain ch) acc |> List.rev in
+      delivered = records)
+
+(* --- Embedded system under faults -------------------------------------------- *)
+
+let test_system_pump_under_chaos () =
+  let inj = Injector.create ~config:Channel.chaos ~seed:2024 () in
+  let sys =
+    System.create ~secondaries:2 ~faults:(Injector.faults inj)
+      ~guarantee:Session.Strong_session ()
+  in
+  let c = System.connect sys "writer" in
+  for i = 1 to 30 do
+    match
+      System.update sys c (fun h -> Handle.put h (Printf.sprintf "k%d" (i mod 7))
+                              (string_of_int i))
+    with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unexpected abort"
+  done;
+  System.pump sys;
+  (match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "check failed: %s" (String.concat "; " es));
+  let s = Injector.total inj in
+  check_bool "faults were injected, not disabled" true
+    (s.Channel.dropped > 0 && s.Channel.retransmitted > 0);
+  check_int "both channels attached" 2 (List.length (Injector.channels inj));
+  (* Both replicas converged to the primary's state. *)
+  for i = 0 to 1 do
+    check_bool
+      (Printf.sprintf "secondary %d converged" i)
+      true
+      (Mvcc.committed_state (System.secondary_db sys i)
+      = Mvcc.committed_state (System.primary_db sys))
+  done
+
+(* Crash a secondary mid-refresh — its refresher has consumed a start record
+   whose commit is still in the channel — then recover and prove the system
+   heals. *)
+let test_system_crash_mid_refresh_recovers () =
+  let inj = Injector.create ~config:Channel.reliable ~seed:5 () in
+  let sys =
+    System.create ~secondaries:2 ~faults:(Injector.faults inj)
+      ~guarantee:Session.Strong_session ()
+  in
+  let c = System.connect sys "w" in
+  (match System.update sys c (fun h -> Handle.put h "a" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "abort");
+  (* Split a transaction's start and commit across channel batches by
+     driving the primary directly: start+write, propagate, then commit,
+     so secondary 0's refresher opens a refresh transaction whose commit
+     record it has not seen. *)
+  System.pump sys;
+  let pdb = System.primary_db sys in
+  let txn = Mvcc.begin_txn pdb in
+  Mvcc.write pdb txn "b" (Some "2");
+  ignore (System.propagate sys);
+  ignore (System.refresh_one sys 0);
+  ignore (System.refresh_one sys 0);
+  (* The refresher at secondary 0 is now mid-refresh. Crash it. *)
+  System.crash_secondary sys 0;
+  (match Mvcc.commit pdb txn with
+  | Mvcc.Committed _ -> ()
+  | Mvcc.Aborted _ -> Alcotest.fail "primary commit failed");
+  (match System.update sys c (fun h -> Handle.put h "c" "3") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "abort");
+  System.recover_secondary sys 0;
+  System.pump sys;
+  (match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "check failed: %s" (String.concat "; " es));
+  check_bool "recovered replica converged" true
+    (Mvcc.committed_state (System.secondary_db sys 0)
+    = Mvcc.committed_state (System.primary_db sys));
+  check_bool "untouched replica converged" true
+    (Mvcc.committed_state (System.secondary_db sys 1)
+    = Mvcc.committed_state (System.primary_db sys))
+
+(* --- Recovery from a stale backup + log replay -------------------------------- *)
+
+let update_primary primary writes =
+  match
+    Primary.execute primary (fun db txn ->
+        List.iter (fun (k, v) -> Mvcc.write db txn k v) writes)
+  with
+  | Primary.Committed { commit_ts; _ } -> commit_ts
+  | Primary.Aborted _ -> Alcotest.fail "unexpected primary abort"
+
+let test_recovery_stale_backup_converges () =
+  let primary = Primary.create () in
+  let live = Secondary.create ~name:"live" () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  let feed () =
+    List.iter (Secondary.enqueue live) (Propagation.poll prop);
+    ignore (Secondary.drain live)
+  in
+  ignore (update_primary primary [ ("x", Some "1"); ("y", Some "1") ]);
+  ignore (update_primary primary [ ("x", Some "2") ]);
+  feed ();
+  (* Checkpoint mid-stream, with one transaction still in flight: its start
+     record precedes the backup point, its commit follows it. *)
+  let pdb = Primary.db primary in
+  let inflight = Mvcc.begin_txn pdb in
+  Mvcc.write pdb inflight "z" (Some "9");
+  let b = Recovery.backup primary in
+  (match Mvcc.commit pdb inflight with
+  | Mvcc.Committed _ -> ()
+  | Mvcc.Aborted _ -> Alcotest.fail "in-flight commit failed");
+  (* Post-backup traffic: overwrites, a delete, and an abort. *)
+  ignore (update_primary primary [ ("y", Some "3"); ("w", Some "4") ]);
+  ignore (update_primary primary [ ("x", None) ]);
+  let doomed = Mvcc.begin_txn pdb in
+  Mvcc.write pdb doomed "x" (Some "ghost");
+  Mvcc.abort pdb doomed;
+  feed ();
+  (* The crashed replica rebuilds from the stale backup + full log replay. *)
+  let recovered = Recovery.restore ~name:"recovered" ~primary b in
+  check_bool "state converged to the uncrashed replica" true
+    (Mvcc.committed_state (Secondary.db recovered)
+    = Mvcc.committed_state (Secondary.db live));
+  check_bool "state equals the primary state" true
+    (Mvcc.committed_state (Secondary.db recovered)
+    = Mvcc.committed_state pdb);
+  check_int "seq(DBsec) equals the uncrashed replica's"
+    (Secondary.seq_dbsec live)
+    (Secondary.seq_dbsec recovered);
+  check_int "no replay residue queued" 0
+    (Secondary.update_queue_length recovered)
+
+let test_recovery_without_new_commits_keeps_seq () =
+  let primary = Primary.create () in
+  ignore (update_primary primary [ ("x", Some "1") ]);
+  let b = Recovery.backup primary in
+  let recovered = Recovery.restore ~primary b in
+  check_int "seq stays at the backup point" b.Recovery.ts
+    (Secondary.seq_dbsec recovered);
+  check_bool "state is the backup state" true
+    (Mvcc.committed_state (Secondary.db recovered)
+    = Mvcc.committed_state (Primary.db primary))
+
+let test_recovery_truncated_log_fails_loudly () =
+  let primary = Primary.create () in
+  ignore (update_primary primary [ ("x", Some "1") ]);
+  let b = Recovery.backup primary in
+  ignore (update_primary primary [ ("x", Some "2") ]);
+  Wal.truncate_before (Primary.wal primary) (Wal.length (Primary.wal primary));
+  check_bool "replay over a truncated log raises" true
+    (try
+       ignore (Recovery.restore ~primary b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_replay_filter () =
+  let records =
+    [
+      start_rec 1;
+      commit_rec 1;
+      start_rec 2;
+      Txn_record.Abort_rec { txn = 2; wasted = [] };
+      start_rec 3;
+      commit_rec 3;
+      start_rec 4 (* still in flight: no commit *);
+    ]
+  in
+  let kept = Recovery.replay_filter ~after:1 records in
+  check_bool "only the post-backup committed pair survives" true
+    (kept = [ start_rec 3; commit_rec 3 ])
+
+(* --- Randomized protocol harness ---------------------------------------------- *)
+
+let trials =
+  match Sys.getenv_opt "FAULT_TRIALS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 40)
+  | None -> 40
+
+let dump_history sys =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun txn -> Format.fprintf ppf "  %a@." History.pp_txn txn)
+    (History.transactions (System.history sys));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* One seeded trial: a random guarantee, 2-3 secondaries behind a random
+   hostile channel configuration, a random interleaving of updates, reads,
+   migrations, partial propagation/refresh, and exactly one crash/restart.
+   Afterwards the drained system must pass the full checker battery and the
+   channels must show the faults actually fired. *)
+let run_trial seed =
+  let rng = Rng.create seed in
+  let guarantee =
+    match Rng.uniform rng ~lo:0 ~hi:3 with
+    | 0 -> Session.Weak
+    | 1 -> Session.Prefix_consistent
+    | 2 -> Session.Strong_session
+    | _ -> Session.Strong
+  in
+  let config =
+    {
+      Channel.loss = 0.15 +. (0.25 *. Rng.float rng);
+      dup = 0.3 *. Rng.float rng;
+      delay = 0.5 *. Rng.float rng;
+      max_delay = Rng.uniform rng ~lo:1 ~hi:5;
+      reorder = 0.4 *. Rng.float rng;
+      reorder_window = Rng.uniform rng ~lo:1 ~hi:4;
+      ack_loss = 0.3 *. Rng.float rng;
+      rto = Rng.uniform rng ~lo:2 ~hi:5;
+      backoff = 1.5 +. (0.5 *. Rng.float rng);
+      max_rto = Rng.uniform rng ~lo:12 ~hi:32;
+    }
+  in
+  let secondaries = Rng.uniform rng ~lo:2 ~hi:3 in
+  let inj = Injector.create ~config ~seed:(seed lxor 0xFA17) () in
+  let sys =
+    System.create ~secondaries ~faults:(Injector.faults inj) ~guarantee ()
+  in
+  let nclients = Rng.uniform rng ~lo:2 ~hi:4 in
+  let clients =
+    Array.init nclients (fun i ->
+        ref (System.connect sys (Printf.sprintf "c%d" i)))
+  in
+  let ops = Rng.uniform rng ~lo:35 ~hi:55 in
+  let crash_at = Rng.uniform rng ~lo:8 ~hi:(ops / 2) in
+  let recover_at = crash_at + Rng.uniform rng ~lo:2 ~hi:12 in
+  let victim = ref (-1) in
+  let key () = Printf.sprintf "k%d" (Rng.uniform rng ~lo:0 ~hi:9) in
+  let live_secondary () =
+    let rec pick () =
+      let i = Rng.uniform rng ~lo:0 ~hi:(secondaries - 1) in
+      if System.is_crashed sys i then pick () else i
+    in
+    pick ()
+  in
+  (try
+     for op = 1 to ops do
+       if op = crash_at then begin
+         victim := Rng.uniform rng ~lo:0 ~hi:(secondaries - 1);
+         System.crash_secondary sys !victim
+       end;
+       if op = recover_at then System.recover_secondary sys !victim;
+       let c = clients.(Rng.uniform rng ~lo:0 ~hi:(nclients - 1)) in
+       (* Sessions pinned to a crashed secondary migrate (load balancing /
+          failover), carrying their ordering constraints with them. *)
+       if System.is_crashed sys (System.client_secondary !c) then
+         c := System.migrate sys !c (live_secondary ());
+       (match Rng.uniform rng ~lo:0 ~hi:9 with
+       | 0 | 1 | 2 | 3 ->
+         let k = key () in
+         let forced = Rng.bernoulli rng ~p:0.08 in
+         ignore
+           (System.update sys !c ~force_abort:forced (fun h ->
+                if Rng.bernoulli rng ~p:0.15 then Handle.del h k
+                else Handle.put h k (Printf.sprintf "v%d" op)))
+       | 4 | 5 | 6 | 7 ->
+         ignore (System.read sys !c (fun h -> Handle.get h (key ())))
+       | 8 -> ignore (System.propagate sys)
+       | _ -> ignore (System.refresh_all sys));
+       (* Occasional extra channel ticks, so in-flight traffic advances at a
+          rhythm decoupled from the refresh calls. *)
+       if Rng.bernoulli rng ~p:0.3 then ignore (System.refresh_all sys)
+     done;
+     if !victim >= 0 && System.is_crashed sys !victim then
+       System.recover_secondary sys !victim;
+     System.pump sys
+   with e ->
+     Alcotest.failf "trial seed %d raised %s\nhistory:\n%s" seed
+       (Printexc.to_string e) (dump_history sys));
+  (match System.check sys with
+  | Ok () -> ()
+  | Error es ->
+    Alcotest.failf "trial seed %d failed the checker:\n  %s\nhistory:\n%s" seed
+      (String.concat "\n  " es) (dump_history sys));
+  let s = Injector.total inj in
+  if s.Channel.dropped > 0 && s.Channel.retransmitted = 0 then
+    Alcotest.failf "trial seed %d: %d drops but no retransmissions" seed
+      s.Channel.dropped;
+  s
+
+let test_randomized_protocol () =
+  let base_seed = 0xF5_EED in
+  let total = ref Channel.zero_stats in
+  for i = 0 to trials - 1 do
+    total := Channel.add_stats !total (run_trial (base_seed + i))
+  done;
+  (* Faults must demonstrably have fired across the trial set: a schedule
+     that silently disabled injection would pass every check vacuously. *)
+  check_bool "drops occurred across trials" true (!total.Channel.dropped > 0);
+  check_bool "retransmissions occurred across trials" true
+    (!total.Channel.retransmitted > 0);
+  check_bool "duplicates occurred across trials" true
+    (!total.Channel.duplicated > 0);
+  check_bool "reordering occurred across trials" true
+    (!total.Channel.reordered > 0)
+
+(* --- Suite -------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "lsr_faults"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "reliable fifo" `Quick test_channel_reliable_fifo;
+          Alcotest.test_case "lossy exactly-once in-order" `Quick
+            test_channel_lossy_exactly_once_in_order;
+          Alcotest.test_case "duplicates suppressed" `Quick
+            test_channel_duplicates_suppressed;
+          Alcotest.test_case "reordering restored" `Quick
+            test_channel_reorder_restores_order;
+          Alcotest.test_case "reset" `Quick
+            test_channel_reset_forgets_connection_state;
+          Alcotest.test_case "config validation" `Quick
+            test_channel_rejects_bad_config;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_channel_deterministic_replay;
+          QCheck_alcotest.to_alcotest prop_channel_is_reliable_fifo;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "pump under chaos" `Quick
+            test_system_pump_under_chaos;
+          Alcotest.test_case "crash mid-refresh recovers" `Quick
+            test_system_crash_mid_refresh_recovers;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "stale backup + replay converges" `Quick
+            test_recovery_stale_backup_converges;
+          Alcotest.test_case "no new commits keeps seq" `Quick
+            test_recovery_without_new_commits_keeps_seq;
+          Alcotest.test_case "truncated log fails loudly" `Quick
+            test_recovery_truncated_log_fails_loudly;
+          Alcotest.test_case "replay filter" `Quick test_replay_filter;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "randomized fault schedules (%d trials)" trials)
+            `Slow test_randomized_protocol;
+        ] );
+    ]

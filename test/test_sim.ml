@@ -104,6 +104,76 @@ let test_engine_negative_delay () =
     (Invalid_argument "Engine.schedule: delay must be finite and non-negative")
     (fun () -> ignore (Engine.schedule eng ~delay:(-1.) (fun () -> ())))
 
+(* engine.mli documents that cancelling an event that already fired is a
+   no-op; make the promise executable. *)
+let test_engine_cancel_after_fire () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let h = Engine.schedule eng ~delay:1. (fun () -> incr fired) in
+  Engine.run eng;
+  check_int "fired once" 1 !fired;
+  Engine.cancel eng h;
+  Engine.cancel eng h;
+  check_int "still exactly once" 1 !fired;
+  check_int "no pending after late cancel" 0 (Engine.pending eng);
+  (* The engine remains fully usable: the stale handle poisoned nothing. *)
+  ignore (Engine.schedule eng ~delay:1. (fun () -> incr fired));
+  Engine.run eng;
+  check_int "subsequent events fire" 2 !fired
+
+(* Cancelling an event parked beyond [until] must keep it from ever firing,
+   and resuming the run must not disturb the clock or the queue. *)
+let test_engine_until_cancel_interaction () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule eng ~delay:1. (note "early"));
+  let late = Engine.schedule eng ~delay:5. (note "late") in
+  ignore (Engine.schedule eng ~delay:6. (note "later"));
+  Engine.run ~until:2. eng;
+  check_float "parked at until" 2. (Engine.now eng);
+  check_int "two still pending" 2 (Engine.pending eng);
+  Engine.cancel eng late;
+  check_int "cancel drops the pending count" 1 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "cancelled event never fires" [ "early"; "later" ] (List.rev !log);
+  check_float "clock at the surviving event" 6. (Engine.now eng)
+
+(* [run ~until] with nothing left but cancelled events must not advance the
+   clock past [until], and an event at exactly [until] fires. *)
+let test_engine_until_exact_boundary () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule eng ~delay:3. (fun () -> fired := true));
+  let ghost = Engine.schedule eng ~delay:4. (fun () -> assert false) in
+  Engine.cancel eng ghost;
+  Engine.run ~until:3. eng;
+  check_bool "event at exactly until fires" true !fired;
+  check_float "clock is exactly until" 3. (Engine.now eng);
+  Engine.run eng;
+  check_float "cancelled remnants do not advance the clock" 3. (Engine.now eng)
+
+(* FIFO tie-breaking survives interleaved cancellation and an until-pause:
+   same-instant events fire in scheduling order, with cancelled ones
+   excised. *)
+let test_engine_fifo_ties_with_cancel_and_until () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let handles =
+    List.map
+      (fun i -> (i, Engine.schedule eng ~delay:2. (fun () -> log := i :: !log)))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Engine.cancel eng (List.assoc 1 handles);
+  Engine.cancel eng (List.assoc 3 handles);
+  (* Pausing before the instant must not perturb the tie order. *)
+  Engine.run ~until:1. eng;
+  check_int "all survivors still pending" 3 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "survivors fire in scheduling order" [ 0; 2; 4 ] (List.rev !log)
+
 (* --- Process ------------------------------------------------------------------ *)
 
 let test_process_delay () =
@@ -596,6 +666,14 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "cancel after fire is a no-op" `Quick
+            test_engine_cancel_after_fire;
+          Alcotest.test_case "until + cancel interaction" `Quick
+            test_engine_until_cancel_interaction;
+          Alcotest.test_case "until exact boundary" `Quick
+            test_engine_until_exact_boundary;
+          Alcotest.test_case "fifo ties with cancel and until" `Quick
+            test_engine_fifo_ties_with_cancel_and_until;
         ] );
       ( "process",
         [

@@ -67,8 +67,42 @@ let test_wal_truncate () =
   Alcotest.check_raises "reclaimed entry"
     (Invalid_argument "Wal.entry: offset 2 outside [6, 10)") (fun () ->
       ignore (Wal.entry wal 2));
-  let entries, _ = Wal.read_from wal 0 in
-  check_int "read_from clamps to base" 4 (List.length entries)
+  let entries, _ = Wal.read_from wal 6 in
+  check_int "read_from at the cut sees the suffix" 4 (List.length entries)
+
+(* Satellite coverage for log-reclamation edge cases: a reader below the
+   truncation point must fail loudly, and reading at exactly [length]
+   returns an empty batch with a stable cursor. *)
+let test_wal_read_from_below_truncation_raises () =
+  let wal = Wal.create () in
+  for i = 1 to 8 do
+    Wal.append wal (Wal.Start { txn = i; ts = i })
+  done;
+  Wal.truncate_before wal 5;
+  Alcotest.check_raises "below the cut"
+    (Invalid_argument "Wal.read_from: offset 0 below truncation point 5")
+    (fun () -> ignore (Wal.read_from wal 0));
+  Alcotest.check_raises "just below the cut"
+    (Invalid_argument "Wal.read_from: offset 4 below truncation point 5")
+    (fun () -> ignore (Wal.read_from wal 4));
+  (* At or above the cut still works. *)
+  let entries, next = Wal.read_from wal 5 in
+  check_int "suffix length" 3 (List.length entries);
+  check_int "cursor" 8 next
+
+let test_wal_read_from_at_length () =
+  let wal = Wal.create () in
+  for i = 1 to 3 do
+    Wal.append wal (Wal.Start { txn = i; ts = i })
+  done;
+  let entries, next = Wal.read_from wal (Wal.length wal) in
+  check_int "no entries at the head" 0 (List.length entries);
+  check_int "cursor stays at length" (Wal.length wal) next;
+  (* Still true when the whole log has been reclaimed. *)
+  Wal.truncate_before wal (Wal.length wal);
+  let entries, next = Wal.read_from wal (Wal.length wal) in
+  check_int "no entries after full truncation" 0 (List.length entries);
+  check_int "cursor stable after full truncation" (Wal.length wal) next
 
 (* Truncation never changes what remains readable above the cut. *)
 let prop_wal_truncate_preserves_suffix =
@@ -819,6 +853,10 @@ let () =
           Alcotest.test_case "append/read" `Quick test_wal_append_read;
           Alcotest.test_case "entry bounds" `Quick test_wal_entry_bounds;
           Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          Alcotest.test_case "read_from below truncation raises" `Quick
+            test_wal_read_from_below_truncation_raises;
+          Alcotest.test_case "read_from at length" `Quick
+            test_wal_read_from_at_length;
           QCheck_alcotest.to_alcotest prop_wal_truncate_preserves_suffix;
           Alcotest.test_case "pp entries" `Quick test_wal_pp_entries;
           Alcotest.test_case "row pp" `Quick test_row_pp;
