@@ -7,8 +7,10 @@
    for a shape-preserving fast pass. *)
 
 open Lsr_experiments
+module Obs = Lsr_obs.Obs
+module Obs_json = Lsr_obs.Json
 
-let opts ~quick ~seed ~verbose =
+let opts ~quick ~seed ~verbose ~obs =
   {
     Figures.quick;
     seed;
@@ -16,6 +18,7 @@ let opts ~quick ~seed ~verbose =
       (if verbose then fun msg -> Printf.eprintf "  [run] %s\n%!" msg
        else ignore);
     base_params = None;
+    obs;
   }
 
 let emit ~csv figure =
@@ -61,7 +64,7 @@ let run_ablations opts ~csv ~wanted =
    the performance numbers: the protocol must keep its guarantees (check
    errors = 0) while the retransmission layer pays for the faults in
    staleness and queue depth. *)
-let run_faults ~quick ~seed =
+let run_faults ~quick ~seed ~obs =
   let open Lsr_workload in
   let params =
     {
@@ -87,6 +90,7 @@ let run_faults ~quick ~seed =
             (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
             Sim_system.record_history = true;
             faults;
+            obs;
           }
         in
         let o = Sim_system.run cfg in
@@ -110,6 +114,36 @@ let run_faults ~quick ~seed =
         "max queue"; "check errs";
       ]
     rows
+
+(* --- Smoke run (CI observability check) ------------------------------------- *)
+
+(* A deliberately tiny deterministic run whose only purpose is to exercise
+   the whole observability pipeline: every span phase fires, the counters
+   move, and --trace/--metrics produce loadable files in a couple of
+   seconds. Used by the `runtest` smoke rule. *)
+let run_smoke ~seed ~obs =
+  let open Lsr_workload in
+  let params =
+    {
+      Params.default with
+      Params.num_secondaries = 2;
+      clients_per_secondary = 3;
+      warmup = 5.;
+      duration = 60.;
+    }
+  in
+  let cfg =
+    {
+      (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
+      Sim_system.obs;
+    }
+  in
+  let o = Sim_system.run cfg in
+  Printf.printf
+    "smoke: tput=%.2f reads=%d updates=%d refresh_commits=%d events=%d\n%!"
+    o.Sim_system.throughput_fast o.Sim_system.reads_completed
+    o.Sim_system.updates_completed o.Sim_system.refresh_commits
+    (Obs.event_count obs)
 
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
@@ -299,6 +333,19 @@ let verbose_arg =
   let doc = "Print per-run progress to stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the simulation's virtual-time \
+     spans to $(docv) (load it in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write aggregated counters, gauges and histograms as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let all_targets =
   [
     "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
@@ -306,15 +353,16 @@ let all_targets =
     "ablate-delay"; "micro";
   ]
 
-(* Runnable explicitly but excluded from `all` (extension studies). *)
-let extra_targets = [ "ablate-contention"; "faults" ]
+(* Runnable explicitly but excluded from `all` (extension studies and the
+   CI observability smoke run). *)
+let extra_targets = [ "ablate-contention"; "faults"; "smoke" ]
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
-     from all): ablate-contention, faults."
+     from all): ablate-contention, faults, smoke."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -326,7 +374,18 @@ let expand target =
     [ "ablate-propagation"; "ablate-applicators"; "ablate-pcsi"; "ablate-delay" ]
   | t -> [ t ]
 
-let main quick seed csv verbose targets =
+(* Write and immediately re-parse an exported JSON file: a smoke-level
+   guarantee that what we ship is loadable, at zero dependency cost. *)
+let export what write file =
+  write ~file;
+  match Obs_json.parse (In_channel.with_open_bin file In_channel.input_all) with
+  | Ok _ -> Printf.printf "(%s written to %s)\n%!" what file
+  | Error e ->
+    Printf.eprintf "internal error: %s file %s is invalid JSON: %s\n%!" what
+      file e;
+    exit 2
+
+let main quick seed csv verbose trace metrics targets =
   let wanted = List.concat_map expand targets in
   let unknown =
     List.filter
@@ -336,7 +395,10 @@ let main quick seed csv verbose targets =
   match unknown with
   | t :: _ -> `Error (false, Printf.sprintf "unknown target %S" t)
   | [] ->
-    let opts = opts ~quick ~seed ~verbose in
+    let obs =
+      if trace <> None || metrics <> None then Obs.create () else Obs.null
+    in
+    let opts = opts ~quick ~seed ~verbose ~obs in
     Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
       (if quick then "quick" else "paper-scale")
       seed;
@@ -347,8 +409,11 @@ let main quick seed csv verbose targets =
       run_fig567 opts ~csv ~wanted;
     if List.mem "fig8" wanted then run_fig8 opts ~csv;
     run_ablations opts ~csv ~wanted;
-    if List.mem "faults" wanted then run_faults ~quick ~seed;
+    if List.mem "faults" wanted then run_faults ~quick ~seed ~obs;
+    if List.mem "smoke" wanted then run_smoke ~seed ~obs;
     if List.mem "micro" wanted then run_micro ();
+    Option.iter (export "trace" (Obs.write_trace obs)) trace;
+    Option.iter (export "metrics" (Obs.write_metrics obs)) metrics;
     `Ok ()
 
 let cmd =
@@ -359,6 +424,8 @@ let cmd =
   let info = Cmd.info "lsr-bench" ~doc in
   Cmd.v info
     Term.(
-      ret (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ targets_arg))
+      ret
+        (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ trace_arg
+       $ metrics_arg $ targets_arg))
 
 let () = exit (Cmd.eval cmd)

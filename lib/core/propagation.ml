@@ -7,11 +7,22 @@ type t = {
   (* Per-transaction accumulated updates (newest first), per Algorithm 3.1's
      update lists. *)
   update_lists : (int, Wal.update list) Hashtbl.t;
+  c_polls : Lsr_obs.Obs.counter;
+  c_shipped : Lsr_obs.Obs.counter;
+  g_in_flight : Lsr_obs.Obs.gauge;
 }
 
-let create ?from ?(ship_aborted = false) wal =
+let create ?from ?(ship_aborted = false) ?(obs = Lsr_obs.Obs.null) wal =
   let cursor = match from with Some o -> o | None -> Wal.length wal in
-  { wal; cursor; ship_aborted; update_lists = Hashtbl.create 64 }
+  {
+    wal;
+    cursor;
+    ship_aborted;
+    update_lists = Hashtbl.create 64;
+    c_polls = Lsr_obs.Obs.counter obs "propagation.polls";
+    c_shipped = Lsr_obs.Obs.counter obs "propagation.records_shipped";
+    g_in_flight = Lsr_obs.Obs.gauge obs "propagation.in_flight";
+  }
 
 let record_of_entry t entry =
   match entry with
@@ -58,7 +69,12 @@ let record_of_entry t entry =
 let poll t =
   let entries, next = Wal.read_from t.wal t.cursor in
   t.cursor <- next;
-  List.filter_map (record_of_entry t) entries
+  let records = List.filter_map (record_of_entry t) entries in
+  Lsr_obs.Obs.incr t.c_polls;
+  Lsr_obs.Obs.incr t.c_shipped ~by:(List.length records);
+  Lsr_obs.Obs.set_gauge t.g_in_flight
+    (float_of_int (Hashtbl.length t.update_lists));
+  records
 
 let position t = t.cursor
 let in_flight t = Hashtbl.length t.update_lists

@@ -17,8 +17,10 @@ type t
     the whole log (e.g. when attaching a fresh secondary). [ship_aborted]
     (default false) attaches aborted transactions' update lists to their
     abort records — the "simple method" of §3.2 whose wasted secondary work
-    the ablation benchmarks quantify. *)
-val create : ?from:int -> ?ship_aborted:bool -> Wal.t -> t
+    the ablation benchmarks quantify. [obs] receives the counters
+    [propagation.polls] / [propagation.records_shipped] and the
+    [propagation.in_flight] gauge. *)
+val create : ?from:int -> ?ship_aborted:bool -> ?obs:Lsr_obs.Obs.t -> Wal.t -> t
 
 (** [poll t] consumes the log entries appended since the last poll and
     returns the records to broadcast, in order. *)

@@ -21,9 +21,18 @@ type t = {
   (* Primary txn id -> open refresh transaction (started, not yet dispatched
      to an applicator). *)
   refresh_txns : (int, Mvcc.txn) Hashtbl.t;
-  mutable applicators : applicator list;
+  (* Dispatched, not yet committed, in dispatch order. Commits always remove
+     the front (pending-queue order is dispatch order), so a queue keeps
+     dispatch O(1) where a list append made long refresh backlogs O(n²). *)
+  applicators : applicator Queue.t;
   mutable seq_dbsec : Timestamp.t;
   on_refresh_commit : Timestamp.t -> unit;
+  (* Observability (no-ops unless an enabled registry is supplied). *)
+  c_started : Lsr_obs.Obs.counter;
+  c_committed : Lsr_obs.Obs.counter;
+  c_aborted : Lsr_obs.Obs.counter;
+  g_update_queue : Lsr_obs.Obs.gauge;
+  g_pending : Lsr_obs.Obs.gauge;
 }
 
 type refresher_outcome =
@@ -33,25 +42,38 @@ type refresher_outcome =
   | Blocked_on_pending
   | Idle
 
-let make db on_refresh_commit =
+let make ~name ~obs db on_refresh_commit =
+  let module Obs = Lsr_obs.Obs in
+  let inst fmt suffix = Printf.sprintf fmt name suffix in
   {
     db;
     update_queue = Queue.create ();
     pending = Queue.create ();
     refresh_txns = Hashtbl.create 32;
-    applicators = [];
+    applicators = Queue.create ();
     seq_dbsec = Timestamp.zero;
     on_refresh_commit;
+    c_started = Obs.counter obs (inst "%s.refresh_%s" "started");
+    c_committed = Obs.counter obs (inst "%s.refresh_%s" "committed");
+    c_aborted = Obs.counter obs (inst "%s.refresh_%s" "aborted");
+    g_update_queue = Obs.gauge obs (inst "%s.%s" "update_queue_depth");
+    g_pending = Obs.gauge obs (inst "%s.%s" "pending_depth");
   }
 
-let create ?(name = "secondary") ?(on_refresh_commit = fun _ -> ()) () =
-  make (Mvcc.create ~name ()) on_refresh_commit
+let create ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
+    ?(on_refresh_commit = fun _ -> ()) () =
+  make ~name ~obs (Mvcc.create ~name ()) on_refresh_commit
 
-let create_from ?(name = "secondary") ?(on_refresh_commit = fun _ -> ()) backup =
-  make (Mvcc.restore ~name backup) on_refresh_commit
+let create_from ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
+    ?(on_refresh_commit = fun _ -> ()) backup =
+  make ~name ~obs (Mvcc.restore ~name backup) on_refresh_commit
 
 let db t = t.db
-let enqueue t record = Queue.add record t.update_queue
+
+let enqueue t record =
+  Queue.add record t.update_queue;
+  Lsr_obs.Obs.set_gauge t.g_update_queue
+    (float_of_int (Queue.length t.update_queue))
 let seq_dbsec t = t.seq_dbsec
 let reseed_seq t ts = t.seq_dbsec <- ts
 
@@ -62,12 +84,17 @@ let refresher_step t =
     if not (Queue.is_empty t.pending) then Blocked_on_pending
     else begin
       ignore (Queue.pop t.update_queue);
+      Lsr_obs.Obs.set_gauge t.g_update_queue
+        (float_of_int (Queue.length t.update_queue));
       let refresh = Mvcc.begin_txn t.db in
       Hashtbl.replace t.refresh_txns txn refresh;
+      Lsr_obs.Obs.incr t.c_started;
       Started txn
     end
   | Some (Txn_record.Commit_rec { txn; commit_ts; updates }) ->
     ignore (Queue.pop t.update_queue);
+    Lsr_obs.Obs.set_gauge t.g_update_queue
+      (float_of_int (Queue.length t.update_queue));
     let refresh =
       match Hashtbl.find_opt t.refresh_txns txn with
       | Some r -> r
@@ -80,18 +107,22 @@ let refresher_step t =
     in
     Hashtbl.remove t.refresh_txns txn;
     Queue.add commit_ts t.pending;
+    Lsr_obs.Obs.set_gauge t.g_pending (float_of_int (Queue.length t.pending));
     let app =
       { primary_txn = txn; commit_ts; refresh; phase = Applying updates }
     in
-    t.applicators <- t.applicators @ [ app ];
+    Queue.add app t.applicators;
     Dispatched app
   | Some (Txn_record.Abort_rec { txn; wasted = _ }) ->
     ignore (Queue.pop t.update_queue);
+    Lsr_obs.Obs.set_gauge t.g_update_queue
+      (float_of_int (Queue.length t.update_queue));
     (match Hashtbl.find_opt t.refresh_txns txn with
     | Some refresh ->
       Hashtbl.remove t.refresh_txns txn;
       Mvcc.abort t.db refresh
     | None -> ());
+    Lsr_obs.Obs.incr t.c_aborted;
     Aborted txn
 
 type applicator_outcome =
@@ -116,10 +147,24 @@ let applicator_step t app =
       match Mvcc.commit t.db app.refresh with
       | Mvcc.Committed _local_ts ->
         ignore (Queue.pop t.pending);
+        Lsr_obs.Obs.set_gauge t.g_pending
+          (float_of_int (Queue.length t.pending));
         app.phase <- Committed_phase;
         t.seq_dbsec <- app.commit_ts;
-        t.applicators <-
-          List.filter (fun a -> a.primary_txn <> app.primary_txn) t.applicators;
+        (* Commits follow the pending queue, whose order is dispatch order,
+           so the committing applicator is the front of the queue. Fall back
+           to a linear rebuild if a future change ever breaks that. *)
+        (match Queue.peek_opt t.applicators with
+        | Some front when front == app -> ignore (Queue.pop t.applicators)
+        | _ ->
+          let keep =
+            Queue.to_seq t.applicators
+            |> Seq.filter (fun a -> a.primary_txn <> app.primary_txn)
+            |> Queue.of_seq
+          in
+          Queue.clear t.applicators;
+          Queue.transfer keep t.applicators);
+        Lsr_obs.Obs.incr t.c_committed;
         t.on_refresh_commit app.commit_ts;
         Committed app.commit_ts
       | Mvcc.Aborted (Mvcc.Write_conflict key) ->
@@ -131,7 +176,7 @@ let applicator_step t app =
 let applicator_txn app = app.primary_txn
 let applicator_commit_ts app = app.commit_ts
 let applicator_local_start app = Mvcc.start_ts app.refresh
-let active_applicators t = t.applicators
+let active_applicators t = List.of_seq (Queue.to_seq t.applicators)
 
 let drain t =
   let committed = ref 0 in
@@ -146,7 +191,7 @@ let drain t =
       | Blocked_on_pending | Idle -> refresher_live := false
     done;
     (* Give every active applicator one full pass. *)
-    let apps = t.applicators in
+    let apps = active_applicators t in
     List.iter
       (fun app ->
         let live = ref true in

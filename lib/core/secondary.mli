@@ -37,15 +37,27 @@ exception Refresh_conflict of { txn : int; key : string }
 (** [create ~name ()] is a fresh secondary with an empty database copy.
     [on_refresh_commit] fires after each refresh transaction commits, with
     the primary commit timestamp just installed (used to wake blocked
-    read-only transactions). *)
-val create : ?name:string -> ?on_refresh_commit:(Timestamp.t -> unit) -> unit -> t
+    read-only transactions). [obs] receives per-site counters and queue-depth
+    gauges named [<name>.refresh_started/committed/aborted],
+    [<name>.update_queue_depth] and [<name>.pending_depth]; the default
+    {!Lsr_obs.Obs.null} makes every bump a no-op. *)
+val create :
+  ?name:string ->
+  ?obs:Lsr_obs.Obs.t ->
+  ?on_refresh_commit:(Timestamp.t -> unit) ->
+  unit ->
+  t
 
 (** [create_from backup] is a secondary whose database copy is restored from
     a serialized primary state ({!Lsr_storage.Mvcc.serialize}) — the §3.4
     recovery path. [seq(DBsec)] still starts at zero; reseed it with
     {!reseed_seq}. *)
 val create_from :
-  ?name:string -> ?on_refresh_commit:(Timestamp.t -> unit) -> string -> t
+  ?name:string ->
+  ?obs:Lsr_obs.Obs.t ->
+  ?on_refresh_commit:(Timestamp.t -> unit) ->
+  string ->
+  t
 
 (** The local database copy. *)
 val db : t -> Mvcc.t

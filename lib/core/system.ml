@@ -23,30 +23,39 @@ type t = {
   sessions : Session.t;
   history : History.t;
   schema : (string * string list) list;
+  obs : Lsr_obs.Obs.t;
+  c_commits : Lsr_obs.Obs.counter;
+  c_aborts : Lsr_obs.Obs.counter;
+  c_reads : Lsr_obs.Obs.counter;
   mutable next_client : int;
   mutable blocked_reads : int;
 }
 
 type client = { label : string; secondary : int }
 
-let make_slot ?faults i =
+let make_slot ~obs ?faults i =
   {
-    site = Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ();
+    site = Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ~obs ();
     crashed = false;
     clean = true;
     channel = Option.map (fun f -> f i) faults;
   }
 
-let create ?(secondaries = 1) ?(schema = []) ?faults ~guarantee () =
+let create ?(secondaries = 1) ?(schema = []) ?faults
+    ?(obs = Lsr_obs.Obs.null) ~guarantee () =
   if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
   let primary = Primary.create () in
   {
     primary;
-    propagator = Propagation.create ~from:0 (Primary.wal primary);
-    slots = Array.init secondaries (make_slot ?faults);
+    propagator = Propagation.create ~from:0 ~obs (Primary.wal primary);
+    slots = Array.init secondaries (make_slot ~obs ?faults);
     sessions = Session.create guarantee;
     history = History.create ();
     schema;
+    obs;
+    c_commits = Lsr_obs.Obs.counter obs "system.update_commits";
+    c_aborts = Lsr_obs.Obs.counter obs "system.update_aborts";
+    c_reads = Lsr_obs.Obs.counter obs "system.reads";
     next_client = 0;
     blocked_reads = 0;
   }
@@ -168,6 +177,7 @@ let update t client ?force_abort body =
   in
   match Primary.execute t.primary ?force_abort wrapped with
   | Primary.Committed { value; commit_ts; snapshot; writes } ->
+    Lsr_obs.Obs.incr t.c_commits;
     Session.note_update_commit t.sessions ~label:client.label ~commit_ts;
     let finished = History.tick t.history in
     let reads =
@@ -188,6 +198,7 @@ let update t client ?force_abort body =
       };
     Ok value
   | Primary.Aborted reason ->
+    Lsr_obs.Obs.incr t.c_aborts;
     let finished = History.tick t.history in
     let reads =
       match !handle_ref with Some h -> Handle.reads h | None -> []
@@ -211,6 +222,7 @@ let run_read t client body =
   let s = slot t client.secondary in
   if s.crashed then
     failwith (Printf.sprintf "secondary %d is down" client.secondary);
+  Lsr_obs.Obs.incr t.c_reads;
   let db = Secondary.db s.site in
   let first_op = History.tick t.history in
   let snapshot = Secondary.seq_dbsec s.site in
@@ -282,7 +294,9 @@ let recover_secondary t i =
      serialized backup form... *)
   let backup = Mvcc.serialize (Primary.db t.primary) in
   let fresh =
-    Secondary.create_from ~name:(Printf.sprintf "secondary-%d" i) backup
+    Secondary.create_from
+      ~name:(Printf.sprintf "secondary-%d" i)
+      ~obs:t.obs backup
   in
   (* ... and reinitialize seq(DBsec) from a dummy transaction's view of the
      primary's latest committed state (§4). *)

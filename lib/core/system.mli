@@ -43,10 +43,14 @@ type channel = {
     {!Lsr_storage.Table}). [faults], when given, is called once per
     secondary index to attach a fault-injection {!channel} between the
     propagator and that site; omitted, propagation is the paper's reliable
-    FIFO channel and behaviour is unchanged. *)
+    FIFO channel and behaviour is unchanged. [obs], when given an enabled
+    registry, is threaded to the propagator and every secondary and receives
+    the system counters [system.update_commits] / [system.update_aborts] /
+    [system.reads]; the default {!Lsr_obs.Obs.null} costs nothing. *)
 val create :
   ?secondaries:int -> ?schema:(string * string list) list ->
   ?faults:(int -> channel) ->
+  ?obs:Lsr_obs.Obs.t ->
   guarantee:Session.guarantee -> unit -> t
 
 val guarantee : t -> Session.guarantee

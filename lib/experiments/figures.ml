@@ -26,10 +26,17 @@ type run_opts = {
   seed : int;
   progress : string -> unit;
   base_params : Params.t option;
+  obs : Lsr_obs.Obs.t;
 }
 
 let default_opts =
-  { quick = false; seed = 20060912; progress = ignore; base_params = None }
+  {
+    quick = false;
+    seed = 20060912;
+    progress = ignore;
+    base_params = None;
+    obs = Lsr_obs.Obs.null;
+  }
 
 let algorithms = [ Session.Strong_session; Session.Weak; Session.Strong ]
 
@@ -46,7 +53,11 @@ let replicate opts ~tag (cfg : Sim_system.config) =
   let reps = cfg.Sim_system.params.Params.replications in
   List.init reps (fun i ->
       let seeded =
-        { cfg with Sim_system.seed = opts.seed + (1000 * i) + Hashtbl.hash tag }
+        {
+          cfg with
+          Sim_system.seed = opts.seed + (1000 * i) + Hashtbl.hash tag;
+          obs = opts.obs;
+        }
       in
       let outcome = Sim_system.run seeded in
       opts.progress

@@ -38,6 +38,10 @@ type run_opts = {
   seed : int;
   progress : string -> unit;
   base_params : Lsr_workload.Params.t option;
+  obs : Lsr_obs.Obs.t;
+      (** attached to every simulation run of the sweep; counters and
+          histograms then aggregate across all runs of the sweep. Default
+          {!Lsr_obs.Obs.null}. *)
 }
 
 val default_opts : run_opts

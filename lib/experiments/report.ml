@@ -46,6 +46,9 @@ let print_figure figure = Printf.printf "\n%s\n%!" (render_figure figure)
 
 let csv_of_figure (figure : Figures.figure) =
   let xs = xs_of figure in
+  (* Empty cell rather than "inf"/"nan": keeps the CSV loadable by strict
+     parsers when a series had no samples. *)
+  let num f = if Float.is_finite f then Printf.sprintf "%g" f else "" in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf figure.Figures.xlabel;
   List.iter
@@ -56,14 +59,15 @@ let csv_of_figure (figure : Figures.figure) =
   Buffer.add_char buf '\n';
   List.iter
     (fun x ->
-      Buffer.add_string buf (Printf.sprintf "%g" x);
+      Buffer.add_string buf (num x);
       List.iter
         (fun s ->
           match point_for s x with
           | Some p ->
             Buffer.add_string buf
-              (Printf.sprintf ",%g,%g" p.Figures.interval.Confidence.mean
-                 p.Figures.interval.Confidence.half_width)
+              (Printf.sprintf ",%s,%s"
+                 (num p.Figures.interval.Confidence.mean)
+                 (num p.Figures.interval.Confidence.half_width))
           | None -> Buffer.add_string buf ",,")
         figure.Figures.series;
       Buffer.add_char buf '\n')

@@ -2,6 +2,7 @@ open Lsr_sim
 open Lsr_storage
 open Lsr_core
 open Lsr_workload
+module Obs = Lsr_obs.Obs
 
 type config = {
   params : Params.t;
@@ -13,6 +14,7 @@ type config = {
   migrate_prob : float;
   faults : Lsr_faults.Channel.config option;
   fault_tick : float;
+  obs : Obs.t;
 }
 
 let config params guarantee ~seed =
@@ -26,6 +28,7 @@ let config params guarantee ~seed =
     migrate_prob = 0.;
     faults = None;
     fault_tick = 1.0;
+    obs = Obs.null;
   }
 
 type outcome = {
@@ -61,7 +64,36 @@ type sec_site = {
   session_cond : Condition.t;  (* signalled after each refresh commit *)
   mutable last_delivery : float;  (* keeps jittered deliveries FIFO *)
   chan : Lsr_faults.Channel.t option;  (* faulty transport, when configured *)
+  (* Trace track names, interned once so disabled tracing allocates nothing
+     on the hot path. *)
+  trk_refresher : string;
+  trk_applicators : string;
+  trk_clients : string;
 }
+
+(* Aggregate instruments (the per-site ones live inside Secondary/Channel). *)
+type instruments = {
+  c_refresh_commits : Obs.counter;
+  c_fcw_aborts : Obs.counter;
+  c_forced_aborts : Obs.counter;
+  c_blocked_reads : Obs.counter;
+  h_read_rt : Obs.histogram;
+  h_update_rt : Obs.histogram;
+  h_staleness : Obs.histogram;
+  h_block_wait : Obs.histogram;
+}
+
+let instruments obs =
+  {
+    c_refresh_commits = Obs.counter obs "refresh.commits";
+    c_fcw_aborts = Obs.counter obs "client.fcw_aborts";
+    c_forced_aborts = Obs.counter obs "client.forced_aborts";
+    c_blocked_reads = Obs.counter obs "client.blocked_reads";
+    h_read_rt = Obs.histogram obs "client.read_rt";
+    h_update_rt = Obs.histogram obs "client.update_rt";
+    h_staleness = Obs.histogram obs "refresh.staleness";
+    h_block_wait = Obs.histogram obs "client.block_wait";
+  }
 
 type state = {
   cfg : config;
@@ -72,6 +104,7 @@ type state = {
   sites : sec_site array;
   sessions : Session.t;
   metrics : Metrics.t;
+  ins : instruments;
   history : History.t;  (* used only when cfg.record_history *)
   (* Primary commit timestamp -> virtual commit time, for staleness. *)
   commit_times : (Timestamp.t, float) Hashtbl.t;
@@ -83,15 +116,23 @@ let make_site cfg eng fault_rng index =
   let queue_cond = Condition.create () in
   let pending_cond = Condition.create () in
   let session_cond = Condition.create () in
-  let sec = Secondary.create ~name:(Printf.sprintf "secondary-%d" index) () in
+  let sec =
+    Secondary.create
+      ~name:(Printf.sprintf "secondary-%d" index)
+      ~obs:cfg.obs ()
+  in
   let chan =
     Option.map
       (fun fc ->
-        Lsr_faults.Channel.create ~config:fc ~rng:(Rng.split fault_rng) ())
+        Lsr_faults.Channel.create ~config:fc ~obs:cfg.obs
+          ~rng:(Rng.split fault_rng) ())
       cfg.faults
   in
   { index; sec; res = Resource.create eng ~discipline:Resource.Processor_sharing;
-    queue_cond; pending_cond; session_cond; last_delivery = 0.; chan }
+    queue_cond; pending_cond; session_cond; last_delivery = 0.; chan;
+    trk_refresher = Printf.sprintf "site-%d/refresher" index;
+    trk_applicators = Printf.sprintf "site-%d/applicators" index;
+    trk_clients = Printf.sprintf "site-%d/clients" index }
 
 (* --- Propagator process (Algorithm 3.1 under a 10 s cycle) ---------------- *)
 
@@ -104,7 +145,11 @@ let propagator_process st () =
   let rec cycle () =
     Process.delay p.Params.propagation_delay;
     let records = Propagation.poll st.propagator in
-    if records <> [] then
+    if records <> [] then begin
+      if Obs.enabled st.cfg.obs then
+        Obs.instant st.cfg.obs ~track:"primary/propagator" ~name:"propagate"
+          ~args:[ ("records", string_of_int (List.length records)) ]
+          ~now:(Engine.now st.eng);
       Array.iter
         (fun site ->
           match site.chan with
@@ -127,7 +172,8 @@ let propagator_process st () =
             ignore
               (Engine.schedule st.eng ~delay:(at -. now) (deliver site records))
           end)
-        st.sites;
+        st.sites
+    end;
     cycle ()
   in
   cycle ()
@@ -151,22 +197,47 @@ let channel_process st site ch () =
 
 let run_applicator st site app =
   let p = st.cfg.params in
+  let obs = st.cfg.obs in
+  let span_args () =
+    if Obs.enabled obs then
+      [ ("txn", string_of_int (Secondary.applicator_txn app)) ]
+    else []
+  in
+  (* Two phases traced per applicator: [apply] while updates execute, then
+     [commit-wait] until its timestamp reaches the pending-queue head. *)
+  let cur =
+    ref
+      (Obs.begin_span obs ~track:site.trk_applicators ~name:"apply"
+         ~now:(Engine.now st.eng))
+  in
+  let waiting = ref false in
   let rec go () =
     match Secondary.applicator_step site.sec app with
     | Secondary.Applied _ ->
       Resource.use site.res p.Params.op_service_time;
       go ()
     | Secondary.Waiting_commit ->
+      if not !waiting then begin
+        waiting := true;
+        let now = Engine.now st.eng in
+        Obs.end_span obs !cur ~now ~args:(span_args ());
+        cur := Obs.begin_span obs ~track:site.trk_applicators ~name:"commit-wait" ~now
+      end;
       let mine = Secondary.applicator_commit_ts app in
       Condition.await site.pending_cond (fun () ->
           Secondary.pending_head site.sec = Some mine);
       go ()
     | Secondary.Committed ts ->
       let now = Engine.now st.eng in
-      (match Hashtbl.find_opt st.commit_times ts with
-      | Some committed_at ->
-        Metrics.note_refresh st.metrics ~now ~staleness:(now -. committed_at)
-      | None -> Metrics.note_refresh st.metrics ~now ~staleness:0.);
+      Obs.end_span obs !cur ~now ~args:(span_args ());
+      Obs.incr st.ins.c_refresh_commits;
+      let staleness =
+        match Hashtbl.find_opt st.commit_times ts with
+        | Some committed_at -> now -. committed_at
+        | None -> 0.
+      in
+      Metrics.note_refresh st.metrics ~now ~staleness;
+      Obs.observe st.ins.h_staleness staleness;
       Condition.signal site.pending_cond;
       Condition.signal site.session_cond
     | Secondary.Done -> ()
@@ -175,10 +246,16 @@ let run_applicator st site app =
 
 let refresher_process st site () =
   let p = st.cfg.params in
+  let obs = st.cfg.obs in
   let rec loop () =
     let head = Secondary.peek_update site.sec in
     match Secondary.refresher_step site.sec with
-    | Secondary.Started _ -> loop ()
+    | Secondary.Started txn ->
+      if Obs.enabled obs then
+        Obs.instant obs ~track:site.trk_refresher ~name:"refresh-start"
+          ~args:[ ("txn", string_of_int txn) ]
+          ~now:(Engine.now st.eng);
+      loop ()
     | Secondary.Aborted _ ->
       (* The eager-propagation ablation pays for the aborted transaction's
          updates before discarding them. *)
@@ -230,6 +307,7 @@ let execute_update st rng label spec =
     if Rng.bernoulli rng ~p:p.Params.abort_prob then begin
       Mvcc.abort pdb txn;
       Metrics.note_abort st.metrics ~now:(Engine.now st.eng);
+      Obs.incr st.ins.c_forced_aborts;
       attempt ()
     end
     else begin
@@ -256,9 +334,11 @@ let execute_update st rng label spec =
         (* A real conflict under the first-committer-wins rule (key skew);
            restart like any other abort to maintain the offered load. *)
         Metrics.note_fcw_abort st.metrics ~now:(Engine.now st.eng);
+        Obs.incr st.ins.c_fcw_aborts;
         attempt ()
       | Mvcc.Aborted Mvcc.Forced ->
         Metrics.note_abort st.metrics ~now:(Engine.now st.eng);
+        Obs.incr st.ins.c_forced_aborts;
         attempt ()
     end
   in
@@ -272,9 +352,16 @@ let execute_read st site label spec =
   in
   if not (may_read ()) then begin
     let wait_start = Engine.now st.eng in
+    let sp =
+      Obs.begin_span st.cfg.obs ~track:site.trk_clients ~name:"session-block"
+        ~now:wait_start
+    in
     Condition.await site.session_cond may_read;
-    Metrics.note_block st.metrics ~now:(Engine.now st.eng)
-      ~wait:(Engine.now st.eng -. wait_start)
+    let now = Engine.now st.eng in
+    Obs.end_span st.cfg.obs sp ~now;
+    Obs.incr st.ins.c_blocked_reads;
+    Obs.observe st.ins.h_block_wait (now -. wait_start);
+    Metrics.note_block st.metrics ~now ~wait:(now -. wait_start)
   end;
   let first_op = History.tick st.history in
   let snapshot = Secondary.seq_dbsec site.sec in
@@ -319,6 +406,12 @@ let client_process st site rng () =
     end;
     let spec = Txn_gen.generate p rng in
     let t0 = Engine.now st.eng in
+    let is_update = Txn_gen.is_update spec in
+    let sp =
+      Obs.begin_span st.cfg.obs ~track:site.trk_clients
+        ~name:(if is_update then "update" else "read")
+        ~now:t0
+    in
     (match spec.Txn_gen.kind with
     | Txn_gen.Update -> execute_update st rng !label spec
     | Txn_gen.Read_only ->
@@ -333,8 +426,12 @@ let client_process st site rng () =
       in
       execute_read st site !label spec);
     let now = Engine.now st.eng in
+    Obs.end_span st.cfg.obs sp ~now;
+    Obs.observe
+      (if is_update then st.ins.h_update_rt else st.ins.h_read_rt)
+      (now -. t0);
     Metrics.note_completion st.metrics ~now ~response_time:(now -. t0)
-      ~is_update:(Txn_gen.is_update spec);
+      ~is_update;
     loop ()
   in
   loop ()
@@ -352,13 +449,14 @@ let run cfg =
       primary;
       primary_res = Resource.create eng ~discipline:Resource.Processor_sharing;
       propagator =
-        Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted
+        Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted ~obs:cfg.obs
           (Primary.wal primary);
       sites =
         Array.init p.Params.num_secondaries
           (make_site cfg eng (Rng.create (cfg.seed lxor 0xFA17)));
       sessions = Session.create cfg.guarantee;
       metrics = Metrics.create ~warmup:p.Params.warmup ~cap:p.Params.response_time_cap;
+      ins = instruments cfg.obs;
       history = History.create ();
       commit_times = Hashtbl.create 4096;
       jitter_rng = Rng.create (cfg.seed lxor 0x5EED);

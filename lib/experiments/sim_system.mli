@@ -45,10 +45,20 @@ type config = {
   fault_tick : float;
       (** virtual seconds per channel tick (base one-hop latency; also the
           granularity of retransmission timeouts) *)
+  obs : Lsr_obs.Obs.t;
+      (** observability sink: counters and queue-depth gauges from every
+          layer (propagation, per-site refresh machinery, fault channels),
+          response-time/staleness histograms, and virtual-time spans around
+          each propagator cycle ([propagate]), refresh start
+          ([refresh-start]), applicator phase ([apply], [commit-wait]),
+          session wait ([session-block]) and client transaction. The default
+          {!Lsr_obs.Obs.null} records nothing and costs nothing; attaching
+          an enabled registry never changes simulation outcomes (all
+          timestamps are virtual, no instrument feeds back into the run) *)
 }
 
-(** [config params guarantee ~seed] with ablations off, no recording and no
-    fault injection ([fault_tick] defaults to 1 s). *)
+(** [config params guarantee ~seed] with ablations off, no recording, no
+    fault injection ([fault_tick] defaults to 1 s) and no observability. *)
 val config : Params.t -> Session.guarantee -> seed:int -> config
 
 type outcome = {

@@ -129,6 +129,40 @@ type packet = { arrive : int; pseq : int; precord : Txn_record.t }
 (* Sender-side retransmission state for one unacked message. *)
 type unacked_msg = { msg : message; mutable rto_at : int; mutable cur_rto : int }
 
+(* The same counters, re-exported live through an observability registry.
+   All channels attached to one registry share these instruments (names are
+   interned), so the registry view aggregates across sites; the per-channel
+   [stats] record remains the per-instance view. *)
+type obs_counters = {
+  oc_sent : Lsr_obs.Obs.counter;
+  oc_delivered : Lsr_obs.Obs.counter;
+  oc_dropped : Lsr_obs.Obs.counter;
+  oc_duplicated : Lsr_obs.Obs.counter;
+  oc_delayed : Lsr_obs.Obs.counter;
+  oc_reordered : Lsr_obs.Obs.counter;
+  oc_retransmitted : Lsr_obs.Obs.counter;
+  oc_acks_dropped : Lsr_obs.Obs.counter;
+  oc_stale : Lsr_obs.Obs.counter;
+  oc_flight : Lsr_obs.Obs.gauge;
+  oc_ooo : Lsr_obs.Obs.gauge;
+}
+
+let obs_counters obs =
+  let module Obs = Lsr_obs.Obs in
+  {
+    oc_sent = Obs.counter obs "channel.sent";
+    oc_delivered = Obs.counter obs "channel.delivered";
+    oc_dropped = Obs.counter obs "channel.dropped";
+    oc_duplicated = Obs.counter obs "channel.duplicated";
+    oc_delayed = Obs.counter obs "channel.delayed";
+    oc_reordered = Obs.counter obs "channel.reordered";
+    oc_retransmitted = Obs.counter obs "channel.retransmitted";
+    oc_acks_dropped = Obs.counter obs "channel.acks_dropped";
+    oc_stale = Obs.counter obs "channel.stale_ignored";
+    oc_flight = Obs.gauge obs "channel.in_flight";
+    oc_ooo = Obs.gauge obs "channel.ooo_depth";
+  }
+
 type t = {
   cfg : config;
   rng : Rng.t;
@@ -143,9 +177,10 @@ type t = {
   mutable next_expected : int;
   ooo : (int, Txn_record.t) Hashtbl.t;
   mutable s : stats;
+  oc : obs_counters;
 }
 
-let create ?(config = default) ~rng () =
+let create ?(config = default) ?(obs = Lsr_obs.Obs.null) ~rng () =
   validate config;
   {
     cfg = config;
@@ -158,6 +193,7 @@ let create ?(config = default) ~rng () =
     next_expected = 0;
     ooo = Hashtbl.create 32;
     s = zero_stats;
+    oc = obs_counters obs;
   }
 
 let config t = t.cfg
@@ -171,18 +207,22 @@ let idle t =
 
 (* Put one copy of [msg] on the wire, applying the configured faults. *)
 let transmit t msg =
-  if t.cfg.loss > 0. && Rng.bernoulli t.rng ~p:t.cfg.loss then
-    t.s <- { t.s with dropped = t.s.dropped + 1 }
+  if t.cfg.loss > 0. && Rng.bernoulli t.rng ~p:t.cfg.loss then begin
+    t.s <- { t.s with dropped = t.s.dropped + 1 };
+    Lsr_obs.Obs.incr t.oc.oc_dropped
+  end
   else begin
     let latency = ref 1 in
     if t.cfg.delay > 0. && Rng.bernoulli t.rng ~p:t.cfg.delay then begin
       latency := !latency + Rng.uniform t.rng ~lo:1 ~hi:(max 1 t.cfg.max_delay);
-      t.s <- { t.s with delayed = t.s.delayed + 1 }
+      t.s <- { t.s with delayed = t.s.delayed + 1 };
+      Lsr_obs.Obs.incr t.oc.oc_delayed
     end;
     if t.cfg.reorder > 0. && Rng.bernoulli t.rng ~p:t.cfg.reorder then begin
       latency :=
         !latency + Rng.uniform t.rng ~lo:1 ~hi:(max 1 t.cfg.reorder_window);
-      t.s <- { t.s with reordered = t.s.reordered + 1 }
+      t.s <- { t.s with reordered = t.s.reordered + 1 };
+      Lsr_obs.Obs.incr t.oc.oc_reordered
     end;
     t.flight <-
       { arrive = t.clock + !latency; pseq = msg.seq; precord = msg.record }
@@ -192,9 +232,11 @@ let transmit t msg =
       t.flight <-
         { arrive = t.clock + extra; pseq = msg.seq; precord = msg.record }
         :: t.flight;
-      t.s <- { t.s with duplicated = t.s.duplicated + 1 }
+      t.s <- { t.s with duplicated = t.s.duplicated + 1 };
+      Lsr_obs.Obs.incr t.oc.oc_duplicated
     end;
     let depth = List.length t.flight in
+    Lsr_obs.Obs.set_gauge t.oc.oc_flight (float_of_int depth);
     if depth > t.s.max_flight then t.s <- { t.s with max_flight = depth }
   end
 
@@ -207,6 +249,7 @@ let send t records =
         t.pending
         @ [ { msg; rto_at = t.clock + t.cfg.rto; cur_rto = t.cfg.rto } ];
       t.s <- { t.s with sent = t.s.sent + 1 };
+      Lsr_obs.Obs.incr t.oc.oc_sent;
       transmit t msg)
     records
 
@@ -222,8 +265,10 @@ let tick t =
   in
   List.iter
     (fun p ->
-      if p.pseq < t.next_expected then
-        t.s <- { t.s with stale_ignored = t.s.stale_ignored + 1 }
+      if p.pseq < t.next_expected then begin
+        t.s <- { t.s with stale_ignored = t.s.stale_ignored + 1 };
+        Lsr_obs.Obs.incr t.oc.oc_stale
+      end
       else Hashtbl.replace t.ooo p.pseq p.precord)
     arrived;
   (* Deliver the in-sequence prefix. *)
@@ -238,13 +283,16 @@ let tick t =
     | None -> advancing := false
   done;
   let depth = Hashtbl.length t.ooo in
+  Lsr_obs.Obs.set_gauge t.oc.oc_ooo (float_of_int depth);
   if depth > t.s.max_ooo then t.s <- { t.s with max_ooo = depth };
   (* The receiver acks (cumulatively) whenever data arrives — including stale
      duplicates, which is what lets a lost ack be repaired by the
      retransmission it provokes. *)
   if arrived <> [] then begin
-    if t.cfg.ack_loss > 0. && Rng.bernoulli t.rng ~p:t.cfg.ack_loss then
-      t.s <- { t.s with acks_dropped = t.s.acks_dropped + 1 }
+    if t.cfg.ack_loss > 0. && Rng.bernoulli t.rng ~p:t.cfg.ack_loss then begin
+      t.s <- { t.s with acks_dropped = t.s.acks_dropped + 1 };
+      Lsr_obs.Obs.incr t.oc.oc_acks_dropped
+    end
     else t.ack_flight <- (t.clock + 1, t.next_expected) :: t.ack_flight
   end;
   (* Sender: absorb arrived acks, release acked messages. *)
@@ -269,6 +317,7 @@ let tick t =
     (fun u ->
       if u.rto_at <= t.clock then begin
         t.s <- { t.s with retransmitted = t.s.retransmitted + 1 };
+        Lsr_obs.Obs.incr t.oc.oc_retransmitted;
         transmit t u.msg;
         u.cur_rto <-
           min t.cfg.max_rto
@@ -279,6 +328,7 @@ let tick t =
     t.pending;
   let out = List.rev !delivered in
   t.s <- { t.s with delivered = t.s.delivered + List.length out };
+  Lsr_obs.Obs.incr t.oc.oc_delivered ~by:(List.length out);
   out
 
 let drain ?(max_ticks = 100_000) t =

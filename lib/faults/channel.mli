@@ -73,10 +73,15 @@ val pp_stats : Format.formatter -> stats -> unit
 type t
 
 (** [create ~rng ()] is a fresh channel. Mutates [rng] on every send/tick.
+    [obs], when enabled, receives the same counters live under
+    [channel.sent/delivered/dropped/duplicated/delayed/reordered/
+    retransmitted/acks_dropped/stale_ignored] plus [channel.in_flight] and
+    [channel.ooo_depth] gauges; every channel attached to one registry
+    shares those instruments, so the registry aggregates across sites.
     @raise Invalid_argument on an ill-formed config (probabilities outside
     [0, 1], [loss >= 1.], [ack_loss >= 1.], [rto < 1], [backoff < 1.],
     negative windows). *)
-val create : ?config:config -> rng:Lsr_sim.Rng.t -> unit -> t
+val create : ?config:config -> ?obs:Lsr_obs.Obs.t -> rng:Lsr_sim.Rng.t -> unit -> t
 
 val config : t -> config
 

@@ -1,0 +1,33 @@
+(** A minimal, dependency-free JSON layer for the observability exporters.
+
+    Emission is Buffer-based and deterministic (callers control field order
+    and float formatting); parsing is a small recursive-descent reader used
+    by the smoke targets and tests to validate that emitted trace/metrics
+    files are well-formed. This is not a general-purpose JSON library: no
+    streaming, no unicode escapes beyond [\uXXXX] pass-through on input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [escape buf s] appends [s] to [buf] as a JSON string literal, including
+    the surrounding double quotes. *)
+val escape : Buffer.t -> string -> unit
+
+(** [number f] is the canonical text form used by every exporter ([%.12g],
+    with non-finite values mapped to [null] — JSON has no inf/nan). *)
+val number : float -> string
+
+(** [parse s] reads one JSON value; trailing non-whitespace is an error. *)
+val parse : string -> (t, string) result
+
+(** [member name j] is the value of field [name] when [j] is an object. *)
+val member : string -> t -> t option
+
+(** [to_string j] re-emits a parsed value (object field order preserved);
+    used only by tests for round-tripping. *)
+val to_string : t -> string

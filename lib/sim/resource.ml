@@ -130,11 +130,14 @@ let rr_use t quantum amount =
 let use t amount =
   if not (Float.is_finite amount) || amount < 0. then
     invalid_arg "Resource.use: amount must be finite and non-negative";
-  if amount > 0. then
-    match t.discipline with
-    | Processor_sharing -> ps_use t amount
-    | Fifo -> fifo_use t amount
-    | Round_robin quantum -> rr_use t quantum amount
+  (* Zero-amount jobs still join the discipline: they must wait behind every
+     job already in line, not jump the queue by returning immediately. All
+     three disciplines complete a [remaining = 0.] job in its arrival-order
+     turn without consuming service time. *)
+  match t.discipline with
+  | Processor_sharing -> ps_use t amount
+  | Fifo -> fifo_use t amount
+  | Round_robin quantum -> rr_use t quantum amount
 
 let load t =
   match t.discipline with

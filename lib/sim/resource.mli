@@ -25,7 +25,9 @@ val create : Engine.t -> discipline:discipline -> t
 
 (** [use t amount] consumes [amount] seconds of service, blocking the calling
     process until the job completes under the resource's discipline. Must be
-    called from within a process.
+    called from within a process. A zero [amount] still takes the job through
+    the discipline — it completes in its arrival-order turn, after every job
+    queued ahead of it, rather than bypassing the queue.
     @raise Invalid_argument if [amount] is negative or not finite. *)
 val use : t -> float -> unit
 

@@ -21,8 +21,8 @@ let total t = t.mean *. float_of_int t.n
 let mean t = if t.n = 0 then 0. else t.mean
 let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min t = t.min
-let max t = t.max
+let min t = if t.n = 0 then None else Some t.min
+let max t = if t.n = 0 then None else Some t.max
 
 let clear t =
   t.n <- 0;

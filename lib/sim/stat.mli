@@ -15,8 +15,14 @@ val mean : t -> float
 val variance : t -> float
 
 val stddev : t -> float
-val min : t -> float
-val max : t -> float
+
+(** Smallest / largest recorded sample; [None] while the tally is empty
+    (never the [infinity] / [neg_infinity] sentinels, which would otherwise
+    leak into reports from series that saw no samples). *)
+val min : t -> float option
+
+val max : t -> float option
+
 val clear : t -> unit
 
 (** [merge a b] is a fresh tally equivalent to recording both sample sets. *)

@@ -11,8 +11,10 @@ type interval = {
 }
 
 (** [t_critical ~df] is the two-sided 97.5% Student-t quantile for [df]
-    degrees of freedom (95% confidence), falling back to the normal 1.96 for
-    [df > 30]. @raise Invalid_argument for [df < 1]. *)
+    degrees of freedom (95% confidence): tabulated through [df = 40],
+    linearly interpolated between standard anchors through [df = 120], then
+    decaying smoothly toward the normal 1.96. Strictly decreasing in [df] —
+    no cliff at the table edge. @raise Invalid_argument for [df < 1]. *)
 val t_critical : df:int -> float
 
 (** [of_samples xs] is the 95% confidence interval of the mean of [xs].

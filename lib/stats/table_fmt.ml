@@ -1,8 +1,12 @@
 let float_cell f =
-  let s = Printf.sprintf "%.2f" f in
-  match String.ends_with ~suffix:".00" s with
-  | true -> String.sub s 0 (String.length s - 3)
-  | false -> s
+  (* Non-finite values reach here only from degenerate series (e.g. zero
+     samples); render a readable placeholder instead of "inf"/"nan". *)
+  if not (Float.is_finite f) then "n/a"
+  else
+    let s = Printf.sprintf "%.2f" f in
+    match String.ends_with ~suffix:".00" s with
+    | true -> String.sub s 0 (String.length s - 3)
+    | false -> s
 
 let render ~header rows =
   let columns =

@@ -112,6 +112,57 @@ let test_propagation_squashes_rewrites () =
     | _ -> Alcotest.fail "updates not squashed to last write")
   | _ -> Alcotest.fail "unexpected records"
 
+let test_propagation_squash_keeps_first_write_position () =
+  (* Squashing rewrites of a key keeps the key at its first-write position in
+     the update list while carrying the last-written value — the refresh
+     transaction replays the list verbatim, so both halves matter. *)
+  let primary = Primary.create () in
+  let prop = Propagation.create ~from:0 (Primary.wal primary) in
+  (match
+     Primary.execute primary (fun db txn ->
+         Mvcc.write db txn "x" (Some "first");
+         Mvcc.write db txn "y" (Some "only");
+         Mvcc.write db txn "x" (Some "last"))
+   with
+  | Primary.Committed _ -> ()
+  | Primary.Aborted _ -> Alcotest.fail "abort");
+  match Propagation.poll prop with
+  | [ Txn_record.Start_rec _; Txn_record.Commit_rec { updates; _ } ] ->
+    let pairs = List.map (fun { Wal.key; value } -> (key, value)) updates in
+    Alcotest.(check (list (pair string (option string))))
+      "x stays first with its last value"
+      [ ("x", Some "last"); ("y", Some "only") ]
+      pairs
+  | _ -> Alcotest.fail "unexpected records"
+
+let test_propagation_interleaved_txns_isolated () =
+  (* Two transactions interleaved in the log, writing the same key: each
+     commit record carries exactly its own transaction's updates. *)
+  let wal = Wal.create () in
+  let prop = Propagation.create ~from:0 wal in
+  Wal.append wal (Wal.Start { txn = 1; ts = 1 });
+  Wal.append wal (Wal.Start { txn = 2; ts = 2 });
+  Wal.append wal (Wal.Update { txn = 1; update = { key = "k"; value = Some "from-1" } });
+  Wal.append wal (Wal.Update { txn = 2; update = { key = "k"; value = Some "from-2" } });
+  Wal.append wal (Wal.Update { txn = 1; update = { key = "only-1"; value = Some "a" } });
+  Wal.append wal (Wal.Commit { txn = 1; ts = 3 });
+  Wal.append wal (Wal.Commit { txn = 2; ts = 4 });
+  let commits =
+    List.filter_map
+      (function
+        | Txn_record.Commit_rec { txn; updates; _ } ->
+          Some (txn, List.map (fun { Wal.key; value } -> (key, value)) updates)
+        | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> None)
+      (Propagation.poll prop)
+  in
+  Alcotest.(check (list (pair int (list (pair string (option string))))))
+    "no cross-contamination between interleaved txns"
+    [
+      (1, [ ("k", Some "from-1"); ("only-1", Some "a") ]);
+      (2, [ ("k", Some "from-2") ]);
+    ]
+    commits
+
 let test_propagation_order_is_log_order () =
   let primary = Primary.create () in
   let prop = Propagation.create ~from:0 (Primary.wal primary) in
@@ -311,6 +362,37 @@ let test_on_refresh_commit_callback () =
   List.iter (Secondary.enqueue sec) (records_of primary);
   ignore (Secondary.drain sec);
   Alcotest.(check (list int)) "callback fired with primary ts" [ ts ] !seen
+
+let test_applicator_dispatch_scales () =
+  (* Regression for the O(n^2) applicator bookkeeping (list append on every
+     dispatch, whole-list rebuild on every commit): tens of thousands of
+     transactions all in flight before any commit must drain in linear time.
+     The quadratic version burns minutes here; the budget is generous enough
+     to never flake on a slow machine. *)
+  let n = 50_000 in
+  let sec = Secondary.create () in
+  for i = 1 to n do
+    Secondary.enqueue sec (Txn_record.Start_rec { txn = i; start_ts = i })
+  done;
+  for i = 1 to n do
+    Secondary.enqueue sec
+      (Txn_record.Commit_rec
+         {
+           txn = i;
+           commit_ts = n + i;
+           updates = [ { Wal.key = Printf.sprintf "k%d" i; value = Some "v" } ];
+         })
+  done;
+  let t0 = Sys.time () in
+  let committed = Secondary.drain sec in
+  let elapsed = Sys.time () -. t0 in
+  check_int "all refresh txns committed" n committed;
+  check_int "no applicators left" 0
+    (List.length (Secondary.active_applicators sec));
+  check_int "seq(DBsec) at last primary ts" (2 * n) (Secondary.seq_dbsec sec);
+  check_bool
+    (Printf.sprintf "drained %d applicators in %.2fs cpu (budget 10s)" n elapsed)
+    true (elapsed < 10.)
 
 (* Randomized verification of the §3.1 ordering relationships 1 and 2 at
    the timestamp level (Lemmas 3.1/3.2): for a random mix of concurrent and
@@ -1594,6 +1676,10 @@ let () =
             test_propagation_truncated_log_fails_loudly;
           Alcotest.test_case "squashes rewrites" `Quick
             test_propagation_squashes_rewrites;
+          Alcotest.test_case "squash keeps first-write position" `Quick
+            test_propagation_squash_keeps_first_write_position;
+          Alcotest.test_case "interleaved txns isolated" `Quick
+            test_propagation_interleaved_txns_isolated;
           Alcotest.test_case "log order preserved" `Quick
             test_propagation_order_is_log_order;
           Alcotest.test_case "cursor position" `Quick test_propagation_cursor_position;
@@ -1615,6 +1701,8 @@ let () =
           Alcotest.test_case "reseed seq" `Quick test_reseed_seq;
           Alcotest.test_case "refresh commit callback" `Quick
             test_on_refresh_commit_callback;
+          Alcotest.test_case "applicator dispatch scales" `Slow
+            test_applicator_dispatch_scales;
           Alcotest.test_case "exhaustive interleavings" `Quick
             test_exhaustive_interleavings;
           Alcotest.test_case "pretty printers" `Quick test_pretty_printers;

@@ -275,6 +275,100 @@ let test_report_write_csv () =
   Sys.remove path;
   Sys.rmdir dir
 
+let test_report_nonfinite_clamped () =
+  (* A series with no samples can surface non-finite interval values; tables
+     render them as "n/a" and CSV as empty cells, never "inf"/"nan". *)
+  let broken =
+    {
+      synthetic_figure with
+      Figures.series =
+        [
+          {
+            Figures.label = "empty";
+            points =
+              [
+                {
+                  Figures.x = 1.;
+                  interval =
+                    {
+                      Lsr_stats.Confidence.mean = infinity;
+                      half_width = nan;
+                      n = 0;
+                    };
+                };
+              ];
+          };
+        ];
+    }
+  in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec scan i =
+      i + n <= h && (String.sub haystack i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  let rendered = Report.render_figure broken in
+  check_bool "table clamps to n/a" true (contains "n/a" rendered);
+  check_bool "table has no inf" false (contains "inf" rendered);
+  let csv = Report.csv_of_figure broken in
+  check_bool "csv has no inf" false (contains "inf" csv);
+  check_bool "csv has no nan" false (contains "nan" csv);
+  Alcotest.(check string) "csv row has empty cells" "1,,"
+    (List.nth (String.split_on_char '\n' (String.trim csv)) 1)
+
+(* --- Observability ------------------------------------------------------------ *)
+
+let obs_run ~seed =
+  let obs = Lsr_obs.Obs.create () in
+  let o =
+    Sim_system.run
+      { (Sim_system.config tiny_params Session.Strong_session ~seed) with obs }
+  in
+  (o, obs)
+
+let test_sim_obs_does_not_perturb () =
+  (* Attaching an enabled registry must not change simulation outcomes: the
+     observed run and the blind run are the same run. *)
+  let observed, obs = obs_run ~seed:11 in
+  let blind = run Session.Strong_session in
+  check_bool "same outcome with observation on" true
+    (observed.Sim_system.throughput_fast = blind.Sim_system.throughput_fast
+    && observed.Sim_system.reads_completed = blind.Sim_system.reads_completed
+    && observed.Sim_system.updates_completed
+       = blind.Sim_system.updates_completed
+    && observed.Sim_system.refresh_commits = blind.Sim_system.refresh_commits);
+  check_bool "trace recorded spans" true (Lsr_obs.Obs.event_count obs > 0)
+
+let test_sim_obs_counters_track_outcome () =
+  let o, obs = obs_run ~seed:23 in
+  let count name = Lsr_obs.Obs.count (Lsr_obs.Obs.counter obs name) in
+  (* refresh.commits counts all refresh commits including warmup, so it can
+     only exceed the outcome's measured-window figure. *)
+  check_bool "refresh commits consistent" true
+    (count "refresh.commits" >= o.Sim_system.refresh_commits);
+  check_bool "records were shipped" true
+    (count "propagation.records_shipped" > 0);
+  check_int "fcw aborts agree (uniform keys: none)" o.Sim_system.fcw_aborts
+    (count "client.fcw_aborts")
+
+let test_sim_obs_exports_deterministic () =
+  (* Same seed, fresh registries: metrics and trace exports are
+     byte-identical; a different seed diverges. *)
+  let _, obs_a = obs_run ~seed:11 in
+  let _, obs_b = obs_run ~seed:11 in
+  let _, obs_c = obs_run ~seed:12 in
+  Alcotest.(check string)
+    "metrics bytes identical"
+    (Lsr_obs.Obs.metrics_json obs_a)
+    (Lsr_obs.Obs.metrics_json obs_b);
+  Alcotest.(check string)
+    "trace bytes identical"
+    (Lsr_obs.Obs.trace_json obs_a)
+    (Lsr_obs.Obs.trace_json obs_b);
+  check_bool "different seed, different metrics" true
+    (Lsr_obs.Obs.metrics_json obs_a <> Lsr_obs.Obs.metrics_json obs_c)
+
 let tiny_sweep_params =
   {
     Params.default with
@@ -367,11 +461,22 @@ let () =
             test_sim_contention_fcw_aborts;
           Alcotest.test_case "uniform: no fcw" `Quick test_sim_uniform_has_no_fcw;
         ] );
+      ( "observability",
+        [
+          Alcotest.test_case "does not perturb the run" `Quick
+            test_sim_obs_does_not_perturb;
+          Alcotest.test_case "counters track outcome" `Quick
+            test_sim_obs_counters_track_outcome;
+          Alcotest.test_case "exports byte-deterministic" `Quick
+            test_sim_obs_exports_deterministic;
+        ] );
       ( "report",
         [
           Alcotest.test_case "render" `Quick test_report_render;
           Alcotest.test_case "csv" `Quick test_report_csv;
           Alcotest.test_case "write csv" `Quick test_report_write_csv;
+          Alcotest.test_case "non-finite clamped" `Quick
+            test_report_nonfinite_clamped;
           Alcotest.test_case "params_for" `Quick test_params_for;
           Alcotest.test_case "tiny fig2/3/4 sweep" `Slow test_figures_tiny_fig234;
           Alcotest.test_case "fig5 ideal line" `Slow test_figures_tiny_fig5_ideal_line;

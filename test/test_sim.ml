@@ -363,6 +363,52 @@ let test_resource_fifo () =
   check_float "b queues behind a" 3. (Hashtbl.find finish "b");
   check_float "busy time" 3. (Resource.busy_time res)
 
+let test_resource_zero_amount_queues () =
+  (* A zero-cost job must not jump the queue: it goes through the discipline
+     and completes in its arrival-order turn, behind work already in line
+     (the old short-circuit returned immediately, breaking FIFO). *)
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Fifo in
+  let order = ref [] in
+  let finish = Hashtbl.create 4 in
+  let job name amount =
+    Process.spawn eng (fun () ->
+        Resource.use res amount;
+        order := name :: !order;
+        Hashtbl.replace finish name (Process.now ()))
+  in
+  job "slow" 2.;
+  job "free1" 0.;
+  job "mid" 1.;
+  job "free2" 0.;
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "service strictly in arrival order"
+    [ "slow"; "free1"; "mid"; "free2" ]
+    (List.rev !order);
+  check_float "zero job waits behind predecessor" 2.
+    (Hashtbl.find finish "free1");
+  check_float "second zero job waits for all prior work" 3.
+    (Hashtbl.find finish "free2")
+
+let test_resource_zero_amount_round_robin () =
+  (* Under round robin a zero-cost arrival still waits for the slice in
+     progress instead of completing at once. *)
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:(Resource.Round_robin 0.5) in
+  let finish = Hashtbl.create 4 in
+  let job name amount =
+    Process.spawn eng (fun () ->
+        Resource.use res amount;
+        Hashtbl.replace finish name (Process.now ()))
+  in
+  job "slow" 2.;
+  job "free" 0.;
+  Engine.run eng;
+  check_float "zero job completes after the head's first slice" 0.5
+    (Hashtbl.find finish "free");
+  check_float "slow job unaffected" 2. (Hashtbl.find finish "slow")
+
 let test_resource_ps_equal_share () =
   let eng = Engine.create () in
   let res = Resource.create eng ~discipline:Resource.Processor_sharing in
@@ -600,14 +646,16 @@ let test_stat_basic () =
   check_int "count" 4 (Stat.count s);
   check_float "mean" 2.5 (Stat.mean s);
   Alcotest.(check (float 1e-9)) "variance" (5. /. 3.) (Stat.variance s);
-  check_float "min" 1. (Stat.min s);
-  check_float "max" 4. (Stat.max s);
+  Alcotest.(check (option (float 0.))) "min" (Some 1.) (Stat.min s);
+  Alcotest.(check (option (float 0.))) "max" (Some 4.) (Stat.max s);
   check_float "total" 10. (Stat.total s)
 
 let test_stat_empty () =
   let s = Stat.create () in
   check_float "empty mean" 0. (Stat.mean s);
-  check_float "empty variance" 0. (Stat.variance s)
+  check_float "empty variance" 0. (Stat.variance s);
+  Alcotest.(check (option (float 0.))) "empty min" None (Stat.min s);
+  Alcotest.(check (option (float 0.))) "empty max" None (Stat.max s)
 
 let test_stat_merge () =
   let a = Stat.create () and b = Stat.create () and all = Stat.create () in
@@ -627,7 +675,14 @@ let test_stat_merge_empty () =
   Stat.record b 5.;
   let m = Stat.merge a b in
   check_int "merge with empty" 1 (Stat.count m);
-  check_float "mean preserved" 5. (Stat.mean m)
+  check_float "mean preserved" 5. (Stat.mean m);
+  Alcotest.(check (option (float 0.))) "min not polluted" (Some 5.) (Stat.min m);
+  Alcotest.(check (option (float 0.))) "max not polluted" (Some 5.) (Stat.max m);
+  let both_empty = Stat.merge (Stat.create ()) (Stat.create ()) in
+  Alcotest.(check (option (float 0.)))
+    "empty merge min" None (Stat.min both_empty);
+  Alcotest.(check (option (float 0.)))
+    "empty merge max" None (Stat.max both_empty)
 
 let test_stat_clear () =
   let s = Stat.create () in
@@ -702,6 +757,10 @@ let () =
       ( "resource",
         [
           Alcotest.test_case "fifo discipline" `Quick test_resource_fifo;
+          Alcotest.test_case "zero amount queues (fifo)" `Quick
+            test_resource_zero_amount_queues;
+          Alcotest.test_case "zero amount queues (rr)" `Quick
+            test_resource_zero_amount_round_robin;
           Alcotest.test_case "ps equal share" `Quick test_resource_ps_equal_share;
           Alcotest.test_case "ps late arrival" `Quick test_resource_ps_late_arrival;
           Alcotest.test_case "round robin slices" `Quick test_resource_round_robin;

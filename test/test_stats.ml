@@ -9,7 +9,27 @@ let test_t_critical_values () =
   Alcotest.(check (float 1e-3)) "df=1" 12.706 (Confidence.t_critical ~df:1);
   Alcotest.(check (float 1e-3)) "df=4 (5 runs)" 2.776 (Confidence.t_critical ~df:4);
   Alcotest.(check (float 1e-3)) "df=30" 2.042 (Confidence.t_critical ~df:30);
-  Alcotest.(check (float 1e-3)) "df>30 is normal" 1.96 (Confidence.t_critical ~df:100)
+  Alcotest.(check (float 1e-3)) "df=40" 2.021 (Confidence.t_critical ~df:40);
+  Alcotest.(check (float 1e-3)) "df=60" 2.000 (Confidence.t_critical ~df:60);
+  Alcotest.(check (float 1e-3)) "df=100" 1.984 (Confidence.t_critical ~df:100);
+  Alcotest.(check (float 1e-3)) "df=120" 1.980 (Confidence.t_critical ~df:120);
+  Alcotest.(check (float 1e-3)) "df=10000 ~ normal" 1.96
+    (Confidence.t_critical ~df:10_000)
+
+let test_t_critical_monotone () =
+  (* The quantile decreases in df everywhere — in particular there is no
+     cliff at the dense-table edge (the old code jumped 2.042 -> 1.96 at
+     df = 31) — and stays above the normal 1.96 limit. *)
+  for df = 1 to 1_000 do
+    let here = Confidence.t_critical ~df and next = Confidence.t_critical ~df:(df + 1) in
+    if next > here +. 1e-12 then
+      Alcotest.failf "t_critical increased from df=%d (%.6f) to df=%d (%.6f)"
+        df here (df + 1) next;
+    if df >= 30 && here -. next > 0.005 then
+      Alcotest.failf "cliff of %.4f between df=%d and df=%d" (here -. next) df
+        (df + 1);
+    check_bool "above normal limit" true (here > 1.96)
+  done
 
 let test_t_critical_invalid () =
   Alcotest.check_raises "df=0" (Invalid_argument "Confidence.t_critical: df < 1")
@@ -65,7 +85,11 @@ let test_table_ragged_rows () =
 
 let test_float_cell () =
   Alcotest.(check string) "integral trims" "5" (Table_fmt.float_cell 5.0);
-  Alcotest.(check string) "decimals keep" "5.25" (Table_fmt.float_cell 5.25)
+  Alcotest.(check string) "decimals keep" "5.25" (Table_fmt.float_cell 5.25);
+  Alcotest.(check string) "inf clamped" "n/a" (Table_fmt.float_cell infinity);
+  Alcotest.(check string) "-inf clamped" "n/a"
+    (Table_fmt.float_cell neg_infinity);
+  Alcotest.(check string) "nan clamped" "n/a" (Table_fmt.float_cell nan)
 
 (* --- Histogram ------------------------------------------------------------- *)
 
@@ -121,6 +145,8 @@ let () =
       ( "confidence",
         [
           Alcotest.test_case "t critical values" `Quick test_t_critical_values;
+          Alcotest.test_case "t critical monotone" `Quick
+            test_t_critical_monotone;
           Alcotest.test_case "t critical invalid" `Quick test_t_critical_invalid;
           Alcotest.test_case "interval of known samples" `Quick
             test_interval_of_known_samples;
