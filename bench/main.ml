@@ -145,6 +145,64 @@ let run_smoke ~seed ~obs =
     o.Sim_system.updates_completed o.Sim_system.refresh_commits
     (Obs.event_count obs)
 
+(* --- Static SI-anomaly analysis -------------------------------------------- *)
+
+(* Summarizes the static analyzer's verdict on every built-in template
+   workload — how many dangerous structures and session flags each one has
+   and the weakest guarantee that makes it safe. With --csv DIR the full
+   reports land in DIR/analysis.json (validated by re-parsing, like every
+   other exporter). *)
+let run_analysis ~csv =
+  let reports =
+    List.map
+      (fun (name, templates) ->
+        Lsr_analysis.Analyzer.run ~workload:name templates)
+      (Lsr_analysis.Builtin.workloads ())
+  in
+  let rows =
+    List.map
+      (fun (r : Lsr_analysis.Analyzer.report) ->
+        let open Lsr_analysis in
+        [
+          r.Analyzer.workload;
+          string_of_int (List.length r.Analyzer.sdg.Sdg.templates);
+          string_of_int (List.length r.Analyzer.sdg.Sdg.edges);
+          string_of_int (List.length r.Analyzer.dangerous);
+          string_of_int (List.length r.Analyzer.session_flags);
+          Lsr_core.Session.guarantee_name
+            (Session_pass.needed_guarantee r.Analyzer.session_flags);
+          (if r.Analyzer.dangerous = [] then "serializable under SI"
+           else "write skew possible");
+        ])
+      reports
+  in
+  Lsr_stats.Table_fmt.print
+    ~title:"Static SI-anomaly analysis of the built-in workloads"
+    ~header:
+      [
+        "workload"; "templates"; "edges"; "dangerous"; "session flags";
+        "needs"; "verdict";
+      ]
+    rows;
+  match csv with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let file = Filename.concat dir "analysis.json" in
+    let text =
+      Obs_json.to_string
+        (Obs_json.Arr (List.map Lsr_analysis.Analyzer.to_json reports))
+    in
+    let oc = open_out file in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    (match Obs_json.parse text with
+    | Ok _ -> Printf.printf "(analysis written to %s)\n%!" file
+    | Error e ->
+      Printf.eprintf "internal error: %s is invalid JSON: %s\n%!" file e;
+      exit 2)
+
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
 let micro_tests () =
@@ -355,14 +413,14 @@ let all_targets =
 
 (* Runnable explicitly but excluded from `all` (extension studies and the
    CI observability smoke run). *)
-let extra_targets = [ "ablate-contention"; "faults"; "smoke" ]
+let extra_targets = [ "ablate-contention"; "faults"; "smoke"; "analyze" ]
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
-     from all): ablate-contention, faults, smoke."
+     from all): ablate-contention, faults, smoke, analyze."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -411,6 +469,7 @@ let main quick seed csv verbose trace metrics targets =
     run_ablations opts ~csv ~wanted;
     if List.mem "faults" wanted then run_faults ~quick ~seed ~obs;
     if List.mem "smoke" wanted then run_smoke ~seed ~obs;
+    if List.mem "analyze" wanted then run_analysis ~csv;
     if List.mem "micro" wanted then run_micro ();
     Option.iter (export "trace" (Obs.write_trace obs)) trace;
     Option.iter (export "metrics" (Obs.write_metrics obs)) metrics;

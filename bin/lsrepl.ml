@@ -6,7 +6,9 @@
      guarantee, showing inversions or their prevention;
    - `lsrepl params`    prints the Table 1 parameter set;
    - `lsrepl trace`     runs a small scripted workload and dumps the recorded
-     history with the checker's verdict. *)
+     history with the checker's verdict;
+   - `lsrepl analyze`   statically analyzes transaction-template workloads for
+     SI anomalies (dangerous structures) and session-guarantee needs. *)
 
 open Cmdliner
 open Lsr_core
@@ -268,6 +270,113 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Interactive SQL shell on a replicated system")
     Term.(const sql $ guarantee_arg $ secondaries $ schema)
 
+(* --- analyze --------------------------------------------------------------------- *)
+
+let analyze guarantee workload_names json_file allowlist_file =
+  let all = Lsr_analysis.Builtin.workloads () in
+  let selected =
+    match workload_names with
+    | [] -> all
+    | names ->
+      List.map
+        (fun name ->
+          match Lsr_analysis.Builtin.find name with
+          | Some ts -> (name, ts)
+          | None ->
+            failwith
+              (Printf.sprintf "unknown workload %S (have: %s)" name
+                 (String.concat ", " (List.map fst all))))
+        names
+  in
+  let reports =
+    List.map
+      (fun (name, templates) ->
+        Lsr_analysis.Analyzer.run ~guarantee ~workload:name templates)
+      selected
+  in
+  List.iteri
+    (fun i r ->
+      if i > 0 then print_newline ();
+      print_string (Lsr_analysis.Analyzer.render r))
+    reports;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    let json =
+      Lsr_obs.Json.Arr (List.map Lsr_analysis.Analyzer.to_json reports)
+    in
+    let text = Lsr_obs.Json.to_string json in
+    let oc = open_out file in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    (* Re-parse what we wrote: the exporter contract used across the repo. *)
+    (match Lsr_obs.Json.parse text with
+    | Ok _ -> Printf.printf "\nreport written to %s\n" file
+    | Error e -> failwith (Printf.sprintf "emitted invalid JSON (%s)" e)));
+  match allowlist_file with
+  | None -> ()
+  | Some file ->
+    let allowed =
+      In_channel.with_open_text file In_channel.input_lines
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    in
+    let ids = List.concat_map Lsr_analysis.Analyzer.dangerous_ids reports in
+    let unexplained = List.filter (fun id -> not (List.mem id allowed)) ids in
+    let stale = List.filter (fun id -> not (List.mem id ids)) allowed in
+    List.iter
+      (fun id -> Printf.printf "note: allowlist entry %s no longer reported\n" id)
+      stale;
+    if unexplained = [] then
+      Printf.printf "\nallowlist: all %d dangerous structure(s) explained\n"
+        (List.length ids)
+    else begin
+      print_newline ();
+      List.iter
+        (fun id -> Printf.printf "UNEXPLAINED dangerous structure: %s\n" id)
+        unexplained;
+      Printf.printf
+        "%d dangerous structure(s) not covered by %s — review the report \
+         above and either fix the workload or allowlist them\n"
+        (List.length unexplained) file;
+      exit 1
+    end
+
+let analyze_cmd =
+  let guarantee =
+    (* The analysis baseline is plain weak SI — the point is to show which
+       flags a stronger guarantee would prevent. *)
+    let doc = "Guarantee to judge session flags against (default weak)." in
+    Arg.(value & opt guarantee_conv Session.Weak & info [ "guarantee"; "g" ] ~doc)
+  in
+  let workloads =
+    let doc =
+      "Built-in workloads to analyze (default: all). Known: tpcw, \
+       write_skew, disjoint, txn_gen."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let allowlist_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "File of known-benign dangerous-structure ids (one per line, # \
+             comments). Exit 1 if the analysis reports any id not listed.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically analyze template workloads for SI anomalies")
+    Term.(const analyze $ guarantee $ workloads $ json_file $ allowlist_file)
+
 (* --- trace ----------------------------------------------------------------------- *)
 
 let trace guarantee seed steps =
@@ -318,4 +427,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ simulate_cmd; demo_cmd; params_cmd; trace_cmd; sql_cmd ]))
+       (Cmd.group info
+          [ simulate_cmd; demo_cmd; params_cmd; trace_cmd; sql_cmd; analyze_cmd ]))

@@ -1,0 +1,138 @@
+open Lsr_core
+
+type report = {
+  workload : string;
+  guarantee : Session.guarantee;
+  sdg : Sdg.t;
+  dangerous : Sdg.dangerous list;
+  session_flags : Session_pass.flag list;
+  unprevented : Session_pass.flag list;
+}
+
+let run ?(guarantee = Session.Weak) ~workload templates =
+  let sdg = Sdg.build templates in
+  let dangerous = Sdg.dangerous_structures sdg in
+  let session_flags = Session_pass.analyze sdg in
+  let unprevented = Session_pass.unprevented guarantee session_flags in
+  { workload; guarantee; sdg; dangerous; session_flags; unprevented }
+
+let covers report names =
+  Sdg.dangerous_structures (Sdg.restrict report.sdg names) <> []
+
+let dangerous_ids report =
+  List.map
+    (fun d -> Printf.sprintf "%s:%s" report.workload (Sdg.dangerous_id d))
+    report.dangerous
+
+let render report =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "== workload %s (analyzed at %s) ==" report.workload
+    (Session.guarantee_name report.guarantee);
+  line "templates (%d):" (List.length report.sdg.Sdg.templates);
+  List.iter
+    (fun (t : Template.t) -> line "  %s" (Format.asprintf "%a" Template.pp t))
+    report.sdg.Sdg.templates;
+  line "static dependency graph (%d edges):"
+    (List.length report.sdg.Sdg.edges);
+  List.iter
+    (fun e -> line "  %s" (Format.asprintf "%a" Sdg.pp_edge e))
+    report.sdg.Sdg.edges;
+  (match report.dangerous with
+  | [] ->
+    line
+      "dangerous structures: none — every history of this workload is \
+       serializable under SI"
+  | ds ->
+    line "dangerous structures: %d" (List.length ds);
+    List.iter (fun d -> line "%s" (Sdg.explain d)) ds);
+  (match report.session_flags with
+  | [] -> line "session-guarantee pass: no observable inversions"
+  | flags ->
+    line "session-guarantee pass: %d potential inversion(s); weakest safe \
+          guarantee: %s"
+      (List.length flags)
+      (Session.guarantee_name (Session_pass.needed_guarantee flags));
+    List.iter
+      (fun f -> line "  %s" (Format.asprintf "%a" Session_pass.pp_flag f))
+      flags;
+    match report.unprevented with
+    | [] ->
+      line "  all prevented at %s" (Session.guarantee_name report.guarantee)
+    | u ->
+      line "  UNPREVENTED at %s: %d" (Session.guarantee_name report.guarantee)
+        (List.length u));
+  Buffer.contents b
+
+let region_json = function
+  | Symbolic.Exact (Symbolic.Const k) ->
+    Lsr_obs.Json.Obj [ ("exact", Lsr_obs.Json.Str k) ]
+  | Symbolic.Exact (Symbolic.Param p) ->
+    Lsr_obs.Json.Obj [ ("param", Lsr_obs.Json.Str p) ]
+  | Symbolic.Range c ->
+    Lsr_obs.Json.Obj
+      [ ("range", Lsr_obs.Json.Str (Format.asprintf "%a" Lsr_sql.Ast.pp_cond c)) ]
+  | Symbolic.Scan -> Lsr_obs.Json.Str "scan"
+
+let access_json (a : Symbolic.access) =
+  Lsr_obs.Json.Obj
+    [
+      ("table", Lsr_obs.Json.Str a.Symbolic.table);
+      ("region", region_json a.Symbolic.region);
+    ]
+
+let to_json report =
+  let open Lsr_obs.Json in
+  let template_json (t : Template.t) =
+    Obj
+      [
+        ("name", Str t.name);
+        ("read_only", Bool t.read_only);
+        ("reads", Arr (List.map access_json t.footprint.Symbolic.reads));
+        ("writes", Arr (List.map access_json t.footprint.Symbolic.writes));
+      ]
+  in
+  let edge_json (e : Sdg.edge) =
+    Obj
+      [
+        ("src", Str e.Sdg.src);
+        ("dst", Str e.Sdg.dst);
+        ("dep", Str (Sdg.dep_name e.Sdg.dep));
+        ("vulnerable", Bool e.Sdg.vulnerable);
+        ("src_access", access_json e.Sdg.src_access);
+        ("dst_access", access_json e.Sdg.dst_access);
+      ]
+  in
+  let dangerous_json d =
+    Obj
+      [
+        ("id", Str (Sdg.dangerous_id d));
+        ( "closing",
+          Arr (List.map (fun n -> Str n) d.Sdg.closing) );
+        ("explanation", Str (Sdg.explain d));
+      ]
+  in
+  let flag_json (f : Session_pass.flag) =
+    Obj
+      [
+        ("kind", Str (Session_pass.kind_name f.Session_pass.kind));
+        ("earlier", Str f.Session_pass.earlier);
+        ("later", Str f.Session_pass.later);
+        ("needs", Str (Session.guarantee_name f.Session_pass.needs));
+        ("witness", Str f.Session_pass.witness);
+      ]
+  in
+  Obj
+    [
+      ("workload", Str report.workload);
+      ("guarantee", Str (Session.guarantee_name report.guarantee));
+      ("templates", Arr (List.map template_json report.sdg.Sdg.templates));
+      ("edges", Arr (List.map edge_json report.sdg.Sdg.edges));
+      ("dangerous", Arr (List.map dangerous_json report.dangerous));
+      ("session_flags", Arr (List.map flag_json report.session_flags));
+      ( "needed_guarantee",
+        Str
+          (Session.guarantee_name
+             (Session_pass.needed_guarantee report.session_flags)) );
+      ("unprevented", Num (float_of_int (List.length report.unprevented)));
+    ]

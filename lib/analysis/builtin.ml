@@ -1,0 +1,64 @@
+let t = Template.of_sql_exn
+
+(* TPC-W-derived bookstore interactions (the paper's evaluation workload,
+   §6, reduced to this SQL subset). Parameters are ':name' literals. *)
+let tpcw () =
+  [
+    t ~name:"product_detail" [ "SELECT * FROM books WHERE pk = ':item'" ];
+    t ~name:"search_by_genre"
+      [ "SELECT title, price FROM books WHERE genre = ':genre' ORDER BY sales DESC LIMIT 50" ];
+    t ~name:"best_sellers"
+      [ "SELECT * FROM books ORDER BY sales DESC LIMIT 10" ];
+    t ~name:"order_status" [ "SELECT * FROM orders WHERE customer = ':cust'" ];
+    t ~name:"buy_confirm"
+      [
+        "SELECT stock FROM books WHERE pk = ':item'";
+        "UPDATE books SET stock = ':new_stock' WHERE pk = ':item'";
+        "INSERT INTO orders (pk, customer, item, status) VALUES (':order', ':cust', ':item', 'placed')";
+      ];
+    t ~name:"admin_restock" [ "UPDATE books SET stock = ':qty' WHERE pk = ':item'" ];
+    t ~name:"admin_reprice_genre"
+      [ "UPDATE books SET price = ':price' WHERE genre = ':genre'" ];
+  ]
+
+(* The textbook write-skew pair (Fekete's on-call doctors): each reads both
+   rows, each writes one; under SI both can commit on the same snapshot and
+   break the "at least one on call" invariant. *)
+let write_skew () =
+  [
+    t ~name:"check_then_sign_off_x"
+      [
+        "SELECT on_call FROM duty WHERE pk = 'x'";
+        "SELECT on_call FROM duty WHERE pk = 'y'";
+        "UPDATE duty SET on_call = FALSE WHERE pk = 'x'";
+      ];
+    t ~name:"check_then_sign_off_y"
+      [
+        "SELECT on_call FROM duty WHERE pk = 'x'";
+        "SELECT on_call FROM duty WHERE pk = 'y'";
+        "UPDATE duty SET on_call = FALSE WHERE pk = 'y'";
+      ];
+  ]
+
+(* Pure read-only transactions plus blind writers of provably disjoint
+   constant keys: the SDG has edges (readers anti-depend on every writer)
+   but no two consecutive rw edges, so it must analyze clean. *)
+let disjoint () =
+  [
+    t ~name:"read_all_metrics" [ "SELECT * FROM metrics" ];
+    t ~name:"read_gauge_a" [ "SELECT value FROM metrics WHERE pk = 'a'" ];
+    t ~name:"write_gauge_a" [ "UPDATE metrics SET value = ':v' WHERE pk = 'a'" ];
+    t ~name:"write_gauge_b" [ "UPDATE metrics SET value = ':v' WHERE pk = 'b'" ];
+  ]
+
+let txn_gen () = Template.txn_gen_templates ()
+
+let workloads () =
+  [
+    ("tpcw", tpcw ());
+    ("write_skew", write_skew ());
+    ("disjoint", disjoint ());
+    ("txn_gen", txn_gen ());
+  ]
+
+let find name = List.assoc_opt name (workloads ())

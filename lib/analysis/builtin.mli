@@ -1,0 +1,16 @@
+(** Built-in template workloads: the TPC-W-derived bookstore mix the
+    examples and the simulator's narrative use, plus the two calibration
+    workloads the analyzer is validated against — the classic write-skew
+    pair (must be flagged) and a pure read-only + disjoint-writer mix (must
+    come back clean) — and the symbolic {!Lsr_workload.Txn_gen} pair. *)
+
+val tpcw : unit -> Template.t list
+val write_skew : unit -> Template.t list
+val disjoint : unit -> Template.t list
+val txn_gen : unit -> Template.t list
+
+(** All of the above, keyed by workload name, in report order. *)
+val workloads : unit -> (string * Template.t list) list
+
+(** [find name] is the workload of that name. *)
+val find : string -> Template.t list option

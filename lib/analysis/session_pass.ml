@@ -1,0 +1,108 @@
+open Lsr_core
+
+type kind =
+  | Update_then_read
+  | Read_then_read
+
+type flag = {
+  kind : kind;
+  earlier : string;
+  later : string;
+  witness : string;
+  needs : Session.guarantee;
+}
+
+let kind_name = function
+  | Update_then_read -> "update-then-read"
+  | Read_then_read -> "read-then-read"
+
+let analyze (sdg : Sdg.t) =
+  let read_only name =
+    List.exists
+      (fun (t : Template.t) -> t.name = name && t.read_only)
+      sdg.templates
+  in
+  let is_update name =
+    List.exists
+      (fun (t : Template.t) -> t.name = name && not t.read_only)
+      sdg.templates
+  in
+  (* rw edges out of a read-only template into an update template: the
+     reader can miss that writer's effects at a stale secondary. *)
+  let stale_reads =
+    List.filter
+      (fun (e : Sdg.edge) ->
+        e.dep = Sdg.Rw && read_only e.src && is_update e.dst)
+      sdg.edges
+  in
+  let update_then_read =
+    List.map
+      (fun (e : Sdg.edge) ->
+        {
+          kind = Update_then_read;
+          earlier = e.dst;
+          later = e.src;
+          witness =
+            Printf.sprintf "%s commits %s; a stale secondary can serve %s an older %s"
+              e.dst
+              (Symbolic.access_to_string e.dst_access)
+              e.src
+              (Symbolic.access_to_string e.src_access);
+          needs = Session.Prefix_consistent;
+        })
+      stale_reads
+  in
+  (* Pairs of read-only templates where the later one's reads are mutable:
+     after migration the session can observe snapshots moving backwards,
+     which only the read floor of ALG-STRONG-SESSION-SI rules out. *)
+  let readers =
+    List.filter (fun (t : Template.t) -> t.read_only) sdg.templates
+  in
+  let read_then_read =
+    List.concat_map
+      (fun (r2 : Template.t) ->
+        match List.find_opt (fun (e : Sdg.edge) -> e.src = r2.name) stale_reads with
+        | None -> []
+        | Some witness_edge ->
+          List.map
+            (fun (r1 : Template.t) ->
+              {
+                kind = Read_then_read;
+                earlier = r1.name;
+                later = r2.name;
+                witness =
+                  Printf.sprintf
+                    "after migrating to a more stale secondary, %s can observe %s older than the snapshot %s pinned (%s mutates it)"
+                    r2.name
+                    (Symbolic.access_to_string witness_edge.Sdg.src_access)
+                    r1.name witness_edge.Sdg.dst;
+                needs = Session.Strong_session;
+              })
+            readers)
+      readers
+  in
+  List.sort
+    (fun a b -> compare (a.kind, a.earlier, a.later) (b.kind, b.earlier, b.later))
+    (update_then_read @ read_then_read)
+
+let prevented guarantee flag =
+  match (guarantee, flag.needs) with
+  | Session.Weak, _ -> false
+  | Session.Prefix_consistent, Session.Prefix_consistent -> true
+  | Session.Prefix_consistent, _ -> false
+  | (Session.Strong_session | Session.Strong), _ -> true
+
+let unprevented guarantee flags =
+  List.filter (fun f -> not (prevented guarantee f)) flags
+
+let needed_guarantee flags =
+  if List.exists (fun f -> f.needs = Session.Strong_session) flags then
+    Session.Strong_session
+  else if flags <> [] then Session.Prefix_consistent
+  else Session.Weak
+
+let pp_flag ppf f =
+  Format.fprintf ppf "[%s] %s then %s needs >= %s: %s" (kind_name f.kind)
+    f.earlier f.later
+    (Session.guarantee_name f.needs)
+    f.witness

@@ -1,0 +1,53 @@
+(** Replication-aware session-guarantee pass.
+
+    Placement is the paper's: update templates execute at the primary,
+    read-only templates at the client's (possibly stale, possibly changing)
+    secondary. Under plain weak SI nothing orders a session's reads against
+    its own earlier transactions, so an rw anti-dependency from a read-only
+    template to an update template can manifest as a {e transaction
+    inversion} (Definitions 2.1/2.2). This pass enumerates, per template
+    pair, the inversions the workload's data flow makes observable, and the
+    weakest session guarantee that prevents each:
+
+    - [Update_then_read]: the session commits update [U], then runs
+      read-only [R] whose reads overlap [U]'s writes ([R -rw-> U] in the
+      {!Sdg}). At a lagging secondary [R] misses the session's own write —
+      the paper's bookstore anomaly. Prevented by PCSI and anything
+      stronger.
+    - [Read_then_read]: the session runs read-only [R1], then read-only
+      [R2] whose reads some update template can overwrite — after migrating
+      to a more stale secondary, [R2] observes an older snapshot than [R1]
+      pinned. PCSI does {e not} prevent this (it only orders reads after
+      the session's own updates); ALG-STRONG-SESSION-SI does. A workload
+      with such pairs {e needs} strong session SI.
+
+    Flags are data-aware: pairs whose footprints cannot overlap any
+    update's writes are not reported, because the staleness is then
+    unobservable through data (the dynamic checker may still time-order
+    such pairs; the cross-validation tests therefore filter dynamic
+    inversions down to data-dependent ones before comparing). *)
+
+type kind =
+  | Update_then_read
+  | Read_then_read
+
+type flag = {
+  kind : kind;
+  earlier : string;  (** template the session ran first *)
+  later : string;    (** read-only template that observes the inversion *)
+  witness : string;  (** the data responsible, human-readable *)
+  needs : Lsr_core.Session.guarantee;  (** weakest level preventing it *)
+}
+
+(** All flags of the workload's SDG, sorted by (kind, earlier, later). *)
+val analyze : Sdg.t -> flag list
+
+(** Flags not prevented by running the system at [guarantee] — empty at
+    [Strong_session] and above. *)
+val unprevented : Lsr_core.Session.guarantee -> flag list -> flag list
+
+(** Weakest guarantee with no unprevented flag. *)
+val needed_guarantee : flag list -> Lsr_core.Session.guarantee
+
+val kind_name : kind -> string
+val pp_flag : Format.formatter -> flag -> unit

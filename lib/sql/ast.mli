@@ -42,9 +42,16 @@ type projection =
   | All  (** the star projection *)
   | Columns of string list
   | Aggregates of aggregate list
-      (** e.g. [SELECT COUNT(pk), AVG(price) FROM ...] with COUNT written as
-          star in concrete syntax; aggregates and plain columns cannot be
-          mixed (no GROUP BY in this subset) *)
+      (** e.g. [SELECT COUNT, AVG(price) FROM ...] with COUNT written as
+          COUNT-star in concrete syntax; aggregates and plain
+          columns cannot be mixed in one projection. Without GROUP BY the
+          aggregates collapse all matching rows into a single result row
+          (ORDER BY / LIMIT are rejected there). With [GROUP BY col] — legal
+          only for aggregate projections — one result row per distinct value
+          of [col] is produced (rows lacking [col] form their own group,
+          carried without the group field), the aggregate output columns
+          ([count], [sum_price], ...) are legal in HAVING and ORDER BY, and
+          HAVING filters the grouped result rows. *)
 
 type statement =
   | Select of {

@@ -71,14 +71,37 @@ let access_path handle ~table ~where =
     (fun (column, _) -> List.mem column indexed)
     (equality_conjuncts where)
 
-(* Rows matching [where], through an index when one applies. *)
+(* A top-level pk-equality conjunct (on the AND spine; disjunctions are
+   opaque) pins the single candidate row. Matches the exact-key class of the
+   static analyzer, whose symbolic read sets must over-approximate the rows
+   recorded here: a point statement may read only its own key. *)
+let rec pk_conjunct = function
+  | Cmp { column = "pk"; op = Eq; value } -> (
+    match value with
+    | Text s -> Some s
+    | Int i -> Some (string_of_int i)
+    | Float _ | Bool _ | Null -> None)
+  | And (a, b) -> (
+    match pk_conjunct a with Some _ as r -> r | None -> pk_conjunct b)
+  | True | Cmp _ | Or _ | Not _ -> None
+
+(* Rows matching [where]: a point lookup when the condition pins the pk, an
+   index lookup when a top-level equality conjunct hits an indexed column,
+   otherwise a full scan (which reads — and records — every row). *)
 let matching handle ~table ~where =
-  let candidates =
-    match access_path handle ~table ~where with
-    | Some (field, value) -> Lsr_core.Handle.row_lookup handle ~table ~field ~value
-    | None -> Lsr_core.Handle.row_scan handle ~table ~where:(fun _ -> true)
-  in
-  List.filter (fun (_, row) -> eval_cond row where) candidates
+  match pk_conjunct where with
+  | Some pk -> (
+    match Lsr_core.Handle.row_get handle ~table ~pk with
+    | Some row when eval_cond row where -> [ (pk, row) ]
+    | Some _ | None -> [])
+  | None ->
+    let candidates =
+      match access_path handle ~table ~where with
+      | Some (field, value) ->
+        Lsr_core.Handle.row_lookup handle ~table ~field ~value
+      | None -> Lsr_core.Handle.row_scan handle ~table ~where:(fun _ -> true)
+    in
+    List.filter (fun (_, row) -> eval_cond row where) candidates
 
 let pk_of_row row =
   match List.assoc_opt "pk" row with
@@ -181,11 +204,14 @@ let eval_aggregate rows agg =
     | v :: vs -> Some (List.fold_left max v vs))
 
 let describe_access handle ~table ~where =
-  match access_path handle ~table ~where with
-  | Some (field, value) ->
-    Printf.sprintf "access: index lookup %s.%s = %s" table field
-      (Format.asprintf "%a" Row.pp_scalar value)
-  | None -> Printf.sprintf "access: full scan of %s" table
+  match pk_conjunct where with
+  | Some pk -> Printf.sprintf "access: point lookup %s[%s]" table pk
+  | None -> (
+    match access_path handle ~table ~where with
+    | Some (field, value) ->
+      Printf.sprintf "access: index lookup %s.%s = %s" table field
+        (Format.asprintf "%a" Row.pp_scalar value)
+    | None -> Printf.sprintf "access: full scan of %s" table)
 
 let describe_filter where =
   match where with

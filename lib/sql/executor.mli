@@ -23,11 +23,21 @@ type result =
   | Affected of int  (** rows inserted / updated / deleted *)
   | Plan of string list  (** EXPLAIN output, one step per line *)
 
+(** Raised by {!execute_exn} (and used by {!Sql} to abort a surrounding
+    transaction) for semantic problems: missing [pk], type-confused ORDER BY
+    column, ... Carries the human-readable description. *)
+exception Semantic_error of string
+
 (** [execute handle stmt] runs one statement inside the handle's
     transaction. Returns [Error] for semantic problems (missing [pk],
     type-confused ORDER BY column, ...). *)
 val execute :
   Lsr_core.Handle.t -> Ast.statement -> (result, string) Stdlib.result
+
+(** [execute_exn] is {!execute}, but raising {!Semantic_error} instead of
+    returning [Error] — the form used to abort a multi-statement
+    transaction from inside its body. *)
+val execute_exn : Lsr_core.Handle.t -> Ast.statement -> result
 
 (** True for statements that can run in a read-only transaction. *)
 val is_read_only : Ast.statement -> bool

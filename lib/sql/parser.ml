@@ -138,28 +138,32 @@ let aggregate_keyword = function
   | _ -> None
 
 let aggregate cur =
-  match aggregate_keyword (peek cur) with
-  | None -> fail "expected an aggregate function"
+  let t = peek cur in
+  match aggregate_keyword t with
+  | None ->
+    fail "expected an aggregate function (COUNT, SUM, AVG, MIN or MAX) but found %s"
+      (Format.asprintf "%a" Lexer.pp_token t)
+  | Some "COUNT" ->
+    advance cur;
+    expect_symbol cur "(";
+    expect_symbol cur "*";
+    expect_symbol cur ")";
+    Count_all
   | Some kw ->
     advance cur;
     expect_symbol cur "(";
-    let agg =
-      if kw = "COUNT" then begin
-        expect_symbol cur "*";
-        Count_all
-      end
-      else begin
-        let column = ident cur in
-        match kw with
-        | "SUM" -> Sum column
-        | "AVG" -> Avg column
-        | "MIN" -> Min column
-        | "MAX" -> Max column
-        | _ -> assert false
-      end
-    in
+    let column = ident cur in
     expect_symbol cur ")";
-    agg
+    (match kw with
+    | "SUM" -> Sum column
+    | "AVG" -> Avg column
+    | "MIN" -> Min column
+    | "MAX" -> Max column
+    | other ->
+      (* [aggregate_keyword] only produces the five names matched above; a
+         new aggregate added there without a constructor here is a parse
+         error, not a crash. *)
+      fail "unsupported aggregate function %s" other)
 
 let select cur =
   let projection =

@@ -3,25 +3,70 @@
 
     Read-only statements run as read-only transactions at the client's
     secondary (subject to the session guarantee); everything else is
-    forwarded to the primary as an update transaction. *)
+    forwarded to the primary as an update transaction.
 
-(** [exec handle sql] parses and executes one statement inside an already
-    open transaction. *)
+    Two API layers coexist. The [_typed] functions return a structured
+    {!error}, so programmatic callers (the static analyzer, the executor
+    harnesses) can distinguish a malformed statement from a semantic
+    failure or an aborted transaction without string matching. The legacy
+    string-message functions are thin wrappers kept for the shell and the
+    examples. *)
+
+(** Everything that can go wrong between a SQL string and a result:
+    - [Syntax_error] — the statement did not parse; carries the offending
+      input and the parser's message;
+    - [Semantic_error] — it parsed but could not execute (missing [pk],
+      unknown aggregate column, ...); the surrounding transaction was
+      aborted, never half-committed;
+    - [Write_conflict] — first-committer-wins abort on the named key;
+    - [Forced_abort] — the transaction was aborted on request. *)
+type error =
+  | Syntax_error of { statement : string; message : string }
+  | Semantic_error of string
+  | Write_conflict of string
+  | Forced_abort
+
+(** Human-readable rendering of an {!error}. *)
+val error_message : error -> string
+
+(** [parse_script inputs] parses each statement, failing on the first
+    malformed one (with the offending input in the error). *)
+val parse_script : string list -> (Ast.statement list, error) result
+
+(** [exec_typed handle sql] parses and executes one statement inside an
+    already open transaction. *)
+val exec_typed :
+  Lsr_core.Handle.t -> string -> (Executor.result, error) result
+
+(** [run_typed system client sql] parses [sql], routes it as a transaction
+    of [client]'s session, and returns the result or a structured error. *)
+val run_typed :
+  Lsr_core.System.t -> Lsr_core.System.client -> string ->
+  (Executor.result, error) result
+
+(** [run_script_typed system client sqls] executes several statements inside
+    ONE transaction (the shell's BEGIN ... COMMIT): atomically, against a
+    single snapshot, with intermediate results visible to later statements
+    (read-your-writes). The transaction is read-only — and routed to the
+    client's secondary — only when every statement is. Any parse or
+    semantic error aborts the whole transaction. *)
+val run_script_typed :
+  Lsr_core.System.t -> Lsr_core.System.client -> string list ->
+  (Executor.result list, error) result
+
+(** {2 Legacy string-message wrappers} *)
+
+(** [exec handle sql] is {!exec_typed} with the error flattened to a
+    message. *)
 val exec : Lsr_core.Handle.t -> string -> (Executor.result, string) result
 
-(** [run system client sql] parses [sql], routes it as a transaction of
-    [client]'s session, and returns the result (or a parse/semantic/abort
-    error message). *)
+(** [run system client sql] is {!run_typed} with the error flattened. *)
 val run :
   Lsr_core.System.t -> Lsr_core.System.client -> string ->
   (Executor.result, string) result
 
-(** [run_script system client sqls] executes several statements inside ONE
-    transaction (the shell's BEGIN ... COMMIT): atomically, against a single
-    snapshot, with intermediate results visible to later statements
-    (read-your-writes). The transaction is read-only — and routed to the
-    client's secondary — only when every statement is. Any parse or
-    semantic error aborts the whole transaction. *)
+(** [run_script system client sqls] is {!run_script_typed} with the error
+    flattened. *)
 val run_script :
   Lsr_core.System.t -> Lsr_core.System.client -> string list ->
   (Executor.result list, string) result

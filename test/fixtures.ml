@@ -1,0 +1,102 @@
+(* Hand-built histories shared by the checker unit tests (test_core) and the
+   static analyzer's cross-validation suite (test_analysis): the same
+   execution patterns are judged by the dynamic checker and matched against
+   the static verdict on the corresponding templates. *)
+
+open Lsr_storage
+open Lsr_core
+
+let commit_exn db txn =
+  match Mvcc.commit db txn with
+  | Mvcc.Committed cts -> cts
+  | Mvcc.Aborted _ -> Alcotest.fail "unexpected abort in fixture"
+
+(* Record one serially-executed committed update. *)
+let record_serial h db ~session ~template ~reads ~writes =
+  let first_op = History.tick h in
+  let snapshot = Mvcc.latest_commit_ts db in
+  let txn = Mvcc.begin_txn db in
+  let observed = List.map (fun k -> (k, Mvcc.read db txn k)) reads in
+  List.iter (fun (k, v) -> Mvcc.write db txn k (Some v)) writes;
+  let pending = Mvcc.pending_writes txn in
+  let cts = commit_exn db txn in
+  let id = History.fresh_id h in
+  History.add h
+    {
+      History.id = id;
+      session;
+      kind = History.Update;
+      site = "primary";
+      first_op;
+      finished = History.tick h;
+      snapshot;
+      commit_ts = Some cts;
+      reads = observed;
+      writes = pending;
+    };
+  (id, template)
+
+(* The classic SI write-skew execution: both transactions read {x, y} from
+   the same snapshot, one signs off x, the other y, both commit (their write
+   sets are disjoint, so first-committer-wins lets both through). The MVSG
+   has the rw-rw cycle. Returns the history and the id -> template-name map
+   aligning it with the analyzer's [write_skew] workload. *)
+let write_skew_history () =
+  let h = History.create () in
+  let db = Mvcc.create () in
+  let init =
+    record_serial h db ~session:"init" ~template:"init" ~reads:[]
+      ~writes:[ ("x", "on"); ("y", "on") ]
+  in
+  let first1 = History.tick h in
+  let first2 = History.tick h in
+  let snapshot = Mvcc.latest_commit_ts db in
+  let t1 = Mvcc.begin_txn db in
+  let t2 = Mvcc.begin_txn db in
+  let r1 = [ ("x", Mvcc.read db t1 "x"); ("y", Mvcc.read db t1 "y") ] in
+  let r2 = [ ("x", Mvcc.read db t2 "x"); ("y", Mvcc.read db t2 "y") ] in
+  Mvcc.write db t1 "x" (Some "off");
+  Mvcc.write db t2 "y" (Some "off");
+  let w1 = Mvcc.pending_writes t1 and w2 = Mvcc.pending_writes t2 in
+  let c1 = commit_exn db t1 in
+  let c2 = commit_exn db t2 in
+  let add ~session ~first_op ~cts ~reads ~writes =
+    let id = History.fresh_id h in
+    History.add h
+      {
+        History.id = id;
+        session;
+        kind = History.Update;
+        site = "primary";
+        first_op;
+        finished = History.tick h;
+        snapshot;
+        commit_ts = Some cts;
+        reads;
+        writes;
+      };
+    id
+  in
+  let id1 = add ~session:"s1" ~first_op:first1 ~cts:c1 ~reads:r1 ~writes:w1 in
+  let id2 = add ~session:"s2" ~first_op:first2 ~cts:c2 ~reads:r2 ~writes:w2 in
+  ( h,
+    [ init; (id1, "check_then_sign_off_x"); (id2, "check_then_sign_off_y") ] )
+
+(* The same operations executed serially: every snapshot is current, the
+   MVSG is acyclic. *)
+let serial_history () =
+  let h = History.create () in
+  let db = Mvcc.create () in
+  let init =
+    record_serial h db ~session:"init" ~template:"init" ~reads:[]
+      ~writes:[ ("x", "on"); ("y", "on") ]
+  in
+  let t1 =
+    record_serial h db ~session:"s1" ~template:"check_then_sign_off_x"
+      ~reads:[ "x"; "y" ] ~writes:[ ("x", "off") ]
+  in
+  let t2 =
+    record_serial h db ~session:"s2" ~template:"check_then_sign_off_y"
+      ~reads:[ "x"; "y" ] ~writes:[ ("y", "off") ]
+  in
+  (h, [ init; t1; t2 ])

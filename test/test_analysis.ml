@@ -1,0 +1,540 @@
+(* Tests for the static SI-anomaly analyzer (lib/analysis), in three tiers:
+
+   1. units for the symbolic footprint extraction, the static dependency
+      graph and the session-guarantee pass;
+   2. the soundness cross-validation: seeded, randomly interleaved
+      executions of the built-in workloads against raw MVCC, where every
+      serialization cycle the dynamic checker finds must be covered by a
+      statically flagged dangerous structure — and the workload analyzed
+      clean must produce no cycle at all;
+   3. the session cross-validation: a replicated-system run under weak SI
+      whose data-dependent in-session inversions must all be predicted by
+      the session pass. *)
+
+open Lsr_storage
+open Lsr_core
+open Lsr_analysis
+module Ast = Lsr_sql.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- Symbolic footprints ----------------------------------------------------- *)
+
+let footprint_of sql =
+  match Lsr_sql.Sql.parse_script [ sql ] with
+  | Ok [ stmt ] -> Symbolic.statement_footprint stmt
+  | Ok _ -> Alcotest.fail "expected one statement"
+  | Error e -> Alcotest.fail (Lsr_sql.Sql.error_message e)
+
+let test_symbolic_regions () =
+  let fp = footprint_of "SELECT * FROM books WHERE pk = 'b1'" in
+  (match fp.Symbolic.reads with
+  | [ { Symbolic.table = "books"; region = Symbolic.Exact (Symbolic.Const "b1") } ]
+    -> ()
+  | _ -> Alcotest.fail "pk-equality must be an exact constant read");
+  check_int "select writes nothing" 0 (List.length fp.Symbolic.writes);
+  let fp = footprint_of "SELECT * FROM books WHERE pk = ':item'" in
+  (match fp.Symbolic.reads with
+  | [ { Symbolic.region = Symbolic.Exact (Symbolic.Param "item"); _ } ] -> ()
+  | _ -> Alcotest.fail "':item' must be a parameter key");
+  let fp = footprint_of "SELECT * FROM books WHERE genre = 'scifi'" in
+  (match fp.Symbolic.reads with
+  | [ { Symbolic.region = Symbolic.Range _; _ } ] -> ()
+  | _ -> Alcotest.fail "non-pk condition must be a predicate read");
+  let fp = footprint_of "SELECT * FROM books" in
+  (match fp.Symbolic.reads with
+  | [ { Symbolic.region = Symbolic.Scan; _ } ] -> ()
+  | _ -> Alcotest.fail "WHERE-less select must be a scan");
+  let fp = footprint_of "UPDATE books SET stock = 3 WHERE pk = 'b1'" in
+  check_int "update reads its match" 1 (List.length fp.Symbolic.reads);
+  (match fp.Symbolic.writes with
+  | [ { Symbolic.region = Symbolic.Exact (Symbolic.Const "b1"); _ } ] -> ()
+  | _ -> Alcotest.fail "pk-equality update writes the exact key")
+
+let test_symbolic_overlap () =
+  let acc table region = { Symbolic.table; region } in
+  let exact k = Symbolic.Exact (Symbolic.Const k) in
+  check_bool "same constant key overlaps" true
+    (Symbolic.may_overlap (acc "t" (exact "a")) (acc "t" (exact "a")));
+  check_bool "distinct constant keys are disjoint" false
+    (Symbolic.may_overlap (acc "t" (exact "a")) (acc "t" (exact "b")));
+  check_bool "different tables are disjoint" false
+    (Symbolic.may_overlap (acc "t" Symbolic.Scan) (acc "u" Symbolic.Scan));
+  check_bool "parameter may be any key" true
+    (Symbolic.may_overlap
+       (acc "t" (Symbolic.Exact (Symbolic.Param "p")))
+       (acc "t" (exact "a")));
+  check_bool "scan overlaps everything in the table" true
+    (Symbolic.may_overlap (acc "t" Symbolic.Scan) (acc "t" (exact "a")))
+
+let test_template_params_and_instantiate () =
+  let t =
+    Template.of_sql_exn ~name:"t"
+      [
+        "SELECT stock FROM books WHERE pk = ':item'";
+        "UPDATE books SET stock = ':qty' WHERE pk = ':item'";
+      ]
+  in
+  Alcotest.(check (list string))
+    "params in first-occurrence order" [ "item"; "qty" ] (Template.params t);
+  check_bool "update template is not read-only" false t.Template.read_only;
+  let stmts =
+    Template.instantiate t
+      [ ("item", Ast.Text "b1"); ("qty", Ast.Int 7) ]
+  in
+  check_int "both statements instantiated" 2 (List.length stmts);
+  (* Unbound parameters must be loud, not silently passed through. *)
+  (try
+     ignore (Template.instantiate t [ ("item", Ast.Text "b1") ]);
+     Alcotest.fail "unbound parameter must raise"
+   with Invalid_argument _ -> ())
+
+(* --- Static dependency graph -------------------------------------------------- *)
+
+let test_sdg_write_skew_flagged () =
+  let report = Analyzer.run ~workload:"write_skew" (Builtin.write_skew ()) in
+  let ids = Analyzer.dangerous_ids report in
+  check_bool "x>y>x structure found" true
+    (List.mem
+       "write_skew:check_then_sign_off_x>check_then_sign_off_y>check_then_sign_off_x"
+       ids);
+  check_bool "y>x>y structure found" true
+    (List.mem
+       "write_skew:check_then_sign_off_y>check_then_sign_off_x>check_then_sign_off_y"
+       ids);
+  check_int "and nothing else" 2 (List.length ids);
+  (* The explanation names the actual tables and keys. *)
+  let d = List.hd report.Analyzer.dangerous in
+  let text = Sdg.explain d in
+  check_bool "explanation names the duty table" true (contains text "duty");
+  check_bool "explanation names key x" true (contains text "duty[pk='x']");
+  check_bool "explanation names key y" true (contains text "duty[pk='y']")
+
+let test_sdg_disjoint_clean () =
+  let report = Analyzer.run ~workload:"disjoint" (Builtin.disjoint ()) in
+  check_int "no dangerous structures" 0 (List.length report.Analyzer.dangerous);
+  (* The graph is not empty — readers anti-depend on the writers — but the
+     self rw edges of the read-modify-write gauges are defused by
+     first-committer-wins. *)
+  check_bool "rw edges exist" true
+    (List.exists (fun e -> e.Sdg.dep = Sdg.Rw) report.Analyzer.sdg.Sdg.edges);
+  let self_rw =
+    List.find
+      (fun e ->
+        e.Sdg.dep = Sdg.Rw && e.Sdg.src = "write_gauge_a"
+        && e.Sdg.dst = "write_gauge_a")
+      report.Analyzer.sdg.Sdg.edges
+  in
+  check_bool "self rw edge of a read-modify-write is not vulnerable" false
+    self_rw.Sdg.vulnerable
+
+let test_sdg_tpcw_pivots () =
+  let report = Analyzer.run ~workload:"tpcw" (Builtin.tpcw ()) in
+  check_bool "tpcw has dangerous structures" true
+    (report.Analyzer.dangerous <> []);
+  (* Every structure pivots on the predicate-writing template: exact-key
+     read-modify-writes (buy_confirm, admin_restock) are defused, so the
+     genre reprice — which reads rows it does not write back — is the only
+     template with both vulnerable rw edges. *)
+  List.iter
+    (fun d ->
+      check_string "pivot is the genre reprice" "admin_reprice_genre"
+        d.Sdg.rw_in.Sdg.dst)
+    report.Analyzer.dangerous;
+  let buy_self =
+    List.find
+      (fun e ->
+        e.Sdg.dep = Sdg.Rw && e.Sdg.src = "buy_confirm"
+        && e.Sdg.dst = "buy_confirm")
+      report.Analyzer.sdg.Sdg.edges
+  in
+  check_bool "buy_confirm rereads only the key it writes" false
+    buy_self.Sdg.vulnerable
+
+let test_session_pass_tpcw () =
+  let report = Analyzer.run ~workload:"tpcw" (Builtin.tpcw ()) in
+  let flags = report.Analyzer.session_flags in
+  let has kind earlier later =
+    List.exists
+      (fun (f : Session_pass.flag) ->
+        f.Session_pass.kind = kind
+        && f.Session_pass.earlier = earlier
+        && f.Session_pass.later = later)
+      flags
+  in
+  check_bool "buying then checking the order needs PCSI" true
+    (has Session_pass.Update_then_read "buy_confirm" "order_status");
+  check_bool "buying then browsing the book needs PCSI" true
+    (has Session_pass.Update_then_read "buy_confirm" "product_detail");
+  check_bool "two browses across migration need strong session SI" true
+    (has Session_pass.Read_then_read "product_detail" "best_sellers");
+  check_string "the workload as a whole needs strong session SI"
+    (Session.guarantee_name Session.Strong_session)
+    (Session.guarantee_name (Session_pass.needed_guarantee flags));
+  check_int "nothing is left unprevented at strong session SI" 0
+    (List.length
+       (Session_pass.unprevented Session.Strong_session flags));
+  check_bool "PCSI alone leaves the read-then-read pairs" true
+    (Session_pass.unprevented Session.Prefix_consistent flags
+    |> List.for_all (fun (f : Session_pass.flag) ->
+           f.Session_pass.kind = Session_pass.Read_then_read))
+
+let test_report_json_roundtrip () =
+  let report = Analyzer.run ~workload:"tpcw" (Builtin.tpcw ()) in
+  let text = Lsr_obs.Json.to_string (Analyzer.to_json report) in
+  match Lsr_obs.Json.parse text with
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  | Ok json ->
+    (match Lsr_obs.Json.member "workload" json with
+    | Some (Lsr_obs.Json.Str "tpcw") -> ()
+    | _ -> Alcotest.fail "workload field survives the round trip")
+
+(* --- Soundness cross-validation against the dynamic checker ------------------- *)
+
+(* Randomly interleaved executions over raw MVCC: a scheduler begins up to
+   three concurrent transactions (each executing one instantiated template
+   through the SQL executor, reads recorded by the handle) and commits them
+   in random order. First-committer-wins aborts are dropped, matching the
+   committed-transactions-only serialization graph. *)
+
+type live = {
+  txn : Mvcc.txn;
+  handle : Handle.t;
+  template : Template.t;
+  first_op : int;
+  snapshot : Timestamp.t;
+}
+
+let exec_all handle stmts =
+  List.iter
+    (fun s -> ignore (Lsr_sql.Executor.execute_exn handle s))
+    stmts
+
+let finish db h mapping (l : live) =
+  let reads = Handle.reads l.handle in
+  if l.template.Template.read_only then begin
+    Mvcc.end_read db l.txn;
+    let id = History.fresh_id h in
+    History.add h
+      {
+        History.id = id;
+        session = "harness";
+        kind = History.Read_only;
+        site = "primary";
+        first_op = l.first_op;
+        finished = History.tick h;
+        snapshot = l.snapshot;
+        commit_ts = None;
+        reads;
+        writes = [];
+      };
+    mapping := (id, l.template.Template.name) :: !mapping
+  end
+  else
+    let writes = Mvcc.pending_writes l.txn in
+    match Mvcc.commit db l.txn with
+    | Mvcc.Aborted _ -> ()
+    | Mvcc.Committed cts ->
+      let id = History.fresh_id h in
+      History.add h
+        {
+          History.id = id;
+          session = "harness";
+          kind = History.Update;
+          site = "primary";
+          first_op = l.first_op;
+          finished = History.tick h;
+          snapshot = l.snapshot;
+          commit_ts = Some cts;
+          reads;
+          writes;
+        };
+      mapping := (id, l.template.Template.name) :: !mapping
+
+(* One seeded run; returns the history and the id -> template-name map. *)
+let run_schedule ~seed ~init ~templates ~bind =
+  let rng = Lsr_sim.Rng.create seed in
+  let db = Mvcc.create () in
+  let h = History.create () in
+  let mapping = ref [] in
+  (* Seed data, recorded like any other committed update so version chains
+     start from a real writer. *)
+  let first_op = History.tick h in
+  let snapshot = Mvcc.latest_commit_ts db in
+  let txn = Mvcc.begin_txn db in
+  let handle = Handle.make db txn in
+  exec_all handle init;
+  finish db h mapping
+    {
+      txn;
+      handle;
+      template =
+        { (Template.make ~name:"init" []) with Template.read_only = false };
+      first_op;
+      snapshot;
+    };
+  let live = ref [] in
+  let fresh = ref 0 in
+  for _round = 1 to 60 do
+    let begin_new =
+      !live = []
+      || (List.length !live < 3 && Lsr_sim.Rng.bernoulli rng ~p:0.6)
+    in
+    if begin_new then begin
+      let t =
+        List.nth templates
+          (Lsr_sim.Rng.uniform rng ~lo:0 ~hi:(List.length templates - 1))
+      in
+      incr fresh;
+      let binding = bind rng t !fresh in
+      let first_op = History.tick h in
+      let snapshot = Mvcc.latest_commit_ts db in
+      let txn = Mvcc.begin_txn db in
+      let handle = Handle.make db txn in
+      exec_all handle (Template.instantiate t binding);
+      live := { txn; handle; template = t; first_op; snapshot } :: !live
+    end
+    else begin
+      let i = Lsr_sim.Rng.uniform rng ~lo:0 ~hi:(List.length !live - 1) in
+      let l = List.nth !live i in
+      live := List.filteri (fun j _ -> j <> i) !live;
+      finish db h mapping l
+    end
+  done;
+  List.iter (finish db h mapping) !live;
+  (h, !mapping)
+
+(* Parameter domains small enough to collide. The order pk is always fresh
+   (re-inserting an existing pk is just an overwrite, but distinct orders
+   match the workload's intent). *)
+let bind_value rng fresh = function
+  | "item" -> Ast.Text (Printf.sprintf "b%d" (Lsr_sim.Rng.uniform rng ~lo:1 ~hi:3))
+  | "genre" -> Ast.Text (Printf.sprintf "g%d" (Lsr_sim.Rng.uniform rng ~lo:1 ~hi:2))
+  | "cust" -> Ast.Text (Printf.sprintf "c%d" (Lsr_sim.Rng.uniform rng ~lo:1 ~hi:2))
+  | "order" -> Ast.Text (Printf.sprintf "o%d" fresh)
+  | "new_stock" | "qty" -> Ast.Int (Lsr_sim.Rng.uniform rng ~lo:0 ~hi:50)
+  | "price" -> Ast.Int (Lsr_sim.Rng.uniform rng ~lo:5 ~hi:40)
+  | _ -> Ast.Text (Printf.sprintf "v%d" (Lsr_sim.Rng.uniform rng ~lo:0 ~hi:9))
+
+let default_bind rng t fresh =
+  List.map (fun p -> (p, bind_value rng fresh p)) (Template.params t)
+
+let tpcw_init =
+  List.map
+    (fun (pk, genre) ->
+      Printf.sprintf
+        "INSERT INTO books (pk, title, genre, price, stock, sales) VALUES \
+         ('%s', 'title %s', '%s', 10, 20, 100)"
+        pk pk genre)
+    [ ("b1", "g1"); ("b2", "g1"); ("b3", "g2") ]
+
+let write_skew_init =
+  [
+    "INSERT INTO duty (pk, on_call) VALUES ('x', TRUE)";
+    "INSERT INTO duty (pk, on_call) VALUES ('y', TRUE)";
+  ]
+
+let disjoint_init =
+  [
+    "INSERT INTO metrics (pk, value) VALUES ('a', 0)";
+    "INSERT INTO metrics (pk, value) VALUES ('b', 0)";
+  ]
+
+let parse_init sqls =
+  match Lsr_sql.Sql.parse_script sqls with
+  | Ok stmts -> stmts
+  | Error e -> Alcotest.fail (Lsr_sql.Sql.error_message e)
+
+(* Run [seeds] seeded schedules of a workload; assert every dynamic cycle is
+   covered by a static dangerous structure among exactly the participating
+   templates; return how many runs had a cycle. *)
+let cross_validate ~workload ~init ~templates ~seeds =
+  let report = Analyzer.run ~workload templates in
+  let init = parse_init init in
+  let cycles = ref 0 in
+  for seed = 1 to seeds do
+    let h, mapping = run_schedule ~seed ~init ~templates ~bind:default_bind in
+    match Checker.serialization_cycle h with
+    | None -> ()
+    | Some cycle ->
+      incr cycles;
+      let names =
+        List.map
+          (fun id ->
+            match List.assoc_opt id mapping with
+            | Some name -> name
+            | None ->
+              Alcotest.failf "%s seed %d: cycle names unknown txn %d" workload
+                seed id)
+          cycle
+      in
+      check_bool
+        (Printf.sprintf
+           "%s seed %d: dynamic cycle through {%s} is covered by a static \
+            dangerous structure"
+           workload seed
+           (String.concat ", " (List.sort_uniq compare names)))
+        true
+        (Analyzer.covers report (List.sort_uniq compare names))
+  done;
+  !cycles
+
+let test_cross_validate_write_skew () =
+  let cycles =
+    cross_validate ~workload:"write_skew" ~init:write_skew_init
+      ~templates:(Builtin.write_skew ()) ~seeds:25
+  in
+  check_bool "the harness actually produced write-skew cycles" true (cycles > 0)
+
+let test_cross_validate_tpcw () =
+  let cycles =
+    cross_validate ~workload:"tpcw" ~init:tpcw_init
+      ~templates:(Builtin.tpcw ()) ~seeds:25
+  in
+  (* Non-vacuity: concurrent genre reprices (and reprice vs restock/buy)
+     produce real cycles under these seeds. *)
+  check_bool "the tpcw harness produced at least one cycle" true (cycles > 0)
+
+let test_cross_validate_disjoint () =
+  let cycles =
+    cross_validate ~workload:"disjoint" ~init:disjoint_init
+      ~templates:(Builtin.disjoint ()) ~seeds:25
+  in
+  (* The static verdict is "serializable under SI"; by soundness of the
+     analysis the dynamic checker must agree on every run. *)
+  check_int "statically clean workload never produces a cycle" 0 cycles
+
+(* --- Session cross-validation on the replicated system ------------------------ *)
+
+(* Execute tpcw templates through the real replicated system under weak SI
+   (updates at the primary, reads at the session's possibly-stale
+   secondary), with no refresh between a purchase and the session's own
+   re-reads. Every data-dependent in-session inversion the dynamic checker
+   reports must be predicted by a session-pass flag. *)
+let test_session_cross_validation () =
+  let report = Analyzer.run ~workload:"tpcw" (Builtin.tpcw ()) in
+  let templates = Builtin.tpcw () in
+  let find name =
+    List.find (fun (t : Template.t) -> t.Template.name = name) templates
+  in
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Weak () in
+  let client = System.connect sys "shopper" in
+  let executed = ref [] in
+  let run_template name binding =
+    let t = find name in
+    let stmts = Template.instantiate t binding in
+    if t.Template.read_only then
+      System.read sys client (fun h -> exec_all h stmts)
+    else (
+      match System.update sys client (fun h -> exec_all h stmts) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s aborted" name);
+    executed := name :: !executed
+  in
+  (* Seed the store (one update transaction). *)
+  (match
+     System.update sys client (fun h ->
+         exec_all h (parse_init tpcw_init))
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "init aborted");
+  executed := "init" :: !executed;
+  System.pump sys;
+  (* The paper's bookstore session: buy, then immediately check the order
+     and re-read the book at the (stale) secondary. *)
+  run_template "product_detail" [ ("item", Ast.Text "b1") ];
+  run_template "buy_confirm"
+    [
+      ("item", Ast.Text "b1"); ("new_stock", Ast.Int 19);
+      ("order", Ast.Text "o1"); ("cust", Ast.Text "c1");
+    ];
+  run_template "order_status" [ ("cust", Ast.Text "c1") ];
+  run_template "product_detail" [ ("item", Ast.Text "b1") ];
+  System.pump sys;
+  (* Each update/read appends exactly one history record in execution
+     order, so zipping aligns ids with template names. *)
+  let txns = History.transactions (System.history sys) in
+  let order = List.rev !executed in
+  check_int "one history record per executed transaction"
+    (List.length order) (List.length txns);
+  (* Transactions are in completion order, which here equals execution
+     order (each call runs to completion before the next), so zip directly. *)
+  let name_of =
+    List.map2 (fun name (t : History.txn) -> (t.History.id, name)) order txns
+  in
+  let analysis = Checker.analyze (System.history sys) in
+  let inversions = analysis.Checker.inversions_in_session in
+  let data_dependent =
+    List.filter
+      (fun { Checker.earlier; later } ->
+        earlier.History.kind = History.Update
+        && List.exists
+             (fun (k, _) ->
+               List.exists
+                 (fun { Lsr_storage.Wal.key; _ } -> key = k)
+                 earlier.History.writes)
+             later.History.reads)
+      inversions
+  in
+  check_bool "the stale session actually observed an inversion" true
+    (data_dependent <> []);
+  List.iter
+    (fun { Checker.earlier; later } ->
+      let earlier_name = List.assoc earlier.History.id name_of in
+      let later_name = List.assoc later.History.id name_of in
+      check_bool
+        (Printf.sprintf
+           "inversion %s -> %s is predicted by an update-then-read flag"
+           earlier_name later_name)
+        true
+        (List.exists
+           (fun (f : Session_pass.flag) ->
+             f.Session_pass.kind = Session_pass.Update_then_read
+             && f.Session_pass.earlier = earlier_name
+             && f.Session_pass.later = later_name)
+           report.Analyzer.session_flags))
+    data_dependent
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "symbolic",
+        [
+          Alcotest.test_case "region classification" `Quick test_symbolic_regions;
+          Alcotest.test_case "conservative overlap" `Quick test_symbolic_overlap;
+          Alcotest.test_case "params and instantiation" `Quick
+            test_template_params_and_instantiate;
+        ] );
+      ( "sdg",
+        [
+          Alcotest.test_case "write skew flagged" `Quick
+            test_sdg_write_skew_flagged;
+          Alcotest.test_case "disjoint clean" `Quick test_sdg_disjoint_clean;
+          Alcotest.test_case "tpcw pivots on the predicate writer" `Quick
+            test_sdg_tpcw_pivots;
+        ] );
+      ( "session-pass",
+        [
+          Alcotest.test_case "tpcw session flags" `Quick test_session_pass_tpcw;
+          Alcotest.test_case "report JSON round trip" `Quick
+            test_report_json_roundtrip;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "write_skew: cycles covered" `Quick
+            test_cross_validate_write_skew;
+          Alcotest.test_case "tpcw: cycles covered" `Quick
+            test_cross_validate_tpcw;
+          Alcotest.test_case "disjoint: no cycles" `Quick
+            test_cross_validate_disjoint;
+          Alcotest.test_case "session inversions predicted" `Quick
+            test_session_cross_validation;
+        ] );
+    ]

@@ -960,6 +960,33 @@ let test_write_skew_not_serializable () =
   | Some cycle -> check_bool "cycle has >= 2 nodes" true (List.length cycle >= 2)
   | None -> Alcotest.fail "expected a cycle"
 
+(* The same two execution shapes, via the fixtures shared with the static
+   analyzer's cross-validation suite: the cycle the checker reports must
+   consist of exactly the two interleaved sign-off transactions, and the
+   serial execution of the same operations must have no cycle at all. *)
+let test_serialization_cycle_on_fixtures () =
+  let h, mapping = Fixtures.write_skew_history () in
+  (match Checker.serialization_cycle h with
+  | None -> Alcotest.fail "write-skew fixture must have a cycle"
+  | Some cycle ->
+    let names =
+      List.map
+        (fun id ->
+          match List.assoc_opt id mapping with
+          | Some name -> name
+          | None -> Alcotest.failf "cycle names unknown transaction %d" id)
+        cycle
+    in
+    let sorted = List.sort_uniq compare names in
+    Alcotest.(check (list string))
+      "cycle is exactly the two sign-off transactions"
+      [ "check_then_sign_off_x"; "check_then_sign_off_y" ]
+      sorted);
+  let serial, _ = Fixtures.serial_history () in
+  Alcotest.(check bool)
+    "serial execution of the same operations has no cycle" true
+    (Checker.serialization_cycle serial = None)
+
 let test_one_sr_prevents_write_skew () =
   (* The same two on-call doctors, but guarded with the ticket: the second
      committer aborts, and a retried execution preserves the invariant. *)
@@ -1749,6 +1776,8 @@ let () =
             test_serializable_serial_history;
           Alcotest.test_case "write skew not serializable" `Quick
             test_write_skew_not_serializable;
+          Alcotest.test_case "serialization cycle on shared fixtures" `Quick
+            test_serialization_cycle_on_fixtures;
           Alcotest.test_case "ticket prevents write skew" `Quick
             test_one_sr_prevents_write_skew;
           Alcotest.test_case "one_sr run retries" `Quick test_one_sr_run_retries;

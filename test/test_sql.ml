@@ -119,6 +119,22 @@ let test_parse_errors () =
       "SELECT FROM t" (* FROM is reserved: no columns given *);
     ]
 
+(* A non-aggregate element inside an aggregate projection used to crash the
+   parser; it must now report the offending token. *)
+let test_parse_aggregate_offender () =
+  match Parser.parse "SELECT COUNT(*), title FROM books" with
+  | Ok _ -> Alcotest.fail "mixed aggregate/column projection must not parse"
+  | Error msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "names the expected form" true (contains "aggregate");
+    check_bool "names the offending token" true (contains "title")
+
 (* Printer output re-parses to the same statement. *)
 let statement_gen =
   let open QCheck.Gen in
@@ -755,6 +771,36 @@ let test_sql_run_semantic_error_aborts () =
   (* Nothing was committed at the primary. *)
   check_int "no state installed" 0 (Mvcc.commit_count (System.primary_db sys))
 
+(* The typed error API distinguishes error classes structurally and carries
+   the offending statement, so callers (the static analyzer, the bench
+   harness) never have to string-match messages. *)
+let test_sql_typed_errors () =
+  let open Lsr_core in
+  let sys = System.create ~guarantee:Session.Weak () in
+  let c = System.connect sys "c" in
+  (match Sql.run_typed sys c "SELEC nonsense" with
+  | Error (Sql.Syntax_error { statement; message }) ->
+    Alcotest.(check string) "offending statement" "SELEC nonsense" statement;
+    check_bool "has a message" true (String.length message > 0)
+  | Error _ -> Alcotest.fail "expected Syntax_error"
+  | Ok _ -> Alcotest.fail "expected an error");
+  (match Sql.run_typed sys c "INSERT INTO t (a) VALUES (1)" with
+  | Error (Sql.Semantic_error _) -> ()
+  | Error _ -> Alcotest.fail "expected Semantic_error"
+  | Ok _ -> Alcotest.fail "missing pk must fail");
+  (* parse_script stops at the first malformed statement and names it. *)
+  match Sql.parse_script [ "SELECT * FROM t"; "UPDATE t SET" ] with
+  | Error (Sql.Syntax_error { statement; _ }) ->
+    Alcotest.(check string) "script offender" "UPDATE t SET" statement;
+    check_bool "legacy wrapper prefixes the class" true
+      (let msg =
+         Sql.error_message
+           (Sql.Syntax_error { statement; message = "boom" })
+       in
+       String.length msg >= 12 && String.sub msg 0 12 = "syntax error")
+  | Error _ -> Alcotest.fail "expected Syntax_error from parse_script"
+  | Ok _ -> Alcotest.fail "malformed script must not parse"
+
 let () =
   Alcotest.run "lsr_sql"
     [
@@ -773,6 +819,8 @@ let () =
           Alcotest.test_case "update/delete" `Quick test_parse_update_delete;
           Alcotest.test_case "precedence" `Quick test_parse_precedence;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "aggregate offender reported" `Quick
+            test_parse_aggregate_offender;
           QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
         ] );
       ( "executor",
@@ -814,6 +862,7 @@ let () =
           Alcotest.test_case "syntax error" `Quick test_sql_run_syntax_error;
           Alcotest.test_case "semantic error aborts" `Quick
             test_sql_run_semantic_error_aborts;
+          Alcotest.test_case "typed error API" `Quick test_sql_typed_errors;
           Alcotest.test_case "explain plans" `Quick test_explain_plans;
           Alcotest.test_case "nested explain rejected" `Quick
             test_explain_nested_rejected;
