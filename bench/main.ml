@@ -9,8 +9,9 @@
 open Lsr_experiments
 module Obs = Lsr_obs.Obs
 module Obs_json = Lsr_obs.Json
+module Lineage = Lsr_obs.Lineage
 
-let opts ~quick ~seed ~verbose ~obs =
+let opts ~quick ~seed ~verbose ~obs ~lineage =
   {
     Figures.quick;
     seed;
@@ -19,6 +20,7 @@ let opts ~quick ~seed ~verbose ~obs =
        else ignore);
     base_params = None;
     obs;
+    lineage;
   }
 
 let emit ~csv figure =
@@ -64,7 +66,7 @@ let run_ablations opts ~csv ~wanted =
    the performance numbers: the protocol must keep its guarantees (check
    errors = 0) while the retransmission layer pays for the faults in
    staleness and queue depth. *)
-let run_faults ~quick ~seed ~obs =
+let run_faults ~quick ~seed ~obs ~lineage =
   let open Lsr_workload in
   let params =
     {
@@ -91,6 +93,7 @@ let run_faults ~quick ~seed ~obs =
             Sim_system.record_history = true;
             faults;
             obs;
+            lineage;
           }
         in
         let o = Sim_system.run cfg in
@@ -121,7 +124,7 @@ let run_faults ~quick ~seed ~obs =
    the whole observability pipeline: every span phase fires, the counters
    move, and --trace/--metrics produce loadable files in a couple of
    seconds. Used by the `runtest` smoke rule. *)
-let run_smoke ~seed ~obs =
+let run_smoke ~seed ~obs ~lineage =
   let open Lsr_workload in
   let params =
     {
@@ -136,14 +139,17 @@ let run_smoke ~seed ~obs =
     {
       (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
       Sim_system.obs;
+      lineage;
     }
   in
   let o = Sim_system.run cfg in
   Printf.printf
-    "smoke: tput=%.2f reads=%d updates=%d refresh_commits=%d events=%d\n%!"
+    "smoke: tput=%.2f reads=%d updates=%d refresh_commits=%d events=%d \
+     lineage_events=%d\n%!"
     o.Sim_system.throughput_fast o.Sim_system.reads_completed
     o.Sim_system.updates_completed o.Sim_system.refresh_commits
     (Obs.event_count obs)
+    (Lineage.event_count lineage)
 
 (* --- Static SI-anomaly analysis -------------------------------------------- *)
 
@@ -187,7 +193,7 @@ let run_analysis ~csv =
   match csv with
   | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Lsr_obs.Fsutil.mkdir_p dir;
     let file = Filename.concat dir "analysis.json" in
     let text =
       Obs_json.to_string
@@ -404,6 +410,21 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let lineage_arg =
+  let doc =
+    "Record per-transaction causal lineage (primary commit, propagation, \
+     channel faults, refresh) across every run and write it as JSON to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "lineage" ] ~docv:"FILE" ~doc)
+
+let lag_report_arg =
+  let doc =
+    "Print a per-site freshness / propagation-lag table (p50/p95/p99) from \
+     the recorded lineage and write it as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "lag-report" ] ~docv:"FILE" ~doc)
+
 let all_targets =
   [
     "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
@@ -413,14 +434,15 @@ let all_targets =
 
 (* Runnable explicitly but excluded from `all` (extension studies and the
    CI observability smoke run). *)
-let extra_targets = [ "ablate-contention"; "faults"; "smoke"; "analyze" ]
+let extra_targets =
+  [ "ablate-contention"; "fig-staleness"; "faults"; "smoke"; "analyze" ]
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
-     from all): ablate-contention, faults, smoke, analyze."
+     from all): ablate-contention, fig-staleness, faults, smoke, analyze."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -443,7 +465,7 @@ let export what write file =
       file e;
     exit 2
 
-let main quick seed csv verbose trace metrics targets =
+let main quick seed csv verbose trace metrics lineage_file lag_report targets =
   let wanted = List.concat_map expand targets in
   let unknown =
     List.filter
@@ -456,7 +478,11 @@ let main quick seed csv verbose trace metrics targets =
     let obs =
       if trace <> None || metrics <> None then Obs.create () else Obs.null
     in
-    let opts = opts ~quick ~seed ~verbose ~obs in
+    let lineage =
+      if lineage_file <> None || lag_report <> None then Lineage.create ()
+      else Lineage.null
+    in
+    let opts = opts ~quick ~seed ~verbose ~obs ~lineage in
     Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
       (if quick then "quick" else "paper-scale")
       seed;
@@ -466,13 +492,26 @@ let main quick seed csv verbose trace metrics targets =
     if List.exists (fun t -> List.mem t [ "fig5"; "fig6"; "fig7" ]) wanted then
       run_fig567 opts ~csv ~wanted;
     if List.mem "fig8" wanted then run_fig8 opts ~csv;
+    if List.mem "fig-staleness" wanted then
+      emit ~csv (Figures.fig_staleness opts);
     run_ablations opts ~csv ~wanted;
-    if List.mem "faults" wanted then run_faults ~quick ~seed ~obs;
-    if List.mem "smoke" wanted then run_smoke ~seed ~obs;
+    if List.mem "faults" wanted then run_faults ~quick ~seed ~obs ~lineage;
+    if List.mem "smoke" wanted then run_smoke ~seed ~obs ~lineage;
     if List.mem "analyze" wanted then run_analysis ~csv;
     if List.mem "micro" wanted then run_micro ();
     Option.iter (export "trace" (Obs.write_trace obs)) trace;
     Option.iter (export "metrics" (Obs.write_metrics obs)) metrics;
+    Option.iter (export "lineage" (Lineage.write lineage)) lineage_file;
+    Option.iter
+      (fun file ->
+        let rows = Lag_report.of_lineage lineage in
+        Printf.printf
+          "\n== Per-site freshness / propagation lag (virtual seconds) ==\n\
+           %s\n\
+           %!"
+          (Lag_report.render rows);
+        export "lag report" (Lag_report.write rows) file)
+      lag_report;
     `Ok ()
 
 let cmd =
@@ -485,6 +524,6 @@ let cmd =
     Term.(
       ret
         (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ trace_arg
-       $ metrics_arg $ targets_arg))
+       $ metrics_arg $ lineage_arg $ lag_report_arg $ targets_arg))
 
 let () = exit (Cmd.eval cmd)

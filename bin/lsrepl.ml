@@ -379,8 +379,9 @@ let analyze_cmd =
 
 (* --- trace ----------------------------------------------------------------------- *)
 
-let trace guarantee seed steps =
-  let sys = System.create ~secondaries:2 ~guarantee () in
+let trace guarantee seed steps txn_id =
+  let lineage = Lsr_obs.Lineage.create () in
+  let sys = System.create ~secondaries:2 ~guarantee ~lineage () in
   let clients = Array.init 3 (fun i -> System.connect sys (Printf.sprintf "c%d" i)) in
   let rng = Lsr_sim.Rng.create seed in
   for _ = 1 to steps do
@@ -395,30 +396,61 @@ let trace guarantee seed steps =
     | _ -> System.pump sys
   done;
   System.pump sys;
-  print_endline "recorded history (completion order):";
-  List.iter
-    (fun txn -> Format.printf "  %a@." History.pp_txn txn)
-    (History.transactions (System.history sys));
-  let report = Checker.analyze (System.history sys) in
-  Printf.printf
-    "\nweak-SI violations: %d\ninversions (all): %d\ninversions (in-session): %d\n"
-    (List.length report.Checker.weak_si_violations)
-    (List.length report.Checker.inversions_all)
-    (List.length report.Checker.inversions_in_session);
-  List.iter
-    (fun inv -> Format.printf "  %a@." Checker.pp_inversion inv)
-    report.Checker.inversions_in_session;
-  Printf.printf "guarantee %s satisfied: %b\n"
-    (Session.guarantee_name guarantee)
-    (Checker.satisfies guarantee report)
+  let traced () =
+    String.concat ", "
+      (List.map string_of_int (Lsr_obs.Lineage.txns lineage))
+  in
+  match txn_id with
+  | Some id -> (
+    match Lsr_obs.Lineage.journey lineage ~txn:id with
+    | [] ->
+      Printf.printf
+        "no lineage recorded for transaction %d (traced update txns: %s)\n" id
+        (traced ());
+      exit 1
+    | events ->
+      Printf.printf "causal journey of update transaction %d:\n" id;
+      List.iter
+        (fun ev -> Format.printf "  %a@." Lsr_obs.Lineage.pp_event ev)
+        events)
+  | None ->
+    print_endline "recorded history (completion order):";
+    List.iter
+      (fun txn -> Format.printf "  %a@." History.pp_txn txn)
+      (History.transactions (System.history sys));
+    let report = Checker.analyze (System.history sys) in
+    Printf.printf
+      "\nweak-SI violations: %d\ninversions (all): %d\ninversions (in-session): %d\n"
+      (List.length report.Checker.weak_si_violations)
+      (List.length report.Checker.inversions_all)
+      (List.length report.Checker.inversions_in_session);
+    List.iter
+      (fun inv -> Format.printf "  %a@." Checker.pp_inversion inv)
+      report.Checker.inversions_in_session;
+    Printf.printf "guarantee %s satisfied: %b\n"
+      (Session.guarantee_name guarantee)
+      (Checker.satisfies guarantee report);
+    Printf.printf
+      "\ntraced update transactions: %s\n\
+       (rerun as `lsrepl trace <id>` with the same seed to print one \
+       transaction's causal journey)\n"
+      (traced ())
 
 let trace_cmd =
   let steps =
     Arg.(value & opt int 25 & info [ "steps"; "n" ] ~doc:"Workload steps.")
   in
+  let txn_id =
+    let doc =
+      "Primary transaction id to trace: print that transaction's causal \
+       journey (primary commit, shipping, per-site refresh) instead of the \
+       full history."
+    in
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"TXN-ID" ~doc)
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a random workload and dump the checked history")
-    Term.(const trace $ guarantee_arg $ seed_arg $ steps)
+    Term.(const trace $ guarantee_arg $ seed_arg $ steps $ txn_id)
 
 let () =
   let info =

@@ -9,6 +9,7 @@ let wal t = Mvcc.wal t.db
 type 'a outcome =
   | Committed of {
       value : 'a;
+      txn : int;
       commit_ts : Timestamp.t;
       snapshot : Timestamp.t;
       writes : Wal.update list;
@@ -31,7 +32,8 @@ let execute t ?(force_abort = false) body =
   else begin
     let writes = Mvcc.pending_writes txn in
     match Mvcc.commit t.db txn with
-    | Mvcc.Committed commit_ts -> Committed { value; commit_ts; snapshot; writes }
+    | Mvcc.Committed commit_ts ->
+      Committed { value; txn = Mvcc.txn_id txn; commit_ts; snapshot; writes }
     | Mvcc.Aborted reason -> Aborted reason
   end
 

@@ -19,6 +19,9 @@ val wal : t -> Wal.t
 type 'a outcome =
   | Committed of {
       value : 'a;
+      txn : int;
+          (** the primary MVCC transaction id — the trace id every
+              propagated record (and lineage event) carries *)
       commit_ts : Timestamp.t;
       snapshot : Timestamp.t;
       writes : Wal.update list;  (** the effective writeset installed *)

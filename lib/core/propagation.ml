@@ -7,18 +7,21 @@ type t = {
   (* Per-transaction accumulated updates (newest first), per Algorithm 3.1's
      update lists. *)
   update_lists : (int, Wal.update list) Hashtbl.t;
+  lineage : Lsr_obs.Lineage.t;
   c_polls : Lsr_obs.Obs.counter;
   c_shipped : Lsr_obs.Obs.counter;
   g_in_flight : Lsr_obs.Obs.gauge;
 }
 
-let create ?from ?(ship_aborted = false) ?(obs = Lsr_obs.Obs.null) wal =
+let create ?from ?(ship_aborted = false) ?(obs = Lsr_obs.Obs.null)
+    ?(lineage = Lsr_obs.Lineage.null) wal =
   let cursor = match from with Some o -> o | None -> Wal.length wal in
   {
     wal;
     cursor;
     ship_aborted;
     update_lists = Hashtbl.create 64;
+    lineage;
     c_polls = Lsr_obs.Obs.counter obs "propagation.polls";
     c_shipped = Lsr_obs.Obs.counter obs "propagation.records_shipped";
     g_in_flight = Lsr_obs.Obs.gauge obs "propagation.in_flight";
@@ -70,6 +73,17 @@ let poll t =
   let entries, next = Wal.read_from t.wal t.cursor in
   t.cursor <- next;
   let records = List.filter_map (record_of_entry t) entries in
+  if Lsr_obs.Lineage.enabled t.lineage then
+    List.iter
+      (fun record ->
+        match record with
+        | Txn_record.Start_rec { txn; _ } ->
+          Lsr_obs.Lineage.emit t.lineage ~txn Lsr_obs.Lineage.Batched
+        | Txn_record.Commit_rec { txn; updates; _ } ->
+          Lsr_obs.Lineage.emit t.lineage ~txn
+            (Lsr_obs.Lineage.Shipped { updates = List.length updates })
+        | Txn_record.Abort_rec _ -> ())
+      records;
   Lsr_obs.Obs.incr t.c_polls;
   Lsr_obs.Obs.incr t.c_shipped ~by:(List.length records);
   Lsr_obs.Obs.set_gauge t.g_in_flight

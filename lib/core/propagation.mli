@@ -19,8 +19,16 @@ type t
     abort records — the "simple method" of §3.2 whose wasted secondary work
     the ablation benchmarks quantify. [obs] receives the counters
     [propagation.polls] / [propagation.records_shipped] and the
-    [propagation.in_flight] gauge. *)
-val create : ?from:int -> ?ship_aborted:bool -> ?obs:Lsr_obs.Obs.t -> Wal.t -> t
+    [propagation.in_flight] gauge. [lineage] receives a [Batched] event when
+    a transaction's start record is picked up and a [Shipped] event when its
+    squashed commit record leaves the propagator. *)
+val create :
+  ?from:int ->
+  ?ship_aborted:bool ->
+  ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
+  Wal.t ->
+  t
 
 (** [poll t] consumes the log entries appended since the last poll and
     returns the records to broadcast, in order. *)

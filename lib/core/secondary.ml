@@ -15,6 +15,7 @@ type applicator = {
 }
 
 type t = {
+  name : string;
   db : Mvcc.t;
   update_queue : Txn_record.t Queue.t;
   pending : Timestamp.t Queue.t;
@@ -28,6 +29,7 @@ type t = {
   mutable seq_dbsec : Timestamp.t;
   on_refresh_commit : Timestamp.t -> unit;
   (* Observability (no-ops unless an enabled registry is supplied). *)
+  lineage : Lsr_obs.Lineage.t;
   c_started : Lsr_obs.Obs.counter;
   c_committed : Lsr_obs.Obs.counter;
   c_aborted : Lsr_obs.Obs.counter;
@@ -42,10 +44,11 @@ type refresher_outcome =
   | Blocked_on_pending
   | Idle
 
-let make ~name ~obs db on_refresh_commit =
+let make ~name ~obs ~lineage db on_refresh_commit =
   let module Obs = Lsr_obs.Obs in
   let inst fmt suffix = Printf.sprintf fmt name suffix in
   {
+    name;
     db;
     update_queue = Queue.create ();
     pending = Queue.create ();
@@ -53,6 +56,7 @@ let make ~name ~obs db on_refresh_commit =
     applicators = Queue.create ();
     seq_dbsec = Timestamp.zero;
     on_refresh_commit;
+    lineage;
     c_started = Obs.counter obs (inst "%s.refresh_%s" "started");
     c_committed = Obs.counter obs (inst "%s.refresh_%s" "committed");
     c_aborted = Obs.counter obs (inst "%s.refresh_%s" "aborted");
@@ -61,17 +65,24 @@ let make ~name ~obs db on_refresh_commit =
   }
 
 let create ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
-    ?(on_refresh_commit = fun _ -> ()) () =
-  make ~name ~obs (Mvcc.create ~name ()) on_refresh_commit
+    ?(lineage = Lsr_obs.Lineage.null) ?(on_refresh_commit = fun _ -> ()) () =
+  make ~name ~obs ~lineage (Mvcc.create ~name ()) on_refresh_commit
 
 let create_from ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
-    ?(on_refresh_commit = fun _ -> ()) backup =
-  make ~name ~obs (Mvcc.restore ~name backup) on_refresh_commit
+    ?(lineage = Lsr_obs.Lineage.null) ?(on_refresh_commit = fun _ -> ())
+    backup =
+  make ~name ~obs ~lineage (Mvcc.restore ~name backup) on_refresh_commit
 
 let db t = t.db
+let name t = t.name
 
 let enqueue t record =
   Queue.add record t.update_queue;
+  (if Lsr_obs.Lineage.enabled t.lineage then
+     match record with
+     | Txn_record.Commit_rec { txn; _ } ->
+       Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn Lsr_obs.Lineage.Enqueued
+     | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> ());
   Lsr_obs.Obs.set_gauge t.g_update_queue
     (float_of_int (Queue.length t.update_queue))
 let seq_dbsec t = t.seq_dbsec
@@ -88,6 +99,9 @@ let refresher_step t =
         (float_of_int (Queue.length t.update_queue));
       let refresh = Mvcc.begin_txn t.db in
       Hashtbl.replace t.refresh_txns txn refresh;
+      if Lsr_obs.Lineage.enabled t.lineage then
+        Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn
+          Lsr_obs.Lineage.Refresh_started;
       Lsr_obs.Obs.incr t.c_started;
       Started txn
     end
@@ -164,6 +178,9 @@ let applicator_step t app =
           in
           Queue.clear t.applicators;
           Queue.transfer keep t.applicators);
+        if Lsr_obs.Lineage.enabled t.lineage then
+          Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn:app.primary_txn
+            (Lsr_obs.Lineage.Refresh_committed { commit_ts = app.commit_ts });
         Lsr_obs.Obs.incr t.c_committed;
         t.on_refresh_commit app.commit_ts;
         Committed app.commit_ts

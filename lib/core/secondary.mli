@@ -40,10 +40,13 @@ exception Refresh_conflict of { txn : int; key : string }
     read-only transactions). [obs] receives per-site counters and queue-depth
     gauges named [<name>.refresh_started/committed/aborted],
     [<name>.update_queue_depth] and [<name>.pending_depth]; the default
-    {!Lsr_obs.Obs.null} makes every bump a no-op. *)
+    {!Lsr_obs.Obs.null} makes every bump a no-op. [lineage] receives
+    [Enqueued] (commit record entered the update queue), [Refresh_started]
+    and [Refresh_committed] events tagged with this site's [name]. *)
 val create :
   ?name:string ->
   ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
   ?on_refresh_commit:(Timestamp.t -> unit) ->
   unit ->
   t
@@ -55,12 +58,16 @@ val create :
 val create_from :
   ?name:string ->
   ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
   ?on_refresh_commit:(Timestamp.t -> unit) ->
   string ->
   t
 
 (** The local database copy. *)
 val db : t -> Mvcc.t
+
+(** The site name given at creation (tags this site's lineage events). *)
+val name : t -> string
 
 (** [enqueue t record] appends a propagated record to the update queue
     (records must arrive in primary log order; the channel is FIFO). *)

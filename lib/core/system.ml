@@ -24,6 +24,7 @@ type t = {
   history : History.t;
   schema : (string * string list) list;
   obs : Lsr_obs.Obs.t;
+  lineage : Lsr_obs.Lineage.t;
   c_commits : Lsr_obs.Obs.counter;
   c_aborts : Lsr_obs.Obs.counter;
   c_reads : Lsr_obs.Obs.counter;
@@ -33,26 +34,28 @@ type t = {
 
 type client = { label : string; secondary : int }
 
-let make_slot ~obs ?faults i =
+let make_slot ~obs ~lineage ?faults i =
   {
-    site = Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ~obs ();
+    site =
+      Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ~obs ~lineage ();
     crashed = false;
     clean = true;
     channel = Option.map (fun f -> f i) faults;
   }
 
 let create ?(secondaries = 1) ?(schema = []) ?faults
-    ?(obs = Lsr_obs.Obs.null) ~guarantee () =
+    ?(obs = Lsr_obs.Obs.null) ?(lineage = Lsr_obs.Lineage.null) ~guarantee () =
   if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
   let primary = Primary.create () in
   {
     primary;
-    propagator = Propagation.create ~from:0 ~obs (Primary.wal primary);
-    slots = Array.init secondaries (make_slot ~obs ?faults);
+    propagator = Propagation.create ~from:0 ~obs ~lineage (Primary.wal primary);
+    slots = Array.init secondaries (make_slot ~obs ~lineage ?faults);
     sessions = Session.create guarantee;
     history = History.create ();
     schema;
     obs;
+    lineage;
     c_commits = Lsr_obs.Obs.counter obs "system.update_commits";
     c_aborts = Lsr_obs.Obs.counter obs "system.update_aborts";
     c_reads = Lsr_obs.Obs.counter obs "system.reads";
@@ -176,8 +179,12 @@ let update t client ?force_abort body =
     body h
   in
   match Primary.execute t.primary ?force_abort wrapped with
-  | Primary.Committed { value; commit_ts; snapshot; writes } ->
+  | Primary.Committed { value; txn; commit_ts; snapshot; writes } ->
     Lsr_obs.Obs.incr t.c_commits;
+    if Lsr_obs.Lineage.enabled t.lineage then
+      Lsr_obs.Lineage.emit t.lineage ~txn
+        (Lsr_obs.Lineage.Primary_commit
+           { commit_ts; updates = List.length writes });
     Session.note_update_commit t.sessions ~label:client.label ~commit_ts;
     let finished = History.tick t.history in
     let reads =
@@ -226,6 +233,9 @@ let run_read t client body =
   let db = Secondary.db s.site in
   let first_op = History.tick t.history in
   let snapshot = Secondary.seq_dbsec s.site in
+  if Lsr_obs.Lineage.enabled t.lineage then
+    Lsr_obs.Lineage.sample_read t.lineage
+      ~site:(Secondary.name s.site) ~snapshot;
   Session.note_read t.sessions ~label:client.label ~snapshot;
   let txn = Mvcc.begin_txn db in
   let h = Handle.make ~schema:t.schema db txn in
@@ -296,7 +306,7 @@ let recover_secondary t i =
   let fresh =
     Secondary.create_from
       ~name:(Printf.sprintf "secondary-%d" i)
-      ~obs:t.obs backup
+      ~obs:t.obs ~lineage:t.lineage backup
   in
   (* ... and reinitialize seq(DBsec) from a dummy transaction's view of the
      primary's latest committed state (§4). *)

@@ -46,11 +46,17 @@ type channel = {
     FIFO channel and behaviour is unchanged. [obs], when given an enabled
     registry, is threaded to the propagator and every secondary and receives
     the system counters [system.update_commits] / [system.update_aborts] /
-    [system.reads]; the default {!Lsr_obs.Obs.null} costs nothing. *)
+    [system.reads]; the default {!Lsr_obs.Obs.null} costs nothing.
+    [lineage], when given an enabled sink, is threaded the same way: the
+    primary emits a [Primary_commit] event per committed update transaction
+    (trace id = primary MVCC txn id), the propagator and every secondary
+    append the journey stages, and each read-only transaction contributes a
+    freshness sample for its site (see {!Lsr_obs.Lineage}). *)
 val create :
   ?secondaries:int -> ?schema:(string * string list) list ->
   ?faults:(int -> channel) ->
   ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
   guarantee:Session.guarantee -> unit -> t
 
 val guarantee : t -> Session.guarantee

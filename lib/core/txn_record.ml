@@ -8,6 +8,11 @@ type t =
 let txn = function
   | Start_rec { txn; _ } | Commit_rec { txn; _ } | Abort_rec { txn; _ } -> txn
 
+let kind_name = function
+  | Start_rec _ -> "start"
+  | Commit_rec _ -> "commit"
+  | Abort_rec _ -> "abort"
+
 let pp ppf = function
   | Start_rec { txn; start_ts } ->
     Format.fprintf ppf "start(T%d)@%a" txn Timestamp.pp start_ts

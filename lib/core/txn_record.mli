@@ -17,4 +17,9 @@ type t =
           can model executing and then discarding them. *)
 
 val txn : t -> int
+
+(** ["start"], ["commit"] or ["abort"] — the record tag alone, used by the
+    fault channel to label lineage events without rendering payloads. *)
+val kind_name : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -42,6 +42,10 @@ type run_opts = {
       (** attached to every simulation run of the sweep; counters and
           histograms then aggregate across all runs of the sweep. Default
           {!Lsr_obs.Obs.null}. *)
+  lineage : Lsr_obs.Lineage.t;
+      (** lineage sink attached to every run of the sweep (journeys and
+          freshness samples accumulate across runs). Default
+          {!Lsr_obs.Lineage.null}. *)
 }
 
 val default_opts : run_opts
@@ -58,6 +62,12 @@ val fig5_6_7 : run_opts -> figure * figure * figure
 (** Figure 8: throughput vs number of secondaries under the 95/5 browsing
     mix. *)
 val fig8 : run_opts -> figure
+
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): p95 read snapshot age vs number of clients —
+    staleness as experienced by read-only transactions, from the freshness
+    observer's per-read samples. *)
+val fig_staleness : run_opts -> figure
 
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)

@@ -1,0 +1,101 @@
+open Lsr_stats
+module Lineage = Lsr_obs.Lineage
+module Json = Lsr_obs.Json
+
+type row = {
+  site : string;
+  reads : int;
+  age_p50 : float;
+  age_p95 : float;
+  age_p99 : float;
+  missed_mean : float;
+  missed_max : int;
+  refreshes : int;
+  lag_p50 : float;
+  lag_p95 : float;
+  lag_p99 : float;
+}
+
+let row_of_site lineage site =
+  let fresh = Lineage.freshness_samples lineage ~site in
+  let lags = Lineage.refresh_lags lineage ~site in
+  let age_hist = Histogram.create () in
+  let lag_hist = Histogram.create () in
+  let missed_sum = ref 0 in
+  let missed_max = ref 0 in
+  List.iter
+    (fun f ->
+      Histogram.record age_hist f.Lineage.age;
+      missed_sum := !missed_sum + f.Lineage.missed;
+      if f.Lineage.missed > !missed_max then missed_max := f.Lineage.missed)
+    fresh;
+  List.iter (Histogram.record lag_hist) lags;
+  let reads = List.length fresh in
+  {
+    site;
+    reads;
+    age_p50 = Histogram.median age_hist;
+    age_p95 = Histogram.p95 age_hist;
+    age_p99 = Histogram.p99 age_hist;
+    missed_mean =
+      (if reads = 0 then 0. else float_of_int !missed_sum /. float_of_int reads);
+    missed_max = !missed_max;
+    refreshes = List.length lags;
+    lag_p50 = Histogram.median lag_hist;
+    lag_p95 = Histogram.p95 lag_hist;
+    lag_p99 = Histogram.p99 lag_hist;
+  }
+
+let of_lineage lineage =
+  List.map (row_of_site lineage) (Lineage.sites lineage)
+
+let header =
+  [
+    "site"; "reads"; "age p50"; "age p95"; "age p99"; "missed mean";
+    "missed max"; "refreshes"; "lag p50"; "lag p95"; "lag p99";
+  ]
+
+let render rows =
+  let cells r =
+    [
+      r.site;
+      string_of_int r.reads;
+      Table_fmt.float_cell r.age_p50;
+      Table_fmt.float_cell r.age_p95;
+      Table_fmt.float_cell r.age_p99;
+      Table_fmt.float_cell r.missed_mean;
+      string_of_int r.missed_max;
+      string_of_int r.refreshes;
+      Table_fmt.float_cell r.lag_p50;
+      Table_fmt.float_cell r.lag_p95;
+      Table_fmt.float_cell r.lag_p99;
+    ]
+  in
+  Table_fmt.render ~header (List.map cells rows)
+
+let to_json rows =
+  let row_json r =
+    Json.Obj
+      [
+        ("site", Json.Str r.site);
+        ("reads", Json.Num (float_of_int r.reads));
+        ("age_p50", Json.Num r.age_p50);
+        ("age_p95", Json.Num r.age_p95);
+        ("age_p99", Json.Num r.age_p99);
+        ("missed_mean", Json.Num r.missed_mean);
+        ("missed_max", Json.Num (float_of_int r.missed_max));
+        ("refreshes", Json.Num (float_of_int r.refreshes));
+        ("lag_p50", Json.Num r.lag_p50);
+        ("lag_p95", Json.Num r.lag_p95);
+        ("lag_p99", Json.Num r.lag_p99);
+      ]
+  in
+  Json.Obj [ ("sites", Json.Arr (List.map row_json rows)) ]
+
+let json_string rows = Json.to_string (to_json rows)
+
+let write rows ~file =
+  Lsr_obs.Fsutil.ensure_parent file;
+  let oc = open_out file in
+  output_string oc (json_string rows);
+  close_out oc

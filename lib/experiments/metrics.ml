@@ -15,6 +15,9 @@ type t = {
   staleness : Stat.t;
   mutable refreshes : int;
   mutable wasted : int;
+  read_age : Stat.t;
+  read_age_hist : Lsr_stats.Histogram.t;
+  read_missed : Stat.t;
 }
 
 let create ~warmup ~cap =
@@ -33,6 +36,9 @@ let create ~warmup ~cap =
     staleness = Stat.create ();
     refreshes = 0;
     wasted = 0;
+    read_age = Stat.create ();
+    read_age_hist = Lsr_stats.Histogram.create ();
+    read_missed = Stat.create ();
   }
 
 let measuring t now = now > t.warmup
@@ -68,6 +74,13 @@ let note_refresh t ~now ~staleness =
 
 let note_wasted_ops t ~now n = if measuring t now then t.wasted <- t.wasted + n
 
+let note_read_freshness t ~now ~age ~missed =
+  if measuring t now then begin
+    Stat.record t.read_age age;
+    Lsr_stats.Histogram.record t.read_age_hist age;
+    Stat.record t.read_missed (float_of_int missed)
+  end
+
 let fast_completions t = t.fast
 let read_rt t = t.read_rt
 let update_rt t = t.update_rt
@@ -80,3 +93,6 @@ let block_wait t = t.block_wait
 let refresh_staleness t = t.staleness
 let refresh_commits t = t.refreshes
 let wasted_ops t = t.wasted
+let read_age t = t.read_age
+let read_age_hist t = t.read_age_hist
+let read_missed t = t.read_missed

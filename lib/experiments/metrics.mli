@@ -30,6 +30,13 @@ val note_refresh : t -> now:float -> staleness:float -> unit
 
 val note_wasted_ops : t -> now:float -> int -> unit
 
+(** [note_read_freshness t ~now ~age ~missed] — a read-only transaction took
+    its snapshot; [age] is the virtual-time age of the newest primary commit
+    the snapshot reflects (0 when the site was fully caught up) and [missed]
+    the number of committed-but-unapplied primary transactions at that
+    moment (the freshness definition of docs/TRACING.md). *)
+val note_read_freshness : t -> now:float -> age:float -> missed:int -> unit
+
 (** {2 Reduction} *)
 
 (** Transactions finishing within the cap, post warm-up. *)
@@ -49,3 +56,9 @@ val block_wait : t -> Stat.t
 val refresh_staleness : t -> Stat.t
 val refresh_commits : t -> int
 val wasted_ops : t -> int
+val read_age : t -> Stat.t
+
+(** Full snapshot-age distribution (for percentile reporting). *)
+val read_age_hist : t -> Lsr_stats.Histogram.t
+
+val read_missed : t -> Stat.t

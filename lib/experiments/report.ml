@@ -75,7 +75,7 @@ let csv_of_figure (figure : Figures.figure) =
   Buffer.contents buf
 
 let write_csv ~dir figure =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Lsr_obs.Fsutil.mkdir_p dir;
   let path = Filename.concat dir (figure.Figures.id ^ ".csv") in
   let oc = open_out path in
   output_string oc (csv_of_figure figure);

@@ -15,6 +15,7 @@ type config = {
   faults : Lsr_faults.Channel.config option;
   fault_tick : float;
   obs : Obs.t;
+  lineage : Lsr_obs.Lineage.t;
 }
 
 let config params guarantee ~seed =
@@ -29,6 +30,7 @@ let config params guarantee ~seed =
     faults = None;
     fault_tick = 1.0;
     obs = Obs.null;
+    lineage = Lsr_obs.Lineage.null;
   }
 
 type outcome = {
@@ -46,6 +48,11 @@ type outcome = {
   refresh_staleness_mean : float;
   refresh_commits : int;
   wasted_ops : int;
+  read_age_mean : float;
+  read_age_p50 : float;
+  read_age_p95 : float;
+  read_age_p99 : float;
+  read_missed_mean : float;
   primary_utilization : float;
   secondary_utilization : float;
   check_errors : string list;
@@ -57,6 +64,7 @@ type outcome = {
 
 type sec_site = {
   index : int;
+  site_name : string;
   sec : Secondary.t;
   res : Resource.t;
   queue_cond : Condition.t;  (* signalled when records arrive *)
@@ -81,6 +89,8 @@ type instruments = {
   h_update_rt : Obs.histogram;
   h_staleness : Obs.histogram;
   h_block_wait : Obs.histogram;
+  h_read_age : Obs.histogram;
+  h_read_missed : Obs.histogram;
 }
 
 let instruments obs =
@@ -93,6 +103,8 @@ let instruments obs =
     h_update_rt = Obs.histogram obs "client.update_rt";
     h_staleness = Obs.histogram obs "refresh.staleness";
     h_block_wait = Obs.histogram obs "client.block_wait";
+    h_read_age = Obs.histogram obs "client.read_age";
+    h_read_missed = Obs.histogram obs "client.read_missed";
   }
 
 type state = {
@@ -108,6 +120,11 @@ type state = {
   history : History.t;  (* used only when cfg.record_history *)
   (* Primary commit timestamp -> virtual commit time, for staleness. *)
   commit_times : (Timestamp.t, float) Hashtbl.t;
+  (* Primary commit timestamp -> 1-based commit ordinal, plus the running
+     commit count, for the read-freshness metrics (always maintained: the
+     outcome reports freshness whether or not a lineage sink is attached). *)
+  commit_ord : (Timestamp.t, int) Hashtbl.t;
+  mutable commit_count : int;
   jitter_rng : Rng.t;
   mutable label_counter : int;
 }
@@ -116,19 +133,19 @@ let make_site cfg eng fault_rng index =
   let queue_cond = Condition.create () in
   let pending_cond = Condition.create () in
   let session_cond = Condition.create () in
+  let site_name = Printf.sprintf "secondary-%d" index in
   let sec =
-    Secondary.create
-      ~name:(Printf.sprintf "secondary-%d" index)
-      ~obs:cfg.obs ()
+    Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage ()
   in
   let chan =
     Option.map
       (fun fc ->
-        Lsr_faults.Channel.create ~config:fc ~obs:cfg.obs
-          ~rng:(Rng.split fault_rng) ())
+        Lsr_faults.Channel.create ~config:fc ~obs:cfg.obs ~lineage:cfg.lineage
+          ~name:site_name ~rng:(Rng.split fault_rng) ())
       cfg.faults
   in
-  { index; sec; res = Resource.create eng ~discipline:Resource.Processor_sharing;
+  { index; site_name; sec;
+    res = Resource.create eng ~discipline:Resource.Processor_sharing;
     queue_cond; pending_cond; session_cond; last_delivery = 0.; chan;
     trk_refresher = Printf.sprintf "site-%d/refresher" index;
     trk_applicators = Printf.sprintf "site-%d/applicators" index;
@@ -315,6 +332,12 @@ let execute_update st rng label spec =
       match Mvcc.commit pdb txn with
       | Mvcc.Committed commit_ts ->
         Hashtbl.replace st.commit_times commit_ts (Engine.now st.eng);
+        st.commit_count <- st.commit_count + 1;
+        Hashtbl.replace st.commit_ord commit_ts st.commit_count;
+        if Lsr_obs.Lineage.enabled st.cfg.lineage then
+          Lsr_obs.Lineage.emit st.cfg.lineage ~txn:(Mvcc.txn_id txn)
+            (Lsr_obs.Lineage.Primary_commit
+               { commit_ts; updates = List.length writes });
         Session.note_update_commit st.sessions ~label ~commit_ts;
         if st.cfg.record_history then
           History.add st.history
@@ -365,6 +388,28 @@ let execute_read st site label spec =
   end;
   let first_op = History.tick st.history in
   let snapshot = Secondary.seq_dbsec site.sec in
+  (* Freshness of the snapshot this read is about to use: how old its newest
+     reflected primary commit is, and how many commits it misses. Always
+     computed (the outcome reports it); the lineage sink gets the same
+     sample when attached. *)
+  let now = Engine.now st.eng in
+  let reflected =
+    if snapshot <= 0 then 0
+    else Option.value ~default:0 (Hashtbl.find_opt st.commit_ord snapshot)
+  in
+  let missed = st.commit_count - reflected in
+  let age =
+    if missed = 0 then 0.
+    else
+      match Hashtbl.find_opt st.commit_times snapshot with
+      | Some committed_at -> now -. committed_at
+      | None -> now
+  in
+  Metrics.note_read_freshness st.metrics ~now ~age ~missed;
+  Obs.observe st.ins.h_read_age age;
+  Obs.observe st.ins.h_read_missed (float_of_int missed);
+  if Lsr_obs.Lineage.enabled st.cfg.lineage then
+    Lsr_obs.Lineage.sample_read st.cfg.lineage ~site:site.site_name ~snapshot;
   Session.note_read st.sessions ~label ~snapshot;
   let txn = Mvcc.begin_txn sdb in
   let reads = ref [] in
@@ -441,6 +486,12 @@ let client_process st site rng () =
 let run cfg =
   let p = cfg.params in
   let eng = Engine.create () in
+  (* Lineage events are stamped with virtual time. Binding the clock only
+     reads the engine; it cannot feed back into the run. Each run is a new
+     epoch: commit timestamps and txn ids restart with the simulation, so
+     the sink's freshness bookkeeping must restart too. *)
+  Lsr_obs.Lineage.set_clock cfg.lineage (fun () -> Engine.now eng);
+  Lsr_obs.Lineage.new_epoch cfg.lineage;
   let primary = Primary.create () in
   let st =
     {
@@ -450,7 +501,7 @@ let run cfg =
       primary_res = Resource.create eng ~discipline:Resource.Processor_sharing;
       propagator =
         Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted ~obs:cfg.obs
-          (Primary.wal primary);
+          ~lineage:cfg.lineage (Primary.wal primary);
       sites =
         Array.init p.Params.num_secondaries
           (make_site cfg eng (Rng.create (cfg.seed lxor 0xFA17)));
@@ -459,6 +510,8 @@ let run cfg =
       ins = instruments cfg.obs;
       history = History.create ();
       commit_times = Hashtbl.create 4096;
+      commit_ord = Hashtbl.create 4096;
+      commit_count = 0;
       jitter_rng = Rng.create (cfg.seed lxor 0x5EED);
       label_counter = 0;
     }
@@ -538,6 +591,12 @@ let run cfg =
     refresh_staleness_mean = Stat.mean (Metrics.refresh_staleness m);
     refresh_commits = Metrics.refresh_commits m;
     wasted_ops = Metrics.wasted_ops m;
+    read_age_mean = Stat.mean (Metrics.read_age m);
+    read_age_p50 =
+      Lsr_stats.Histogram.median (Metrics.read_age_hist m);
+    read_age_p95 = Lsr_stats.Histogram.p95 (Metrics.read_age_hist m);
+    read_age_p99 = Lsr_stats.Histogram.p99 (Metrics.read_age_hist m);
+    read_missed_mean = Stat.mean (Metrics.read_missed m);
     primary_utilization = Resource.busy_time st.primary_res /. p.Params.duration;
     secondary_utilization;
     check_errors;

@@ -55,6 +55,13 @@ type config = {
           {!Lsr_obs.Obs.null} records nothing and costs nothing; attaching
           an enabled registry never changes simulation outcomes (all
           timestamps are virtual, no instrument feeds back into the run) *)
+  lineage : Lsr_obs.Lineage.t;
+      (** causal lineage sink: one virtual-time-stamped event per pipeline
+          stage of every committed update transaction (primary commit,
+          propagation, fault-channel misbehaviour, per-site refresh) plus a
+          freshness sample per read-only transaction. Same rules as [obs]:
+          the default {!Lsr_obs.Lineage.null} costs nothing and an enabled
+          sink never changes outcomes. *)
 }
 
 (** [config params guarantee ~seed] with ablations off, no recording, no
@@ -81,6 +88,15 @@ type outcome = {
       (** seconds between an update's primary commit and its refresh commit *)
   refresh_commits : int;
   wasted_ops : int;  (** update operations executed for aborted transactions *)
+  read_age_mean : float;
+      (** mean snapshot age over read-only transactions: the virtual-time
+          age of the newest primary commit each read's snapshot reflected
+          (0 for a read at a fully caught-up site) *)
+  read_age_p50 : float;
+  read_age_p95 : float;  (** the y-axis of the staleness-vs-load figure *)
+  read_age_p99 : float;
+  read_missed_mean : float;
+      (** mean committed-but-unapplied primary transactions per read *)
   primary_utilization : float;
   secondary_utilization : float;  (** mean over secondaries *)
   check_errors : string list;

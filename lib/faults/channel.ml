@@ -178,9 +178,12 @@ type t = {
   ooo : (int, Txn_record.t) Hashtbl.t;
   mutable s : stats;
   oc : obs_counters;
+  lineage : Lsr_obs.Lineage.t;
+  lname : string option; (* site this channel feeds, for lineage events *)
 }
 
-let create ?(config = default) ?(obs = Lsr_obs.Obs.null) ~rng () =
+let create ?(config = default) ?(obs = Lsr_obs.Obs.null)
+    ?(lineage = Lsr_obs.Lineage.null) ?name ~rng () =
   validate config;
   {
     cfg = config;
@@ -194,7 +197,15 @@ let create ?(config = default) ?(obs = Lsr_obs.Obs.null) ~rng () =
     ooo = Hashtbl.create 32;
     s = zero_stats;
     oc = obs_counters obs;
+    lineage;
+    lname = name;
   }
+
+let emit_lineage t record stage =
+  if Lsr_obs.Lineage.enabled t.lineage then
+    Lsr_obs.Lineage.emit t.lineage ?site:t.lname
+      ~txn:(Txn_record.txn record)
+      (stage (Txn_record.kind_name record))
 
 let config t = t.cfg
 let stats t = t.s
@@ -209,13 +220,18 @@ let idle t =
 let transmit t msg =
   if t.cfg.loss > 0. && Rng.bernoulli t.rng ~p:t.cfg.loss then begin
     t.s <- { t.s with dropped = t.s.dropped + 1 };
+    emit_lineage t msg.record (fun record ->
+        Lsr_obs.Lineage.Channel_dropped { record });
     Lsr_obs.Obs.incr t.oc.oc_dropped
   end
   else begin
     let latency = ref 1 in
     if t.cfg.delay > 0. && Rng.bernoulli t.rng ~p:t.cfg.delay then begin
-      latency := !latency + Rng.uniform t.rng ~lo:1 ~hi:(max 1 t.cfg.max_delay);
+      let extra = Rng.uniform t.rng ~lo:1 ~hi:(max 1 t.cfg.max_delay) in
+      latency := !latency + extra;
       t.s <- { t.s with delayed = t.s.delayed + 1 };
+      emit_lineage t msg.record (fun record ->
+          Lsr_obs.Lineage.Channel_delayed { record; ticks = extra });
       Lsr_obs.Obs.incr t.oc.oc_delayed
     end;
     if t.cfg.reorder > 0. && Rng.bernoulli t.rng ~p:t.cfg.reorder then begin
@@ -233,6 +249,8 @@ let transmit t msg =
         { arrive = t.clock + extra; pseq = msg.seq; precord = msg.record }
         :: t.flight;
       t.s <- { t.s with duplicated = t.s.duplicated + 1 };
+      emit_lineage t msg.record (fun record ->
+          Lsr_obs.Lineage.Channel_duplicated { record });
       Lsr_obs.Obs.incr t.oc.oc_duplicated
     end;
     let depth = List.length t.flight in
@@ -317,6 +335,8 @@ let tick t =
     (fun u ->
       if u.rto_at <= t.clock then begin
         t.s <- { t.s with retransmitted = t.s.retransmitted + 1 };
+        emit_lineage t u.msg.record (fun record ->
+            Lsr_obs.Lineage.Channel_retransmitted { record });
         Lsr_obs.Obs.incr t.oc.oc_retransmitted;
         transmit t u.msg;
         u.cur_rto <-

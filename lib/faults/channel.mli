@@ -78,10 +78,22 @@ type t
     retransmitted/acks_dropped/stale_ignored] plus [channel.in_flight] and
     [channel.ooo_depth] gauges; every channel attached to one registry
     shares those instruments, so the registry aggregates across sites.
+    [lineage], when enabled, receives a [Channel_dropped] / [Channel_delayed]
+    / [Channel_duplicated] / [Channel_retransmitted] event per injected
+    fault, tagged with [name] (the site this channel feeds) and the affected
+    record's transaction id — so faults show up in that transaction's
+    journey.
     @raise Invalid_argument on an ill-formed config (probabilities outside
     [0, 1], [loss >= 1.], [ack_loss >= 1.], [rto < 1], [backoff < 1.],
     negative windows). *)
-val create : ?config:config -> ?obs:Lsr_obs.Obs.t -> rng:Lsr_sim.Rng.t -> unit -> t
+val create :
+  ?config:config ->
+  ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
+  ?name:string ->
+  rng:Lsr_sim.Rng.t ->
+  unit ->
+  t
 
 val config : t -> config
 

@@ -16,7 +16,11 @@
 
 type t
 
-val create : ?config:Channel.config -> seed:int -> unit -> t
+(** [lineage], when enabled, is threaded to every channel the injector
+    creates; channels are named [secondary-<i>], matching the system's site
+    names, so injected faults land in the right site's journey entries. *)
+val create :
+  ?config:Channel.config -> ?lineage:Lsr_obs.Lineage.t -> seed:int -> unit -> t
 
 (** [faults inj] is the factory to pass as [System.create ~faults]. Each
     call builds a fresh channel and registers it under the given secondary

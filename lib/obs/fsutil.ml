@@ -1,0 +1,9 @@
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    (* Another process may have raced us; an existing directory is fine. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let ensure_parent file = mkdir_p (Filename.dirname file)

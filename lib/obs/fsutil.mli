@@ -1,0 +1,12 @@
+(** Tiny filesystem helpers shared by the exporters.
+
+    Every export entry point ([Obs.write_metrics], [Obs.write_trace],
+    [Lineage.write]) creates missing parent directories of its output path,
+    so [--metrics out/deep/m.json] works without a prior [mkdir -p]. *)
+
+(** [mkdir_p dir] creates [dir] and any missing ancestors ([mkdir -p]).
+    Existing directories are left untouched. *)
+val mkdir_p : string -> unit
+
+(** [ensure_parent file] creates the directory that will contain [file]. *)
+val ensure_parent : string -> unit

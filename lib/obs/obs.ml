@@ -157,6 +157,31 @@ let observe h x =
 let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 
+(* Nearest-rank quantile over the log-scale buckets, linearly interpolated
+   within the selected bucket (matching Lsr_stats.Histogram.quantile's rank
+   convention: rank = ceil(q*n), 1-based). The bucket only bounds the value,
+   so the estimate is exact to within one base-2 bucket width. *)
+let hist_quantile h q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Obs.hist_quantile";
+  if h.h_count = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count))) in
+    let rec find i cum =
+      if i >= Array.length h.h_buckets then bucket_bound (hist_size - 1)
+      else
+        let n = h.h_buckets.(i) in
+        if cum + n >= rank then
+          if i = 0 then 0.
+          else begin
+            let hi = bucket_bound i in
+            let lo = if i = 1 then 0. else bucket_bound (i - 1) in
+            lo +. (hi -. lo) *. float_of_int (rank - cum) /. float_of_int n
+          end
+        else find (i + 1) (cum + n)
+    in
+    find 0 0
+  end
+
 (* --- Tracing ----------------------------------------------------------------- *)
 
 let process_of_track track =
@@ -262,8 +287,12 @@ let metrics_json t =
       Json.escape buf name;
       let mean = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count in
       Buffer.add_string buf
-        (Printf.sprintf ":{\"count\":%d,\"sum\":%s,\"mean\":%s,\"buckets\":["
-           h.h_count (Json.number h.h_sum) (Json.number mean));
+        (Printf.sprintf
+           ":{\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":["
+           h.h_count (Json.number h.h_sum) (Json.number mean)
+           (Json.number (hist_quantile h 0.5))
+           (Json.number (hist_quantile h 0.95))
+           (Json.number (hist_quantile h 0.99)));
       let first_bucket = ref true in
       Array.iteri
         (fun i n ->
@@ -348,6 +377,7 @@ let trace_json t =
   Buffer.contents buf
 
 let write_file ~file contents =
+  Fsutil.ensure_parent file;
   let oc = open_out file in
   output_string oc contents;
   close_out oc

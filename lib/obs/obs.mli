@@ -61,6 +61,13 @@ val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 
+(** [hist_quantile h q] estimates the [q]-quantile (nearest-rank, matching
+    [Lsr_stats.Histogram.quantile]) from the log-scale buckets, linearly
+    interpolated within the selected bucket — exact to within one base-2
+    bucket width. 0 on an empty histogram.
+    @raise Invalid_argument unless [0 <= q <= 1]. *)
+val hist_quantile : histogram -> float -> float
+
 (** {2 Spans (virtual-time tracing)}
 
     Timestamps come from the caller (simulator virtual seconds), never from
@@ -91,8 +98,9 @@ val event_count : t -> int
 (** Flat metrics dump:
     [{"counters":{..}, "gauges":{name:{"last":..,"peak":..}},
       "histograms":{name:{"count":..,"sum":..,"mean":..,
+                          "p50":..,"p95":..,"p99":..,
                           "buckets":[[upper_bound, count],..]}}}],
-    instruments sorted by name. *)
+    instruments sorted by name. Quantiles are {!hist_quantile} estimates. *)
 val metrics_json : t -> string
 
 (** Chrome [trace_event] JSON (the [{"traceEvents":[..]}] envelope):

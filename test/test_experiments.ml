@@ -352,6 +352,89 @@ let test_sim_obs_counters_track_outcome () =
   check_int "fcw aborts agree (uniform keys: none)" o.Sim_system.fcw_aborts
     (count "client.fcw_aborts")
 
+let lineage_run ~seed =
+  let lineage = Lsr_obs.Lineage.create () in
+  let o =
+    Sim_system.run
+      {
+        (Sim_system.config tiny_params Session.Strong_session ~seed) with
+        Sim_system.record_history = true;
+        lineage;
+      }
+  in
+  (o, lineage)
+
+let test_sim_lineage_does_not_perturb () =
+  (* Attaching a lineage sink must not change the run: same seed with and
+     without the sink produces the same outcome and a clean checked
+     history either way. *)
+  let traced, lineage = lineage_run ~seed:11 in
+  let blind = run ~record:true Session.Strong_session in
+  check_bool "identical outcome with lineage attached" true
+    (traced.Sim_system.throughput_fast = blind.Sim_system.throughput_fast
+    && traced.Sim_system.reads_completed = blind.Sim_system.reads_completed
+    && traced.Sim_system.updates_completed = blind.Sim_system.updates_completed
+    && traced.Sim_system.refresh_commits = blind.Sim_system.refresh_commits
+    && traced.Sim_system.read_rt_mean = blind.Sim_system.read_rt_mean
+    && traced.Sim_system.read_age_p95 = blind.Sim_system.read_age_p95
+    && traced.Sim_system.read_missed_mean = blind.Sim_system.read_missed_mean
+    && traced.Sim_system.check_errors = blind.Sim_system.check_errors);
+  check_bool "lineage recorded events" true
+    (Lsr_obs.Lineage.event_count lineage > 0);
+  check_bool "lineage saw primary commits" true
+    (Lsr_obs.Lineage.commit_count lineage > 0)
+
+let test_sim_lineage_exports_deterministic () =
+  (* Same seed, fresh sinks: the lineage export and the lag report derived
+     from it are byte-identical; a different seed diverges. *)
+  let _, a = lineage_run ~seed:11 in
+  let _, b = lineage_run ~seed:11 in
+  let _, c = lineage_run ~seed:12 in
+  Alcotest.(check string)
+    "lineage bytes identical" (Lsr_obs.Lineage.json a)
+    (Lsr_obs.Lineage.json b);
+  Alcotest.(check string)
+    "lag report bytes identical"
+    (Lag_report.json_string (Lag_report.of_lineage a))
+    (Lag_report.json_string (Lag_report.of_lineage b));
+  check_bool "different seed, different lineage" true
+    (Lsr_obs.Lineage.json a <> Lsr_obs.Lineage.json c)
+
+let test_lag_report_rows () =
+  let _, lineage = lineage_run ~seed:11 in
+  let rows = Lag_report.of_lineage lineage in
+  check_int "one row per secondary" 2 (List.length rows);
+  check_bool "rows sorted by site" true
+    (List.map (fun r -> r.Lag_report.site) rows
+    = List.sort String.compare (List.map (fun r -> r.Lag_report.site) rows));
+  List.iter
+    (fun r ->
+      check_bool "freshness samples recorded" true (r.Lag_report.reads > 0);
+      check_bool "refreshes recorded" true (r.Lag_report.refreshes > 0);
+      check_bool "age quantiles ordered" true
+        (0. <= r.Lag_report.age_p50
+        && r.Lag_report.age_p50 <= r.Lag_report.age_p95
+        && r.Lag_report.age_p95 <= r.Lag_report.age_p99);
+      check_bool "lag quantiles ordered" true
+        (0. < r.Lag_report.lag_p50
+        && r.Lag_report.lag_p50 <= r.Lag_report.lag_p95
+        && r.Lag_report.lag_p95 <= r.Lag_report.lag_p99);
+      check_bool "missed mean within max" true
+        (0. <= r.Lag_report.missed_mean
+        && r.Lag_report.missed_mean <= float_of_int r.Lag_report.missed_max))
+    rows
+
+let test_sim_freshness_outcome () =
+  (* The always-on freshness reduction lands in the outcome even without a
+     lineage sink attached. *)
+  let o = run Session.Weak in
+  check_bool "read age quantiles ordered" true
+    (0. <= o.Sim_system.read_age_p50
+    && o.Sim_system.read_age_p50 <= o.Sim_system.read_age_p95
+    && o.Sim_system.read_age_p95 <= o.Sim_system.read_age_p99);
+  check_bool "read age mean nonnegative" true (o.Sim_system.read_age_mean >= 0.);
+  check_bool "missed mean nonnegative" true (o.Sim_system.read_missed_mean >= 0.)
+
 let test_sim_obs_exports_deterministic () =
   (* Same seed, fresh registries: metrics and trace exports are
      byte-identical; a different seed diverges. *)
@@ -469,6 +552,13 @@ let () =
             test_sim_obs_counters_track_outcome;
           Alcotest.test_case "exports byte-deterministic" `Quick
             test_sim_obs_exports_deterministic;
+          Alcotest.test_case "lineage does not perturb" `Quick
+            test_sim_lineage_does_not_perturb;
+          Alcotest.test_case "lineage exports byte-deterministic" `Quick
+            test_sim_lineage_exports_deterministic;
+          Alcotest.test_case "lag report rows" `Quick test_lag_report_rows;
+          Alcotest.test_case "freshness in outcome" `Quick
+            test_sim_freshness_outcome;
         ] );
       ( "report",
         [

@@ -365,6 +365,65 @@ let test_sql_soak_with_crash () =
     (Mvcc.committed_state (System.primary_db sys))
     (Mvcc.committed_state (System.secondary_db sys 1))
 
+(* --- Lineage tracing across the embedded system -------------------------------- *)
+
+let test_lineage_journey_complete () =
+  (* Every update transaction's causal journey through the embedded system
+     must be complete — primary commit, shipping, then enqueue / refresh /
+     commit on every secondary — with monotone timestamps. *)
+  let module Lineage = Lsr_obs.Lineage in
+  let secondaries = 2 in
+  let lineage = Lineage.create () in
+  let sys =
+    System.create ~secondaries ~guarantee:Session.Strong_session ~lineage ()
+  in
+  let c = System.connect sys "writer" in
+  for i = 1 to 3 do
+    update_exn sys c (fun h -> Handle.put h (Printf.sprintf "k%d" i) "v")
+  done;
+  System.pump sys;
+  let txns = Lineage.txns lineage in
+  check_int "one journey per update" 3 (List.length txns);
+  List.iter
+    (fun txn ->
+      let j = Lineage.journey lineage ~txn in
+      let count name =
+        List.length
+          (List.filter
+             (fun ev -> Lineage.stage_name ev.Lineage.stage = name)
+             j)
+      in
+      check_int "one primary commit" 1 (count "primary-commit");
+      check_bool "shipped once" true (count "shipped" >= 1);
+      check_int "enqueued on every secondary" secondaries (count "enqueued");
+      check_int "refresh started on every secondary" secondaries
+        (count "refresh-started");
+      check_int "refresh committed on every secondary" secondaries
+        (count "refresh-committed");
+      (* Causal order: the journey starts at the primary and its timestamps
+         never go backwards. *)
+      (match j with
+      | first :: _ ->
+        Alcotest.(check string)
+          "journey starts with the primary commit" "primary-commit"
+          (Lineage.stage_name first.Lineage.stage)
+      | [] -> Alcotest.fail "empty journey");
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+          a.Lineage.time <= b.Lineage.time && mono rest
+        | [ _ ] | [] -> true
+      in
+      check_bool "monotone timestamps" true (mono j))
+    txns;
+  (* Per-site refresh lags were derived from the journeys. *)
+  List.iter
+    (fun site ->
+      check_int
+        ("refresh lags at " ^ site)
+        3
+        (List.length (Lineage.refresh_lags lineage ~site)))
+    (Lineage.sites lineage)
+
 let () =
   Alcotest.run "integration"
     [
@@ -404,5 +463,10 @@ let () =
           Alcotest.test_case "compact reclaims" `Quick
             test_compact_reclaims_log_and_versions;
           Alcotest.test_case "sql soak with crash" `Slow test_sql_soak_with_crash;
+        ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "journeys complete and monotone" `Quick
+            test_lineage_journey_complete;
         ] );
     ]

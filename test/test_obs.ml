@@ -132,6 +132,13 @@ let test_metrics_json_shape () =
   let hist = member_exn "c.rt" (member_exn "histograms" j) in
   Alcotest.(check (float 0.)) "hist count" 1. (num_exn (member_exn "count" hist));
   Alcotest.(check (float 0.)) "hist mean" 0.25 (num_exn (member_exn "mean" hist));
+  (* The single sample lives in the [0.25, 0.5) bucket, and a quantile over
+     one observation interpolates to that bucket's upper bound. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.)) ("hist " ^ q) 0.5
+        (num_exn (member_exn q hist)))
+    [ "p50"; "p95"; "p99" ];
   (* Buckets are [upper_bound, count] pairs covering every observation. *)
   (match member_exn "buckets" hist with
   | Json.Arr pairs ->
@@ -227,6 +234,153 @@ let test_write_files () =
   check_bool "trace file parses" true (Result.is_ok (Json.parse (slurp tf)));
   Sys.remove mf; Sys.remove tf; Sys.rmdir dir
 
+(* --- Histogram quantiles ----------------------------------------------------- *)
+
+(* The log-scale histogram only keeps bucket counts, so its quantile is a
+   within-bucket interpolation. Pin it against the exact nearest-rank
+   quantile of the same samples (Lsr_stats.Histogram): both pick the same
+   rank-th order statistic, and the estimate must stay inside that sample's
+   base-2 bucket, i.e. within a factor of 2 of the exact value. *)
+let test_hist_quantile_vs_exact () =
+  let t = Obs.create () in
+  let h = Obs.histogram t "q.rt" in
+  let exact = Lsr_stats.Histogram.create () in
+  let x = ref 123456789 in
+  for _ = 1 to 500 do
+    (* Deterministic LCG spanning several orders of magnitude. *)
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let v = float_of_int ((!x mod 100_000) + 1) /. 100. in
+    Obs.observe h v;
+    Lsr_stats.Histogram.record exact v
+  done;
+  List.iter
+    (fun q ->
+      let est = Obs.hist_quantile h q in
+      let exact_v = Lsr_stats.Histogram.quantile exact q in
+      check_bool
+        (Printf.sprintf "q=%.2f est %g within one bucket of exact %g" q est
+           exact_v)
+        true
+        (est > exact_v /. 2. && est < exact_v *. 2.))
+    [ 0.; 0.25; 0.5; 0.9; 0.95; 0.99; 1. ]
+
+let test_hist_quantile_edges () =
+  let t = Obs.create () in
+  let h = Obs.histogram t "e.rt" in
+  Alcotest.(check (float 0.)) "empty" 0. (Obs.hist_quantile h 0.5);
+  Obs.observe h (-3.);
+  (* Non-positive samples live in the underflow bucket, reported as 0. *)
+  Alcotest.(check (float 0.)) "underflow" 0. (Obs.hist_quantile h 1.);
+  check_bool "q out of range rejected" true
+    (try
+       ignore (Obs.hist_quantile h 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Lineage ----------------------------------------------------------------- *)
+
+let test_lineage_null_inert () =
+  let l = Lineage.null in
+  Lineage.emit l ~txn:1 (Lineage.Primary_commit { commit_ts = 5; updates = 1 });
+  Lineage.sample_read l ~site:"s" ~snapshot:5;
+  check_bool "not enabled" false (Lineage.enabled l);
+  check_int "no events" 0 (Lineage.event_count l);
+  check_int "no commits" 0 (Lineage.commit_count l);
+  check_bool "no sites" true (Lineage.sites l = [])
+
+let test_lineage_journey () =
+  let l = Lineage.create () in
+  Lineage.emit l ~txn:7 (Lineage.Primary_commit { commit_ts = 3; updates = 2 });
+  Lineage.emit l ~txn:8 (Lineage.Primary_commit { commit_ts = 4; updates = 1 });
+  Lineage.emit l ~txn:7 Lineage.Batched;
+  Lineage.emit l ~txn:7 (Lineage.Shipped { updates = 2 });
+  Lineage.emit l ~site:"sec-0" ~txn:7 Lineage.Enqueued;
+  Lineage.emit l ~site:"sec-0" ~txn:7 Lineage.Refresh_started;
+  Lineage.emit l ~site:"sec-0" ~txn:7
+    (Lineage.Refresh_committed { commit_ts = 3 });
+  let j = Lineage.journey l ~txn:7 in
+  check_int "journey length" 6 (List.length j);
+  (* The default (ordinal) clock stamps strictly increasing times. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a.Lineage.time < b.Lineage.time && mono rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "monotone times" true (mono j);
+  check_bool "txns sorted" true (Lineage.txns l = [ 7; 8 ]);
+  check_int "journeys don't mix" 1 (List.length (Lineage.journey l ~txn:8));
+  match Lineage.refresh_lags l ~site:"sec-0" with
+  | [ lag ] -> check_bool "positive refresh lag" true (lag > 0.)
+  | _ -> Alcotest.fail "expected exactly one refresh lag"
+
+let test_lineage_freshness_math () =
+  let l = Lineage.create () in
+  let clock = ref 0. in
+  Lineage.set_clock l (fun () -> !clock);
+  clock := 1.;
+  Lineage.emit l ~txn:1 (Lineage.Primary_commit { commit_ts = 10; updates = 1 });
+  clock := 2.;
+  Lineage.emit l ~txn:2 (Lineage.Primary_commit { commit_ts = 20; updates = 1 });
+  clock := 5.;
+  (* Reflects the first commit only; missed the second; age = now - t(10). *)
+  Lineage.sample_read l ~site:"s" ~snapshot:10;
+  (* Fully caught up. *)
+  Lineage.sample_read l ~site:"s" ~snapshot:20;
+  (* Initial snapshot: nothing reflected, age = now. *)
+  Lineage.sample_read l ~site:"s" ~snapshot:0;
+  match Lineage.freshness_samples l ~site:"s" with
+  | [ a; b; c ] ->
+    check_int "missed one" 1 a.Lineage.missed;
+    Alcotest.(check (float 1e-9)) "age from reflected commit" 4. a.Lineage.age;
+    check_int "caught up misses none" 0 b.Lineage.missed;
+    Alcotest.(check (float 1e-9)) "caught-up age" 0. b.Lineage.age;
+    check_int "initial snapshot misses all" 2 c.Lineage.missed;
+    Alcotest.(check (float 1e-9)) "unknown-snapshot age = now" 5. c.Lineage.age
+  | _ -> Alcotest.fail "expected three freshness samples"
+
+let test_lineage_json_deterministic () =
+  let build () =
+    let l = Lineage.create () in
+    Lineage.emit l ~txn:1 (Lineage.Primary_commit { commit_ts = 2; updates = 1 });
+    Lineage.emit l ~site:"b" ~txn:1 Lineage.Enqueued;
+    Lineage.emit l ~site:"a" ~txn:1 Lineage.Enqueued;
+    Lineage.sample_read l ~site:"b" ~snapshot:2;
+    Lineage.sample_read l ~site:"a" ~snapshot:0;
+    Lineage.json l
+  in
+  let s1 = build () and s2 = build () in
+  check_string "same bytes across identical builds" s1 s2;
+  let j = parse_ok s1 in
+  Alcotest.(check (float 0.)) "commits" 1. (num_exn (member_exn "commits" j));
+  (match member_exn "sites" j with
+  | Json.Arr (first :: _) ->
+    (* Sites are sorted by name for deterministic output. *)
+    (match member_exn "site" first with
+    | Json.Str s -> check_string "sites sorted" "a" s
+    | _ -> Alcotest.fail "site is not a string")
+  | _ -> Alcotest.fail "sites not a non-empty array")
+
+let test_write_creates_parents () =
+  let base = Filename.temp_file "lsr_obs_deep" "" in
+  Sys.remove base;
+  let mf = List.fold_left Filename.concat base [ "a"; "b"; "m.json" ] in
+  let t = Obs.create () in
+  Obs.incr (Obs.counter t "c");
+  Obs.write_metrics t ~file:mf;
+  check_bool "metrics parents created" true (Sys.file_exists mf);
+  let lf = List.fold_left Filename.concat base [ "x"; "lineage.json" ] in
+  let l = Lineage.create () in
+  Lineage.emit l ~txn:1 (Lineage.Primary_commit { commit_ts = 1; updates = 1 });
+  Lineage.write l ~file:lf;
+  check_bool "lineage parents created" true (Sys.file_exists lf);
+  let slurp f = In_channel.with_open_bin f In_channel.input_all in
+  check_bool "lineage file parses" true (Result.is_ok (Json.parse (slurp lf)));
+  Sys.remove mf;
+  Sys.remove lf;
+  Sys.rmdir (Filename.dirname mf);
+  Sys.rmdir (Filename.concat base "a");
+  Sys.rmdir (Filename.dirname lf);
+  Sys.rmdir base
+
 let () =
   Alcotest.run "lsr_obs"
     [
@@ -255,5 +409,22 @@ let () =
           Alcotest.test_case "unclosed span dropped" `Quick
             test_unclosed_span_dropped;
           Alcotest.test_case "write files" `Quick test_write_files;
+          Alcotest.test_case "write creates parents" `Quick
+            test_write_creates_parents;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "vs exact nearest-rank" `Quick
+            test_hist_quantile_vs_exact;
+          Alcotest.test_case "edge cases" `Quick test_hist_quantile_edges;
+        ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "null is inert" `Quick test_lineage_null_inert;
+          Alcotest.test_case "journey" `Quick test_lineage_journey;
+          Alcotest.test_case "freshness math" `Quick
+            test_lineage_freshness_math;
+          Alcotest.test_case "json deterministic" `Quick
+            test_lineage_json_deterministic;
         ] );
     ]
