@@ -11,7 +11,7 @@ module Obs = Lsr_obs.Obs
 module Obs_json = Lsr_obs.Json
 module Lineage = Lsr_obs.Lineage
 
-let opts ~quick ~seed ~verbose ~obs ~lineage =
+let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~on_outcome =
   {
     Figures.quick;
     seed;
@@ -21,6 +21,8 @@ let opts ~quick ~seed ~verbose ~obs ~lineage =
     base_params = None;
     obs;
     lineage;
+    monitor;
+    on_outcome;
   }
 
 let emit ~csv figure =
@@ -66,7 +68,7 @@ let run_ablations opts ~csv ~wanted =
    the performance numbers: the protocol must keep its guarantees (check
    errors = 0) while the retransmission layer pays for the faults in
    staleness and queue depth. *)
-let run_faults ~quick ~seed ~obs ~lineage =
+let run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -94,9 +96,11 @@ let run_faults ~quick ~seed ~obs ~lineage =
             faults;
             obs;
             lineage;
+            monitor;
           }
         in
         let o = Sim_system.run cfg in
+        on_outcome ("faults " ^ name) cfg o;
         [
           name;
           Printf.sprintf "%.2f" o.Sim_system.throughput_fast;
@@ -124,7 +128,7 @@ let run_faults ~quick ~seed ~obs ~lineage =
    the whole observability pipeline: every span phase fires, the counters
    move, and --trace/--metrics produce loadable files in a couple of
    seconds. Used by the `runtest` smoke rule. *)
-let run_smoke ~seed ~obs ~lineage =
+let run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -140,9 +144,11 @@ let run_smoke ~seed ~obs ~lineage =
       (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
       Sim_system.obs;
       lineage;
+      monitor;
     }
   in
   let o = Sim_system.run cfg in
+  on_outcome "smoke" cfg o;
   Printf.printf
     "smoke: tput=%.2f reads=%d updates=%d refresh_commits=%d events=%d \
      lineage_events=%d\n%!"
@@ -418,6 +424,24 @@ let lineage_arg =
   in
   Arg.(value & opt (some string) None & info [ "lineage" ] ~docv:"FILE" ~doc)
 
+let timeseries_arg =
+  let doc =
+    "Attach the periodic system monitor to every run (1 virtual-second \
+     sampling: per-resource utilization / queue length / depth, refresh \
+     backlogs, WAL length, MVCC version counts) and write the deterministic \
+     time series to $(docv) ($(b,.csv) extension selects CSV, anything \
+     else JSON)."
+  in
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE" ~doc)
+
+let bottleneck_arg =
+  let doc =
+    "Collect per-resource queueing telemetry from every run, print the \
+     bottleneck report of the last run and write one report per run as \
+     JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "bottleneck" ] ~docv:"FILE" ~doc)
+
 let lag_report_arg =
   let doc =
     "Print a per-site freshness / propagation-lag table (p50/p95/p99) from \
@@ -435,14 +459,18 @@ let all_targets =
 (* Runnable explicitly but excluded from `all` (extension studies and the
    CI observability smoke run). *)
 let extra_targets =
-  [ "ablate-contention"; "fig-staleness"; "faults"; "smoke"; "analyze" ]
+  [
+    "ablate-contention"; "fig-staleness"; "fig-utilization"; "faults";
+    "smoke"; "analyze";
+  ]
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
-     from all): ablate-contention, fig-staleness, faults, smoke, analyze."
+     from all): ablate-contention, fig-staleness, fig-utilization, faults, \
+     smoke, analyze."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -465,7 +493,8 @@ let export what write file =
       file e;
     exit 2
 
-let main quick seed csv verbose trace metrics lineage_file lag_report targets =
+let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
+    bottleneck targets =
   let wanted = List.concat_map expand targets in
   let unknown =
     List.filter
@@ -482,7 +511,21 @@ let main quick seed csv verbose trace metrics lineage_file lag_report targets =
       if lineage_file <> None || lag_report <> None then Lineage.create ()
       else Lineage.null
     in
-    let opts = opts ~quick ~seed ~verbose ~obs ~lineage in
+    let monitor =
+      if timeseries <> None then Monitor.create ~interval:1.0 ()
+      else Monitor.null
+    in
+    let bottleneck_entries = ref [] in
+    let on_outcome tag (cfg : Sim_system.config) outcome =
+      if bottleneck <> None then
+        bottleneck_entries :=
+          {
+            Bottleneck.tag;
+            report = Bottleneck.analyze cfg.Sim_system.params outcome;
+          }
+          :: !bottleneck_entries
+    in
+    let opts = opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~on_outcome in
     Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
       (if quick then "quick" else "paper-scale")
       seed;
@@ -494,9 +537,13 @@ let main quick seed csv verbose trace metrics lineage_file lag_report targets =
     if List.mem "fig8" wanted then run_fig8 opts ~csv;
     if List.mem "fig-staleness" wanted then
       emit ~csv (Figures.fig_staleness opts);
+    if List.mem "fig-utilization" wanted then
+      emit ~csv (Figures.fig_utilization opts);
     run_ablations opts ~csv ~wanted;
-    if List.mem "faults" wanted then run_faults ~quick ~seed ~obs ~lineage;
-    if List.mem "smoke" wanted then run_smoke ~seed ~obs ~lineage;
+    if List.mem "faults" wanted then
+      run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome;
+    if List.mem "smoke" wanted then
+      run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome;
     if List.mem "analyze" wanted then run_analysis ~csv;
     if List.mem "micro" wanted then run_micro ();
     Option.iter (export "trace" (Obs.write_trace obs)) trace;
@@ -512,6 +559,25 @@ let main quick seed csv verbose trace metrics lineage_file lag_report targets =
           (Lag_report.render rows);
         export "lag report" (Lag_report.write rows) file)
       lag_report;
+    Option.iter
+      (fun file ->
+        let series = Monitor.series monitor in
+        if Filename.check_suffix file ".csv" then begin
+          Lsr_obs.Timeseries.write_csv series ~file;
+          Printf.printf "(timeseries written to %s)\n%!" file
+        end
+        else export "timeseries" (Lsr_obs.Timeseries.write_json series) file)
+      timeseries;
+    Option.iter
+      (fun file ->
+        let entries = List.rev !bottleneck_entries in
+        (match !bottleneck_entries with
+        | [] -> ()
+        | last :: _ ->
+          Printf.printf "\n== Bottleneck report ==\n%s%!"
+            (Bottleneck.render ~tag:last.Bottleneck.tag last.Bottleneck.report));
+        export "bottleneck" (Bottleneck.write_sweep entries) file)
+      bottleneck;
     `Ok ()
 
 let cmd =
@@ -524,6 +590,7 @@ let cmd =
     Term.(
       ret
         (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ trace_arg
-       $ metrics_arg $ lineage_arg $ lag_report_arg $ targets_arg))
+       $ metrics_arg $ lineage_arg $ lag_report_arg $ timeseries_arg
+       $ bottleneck_arg $ targets_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -4,6 +4,9 @@
      prints the measured outcome (optionally validating it with the checker);
    - `lsrepl demo`      walks the paper's bookstore scenario under a chosen
      guarantee, showing inversions or their prevention;
+   - `lsrepl bottleneck` runs one simulation with full queueing telemetry and
+     prints the bottleneck report (resource ranking, per-class residence-time
+     breakdown), optionally exporting the monitor's time series;
    - `lsrepl params`    prints the Table 1 parameter set;
    - `lsrepl trace`     runs a small scripted workload and dumps the recorded
      history with the checker's verdict;
@@ -124,6 +127,80 @@ let simulate_cmd =
     Term.(
       const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
       $ browsing $ duration $ serial $ ship $ validate)
+
+(* --- bottleneck ----------------------------------------------------------------- *)
+
+let bottleneck guarantee seed secondaries clients browsing duration json_file
+    timeseries =
+  let params =
+    let base =
+      if browsing then Params.browsing Params.default else Params.default
+    in
+    {
+      base with
+      Params.num_secondaries = secondaries;
+      clients_per_secondary = clients;
+      duration;
+      warmup = min (duration /. 5.) Params.default.Params.warmup;
+    }
+  in
+  let monitor =
+    match timeseries with
+    | None -> Monitor.null
+    | Some _ -> Monitor.create ~interval:1.0 ()
+  in
+  let cfg = { (Sim_system.config params guarantee ~seed) with Sim_system.monitor } in
+  Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n\n%!"
+    (Session.guarantee_name guarantee)
+    secondaries clients
+    (if browsing then "95/5" else "80/20")
+    duration;
+  let o = Sim_system.run cfg in
+  let report = Bottleneck.analyze params o in
+  print_string (Bottleneck.render report);
+  Option.iter
+    (fun file ->
+      Lsr_obs.Timeseries.write (Monitor.series monitor) ~file;
+      Printf.printf "\ntimeseries written to %s\n" file)
+    timeseries;
+  Option.iter
+    (fun file ->
+      Bottleneck.write_sweep [ { Bottleneck.tag = "run"; report } ] ~file;
+      Printf.printf "\nreport written to %s\n" file)
+    json_file
+
+let bottleneck_cmd =
+  let secondaries =
+    Arg.(value & opt int 5 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
+  in
+  let clients =
+    Arg.(value & opt int 20 & info [ "clients"; "c" ] ~doc:"Clients per secondary.")
+  in
+  let browsing =
+    Arg.(value & flag & info [ "browsing" ] ~doc:"Use the 95/5 TPC-W browsing mix.")
+  in
+  let duration =
+    Arg.(value & opt float 600. & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let timeseries =
+    let doc =
+      "Attach the 1 virtual-second system monitor and write its time series \
+       to $(docv) (.csv extension selects CSV, anything else JSON)."
+    in
+    Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bottleneck"
+       ~doc:"Run one simulation and report where the capacity goes")
+    Term.(
+      const bottleneck $ guarantee_arg $ seed_arg $ secondaries $ clients
+      $ browsing $ duration $ json_file $ timeseries)
 
 (* --- demo ----------------------------------------------------------------------- *)
 
@@ -460,4 +537,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; demo_cmd; params_cmd; trace_cmd; sql_cmd; analyze_cmd ]))
+          [
+            simulate_cmd; bottleneck_cmd; demo_cmd; params_cmd; trace_cmd;
+            sql_cmd; analyze_cmd;
+          ]))

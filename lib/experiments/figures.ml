@@ -28,6 +28,8 @@ type run_opts = {
   base_params : Params.t option;
   obs : Lsr_obs.Obs.t;
   lineage : Lsr_obs.Lineage.t;
+  monitor : Monitor.t;
+  on_outcome : string -> Sim_system.config -> Sim_system.outcome -> unit;
 }
 
 let default_opts =
@@ -38,6 +40,8 @@ let default_opts =
     base_params = None;
     obs = Lsr_obs.Obs.null;
     lineage = Lsr_obs.Lineage.null;
+    monitor = Monitor.null;
+    on_outcome = (fun _ _ _ -> ());
   }
 
 let algorithms = [ Session.Strong_session; Session.Weak; Session.Strong ]
@@ -60,9 +64,11 @@ let replicate opts ~tag (cfg : Sim_system.config) =
           Sim_system.seed = opts.seed + (1000 * i) + Hashtbl.hash tag;
           obs = opts.obs;
           lineage = opts.lineage;
+          monitor = opts.monitor;
         }
       in
       let outcome = Sim_system.run seeded in
+      opts.on_outcome (Printf.sprintf "%s rep %d" tag (i + 1)) seeded outcome;
       opts.progress
         (Printf.sprintf "%s rep %d/%d: %.2f tps" tag (i + 1) reps
            outcome.Sim_system.throughput_fast);
@@ -241,6 +247,78 @@ let fig_staleness opts =
   with
   | [ fig ] -> fig
   | _ -> assert false
+
+(* Extension figure (not in the paper): where the capacity goes. Per-site
+   utilization (primary vs mean secondary) against offered load, one pair of
+   series per guarantee — the saturation knee of Figures 2-4 made visible.
+   Reuses one sweep of runs for both resources. *)
+let fig_utilization opts =
+  let base = base_of opts in
+  let xs =
+    if opts.quick then [ 50.; 100.; 150.; 200.; 250. ]
+    else [ 25.; 50.; 75.; 100.; 125.; 150.; 175.; 200.; 225.; 250. ]
+  in
+  let results =
+    List.map
+      (fun clients ->
+        let params =
+          {
+            base with
+            Params.num_secondaries = 5;
+            clients_per_secondary = int_of_float clients / 5;
+          }
+        in
+        let per_alg =
+          List.map
+            (fun alg ->
+              let tag =
+                Printf.sprintf "%s clients=%g" (Session.guarantee_name alg)
+                  clients
+              in
+              let cfg = Sim_system.config params alg ~seed:opts.seed in
+              (alg, replicate opts ~tag cfg))
+            algorithms
+        in
+        (clients, per_alg))
+      xs
+  in
+  let series_of alg ~suffix ~metric =
+    {
+      label = Session.guarantee_name alg ^ " " ^ suffix;
+      points =
+        List.map
+          (fun (x, per_alg) ->
+            let outcomes = List.assoc alg per_alg in
+            { x; interval = interval_of metric outcomes })
+          results;
+    }
+  in
+  let series =
+    List.concat_map
+      (fun alg ->
+        [
+          series_of alg ~suffix:"primary" ~metric:(fun (o : Sim_system.outcome) ->
+              o.Sim_system.primary_utilization *. 100.);
+          series_of alg ~suffix:"secondary"
+            ~metric:(fun (o : Sim_system.outcome) ->
+              o.Sim_system.secondary_utilization *. 100.);
+        ])
+      algorithms
+  in
+  {
+    id = "fig-utilization";
+    title = "Per-Site Utilization vs Multiprogramming Level, 80/20 workload";
+    xlabel = "clients";
+    ylabel = "utilization (%)";
+    series;
+    notes =
+      [
+        "Utilization is exact at the sampling instant (busy time pro-rated \
+         for jobs still in service); \"secondary\" is the mean over the 5 \
+         secondary sites. The bottleneck report names the resource that \
+         saturates first at the throughput knee.";
+      ];
+  }
 
 (* --- Ablations -------------------------------------------------------------- *)
 

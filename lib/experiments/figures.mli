@@ -46,6 +46,15 @@ type run_opts = {
       (** lineage sink attached to every run of the sweep (journeys and
           freshness samples accumulate across runs). Default
           {!Lsr_obs.Lineage.null}. *)
+  monitor : Monitor.t;
+      (** periodic system monitor attached to every run of the sweep; each
+          run bumps the series' run ordinal so the time-series of successive
+          runs stay apart. Default {!Monitor.null}. *)
+  on_outcome : string -> Sim_system.config -> Sim_system.outcome -> unit;
+      (** called once per completed simulation run with a unique tag
+          ("<sweep tag> rep <i>"), the exact config it ran under and its
+          outcome — the hook the bench bottleneck report collects through.
+          Default ignores. *)
 }
 
 val default_opts : run_opts
@@ -68,6 +77,12 @@ val fig8 : run_opts -> figure
     staleness as experienced by read-only transactions, from the freshness
     observer's per-read samples. *)
 val fig_staleness : run_opts -> figure
+
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): per-site utilization (primary and mean secondary,
+    in %) vs total clients for every guarantee — where the capacity goes as
+    the system approaches its throughput knee. *)
+val fig_utilization : run_opts -> figure
 
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)

@@ -16,6 +16,7 @@ type config = {
   fault_tick : float;
   obs : Obs.t;
   lineage : Lsr_obs.Lineage.t;
+  monitor : Monitor.t;
 }
 
 let config params guarantee ~seed =
@@ -31,7 +32,22 @@ let config params guarantee ~seed =
     fault_tick = 1.0;
     obs = Obs.null;
     lineage = Lsr_obs.Lineage.null;
+    monitor = Monitor.null;
   }
+
+type resource_report = {
+  res_site : string;
+  res_utilization : float;
+  res_throughput : float;
+  res_arrivals : int;
+  res_completions : int;
+  res_wait_mean : float;
+  res_wait_total : float;
+  res_service_mean : float;
+  res_service_total : float;
+  res_queue_mean : float;
+  res_littles_gap : float;
+}
 
 type outcome = {
   throughput_fast : float;
@@ -60,6 +76,7 @@ type outcome = {
   channel_retransmitted : int;
   channel_duplicated : int;
   channel_max_queue : int;
+  resources : resource_report list;
 }
 
 type sec_site = {
@@ -145,7 +162,7 @@ let make_site cfg eng fault_rng index =
       cfg.faults
   in
   { index; site_name; sec;
-    res = Resource.create eng ~discipline:Resource.Processor_sharing;
+    res = Resource.create ~name:site_name eng ~discipline:Resource.Processor_sharing;
     queue_cond; pending_cond; session_cond; last_delivery = 0.; chan;
     trk_refresher = Printf.sprintf "site-%d/refresher" index;
     trk_applicators = Printf.sprintf "site-%d/applicators" index;
@@ -481,6 +498,60 @@ let client_process st site rng () =
   in
   loop ()
 
+(* --- Monitor probe ----------------------------------------------------------
+
+   One sample row of the periodic system monitor: pure reads of simulation
+   state (queueing telemetry, refresh backlogs, storage footprints). Nothing
+   here mutates or wakes anything, so an attached monitor cannot perturb the
+   run. *)
+
+let monitor_probe st () =
+  let resource r =
+    let n = Resource.name r in
+    [
+      (n ^ ".util", Resource.utilization r);
+      (n ^ ".qlen", Resource.mean_queue_length r);
+      (n ^ ".depth", float_of_int (Resource.load r));
+    ]
+  in
+  let primary =
+    resource st.primary_res
+    @ [
+        ( "primary.wal",
+          float_of_int (Wal.length (Primary.wal st.primary)) );
+        ( "primary.versions",
+          float_of_int (Mvcc.version_count (Primary.db st.primary)) );
+      ]
+  in
+  Array.fold_left
+    (fun acc site ->
+      acc
+      @ resource site.res
+      @ [
+          ( site.site_name ^ ".update_queue",
+            float_of_int (Secondary.update_queue_length site.sec) );
+          ( site.site_name ^ ".pending",
+            float_of_int (Secondary.pending_queue_length site.sec) );
+          ( site.site_name ^ ".versions",
+            float_of_int (Mvcc.version_count (Secondary.db site.sec)) );
+        ])
+    primary st.sites
+
+let resource_report r =
+  {
+    res_site = Resource.name r;
+    res_utilization = Resource.utilization r;
+    res_throughput = Resource.throughput r;
+    res_arrivals = Resource.arrivals r;
+    res_completions = Resource.completions r;
+    res_wait_mean = Stat.mean (Resource.wait_stat r);
+    res_wait_total = Stat.total (Resource.wait_stat r);
+    res_service_mean = Stat.mean (Resource.service_stat r);
+    res_service_total = Stat.total (Resource.service_stat r);
+    res_queue_mean = Resource.mean_queue_length r;
+    res_littles_gap = Option.value ~default:0. (Resource.littles_law_gap r);
+  }
+
 (* --- Assembly --------------------------------------------------------------- *)
 
 let run cfg =
@@ -498,7 +569,9 @@ let run cfg =
       cfg;
       eng;
       primary;
-      primary_res = Resource.create eng ~discipline:Resource.Processor_sharing;
+      primary_res =
+        Resource.create ~name:"primary" eng
+          ~discipline:Resource.Processor_sharing;
       propagator =
         Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted ~obs:cfg.obs
           ~lineage:cfg.lineage (Primary.wal primary);
@@ -517,6 +590,7 @@ let run cfg =
     }
   in
   let root = Rng.create cfg.seed in
+  Monitor.attach cfg.monitor eng ~probe:(monitor_probe st);
   Process.spawn eng (propagator_process st);
   Array.iter
     (fun site ->
@@ -606,4 +680,7 @@ let run cfg =
     channel_max_queue =
       max channel_stats.Lsr_faults.Channel.max_flight
         channel_stats.Lsr_faults.Channel.max_ooo;
+    resources =
+      resource_report st.primary_res
+      :: Array.to_list (Array.map (fun site -> resource_report site.res) st.sites);
   }

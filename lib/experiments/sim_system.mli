@@ -62,11 +62,39 @@ type config = {
           freshness sample per read-only transaction. Same rules as [obs]:
           the default {!Lsr_obs.Lineage.null} costs nothing and an enabled
           sink never changes outcomes. *)
+  monitor : Monitor.t;
+      (** periodic system monitor: every [Monitor.interval] virtual seconds
+          it samples per-resource utilization ρ, time-average queue length L
+          and instantaneous depth, per-secondary refresh backlog (update and
+          pending queues), primary WAL length and per-site MVCC version
+          counts into the monitor's {!Lsr_obs.Timeseries}. Same rules again:
+          the default {!Monitor.null} costs nothing and an enabled monitor
+          never changes outcomes (the probe only reads state). *)
 }
 
 (** [config params guarantee ~seed] with ablations off, no recording, no
     fault injection ([fault_tick] defaults to 1 s) and no observability. *)
 val config : Params.t -> Session.guarantee -> seed:int -> config
+
+(** End-of-run queueing telemetry of one {!Lsr_sim.Resource} (the primary
+    or one secondary site), read at the instant the run stops — busy time
+    and the queue-length integral are pro-rated, so ρ and L are exact even
+    with jobs still in service. *)
+type resource_report = {
+  res_site : string;  (** resource name: ["primary"] or the site name *)
+  res_utilization : float;  (** ρ = busy time / elapsed time *)
+  res_throughput : float;  (** λ = completions / elapsed time *)
+  res_arrivals : int;
+  res_completions : int;
+  res_wait_mean : float;  (** mean time queued before/besides service *)
+  res_wait_total : float;
+  res_service_mean : float;  (** mean service demand per job *)
+  res_service_total : float;
+  res_queue_mean : float;  (** L = time-average number of jobs present *)
+  res_littles_gap : float;
+      (** relative gap |L − λ·W| / max(L, λ·W) of Little's law, W the mean
+          sojourn; small for a converged run, 0 before any completion *)
+}
 
 type outcome = {
   throughput_fast : float;
@@ -108,6 +136,9 @@ type outcome = {
   channel_duplicated : int;  (** extra copies injected by the network *)
   channel_max_queue : int;
       (** peak in-flight / out-of-order buffer depth over all channels *)
+  resources : resource_report list;
+      (** queueing telemetry per site resource, primary first then
+          secondaries in index order — the input of {!Bottleneck} *)
 }
 
 (** [run config] executes one independent replication and reduces it. *)

@@ -1,0 +1,92 @@
+type sample = { run : int; time : float; values : (string * float) list }
+
+type t = {
+  mutable run : int;
+  mutable rev_samples : sample list;
+  mutable count : int;
+}
+
+let create () = { run = 0; rev_samples = []; count = 0 }
+
+let new_run t = t.run <- t.run + 1
+
+let add t ~time values =
+  t.rev_samples <- { run = t.run; time; values } :: t.rev_samples;
+  t.count <- t.count + 1
+
+let length t = t.count
+let runs t = t.run
+
+let samples t = List.rev t.rev_samples
+
+let columns t =
+  let module S = Set.Make (String) in
+  let set =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (k, _) -> S.add k acc) acc s.values)
+      S.empty t.rev_samples
+  in
+  S.elements set
+
+(* Both exporters emit one row per sample, columns sorted by name, floats in
+   the canonical Json.number form: same samples, same bytes. A sample that
+   lacks a column yields null (JSON) / an empty cell (CSV). *)
+
+let to_json t =
+  let cols = columns t in
+  let row (s : sample) =
+    Json.Arr
+      (Json.Num (float_of_int s.run) :: Json.Num s.time
+      :: List.map
+           (fun c ->
+             match List.assoc_opt c s.values with
+             | Some v -> Json.Num v
+             | None -> Json.Null)
+           cols)
+  in
+  Json.Obj
+    [
+      ( "columns",
+        Json.Arr (Json.Str "run" :: Json.Str "time" :: List.map (fun c -> Json.Str c) cols) );
+      ("rows", Json.Arr (List.map row (samples t)));
+    ]
+
+let json_string t = Json.to_string (to_json t)
+
+let csv t =
+  let cols = columns t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," ("run" :: "time" :: cols));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s : sample) ->
+      Buffer.add_string buf (string_of_int s.run);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.number s.time);
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt c s.values with
+          | Some v -> Buffer.add_string buf (Json.number v)
+          | None -> ())
+        cols;
+      Buffer.add_char buf '\n')
+    (samples t);
+  Buffer.contents buf
+
+let write_file ~file text =
+  Fsutil.ensure_parent file;
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc
+
+let write_json t ~file =
+  write_file ~file (json_string t ^ "\n")
+
+let write_csv t ~file = write_file ~file (csv t)
+
+(* [write] picks the format from the extension: [.csv] gets the CSV form,
+   anything else the JSON form. *)
+let write t ~file =
+  if Filename.check_suffix file ".csv" then write_csv t ~file
+  else write_json t ~file

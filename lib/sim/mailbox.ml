@@ -1,20 +1,84 @@
 type 'a t = {
   messages : 'a Queue.t;
   receivers : 'a Process.waker Queue.t;
+  (* Depth telemetry: counts are always kept; the time-weighted depth
+     integral needs a clock (virtual time), so it accrues only when one was
+     supplied at creation. *)
+  clock : (unit -> float) option;
+  created : float;
+  mutable sends : int;
+  mutable recvs : int;
+  mutable peak : int;
+  mutable depth_area : float;
+  mutable last_update : float;
 }
 
-let create () = { messages = Queue.create (); receivers = Queue.create () }
+let create ?clock () =
+  let created = match clock with Some c -> c () | None -> 0. in
+  {
+    messages = Queue.create ();
+    receivers = Queue.create ();
+    clock;
+    created;
+    sends = 0;
+    recvs = 0;
+    peak = 0;
+    depth_area = 0.;
+    last_update = created;
+  }
+
+(* Charge the interval since the last depth change to the integral; must run
+   before the queue length changes. *)
+let advance t =
+  match t.clock with
+  | None -> ()
+  | Some clock ->
+    let now = clock () in
+    let elapsed = now -. t.last_update in
+    if elapsed > 0. then
+      t.depth_area <-
+        t.depth_area +. (float_of_int (Queue.length t.messages) *. elapsed);
+    t.last_update <- now
 
 let send t msg =
+  advance t;
+  t.sends <- t.sends + 1;
   match Queue.take_opt t.receivers with
-  | Some waker -> waker msg
-  | None -> Queue.add msg t.messages
+  | Some waker ->
+    t.recvs <- t.recvs + 1;
+    waker msg
+  | None ->
+    Queue.add msg t.messages;
+    if Queue.length t.messages > t.peak then t.peak <- Queue.length t.messages
 
 let recv t =
+  advance t;
   match Queue.take_opt t.messages with
-  | Some msg -> msg
+  | Some msg ->
+    t.recvs <- t.recvs + 1;
+    msg
   | None -> Process.suspend (fun waker -> Queue.add waker t.receivers)
 
 let peek t = Queue.peek_opt t.messages
 let length t = Queue.length t.messages
 let is_empty t = Queue.is_empty t.messages
+
+let sends t = t.sends
+let recvs t = t.recvs
+let peak_depth t = t.peak
+
+let depth_area t =
+  match t.clock with
+  | None -> 0.
+  | Some clock ->
+    let pending = clock () -. t.last_update in
+    if pending > 0. then
+      t.depth_area +. (float_of_int (Queue.length t.messages) *. pending)
+    else t.depth_area
+
+let mean_depth t =
+  match t.clock with
+  | None -> 0.
+  | Some clock ->
+    let span = clock () -. t.created in
+    if span <= 0. then 0. else depth_area t /. span

@@ -1,11 +1,19 @@
 (** Unbounded FIFO message queue between processes.
 
     Models the reliable, order-preserving channels the paper assumes for
-    update propagation ("propagated messages are not lost or reordered"). *)
+    update propagation ("propagated messages are not lost or reordered").
+
+    Like {!Resource}, a mailbox keeps depth telemetry: send/receive counts
+    and the peak queued depth are always maintained; supplying a [clock] at
+    creation (typically [fun () -> Engine.now eng]) additionally accrues a
+    time-weighted depth integral so the time-average backlog can be sampled
+    at any instant. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?clock ()] is an empty mailbox. Without [clock], the
+    time-weighted telemetry ({!depth_area}, {!mean_depth}) stays 0. *)
+val create : ?clock:(unit -> float) -> unit -> 'a t
 
 (** [send t msg] enqueues [msg] and wakes one waiting receiver, if any.
     Never blocks; may be called from outside a process. *)
@@ -20,3 +28,22 @@ val peek : 'a t -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** {2 Depth telemetry} *)
+
+(** Messages sent so far. *)
+val sends : 'a t -> int
+
+(** Messages delivered to receivers so far (direct hand-offs to a parked
+    receiver included). *)
+val recvs : 'a t -> int
+
+(** Largest queued depth observed. *)
+val peak_depth : 'a t -> int
+
+(** Time integral of the queued depth, pro-rated to the read instant;
+    0 without a [clock]. *)
+val depth_area : 'a t -> float
+
+(** Time-average queued depth since creation; 0 without a [clock]. *)
+val mean_depth : 'a t -> float

@@ -3,10 +3,16 @@ type discipline =
   | Round_robin of float
   | Processor_sharing
 
-type job = { mutable remaining : float; waker : unit Process.waker }
+type job = {
+  mutable remaining : float;
+  amount : float;  (* original service demand, for the telemetry tallies *)
+  arrived : float;  (* virtual arrival time *)
+  waker : unit Process.waker;
+}
 
 type t = {
   eng : Engine.t;
+  name : string;
   discipline : discipline;
   (* Processor sharing: the set of jobs in simultaneous service. *)
   mutable active : job list;
@@ -16,17 +22,29 @@ type t = {
   queue : job Queue.t;
   mutable serving : bool;
   mutable busy : float;
+  (* Fifo / round-robin: when the slice in progress started ([nan] when the
+     server is idle), so busy time can be pro-rated at any read instant. *)
+  mutable slice_start : float;
+  (* Queueing telemetry: per-job tallies recorded at completion, plus the
+     time-weighted integral of the number of jobs present (L). *)
+  mutable arrivals : int;
+  mutable completions : int;
+  wait : Stat.t;  (* sojourn minus service demand, per completed job *)
+  service : Stat.t;  (* service demand per completed job *)
+  mutable queue_area : float;  (* integral of jobs-present dt *)
+  mutable last_area_update : float;
 }
 
 let epsilon = 1e-9
 
-let create eng ~discipline =
+let create ?(name = "resource") eng ~discipline =
   (match discipline with
   | Round_robin quantum when quantum <= 0. ->
     invalid_arg "Resource.create: round-robin quantum must be positive"
   | Fifo | Round_robin _ | Processor_sharing -> ());
   {
     eng;
+    name;
     discipline;
     active = [];
     last_update = Engine.now eng;
@@ -34,7 +52,46 @@ let create eng ~discipline =
     queue = Queue.create ();
     serving = false;
     busy = 0.;
+    slice_start = nan;
+    arrivals = 0;
+    completions = 0;
+    wait = Stat.create ();
+    service = Stat.create ();
+    queue_area = 0.;
+    last_area_update = Engine.now eng;
   }
+
+(* Jobs present right now, before any lazy state advance: queued plus in
+   service. Between two events this count is constant, so charging
+   [raw_jobs * elapsed] at every state change keeps the queue-length
+   integral exact. *)
+let raw_jobs t =
+  match t.discipline with
+  | Processor_sharing -> List.length t.active
+  | Fifo | Round_robin _ -> Queue.length t.queue + if t.serving then 1 else 0
+
+(* Charge the interval since the last update to the queue-length integral.
+   Must run before the job population changes. *)
+let advance_area t =
+  let now = Engine.now t.eng in
+  let elapsed = now -. t.last_area_update in
+  if elapsed > 0. then
+    t.queue_area <- t.queue_area +. (float_of_int (raw_jobs t) *. elapsed);
+  t.last_area_update <- now
+
+let note_arrival t =
+  advance_area t;
+  t.arrivals <- t.arrivals + 1
+
+(* Per-job tallies, recorded once at completion. Waiting time is the sojourn
+   beyond the job's own service demand — exactly the queueing delay under
+   Fifo, and the slowdown from sharing the server under RR/PS. *)
+let note_completion t job =
+  advance_area t;
+  t.completions <- t.completions + 1;
+  let sojourn = Engine.now t.eng -. job.arrived in
+  Stat.record t.service job.amount;
+  Stat.record t.wait (Float.max 0. (sojourn -. job.amount))
 
 (* --- Processor sharing ---------------------------------------------------
 
@@ -72,32 +129,43 @@ and ps_complete t =
   t.completion <- None;
   ps_advance t;
   let done_, running = List.partition (fun j -> j.remaining <= epsilon) t.active in
+  List.iter (note_completion t) done_;
   t.active <- running;
   List.iter (fun j -> j.waker ()) done_;
   ps_reschedule t
 
 let ps_use t amount =
   Process.suspend (fun waker ->
+      note_arrival t;
       ps_advance t;
-      t.active <- t.active @ [ { remaining = amount; waker } ];
+      t.active <-
+        t.active
+        @ [ { remaining = amount; amount; arrived = Engine.now t.eng; waker } ];
       ps_reschedule t)
 
 (* --- Fifo ---------------------------------------------------------------- *)
 
 let rec fifo_start_next t =
   match Queue.take_opt t.queue with
-  | None -> t.serving <- false
+  | None ->
+    t.serving <- false;
+    t.slice_start <- nan
   | Some job ->
     t.serving <- true;
+    t.slice_start <- Engine.now t.eng;
     ignore
       (Engine.schedule t.eng ~delay:job.remaining (fun () ->
-           t.busy <- t.busy +. job.remaining;
+           t.busy <- t.busy +. (Engine.now t.eng -. t.slice_start);
+           note_completion t job;
            job.waker ();
            fifo_start_next t))
 
 let fifo_use t amount =
   Process.suspend (fun waker ->
-      Queue.add { remaining = amount; waker } t.queue;
+      note_arrival t;
+      Queue.add
+        { remaining = amount; amount; arrived = Engine.now t.eng; waker }
+        t.queue;
       if not t.serving then fifo_start_next t)
 
 (* --- Round robin ---------------------------------------------------------
@@ -108,21 +176,30 @@ let fifo_use t amount =
 
 let rec rr_serve_slice t quantum =
   match Queue.take_opt t.queue with
-  | None -> t.serving <- false
+  | None ->
+    t.serving <- false;
+    t.slice_start <- nan
   | Some job ->
     t.serving <- true;
+    t.slice_start <- Engine.now t.eng;
     let slice = min quantum job.remaining in
     ignore
       (Engine.schedule t.eng ~delay:slice (fun () ->
-           t.busy <- t.busy +. slice;
+           t.busy <- t.busy +. (Engine.now t.eng -. t.slice_start);
            job.remaining <- job.remaining -. slice;
-           if job.remaining <= epsilon then job.waker ()
+           if job.remaining <= epsilon then begin
+             note_completion t job;
+             job.waker ()
+           end
            else Queue.add job t.queue;
            rr_serve_slice t quantum))
 
 let rr_use t quantum amount =
   Process.suspend (fun waker ->
-      Queue.add { remaining = amount; waker } t.queue;
+      note_arrival t;
+      Queue.add
+        { remaining = amount; amount; arrived = Engine.now t.eng; waker }
+        t.queue;
       if not t.serving then rr_serve_slice t quantum)
 
 (* --- Common --------------------------------------------------------------- *)
@@ -141,7 +218,65 @@ let use t amount =
 
 let load t =
   match t.discipline with
-  | Processor_sharing -> List.length t.active
+  | Processor_sharing ->
+    (* Exclude jobs whose fluid share has already finished their work but
+       whose completion event has not fired yet (the completion is scheduled
+       for exactly this instant), so a sampled queue length never overshoots
+       the population that is still genuinely in service. *)
+    let elapsed = Engine.now t.eng -. t.last_update in
+    let n = List.length t.active in
+    if n = 0 then 0
+    else begin
+      let progress = elapsed /. float_of_int n in
+      List.length
+        (List.filter (fun j -> j.remaining -. progress > epsilon) t.active)
+    end
   | Fifo | Round_robin _ -> Queue.length t.queue + if t.serving then 1 else 0
 
-let busy_time t = t.busy
+(* Service time delivered so far, pro-rated to the current instant: elapsed
+   in-service time is charged lazily at read rather than only when the
+   completion (Fifo) or slice (RR) event fires, so a mid-run utilization
+   sample is never stale. *)
+let busy_time t =
+  let now = Engine.now t.eng in
+  match t.discipline with
+  | Processor_sharing ->
+    if t.active = [] then t.busy else t.busy +. (now -. t.last_update)
+  | Fifo | Round_robin _ ->
+    if t.serving then t.busy +. (now -. t.slice_start) else t.busy
+
+(* --- Telemetry ------------------------------------------------------------- *)
+
+let name t = t.name
+let arrivals t = t.arrivals
+let completions t = t.completions
+let wait_stat t = t.wait
+let service_stat t = t.service
+
+let queue_area t =
+  let pending = Engine.now t.eng -. t.last_area_update in
+  if pending > 0. then t.queue_area +. (float_of_int (raw_jobs t) *. pending)
+  else t.queue_area
+
+let utilization t =
+  let now = Engine.now t.eng in
+  if now <= 0. then 0. else busy_time t /. now
+
+let mean_queue_length t =
+  let now = Engine.now t.eng in
+  if now <= 0. then 0. else queue_area t /. now
+
+let throughput t =
+  let now = Engine.now t.eng in
+  if now <= 0. then 0. else float_of_int t.completions /. now
+
+let littles_law_gap t =
+  if t.completions = 0 || Engine.now t.eng <= 0. then None
+  else begin
+    let l = mean_queue_length t in
+    let lam = throughput t in
+    let w = (Stat.total t.wait +. Stat.total t.service) /. float_of_int t.completions in
+    let lw = lam *. w in
+    let scale = Float.max l lw in
+    if scale <= 0. then Some 0. else Some (Float.abs (l -. lw) /. scale)
+  end

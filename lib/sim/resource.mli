@@ -11,7 +11,14 @@
       to zero; all queued jobs progress simultaneously at rate [1/n]. This is
       the default for experiments because the paper's 1 ms slice against 20 ms
       operations is indistinguishable from processor sharing while costing
-      20x fewer events. *)
+      20x fewer events.
+
+    Every resource also keeps full per-job queueing statistics in the CSIM
+    tradition (resource statistics as a first-class simulation primitive):
+    arrival and completion counts, waiting-time and service-time tallies, a
+    time-weighted queue-length integral and exactly pro-rated busy time —
+    all correct at {e any} read instant, not just after a completion event,
+    so a periodic monitor can sample them mid-run. *)
 
 type discipline =
   | Fifo
@@ -20,8 +27,9 @@ type discipline =
 
 type t
 
-(** [create engine ~discipline] is a new single-server resource. *)
-val create : Engine.t -> discipline:discipline -> t
+(** [create ?name engine ~discipline] is a new single-server resource.
+    [name] (default ["resource"]) labels the telemetry. *)
+val create : ?name:string -> Engine.t -> discipline:discipline -> t
 
 (** [use t amount] consumes [amount] seconds of service, blocking the calling
     process until the job completes under the resource's discipline. Must be
@@ -31,8 +39,56 @@ val create : Engine.t -> discipline:discipline -> t
     @raise Invalid_argument if [amount] is negative or not finite. *)
 val use : t -> float -> unit
 
-(** Jobs currently queued or in service. *)
+(** Jobs currently queued or in service. Under processor sharing, jobs whose
+    fluid share has already exhausted their demand but whose completion event
+    has not fired yet (it is scheduled for exactly the current instant) are
+    {e not} counted, so a sampled queue length never overshoots. *)
 val load : t -> int
 
-(** Total service time delivered so far (for utilization reporting). *)
+(** Total service time delivered so far. Elapsed in-service time is charged
+    lazily at read (all disciplines), so the value is exact at any instant —
+    utilization samples taken between completion events are never stale. *)
 val busy_time : t -> float
+
+(** {2 Queueing telemetry}
+
+    Per-job tallies are recorded at job completion; the queue-length
+    integral and busy time are pro-rated to the read instant. *)
+
+(** The label given at creation. *)
+val name : t -> string
+
+(** Jobs that entered the discipline so far. *)
+val arrivals : t -> int
+
+(** Jobs whose service completed so far. *)
+val completions : t -> int
+
+(** Waiting time per completed job: sojourn minus the job's own service
+    demand (the queueing delay under Fifo; the slowdown from sharing the
+    server under RR/PS). *)
+val wait_stat : t -> Stat.t
+
+(** Service demand per completed job. *)
+val service_stat : t -> Stat.t
+
+(** Time integral of the number of jobs present (queued + in service),
+    pro-rated to the read instant: [queue_area t /. now] is the time-average
+    queue length L. *)
+val queue_area : t -> float
+
+(** [busy_time t /. now]; 0 before any virtual time has passed. *)
+val utilization : t -> float
+
+(** Time-average number of jobs present, L. *)
+val mean_queue_length : t -> float
+
+(** Completions per virtual second, λ. *)
+val throughput : t -> float
+
+(** Little's-law self-check: the relative gap [|L - λW| / max L (λW)]
+    where W is the mean sojourn (wait + service) over completed jobs.
+    In steady state this tends to 0 — the invariant the telemetry must
+    satisfy (pinned by a property test over all three disciplines).
+    [None] before the first completion. *)
+val littles_law_gap : t -> float option

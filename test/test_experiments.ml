@@ -211,6 +211,8 @@ let test_sim_config_defaults () =
   check_bool "no recording by default" false cfg.Sim_system.record_history;
   check_bool "no serial refresh by default" false cfg.Sim_system.serial_refresh;
   check_bool "no eager aborts by default" false cfg.Sim_system.ship_aborted;
+  check_bool "no monitor by default" false
+    (Monitor.enabled cfg.Sim_system.monitor);
   Alcotest.(check (float 0.)) "no migration by default" 0.
     cfg.Sim_system.migrate_prob
 
@@ -452,6 +454,138 @@ let test_sim_obs_exports_deterministic () =
   check_bool "different seed, different metrics" true
     (Lsr_obs.Obs.metrics_json obs_a <> Lsr_obs.Obs.metrics_json obs_c)
 
+let monitor_run ~seed =
+  let monitor = Monitor.create ~interval:2.0 () in
+  let o =
+    Sim_system.run
+      {
+        (Sim_system.config tiny_params Session.Strong_session ~seed) with
+        Sim_system.monitor;
+      }
+  in
+  (o, monitor)
+
+let test_sim_monitor_does_not_perturb () =
+  (* The sampling process only reads state — it draws no randomness and
+     wakes nothing — so with the monitor attached every outcome field is
+     unchanged, bit for bit. *)
+  let sampled, monitor = monitor_run ~seed:11 in
+  let blind = run Session.Strong_session in
+  check_bool "every outcome field unchanged" true (sampled = blind);
+  let series = Monitor.series monitor in
+  check_bool "samples recorded" true (Lsr_obs.Timeseries.length series > 0);
+  let columns = Lsr_obs.Timeseries.columns series in
+  List.iter
+    (fun c -> check_bool ("column " ^ c) true (List.mem c columns))
+    [
+      "primary.util"; "primary.wal"; "primary.versions"; "secondary-0.util";
+      "secondary-0.update_queue"; "secondary-0.pending";
+      "secondary-1.versions"; "secondary-1.qlen"; "secondary-1.depth";
+    ];
+  (* Samples land exactly on the virtual-time grid. *)
+  List.iter
+    (fun (s : Lsr_obs.Timeseries.sample) ->
+      check_bool "on the sampling grid" true
+        (Float.rem s.Lsr_obs.Timeseries.time 2.0 = 0.))
+    (Lsr_obs.Timeseries.samples series)
+
+let test_sim_monitor_timeseries_deterministic () =
+  (* Same seed, fresh monitors: both exports are byte-identical; a
+     different seed diverges. *)
+  let _, a = monitor_run ~seed:11 in
+  let _, b = monitor_run ~seed:11 in
+  let _, c = monitor_run ~seed:12 in
+  Alcotest.(check string)
+    "timeseries JSON bytes identical"
+    (Lsr_obs.Timeseries.json_string (Monitor.series a))
+    (Lsr_obs.Timeseries.json_string (Monitor.series b));
+  Alcotest.(check string)
+    "timeseries CSV bytes identical"
+    (Lsr_obs.Timeseries.csv (Monitor.series a))
+    (Lsr_obs.Timeseries.csv (Monitor.series b));
+  check_bool "different seed, different samples" true
+    (Lsr_obs.Timeseries.json_string (Monitor.series a)
+    <> Lsr_obs.Timeseries.json_string (Monitor.series c))
+
+let test_monitor_create_validates () =
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Monitor.create: interval must be positive and finite")
+    (fun () -> ignore (Monitor.create ~interval:0. ()));
+  check_bool "null disabled" false (Monitor.enabled Monitor.null)
+
+let test_outcome_resources () =
+  let o = run Session.Strong_session in
+  let sites = List.map (fun r -> r.Sim_system.res_site) o.Sim_system.resources in
+  Alcotest.(check (list string))
+    "primary first, then secondaries in order"
+    [ "primary"; "secondary-0"; "secondary-1" ]
+    sites;
+  List.iter
+    (fun (r : Sim_system.resource_report) ->
+      check_bool "utilization in [0,1]" true
+        (0. < r.Sim_system.res_utilization && r.Sim_system.res_utilization <= 1.);
+      check_bool "completions within arrivals" true
+        (r.Sim_system.res_completions <= r.Sim_system.res_arrivals);
+      check_bool "throughput positive" true (r.Sim_system.res_throughput > 0.);
+      check_bool "littles gap small over a long run" true
+        (r.Sim_system.res_littles_gap < 0.1))
+    o.Sim_system.resources
+
+let test_bottleneck_report () =
+  let o = run Session.Strong_session in
+  let report = Bottleneck.analyze tiny_params o in
+  check_int "one rank per resource" 3 (List.length report.Bottleneck.ranking);
+  let utils =
+    List.map (fun r -> r.Bottleneck.bn_utilization) report.Bottleneck.ranking
+  in
+  check_bool "ranking sorted by utilization" true
+    (List.sort (fun a b -> compare b a) utils = utils);
+  Alcotest.(check string)
+    "dominant is the head of the ranking"
+    (match report.Bottleneck.ranking with
+    | r :: _ -> r.Bottleneck.bn_site
+    | [] -> "none")
+    report.Bottleneck.dominant;
+  let share_sum =
+    List.fold_left
+      (fun acc r -> acc +. r.Bottleneck.bn_wait_share)
+      0. report.Bottleneck.ranking
+  in
+  Alcotest.(check (float 1e-9)) "wait shares sum to 1" 1. share_sum;
+  Alcotest.(check (list string))
+    "read and update classes"
+    [ "read"; "update" ]
+    (List.map (fun b -> b.Bottleneck.br_class) report.Bottleneck.breakdowns);
+  List.iter
+    (fun (b : Bottleneck.breakdown) ->
+      List.iter
+        (fun (c : Bottleneck.component) ->
+          check_bool "component nonnegative" true (c.Bottleneck.comp_seconds >= 0.))
+        b.Bottleneck.br_components;
+      let total =
+        List.fold_left
+          (fun acc c -> acc +. c.Bottleneck.comp_seconds)
+          0. b.Bottleneck.br_components
+      in
+      (* The queueing remainder is clamped at zero, so the components cover
+         at least the measured response time. *)
+      check_bool "components cover the response time" true
+        (total >= b.Bottleneck.br_rt_mean -. 1e-9))
+    report.Bottleneck.breakdowns;
+  let rendered = Bottleneck.render ~tag:"t" report in
+  check_bool "render names the dominant resource" true
+    (let sub = "bottleneck [t]: " ^ report.Bottleneck.dominant in
+     String.length rendered >= String.length sub
+     && String.sub rendered 0 (String.length sub) = sub);
+  (* The JSON export round-trips through the parser, like every exporter. *)
+  match
+    Lsr_obs.Json.parse
+      (Lsr_obs.Json.to_string
+         (Bottleneck.sweep_json [ { Bottleneck.tag = "t"; report } ]))
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("bottleneck JSON invalid: " ^ e)
+
 let tiny_sweep_params =
   {
     Params.default with
@@ -559,6 +693,15 @@ let () =
           Alcotest.test_case "lag report rows" `Quick test_lag_report_rows;
           Alcotest.test_case "freshness in outcome" `Quick
             test_sim_freshness_outcome;
+          Alcotest.test_case "monitor does not perturb" `Quick
+            test_sim_monitor_does_not_perturb;
+          Alcotest.test_case "monitor timeseries byte-deterministic" `Quick
+            test_sim_monitor_timeseries_deterministic;
+          Alcotest.test_case "monitor create validates" `Quick
+            test_monitor_create_validates;
+          Alcotest.test_case "outcome resource reports" `Quick
+            test_outcome_resources;
+          Alcotest.test_case "bottleneck report" `Quick test_bottleneck_report;
         ] );
       ( "report",
         [

@@ -344,6 +344,39 @@ let test_mailbox_peek_length () =
   check_int "length" 2 (Mailbox.length mb);
   check_int "peek is oldest" 7 (Option.get (Mailbox.peek mb))
 
+(* Depth telemetry on a hand-computable schedule: two messages queued at
+   t=0, drained at t=1 and t=3. *)
+let test_mailbox_telemetry () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~clock:(fun () -> Engine.now eng) () in
+  Process.spawn eng (fun () ->
+      Mailbox.send mb "a";
+      Mailbox.send mb "b");
+  Process.spawn_at eng ~delay:1. (fun () -> ignore (Mailbox.recv mb));
+  Process.spawn_at eng ~delay:3. (fun () -> ignore (Mailbox.recv mb));
+  Engine.run eng;
+  check_int "sends" 2 (Mailbox.sends mb);
+  check_int "recvs" 2 (Mailbox.recvs mb);
+  check_int "peak depth" 2 (Mailbox.peak_depth mb);
+  (* depth 2 over [0,1), depth 1 over [1,3): integral 4 over 3 seconds. *)
+  check_float "depth area" 4. (Mailbox.depth_area mb);
+  check_float "mean depth" (4. /. 3.) (Mailbox.mean_depth mb)
+
+(* A direct hand-off to a parked receiver never enqueues: the depth integral
+   stays zero while the send/recv counters still move. *)
+let test_mailbox_handoff_telemetry () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~clock:(fun () -> Engine.now eng) () in
+  let got = ref None in
+  Process.spawn eng (fun () -> got := Some (Mailbox.recv mb));
+  Process.spawn_at eng ~delay:1. (fun () -> Mailbox.send mb 7);
+  Engine.run eng;
+  Alcotest.(check (option int)) "delivered" (Some 7) !got;
+  check_int "sends" 1 (Mailbox.sends mb);
+  check_int "recvs" 1 (Mailbox.recvs mb);
+  check_int "peak depth" 0 (Mailbox.peak_depth mb);
+  check_float "depth area" 0. (Mailbox.depth_area mb)
+
 (* --- Resource ------------------------------------------------------------------- *)
 
 let test_resource_fifo () =
@@ -509,6 +542,97 @@ let test_resource_bad_quantum () =
     (Invalid_argument "Resource.create: round-robin quantum must be positive")
     (fun () ->
       ignore (Resource.create eng ~discipline:(Resource.Round_robin 0.)))
+
+(* Busy time is charged lazily, so utilization sampled mid-service is exact
+   — not stale until the next completion event. *)
+let test_resource_busy_midservice_fifo () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Fifo in
+  Process.spawn eng (fun () -> Resource.use res 2.);
+  Process.spawn_at eng ~delay:1. (fun () ->
+      check_float "busy mid-service" 1. (Resource.busy_time res);
+      check_float "utilization mid-service" 1. (Resource.utilization res));
+  Engine.run eng;
+  check_float "busy at end" 2. (Resource.busy_time res)
+
+let test_resource_busy_midslice_rr () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:(Resource.Round_robin 0.5) in
+  Process.spawn eng (fun () -> Resource.use res 2.);
+  Process.spawn_at eng ~delay:0.25 (fun () ->
+      check_float "busy mid-slice" 0.25 (Resource.busy_time res));
+  Engine.run eng;
+  check_float "busy at end" 2. (Resource.busy_time res)
+
+(* A sampler firing at the same instant as (but before) PS completion events
+   must not count the finished-but-unfired jobs. *)
+let test_resource_ps_load_no_overshoot () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~discipline:Resource.Processor_sharing in
+  (* Scheduled first, so FIFO tie-breaking fires it before the completions
+     due at the same instant. *)
+  Process.spawn_at eng ~delay:2. (fun () ->
+      check_int "no finished-but-unfired jobs counted" 0 (Resource.load res));
+  Process.spawn eng (fun () -> Resource.use res 1.);
+  Process.spawn eng (fun () -> Resource.use res 1.);
+  Engine.run eng;
+  check_int "drained" 0 (Resource.load res)
+
+(* Exact telemetry on a hand-computable FIFO scenario: two unit jobs arriving
+   together at t=0, so one waits exactly the other's service time. *)
+let test_resource_telemetry_counts () =
+  let eng = Engine.create () in
+  let res = Resource.create ~name:"srv" eng ~discipline:Resource.Fifo in
+  Process.spawn eng (fun () -> Resource.use res 1.);
+  Process.spawn eng (fun () -> Resource.use res 1.);
+  Engine.run eng;
+  Alcotest.(check string) "name" "srv" (Resource.name res);
+  check_int "arrivals" 2 (Resource.arrivals res);
+  check_int "completions" 2 (Resource.completions res);
+  check_float "service total" 2. (Stat.total (Resource.service_stat res));
+  check_float "wait mean" 0.5 (Stat.mean (Resource.wait_stat res));
+  (* 2 jobs over [0,1), 1 job over [1,2): integral 3 over 2 seconds. *)
+  check_float "queue area" 3. (Resource.queue_area res);
+  check_float "mean queue length" 1.5 (Resource.mean_queue_length res);
+  check_float "throughput" 1. (Resource.throughput res);
+  check_float "utilization" 1. (Resource.utilization res);
+  match Resource.littles_law_gap res with
+  | None -> Alcotest.fail "expected a Little's-law gap"
+  | Some gap -> check_float "littles gap exact" 0. gap
+
+(* Little's law L = λ·W as a pathwise invariant: over a long run the
+   time-average population, the completion rate and the mean sojourn agree
+   up to edge effects (jobs in flight at the horizon), whatever the
+   discipline. *)
+let prop_resource_littles_law =
+  let disciplines =
+    [
+      ("fifo", Resource.Fifo);
+      ("rr", Resource.Round_robin 0.05);
+      ("ps", Resource.Processor_sharing);
+    ]
+  in
+  QCheck.Test.make ~name:"Little's law holds under Poisson arrivals" ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun (_, discipline) ->
+          let eng = Engine.create () in
+          let res = Resource.create eng ~discipline in
+          let rng = Rng.create seed in
+          Process.spawn eng (fun () ->
+              let rec arrive () =
+                Process.delay (Rng.exponential rng ~mean:1.0);
+                let amount = Rng.exponential rng ~mean:0.4 in
+                Process.spawn eng (fun () -> Resource.use res amount);
+                arrive ()
+              in
+              arrive ());
+          Engine.run ~until:1000. eng;
+          match Resource.littles_law_gap res with
+          | None -> false
+          | Some gap -> gap < 0.1)
+        disciplines)
 
 (* Work conservation: whatever the discipline and arrival pattern, every job
    completes, total delivered service equals total demand, and no job
@@ -753,6 +877,9 @@ let () =
           Alcotest.test_case "fifo order" `Quick test_mailbox_fifo;
           Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
           Alcotest.test_case "peek/length" `Quick test_mailbox_peek_length;
+          Alcotest.test_case "depth telemetry" `Quick test_mailbox_telemetry;
+          Alcotest.test_case "hand-off telemetry" `Quick
+            test_mailbox_handoff_telemetry;
         ] );
       ( "resource",
         [
@@ -769,8 +896,16 @@ let () =
           Alcotest.test_case "zero amount" `Quick test_resource_zero_amount;
           Alcotest.test_case "load" `Quick test_resource_load;
           Alcotest.test_case "bad quantum" `Quick test_resource_bad_quantum;
+          Alcotest.test_case "busy time mid-service (fifo)" `Quick
+            test_resource_busy_midservice_fifo;
+          Alcotest.test_case "busy time mid-slice (rr)" `Quick
+            test_resource_busy_midslice_rr;
+          Alcotest.test_case "ps load no overshoot" `Quick
+            test_resource_ps_load_no_overshoot;
+          Alcotest.test_case "telemetry counts" `Quick
+            test_resource_telemetry_counts;
         ]
-        @ qsuite [ prop_resource_work_conservation ] );
+        @ qsuite [ prop_resource_work_conservation; prop_resource_littles_law ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
