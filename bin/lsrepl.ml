@@ -48,7 +48,7 @@ let seed_arg =
 (* --- simulate ------------------------------------------------------------------ *)
 
 let simulate guarantee seed secondaries clients browsing duration serial ship
-    validate =
+    validate open_loop arrival session_pool =
   let params =
     let base = if browsing then Params.browsing Params.default else Params.default in
     {
@@ -59,19 +59,40 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       warmup = min (duration /. 5.) Params.default.Params.warmup;
     }
   in
+  let client_mode =
+    match open_loop with
+    | 0 -> Sim_system.Closed_loop
+    | n -> Sim_system.Open_loop { clients = n; arrival; session_pool }
+  in
   let cfg =
     {
       (Sim_system.config params guarantee ~seed) with
       Sim_system.record_history = validate;
       serial_refresh = serial;
       ship_aborted = ship;
+      client_mode;
     }
   in
-  Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n%!"
-    (Session.guarantee_name guarantee)
-    secondaries clients
-    (if browsing then "95/5" else "80/20")
-    duration;
+  (match client_mode with
+  | Sim_system.Closed_loop ->
+    Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n%!"
+      (Session.guarantee_name guarantee)
+      secondaries clients
+      (if browsing then "95/5" else "80/20")
+      duration
+  | Sim_system.Open_loop { clients; arrival; _ } ->
+    Printf.printf
+      "simulating %s: %d secondaries, open loop (%d modeled clients/site, %s \
+       arrivals, %.1f txn/s/site), %s mix, %.0fs\n\
+       %!"
+      (Session.guarantee_name guarantee)
+      secondaries clients
+      (match arrival with
+      | Sim_system.Poisson -> "poisson"
+      | Sim_system.Mmpp b -> Printf.sprintf "mmpp x%.1f" b)
+      (Sim_system.offered_rate params ~clients)
+      (if browsing then "95/5" else "80/20")
+      duration);
   let o = Sim_system.run cfg in
   let rows =
     [
@@ -122,11 +143,51 @@ let simulate_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Record the history and run the checker.")
   in
+  let open_loop =
+    let doc =
+      "Model $(docv) clients per secondary with one aggregated open-loop \
+       arrival process per site instead of per-client coroutines (0 = \
+       closed loop). Scales to millions of modeled clients."
+    in
+    Arg.(value & opt int 0 & info [ "open-loop" ] ~docv:"CLIENTS" ~doc)
+  in
+  let arrival =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "poisson" -> Ok Sim_system.Poisson
+      | s -> (
+        match Scanf.sscanf_opt s "mmpp:%f" (fun b -> b) with
+        | Some b when b >= 1. -> Ok (Sim_system.Mmpp b)
+        | Some _ -> Error (`Msg "mmpp burstiness must be >= 1")
+        | None ->
+          Error (`Msg (Printf.sprintf "unknown arrival process %S" s)))
+    in
+    let print ppf = function
+      | Sim_system.Poisson -> Format.pp_print_string ppf "poisson"
+      | Sim_system.Mmpp b -> Format.fprintf ppf "mmpp:%g" b
+    in
+    let arrival_conv = Arg.conv (parse, print) in
+    let doc =
+      "Open-loop arrival process: $(b,poisson) or $(b,mmpp:)$(i,B) (bursty \
+       two-state MMPP with high/low rate ratio $(i,B), same mean rate)."
+    in
+    Arg.(
+      value & opt arrival_conv Sim_system.Poisson
+      & info [ "arrival" ] ~docv:"PROC" ~doc)
+  in
+  let session_pool =
+    let doc =
+      "Size of the rotating session-label pool in open-loop mode (0 = \
+       min(clients, 4096))."
+    in
+    Arg.(value & opt int 0 & info [ "session-pool" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation of the replicated system")
     Term.(
       const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
-      $ browsing $ duration $ serial $ ship $ validate)
+      $ browsing $ duration $ serial $ ship $ validate $ open_loop $ arrival
+      $ session_pool)
 
 (* --- bottleneck ----------------------------------------------------------------- *)
 

@@ -99,15 +99,13 @@ let check_weak_si history =
   in
   let state : (string, string option) Hashtbl.t = Hashtbl.create 1024 in
   let violations = ref [] in
+  let own_writes = Hashtbl.create 16 in
   let check_txn (t : History.txn) =
-    let own_writes =
-      List.fold_left
-        (fun acc { Wal.key; _ } -> key :: acc)
-        [] t.writes
-    in
+    Hashtbl.reset own_writes;
+    List.iter (fun { Wal.key; _ } -> Hashtbl.replace own_writes key ()) t.writes;
     List.iter
       (fun (key, observed) ->
-        if not (List.mem key own_writes) then begin
+        if not (Hashtbl.mem own_writes key) then begin
           let expected = Option.join (Hashtbl.find_opt state key) in
           if expected <> observed then
             violations :=
@@ -136,13 +134,25 @@ let check_weak_si history =
   sweep updates by_snapshot;
   List.rev !violations
 
-(* --- Serializability via the multi-version serialization graph ------------- *)
+(* --- Serializability via the multi-version serialization graph -------------
+
+   Polynomial-time black-box construction in the style of Huang et al.'s
+   "Efficient Black-box Checking of Snapshot Isolation": under SI every read
+   is pinned to the version visible at the reader's snapshot, so the wr
+   (visible writer -> reader) and rw (reader -> next writer) edges of the
+   MVSG are determined directly by binary search over each key's committed
+   writer chain — no search over candidate serialization orders. Total cost
+   is O(E + R log V) for E edges, R recorded reads and V versions, and the
+   cycle check is one iterative DFS (explicit stack; histories with millions
+   of transactions must not overflow the OCaml call stack). *)
 
 let serialization_cycle history =
-  let txns = List.filter committed (History.transactions history) in
-  (* Version chains: for each key, its committed writers in commit order. *)
+  let txns = Array.of_list (List.filter committed (History.transactions history)) in
+  let n = Array.length txns in
+  (* Version chains: for each key, its committed writers sorted by commit
+     timestamp, as arrays supporting binary search. *)
   let writers : (string, (Timestamp.t * int) list) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
+  Array.iter
     (fun (t : History.txn) ->
       match t.commit_ts with
       | None -> ()
@@ -153,86 +163,106 @@ let serialization_cycle history =
             Hashtbl.replace writers key ((cts, t.id) :: chain))
           t.writes)
     txns;
-  let chains = Hashtbl.create 256 in
+  let chains : (string, (Timestamp.t * int) array) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length writers)
+  in
   Hashtbl.iter
     (fun key chain ->
-      Hashtbl.replace chains key
-        (List.sort (fun (a, _) (b, _) -> Timestamp.compare a b) chain))
+      let arr = Array.of_list chain in
+      Array.sort (fun (a, _) (b, _) -> Timestamp.compare a b) arr;
+      Hashtbl.replace chains key arr)
     writers;
-  let edges : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  (* [partition chain ts] is the number of writers with commit ts <= [ts]:
+     the visible version is at index [partition - 1], the next version at
+     [partition]. *)
+  let partition chain ts =
+    let lo = ref 0 and hi = ref (Array.length chain) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let cts, _ = chain.(mid) in
+      if Timestamp.compare cts ts <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* Adjacency lists with O(1) dedup. *)
+  let succs : (int, int list ref) Hashtbl.t = Hashtbl.create (max 64 n) in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create (max 64 n) in
   let add_edge a b =
-    if a <> b then
-      let succ = Option.value ~default:[] (Hashtbl.find_opt edges a) in
-      if not (List.mem b succ) then Hashtbl.replace edges a (b :: succ)
+    if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.replace seen (a, b) ();
+      match Hashtbl.find_opt succs a with
+      | Some l -> l := b :: !l
+      | None -> Hashtbl.replace succs a (ref [ b ])
+    end
   in
   (* ww: consecutive writers of each key. *)
   Hashtbl.iter
     (fun _ chain ->
-      let rec link = function
-        | (_, a) :: ((_, b) :: _ as rest) ->
-          add_edge a b;
-          link rest
-        | [ _ ] | [] -> ()
-      in
-      link chain)
+      for i = 0 to Array.length chain - 2 do
+        add_edge (snd chain.(i)) (snd chain.(i + 1))
+      done)
     chains;
-  (* wr and rw: for each recorded read, find the version visible at the
-     reader's snapshot and the next version after it. *)
-  List.iter
+  (* wr and rw: for each recorded read, the version visible at the reader's
+     snapshot and the next version after it, by binary search. *)
+  let own_keys = Hashtbl.create 16 in
+  Array.iter
     (fun (t : History.txn) ->
-      let own_keys = List.map (fun { Wal.key; _ } -> key) t.writes in
+      Hashtbl.reset own_keys;
+      List.iter (fun { Wal.key; _ } -> Hashtbl.replace own_keys key ()) t.writes;
       List.iter
         (fun (key, _) ->
-          if not (List.mem key own_keys) then
+          if not (Hashtbl.mem own_keys key) then
             match Hashtbl.find_opt chains key with
             | None -> ()
             | Some chain ->
-              let visible =
-                List.fold_left
-                  (fun acc (cts, id) ->
-                    if Timestamp.compare cts t.snapshot <= 0 then Some (cts, id)
-                    else acc)
-                  None chain
-              in
-              let next =
-                List.find_opt
-                  (fun (cts, _) -> Timestamp.compare cts t.snapshot > 0)
-                  chain
-              in
-              (match visible with
-              | Some (_, writer) -> add_edge writer t.id
-              | None -> ());
-              (match next with
-              | Some (_, overwriter) -> add_edge t.id overwriter
-              | None -> ()))
+              let pos = partition chain t.snapshot in
+              if pos > 0 then add_edge (snd chain.(pos - 1)) t.id;
+              if pos < Array.length chain then add_edge t.id (snd chain.(pos)))
         t.reads)
     txns;
-  (* DFS cycle detection with path reconstruction. *)
-  let color = Hashtbl.create 64 in
-  let cycle = ref None in
-  let rec visit path id =
-    match Hashtbl.find_opt color id with
-    | Some `Done -> ()
-    | Some `Active ->
-      if !cycle = None then begin
-        let rec take acc = function
-          | [] -> acc
-          | x :: _ when x = id -> x :: acc
-          | x :: rest -> take (x :: acc) rest
-        in
-        cycle := Some (take [] path)
-      end
-    | None ->
-      Hashtbl.replace color id `Active;
-      List.iter
-        (fun succ -> if !cycle = None then visit (id :: path) succ)
-        (Option.value ~default:[] (Hashtbl.find_opt edges id));
-      Hashtbl.replace color id `Done
+  (* Iterative DFS cycle detection with path reconstruction: the gray path
+     is exactly the frame stack, so on hitting an active node the witness
+     cycle is the stack suffix from that node. *)
+  let color : (int, [ `Active | `Done ]) Hashtbl.t = Hashtbl.create (max 64 n) in
+  let no_succs = [||] in
+  let succ_array id =
+    match Hashtbl.find_opt succs id with
+    | Some l -> Array.of_list (List.rev !l)
+    | None -> no_succs
   in
-  List.iter
-    (fun (t : History.txn) -> if !cycle = None then visit [] t.id)
-    txns;
-  !cycle
+  let exception Found of int list in
+  let visit root =
+    if not (Hashtbl.mem color root) then begin
+      Hashtbl.replace color root `Active;
+      let stack = ref [ (root, succ_array root, ref 0) ] in
+      while !stack <> [] do
+        let id, succ, next = List.hd !stack in
+        if !next >= Array.length succ then begin
+          Hashtbl.replace color id `Done;
+          stack := List.tl !stack
+        end
+        else begin
+          let s = succ.(!next) in
+          incr next;
+          match Hashtbl.find_opt color s with
+          | Some `Done -> ()
+          | Some `Active ->
+            let path = List.rev_map (fun (n, _, _) -> n) !stack in
+            let rec from_s = function
+              | x :: rest when x <> s -> from_s rest
+              | suffix -> suffix
+            in
+            raise (Found (from_s path))
+          | None ->
+            Hashtbl.replace color s `Active;
+            stack := (s, succ_array s, ref 0) :: !stack
+        end
+      done
+    end
+  in
+  match Array.iter (fun (t : History.txn) -> visit t.id) txns with
+  | () -> None
+  | exception Found cycle -> Some cycle
 
 let is_serializable history = serialization_cycle history = None
 

@@ -7,7 +7,15 @@
     wall order), yet [t2] saw a database state older than the one [t1]
     produced (or, for a read-only [t1], older than the one [t1] observed —
     the case-4 requirement of Theorem 4.1 that snapshots never move
-    backwards). *)
+    backwards).
+
+    Every check here is polynomial in the history size — the checker runs
+    after each simulation over histories with up to millions of
+    transactions, so no routine may enumerate candidate orders or walk a
+    version chain per read. [inversions] and [check_weak_si] are sorted
+    sweeps, O(n log n) in the number of transactions plus O(R) over recorded
+    reads; [serialization_cycle] builds the MVSG black-box style (see below)
+    in O(E + R log V) and detects cycles with one iterative DFS. *)
 
 open Lsr_storage
 
@@ -50,7 +58,13 @@ val check_weak_si : History.t -> string list
       {e next} version of that key.
 
     Reads of keys the transaction itself wrote are ignored
-    (read-your-writes). *)
+    (read-your-writes).
+
+    Because SI pins every read to the version visible at the reader's
+    snapshot, all three edge kinds are determined directly from the per-key
+    committed-writer chains (binary search per read) — the polynomial-time
+    black-box SI-checking construction of Huang et al., with none of the
+    exponential search a general serializability check needs. *)
 
 (** [serialization_cycle h] is a dependency cycle (as history transaction
     ids, in order) when one exists. *)

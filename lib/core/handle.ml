@@ -59,6 +59,15 @@ let row_lookup t ~table:name ~field ~value =
     rows;
   rows
 
+let row_range t ~table:name ~field ~lo ~hi =
+  let tbl = table t name in
+  let rows = Table.range_lookup tbl t.txn ~field ~lo ~hi in
+  List.iter
+    (fun (pk, row) ->
+      t.reads <- (Table.storage_key tbl ~pk, Some (Row.encode row)) :: t.reads)
+    rows;
+  rows
+
 let indexed_fields t ~table:name =
   Option.value ~default:[] (List.assoc_opt name t.schema)
 

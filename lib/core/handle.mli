@@ -40,6 +40,18 @@ val row_scan : t -> table:string -> where:(Row.t -> bool) -> (string * Row.t) li
 val row_lookup :
   t -> table:string -> field:string -> value:Row.scalar -> (string * Row.t) list
 
+(** [row_range t ~table ~field ~lo ~hi] seeks the secondary index for rows
+    whose [field] lies in the interval (see {!Table.range_lookup}); matched
+    rows are recorded as reads, like {!row_lookup}.
+    @raise Invalid_argument when the field is not indexed. *)
+val row_range :
+  t ->
+  table:string ->
+  field:string ->
+  lo:(Row.scalar * bool) option ->
+  hi:(Row.scalar * bool) option ->
+  (string * Row.t) list
+
 (** Indexed fields declared for a table in the system schema. *)
 val indexed_fields : t -> table:string -> string list
 

@@ -51,9 +51,11 @@ let note_read t ~label ~snapshot =
     raise_to t.read_floors (effective_label t label) snapshot
   | Weak | Prefix_consistent -> ()
 
-let may_read t ~label ~seq_dbsec =
+let required_seq t ~label =
   match t.guarantee with
-  | Weak -> true
-  | Prefix_consistent -> Timestamp.compare (seq t label) seq_dbsec <= 0
-  | Strong_session | Strong ->
-    Timestamp.compare (max (seq t label) (read_floor t label)) seq_dbsec <= 0
+  | Weak -> Timestamp.zero
+  | Prefix_consistent -> seq t label
+  | Strong_session | Strong -> max (seq t label) (read_floor t label)
+
+let may_read t ~label ~seq_dbsec =
+  Timestamp.compare (required_seq t ~label) seq_dbsec <= 0

@@ -65,9 +65,14 @@ val note_update_commit : t -> label:string -> commit_ts:Timestamp.t -> unit
     [Strong_session]/[Strong]; no-op otherwise). *)
 val note_read : t -> label:string -> snapshot:Timestamp.t -> unit
 
-(** [may_read t ~label ~seq_dbsec] — may a read-only transaction from
-    session [label] start at a secondary whose copy reflects [seq_dbsec]?
-    - [Weak]: always;
-    - [Prefix_consistent]: [seq(c) <= seq_dbsec];
-    - [Strong_session] / [Strong]: [max (seq c) (read_floor c) <= seq_dbsec]. *)
+(** [required_seq t ~label] is the smallest [seq(DBsec)] at which a
+    read-only transaction from session [label] may start:
+    - [Weak]: [Timestamp.zero] (never waits);
+    - [Prefix_consistent]: [seq(c)];
+    - [Strong_session] / [Strong]: [max (seq c) (read_floor c)].
+    Monotone in time for a fixed label, which lets blocked readers wait on
+    a threshold queue instead of re-polling. *)
+val required_seq : t -> label:string -> Timestamp.t
+
+(** [may_read t ~label ~seq_dbsec] = [required_seq t ~label <= seq_dbsec]. *)
 val may_read : t -> label:string -> seq_dbsec:Timestamp.t -> bool

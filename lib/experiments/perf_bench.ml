@@ -1,0 +1,303 @@
+open Lsr_core
+open Lsr_workload
+module Json = Lsr_obs.Json
+
+type phase = {
+  label : string;
+  cpu_s : float;
+  sim_events : int;
+  events_per_s : float;
+  txns : int;
+  txns_per_s : float;
+  peak_rss_kb : int;
+  checker_cpu_s : float;
+  check_errors : int;
+}
+
+type report = {
+  seed : int;
+  quick : bool;
+  sites : int;
+  pair_clients_per_site : int;
+  offered_per_site : float;
+  virtual_s : float;
+  open_loop : phase;
+  closed_loop : phase;
+  speedup_events_per_s : float;
+  showcase_clients : int;
+  showcase : phase;
+}
+
+(* Resident-set high-water mark of this process, from /proc/self/status
+   (VmHWM, in kB). Falls back to the GC's top heap size on systems without
+   procfs. Monotone over the process lifetime, so phases are measured
+   smallest-footprint first. *)
+let peak_rss_kb () =
+  let from_proc () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> None
+    | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+          if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then begin
+            let digits = Buffer.create 8 in
+            String.iter
+              (fun c -> if c >= '0' && c <= '9' then Buffer.add_char digits c)
+              line;
+            int_of_string_opt (Buffer.contents digits)
+          end
+          else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) scan
+  in
+  match from_proc () with
+  | Some kb -> kb
+  | None -> Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8) / 1024
+
+let measure ~label cfg =
+  let t0 = Sys.time () in
+  let o = Sim_system.run cfg in
+  let cpu = Sys.time () -. t0 in
+  (* events/s is a simulator-speed measure: exclude the post-run checker
+     battery from the denominator (it is reported separately). *)
+  let sim_cpu = Float.max 1e-9 (cpu -. o.Sim_system.checker_cpu_s) in
+  let txns = o.Sim_system.reads_completed + o.Sim_system.updates_completed in
+  {
+    label;
+    cpu_s = cpu;
+    sim_events = o.Sim_system.sim_events;
+    events_per_s = float_of_int o.Sim_system.sim_events /. sim_cpu;
+    txns;
+    txns_per_s = float_of_int txns /. sim_cpu;
+    peak_rss_kb = peak_rss_kb ();
+    checker_cpu_s = o.Sim_system.checker_cpu_s;
+    check_errors = List.length o.Sim_system.check_errors;
+  }
+
+(* The paired comparison and the showcase both run with a tiny per-operation
+   service time so the sites stay far from saturation even at huge
+   multiprogramming levels, and a short propagation cycle so session-blocked
+   reads drain continuously instead of piling up across a 10-second sniff
+   interval: the bench measures simulator speed, not the paper's contention
+   behaviour. *)
+let scaled_params ?think_time ~sites ~clients ~propagation ~warmup ~duration ()
+    =
+  {
+    Params.default with
+    Params.num_secondaries = sites;
+    clients_per_secondary = clients;
+    think_time = Option.value ~default:Params.default.Params.think_time think_time;
+    op_service_time = 1e-6;
+    propagation_delay = propagation;
+    warmup;
+    duration;
+  }
+
+let run ?(progress = ignore) ~quick ~seed () =
+  let sites = 2 in
+  let pair_clients = if quick then 2_000 else 1_000_000 in
+  let showcase_clients_per_site = if quick then 10_000 else 500_000 in
+  let virtual_s = 8. in
+  (* Think time scales with the client count so the offered load stays at
+     the same comfortably-unsaturated ~28.6k txn/s/site while the fleet
+     grows: the pair comparison isolates the per-client cost (coroutine,
+     think timer, heap residency) that the aggregated model eliminates. *)
+  let pair_params =
+    scaled_params
+      ~think_time:
+        (Params.default.Params.think_time
+        *. Float.max 1.0 (float_of_int pair_clients /. 200_000.))
+      ~sites ~clients:pair_clients ~propagation:1.0 ~warmup:2.
+      ~duration:virtual_s ()
+  in
+  (* Weak guarantee: reads never block on seq(c), so every offered
+     transaction turns into simulator events at full rate in both client
+     models — the cleanest raw-speed comparison. *)
+  let pair_cfg mode =
+    {
+      (Sim_system.config pair_params Session.Weak ~seed) with
+      Sim_system.client_mode = mode;
+    }
+  in
+  (* Open loop first: the RSS high-water mark is monotone, so the
+     small-footprint phase must be measured before the closed-loop fleet
+     inflates it. *)
+  progress
+    (Printf.sprintf "open-loop pair run: %d modeled clients/site" pair_clients);
+  let open_loop =
+    measure ~label:"open-loop"
+      (pair_cfg
+         (Sim_system.Open_loop
+            { clients = pair_clients; arrival = Sim_system.Poisson; session_pool = 0 }))
+  in
+  progress
+    (Printf.sprintf "closed-loop pair run: %d coroutine clients/site"
+       pair_clients);
+  let closed_loop = measure ~label:"closed-loop" (pair_cfg Sim_system.Closed_loop) in
+  progress
+    (Printf.sprintf "showcase: %d modeled clients with full checker battery"
+       (sites * showcase_clients_per_site));
+  let showcase_params =
+    {
+      (scaled_params ~sites ~clients:showcase_clients_per_site ~propagation:0.5
+         ~warmup:0.5 ~duration:3. ())
+      with
+      (* Short transactions keep the recorded history (and so the checker's
+         input) proportional to the transaction count, not to duration. *)
+      Params.tran_size_min = 2;
+      tran_size_max = 6;
+    }
+  in
+  let showcase =
+    measure ~label:"showcase"
+      {
+        (Sim_system.config showcase_params Session.Strong_session ~seed) with
+        Sim_system.record_history = true;
+        client_mode =
+          Sim_system.Open_loop
+            {
+              clients = showcase_clients_per_site;
+              arrival = Sim_system.Poisson;
+              session_pool = 0;
+            };
+      }
+  in
+  {
+    seed;
+    quick;
+    sites;
+    pair_clients_per_site = pair_clients;
+    offered_per_site = Sim_system.offered_rate pair_params ~clients:pair_clients;
+    virtual_s;
+    open_loop;
+    closed_loop;
+    speedup_events_per_s = open_loop.events_per_s /. closed_loop.events_per_s;
+    showcase_clients = sites * showcase_clients_per_site;
+    showcase;
+  }
+
+(* --- JSON ------------------------------------------------------------------- *)
+
+let phase_to_json p =
+  Json.Obj
+    [
+      ("label", Json.Str p.label);
+      ("cpu_s", Json.Num p.cpu_s);
+      ("sim_events", Json.Num (float_of_int p.sim_events));
+      ("events_per_s", Json.Num p.events_per_s);
+      ("txns", Json.Num (float_of_int p.txns));
+      ("txns_per_s", Json.Num p.txns_per_s);
+      ("peak_rss_kb", Json.Num (float_of_int p.peak_rss_kb));
+      ("checker_cpu_s", Json.Num p.checker_cpu_s);
+      ("check_errors", Json.Num (float_of_int p.check_errors));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("bench", Json.Str "perf");
+      ("seed", Json.Num (float_of_int r.seed));
+      ("quick", Json.Bool r.quick);
+      ("sites", Json.Num (float_of_int r.sites));
+      ("pair_clients_per_site", Json.Num (float_of_int r.pair_clients_per_site));
+      ("offered_per_site", Json.Num r.offered_per_site);
+      ("virtual_s", Json.Num r.virtual_s);
+      ("open_loop", phase_to_json r.open_loop);
+      ("closed_loop", phase_to_json r.closed_loop);
+      ("speedup_events_per_s", Json.Num r.speedup_events_per_s);
+      ("showcase_clients", Json.Num (float_of_int r.showcase_clients));
+      ("showcase", phase_to_json r.showcase);
+    ]
+
+let phase_fields =
+  [
+    ("label", `Str); ("cpu_s", `Num); ("sim_events", `Num);
+    ("events_per_s", `Num); ("txns", `Num); ("txns_per_s", `Num);
+    ("peak_rss_kb", `Num); ("checker_cpu_s", `Num); ("check_errors", `Num);
+  ]
+
+let check_field ctx j (name, kind) =
+  match (Json.member name j, kind) with
+  | None, _ -> Error (Printf.sprintf "%s: missing field %S" ctx name)
+  | Some (Json.Num f), `Num ->
+    if Float.is_finite f then Ok ()
+    else Error (Printf.sprintf "%s: field %S is not finite" ctx name)
+  | Some (Json.Str _), `Str | Some (Json.Bool _), `Bool | Some (Json.Obj _), `Obj
+    ->
+    Ok ()
+  | Some _, _ -> Error (Printf.sprintf "%s: field %S has the wrong type" ctx name)
+
+let rec check_all ctx j = function
+  | [] -> Ok ()
+  | f :: rest -> (
+    match check_field ctx j f with
+    | Error _ as e -> e
+    | Ok () -> check_all ctx j rest)
+
+let validate j =
+  let top_fields =
+    [
+      ("bench", `Str); ("seed", `Num); ("quick", `Bool); ("sites", `Num);
+      ("pair_clients_per_site", `Num); ("offered_per_site", `Num);
+      ("virtual_s", `Num); ("open_loop", `Obj); ("closed_loop", `Obj);
+      ("speedup_events_per_s", `Num); ("showcase_clients", `Num);
+      ("showcase", `Obj);
+    ]
+  in
+  match check_all "report" j top_fields with
+  | Error _ as e -> e
+  | Ok () ->
+    let check_phase name =
+      match Json.member name j with
+      | Some p -> check_all name p phase_fields
+      | None -> Error (Printf.sprintf "missing phase %S" name)
+    in
+    let rec phases = function
+      | [] -> (
+        match Json.member "bench" j with
+        | Some (Json.Str "perf") -> Ok ()
+        | Some _ | None -> Error "field \"bench\" must be \"perf\"")
+      | name :: rest -> (
+        match check_phase name with Error _ as e -> e | Ok () -> phases rest)
+    in
+    phases [ "open_loop"; "closed_loop"; "showcase" ]
+
+let write r ~file =
+  let oc = open_out file in
+  output_string oc (Json.to_string (to_json r));
+  output_char oc '\n';
+  close_out oc
+
+(* --- Rendering --------------------------------------------------------------- *)
+
+let phase_rows p =
+  [
+    p.label;
+    Printf.sprintf "%.2f" p.cpu_s;
+    string_of_int p.sim_events;
+    Printf.sprintf "%.0f" p.events_per_s;
+    string_of_int p.txns;
+    Printf.sprintf "%.0f" p.txns_per_s;
+    string_of_int p.peak_rss_kb;
+    Printf.sprintf "%.2f" p.checker_cpu_s;
+    string_of_int p.check_errors;
+  ]
+
+let print r =
+  Lsr_stats.Table_fmt.print
+    ~title:
+      (Printf.sprintf
+         "Simulator scaling (seed %d, %d sites x %d clients paired at %.0f \
+          txn/s/site; showcase %d modeled clients)"
+         r.seed r.sites r.pair_clients_per_site r.offered_per_site
+         r.showcase_clients)
+    ~header:
+      [
+        "phase"; "cpu s"; "events"; "events/s"; "txns"; "txns/s"; "rss kB";
+        "checker s"; "check errs";
+      ]
+    [ phase_rows r.open_loop; phase_rows r.closed_loop; phase_rows r.showcase ];
+  Printf.printf "open-loop / closed-loop events-per-second speedup: %.2fx\n%!"
+    r.speedup_events_per_s

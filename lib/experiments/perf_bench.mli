@@ -1,0 +1,64 @@
+(** The per-PR performance trajectory bench behind [bench perf] and the
+    committed [BENCH_6.json] (see ROADMAP.md for the trajectory commitment).
+
+    Three deterministic runs of the simulated system, all with a tiny
+    per-operation service time so the sites stay far from saturation (the
+    bench measures simulator speed, not the paper's contention curves):
+
+    - an {e open-loop} and a {e closed-loop} run at equal offered load
+      ({!Sim_system.offered_rate}), same seed, same virtual duration — the
+      paired comparison behind the events-per-second speedup;
+    - a {e showcase} open-loop run at a million-plus modeled clients with
+      history recording on, so the full checker battery executes over the
+      result (its CPU time is reported separately and excluded from the
+      simulator-speed figures).
+
+    Timings use {!Sys.time} (single-threaded process, CPU ~ wall), so the
+    report is deterministic in everything except the timing fields. *)
+
+type phase = {
+  label : string;
+  cpu_s : float;  (** total CPU seconds including any checker time *)
+  sim_events : int;  (** {!Sim_system.outcome.sim_events} of the run *)
+  events_per_s : float;  (** sim_events / (cpu_s - checker_cpu_s) *)
+  txns : int;  (** completed transactions in the measured window *)
+  txns_per_s : float;
+  peak_rss_kb : int;
+      (** process RSS high-water mark after the phase (monotone — phases are
+          measured smallest-footprint first) *)
+  checker_cpu_s : float;
+  check_errors : int;
+}
+
+type report = {
+  seed : int;
+  quick : bool;
+  sites : int;
+  pair_clients_per_site : int;  (** modeled clients/site in the paired runs *)
+  offered_per_site : float;  (** matched offered load, txns per virtual s *)
+  virtual_s : float;  (** virtual duration of the paired runs *)
+  open_loop : phase;
+  closed_loop : phase;
+  speedup_events_per_s : float;  (** open_loop / closed_loop events/s *)
+  showcase_clients : int;  (** total modeled clients in the showcase *)
+  showcase : phase;
+}
+
+(** [run ~quick ~seed ()] executes the three phases. [quick] shrinks the
+    client counts ~100x for smoke use; [progress] receives one line per
+    phase before it starts. *)
+val run : ?progress:(string -> unit) -> quick:bool -> seed:int -> unit -> report
+
+val to_json : report -> Lsr_obs.Json.t
+
+(** [validate j] checks the committed-schema contract: every field of the
+    report and of its three phase objects present, numbers finite, [bench]
+    equal to ["perf"]. The emitter and this validator live together so the
+    schema test and the bench cannot drift apart. *)
+val validate : Lsr_obs.Json.t -> (unit, string) result
+
+(** [write r ~file] writes the JSON report followed by a newline. *)
+val write : report -> file:string -> unit
+
+(** Print the report as a table plus the speedup line. *)
+val print : report -> unit

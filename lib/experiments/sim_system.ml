@@ -4,6 +4,12 @@ open Lsr_core
 open Lsr_workload
 module Obs = Lsr_obs.Obs
 
+type arrival = Poisson | Mmpp of float
+
+type client_mode =
+  | Closed_loop
+  | Open_loop of { clients : int; arrival : arrival; session_pool : int }
+
 type config = {
   params : Params.t;
   guarantee : Session.guarantee;
@@ -12,6 +18,7 @@ type config = {
   serial_refresh : bool;
   ship_aborted : bool;
   migrate_prob : float;
+  client_mode : client_mode;
   faults : Lsr_faults.Channel.config option;
   fault_tick : float;
   obs : Obs.t;
@@ -28,12 +35,24 @@ let config params guarantee ~seed =
     serial_refresh = false;
     ship_aborted = false;
     migrate_prob = 0.;
+    client_mode = Closed_loop;
     faults = None;
     fault_tick = 1.0;
     obs = Obs.null;
     lineage = Lsr_obs.Lineage.null;
     monitor = Monitor.null;
   }
+
+(* The per-site transaction rate a closed-loop population of [clients] would
+   offer if it never queued: each client cycles through one think time plus
+   its own service demand. Used to match offered load when the same
+   population is modeled open-loop. *)
+let offered_rate p ~clients =
+  let mean_size =
+    float_of_int (p.Params.tran_size_min + p.Params.tran_size_max) /. 2.
+  in
+  float_of_int clients
+  /. (p.Params.think_time +. (mean_size *. p.Params.op_service_time))
 
 type resource_report = {
   res_site : string;
@@ -76,6 +95,8 @@ type outcome = {
   channel_retransmitted : int;
   channel_duplicated : int;
   channel_max_queue : int;
+  sim_events : int;
+  checker_cpu_s : float;
   resources : resource_report list;
 }
 
@@ -86,7 +107,10 @@ type sec_site = {
   res : Resource.t;
   queue_cond : Condition.t;  (* signalled when records arrive *)
   pending_cond : Condition.t;  (* signalled when the pending queue pops *)
-  session_cond : Condition.t;  (* signalled after each refresh commit *)
+  session_cond : Seqcond.t;  (* advanced to seq(DBsec) after each refresh
+                                commit; blocked readers wait on their
+                                session's required seq, so a commit pays
+                                only for the readers it actually unblocks *)
   mutable last_delivery : float;  (* keeps jittered deliveries FIFO *)
   chan : Lsr_faults.Channel.t option;  (* faulty transport, when configured *)
   (* Trace track names, interned once so disabled tracing allocates nothing
@@ -149,7 +173,7 @@ type state = {
 let make_site cfg eng fault_rng index =
   let queue_cond = Condition.create () in
   let pending_cond = Condition.create () in
-  let session_cond = Condition.create () in
+  let session_cond = Seqcond.create () in
   let site_name = Printf.sprintf "secondary-%d" index in
   let sec =
     Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage ()
@@ -273,7 +297,7 @@ let run_applicator st site app =
       Metrics.note_refresh st.metrics ~now ~staleness;
       Obs.observe st.ins.h_staleness staleness;
       Condition.signal site.pending_cond;
-      Condition.signal site.session_cond
+      Seqcond.advance site.session_cond (Secondary.seq_dbsec site.sec)
     | Secondary.Done -> ()
   in
   go ()
@@ -396,7 +420,8 @@ let execute_read st site label spec =
       Obs.begin_span st.cfg.obs ~track:site.trk_clients ~name:"session-block"
         ~now:wait_start
     in
-    Condition.await site.session_cond may_read;
+    Seqcond.await site.session_cond ~threshold:(fun () ->
+        Session.required_seq st.sessions ~label);
     let now = Engine.now st.eng in
     Obs.end_span st.cfg.obs sp ~now;
     Obs.incr st.ins.c_blocked_reads;
@@ -455,6 +480,34 @@ let execute_read st site label spec =
         writes = [];
       }
 
+(* Execute one generated transaction against the system and record its
+   telemetry — the body shared by both client models. *)
+let run_txn st site rng ~label spec =
+  let t0 = Engine.now st.eng in
+  let is_update = Txn_gen.is_update spec in
+  let sp =
+    Obs.begin_span st.cfg.obs ~track:site.trk_clients
+      ~name:(if is_update then "update" else "read")
+      ~now:t0
+  in
+  (match spec.Txn_gen.kind with
+  | Txn_gen.Update -> execute_update st rng label spec
+  | Txn_gen.Read_only ->
+    (* Optional load-balancing migration: serve this read from a random
+       secondary instead of the home site. *)
+    let site =
+      if st.cfg.migrate_prob > 0. && Rng.bernoulli rng ~p:st.cfg.migrate_prob
+      then st.sites.(Rng.uniform rng ~lo:0 ~hi:(Array.length st.sites - 1))
+      else site
+    in
+    execute_read st site label spec);
+  let now = Engine.now st.eng in
+  Obs.end_span st.cfg.obs sp ~now;
+  Obs.observe
+    (if is_update then st.ins.h_update_rt else st.ins.h_read_rt)
+    (now -. t0);
+  Metrics.note_completion st.metrics ~now ~response_time:(now -. t0) ~is_update
+
 let client_process st site rng () =
   let p = st.cfg.params in
   let label = ref (fresh_label st) in
@@ -467,36 +520,93 @@ let client_process st site rng () =
       session_end := now +. Rng.exponential rng ~mean:p.Params.session_time
     end;
     let spec = Txn_gen.generate p rng in
-    let t0 = Engine.now st.eng in
-    let is_update = Txn_gen.is_update spec in
-    let sp =
-      Obs.begin_span st.cfg.obs ~track:site.trk_clients
-        ~name:(if is_update then "update" else "read")
-        ~now:t0
-    in
-    (match spec.Txn_gen.kind with
-    | Txn_gen.Update -> execute_update st rng !label spec
-    | Txn_gen.Read_only ->
-      (* Optional load-balancing migration: serve this read from a random
-         secondary instead of the home site. *)
-      let site =
-        if
-          st.cfg.migrate_prob > 0.
-          && Rng.bernoulli rng ~p:st.cfg.migrate_prob
-        then st.sites.(Rng.uniform rng ~lo:0 ~hi:(Array.length st.sites - 1))
-        else site
-      in
-      execute_read st site !label spec);
-    let now = Engine.now st.eng in
-    Obs.end_span st.cfg.obs sp ~now;
-    Obs.observe
-      (if is_update then st.ins.h_update_rt else st.ins.h_read_rt)
-      (now -. t0);
-    Metrics.note_completion st.metrics ~now ~response_time:(now -. t0)
-      ~is_update;
+    run_txn st site rng ~label:!label spec;
     loop ()
   in
   loop ()
+
+(* --- Open-loop aggregated clients -------------------------------------------
+
+   One arrival process per site replaces its [clients] closed-loop
+   coroutines: transactions arrive at the rate the population would offer if
+   it never queued ({!offered_rate}), each arrival runs in a short-lived
+   process, so live continuations scale with transactions in flight, not
+   with the modeled population. Sessions are modeled by a bounded pool of
+   rotating labels: each arrival draws a slot uniformly, and a slot whose
+   session expired gets a fresh label (the session-guarantee machinery sees
+   a subsample of the real population's sessions; the pool is capped so
+   state stays bounded at millions of modeled clients). *)
+
+type session_slot = { mutable slot_label : string; mutable slot_end : float }
+
+let open_loop_process st site ~clients ~arrival ~session_pool rng () =
+  let p = st.cfg.params in
+  let rate = offered_rate p ~clients in
+  let pool_size =
+    if session_pool > 0 then session_pool else min clients 4096
+  in
+  let pool =
+    Array.init (max 1 pool_size) (fun _ ->
+        {
+          slot_label = fresh_label st;
+          slot_end = Rng.exponential rng ~mean:p.Params.session_time;
+        })
+  in
+  let pick_label now =
+    let slot = pool.(Rng.uniform rng ~lo:0 ~hi:(Array.length pool - 1)) in
+    if now > slot.slot_end then begin
+      slot.slot_label <- fresh_label st;
+      slot.slot_end <- now +. Rng.exponential rng ~mean:p.Params.session_time
+    end;
+    slot.slot_label
+  in
+  let emit () =
+    let label = pick_label (Engine.now st.eng) in
+    let txn_rng = Rng.split rng in
+    Process.spawn st.eng (fun () ->
+        let spec = Txn_gen.generate p txn_rng in
+        run_txn st site txn_rng ~label spec)
+  in
+  match arrival with
+  | Poisson ->
+    let mean = 1. /. rate in
+    let rec loop () =
+      Process.delay (Rng.exponential rng ~mean);
+      emit ();
+      loop ()
+    in
+    loop ()
+  | Mmpp burst ->
+    (* Two-state Markov-modulated Poisson process with equal expected dwell
+       in each state, rates scaled so the long-run mean rate stays [rate]:
+       r_hi = 2·rate·b/(1+b), r_lo = 2·rate/(1+b) for burstiness b =
+       r_hi/r_lo. Dwell spans ~50 mean interarrivals so bursts are long
+       enough to stress the refresh pipeline. Simulated exactly by racing
+       the next arrival against the state-switch instant; the arrival draw
+       is redrawn at a switch (the exponential race conditioned on the new
+       rate). *)
+    let burst = Float.max 1. burst in
+    let dwell = 50. /. rate in
+    let r_hi = 2. *. rate *. burst /. (1. +. burst) in
+    let r_lo = 2. *. rate /. (1. +. burst) in
+    let in_high = ref (Rng.bernoulli rng ~p:0.5) in
+    let until_switch = ref (Rng.exponential rng ~mean:dwell) in
+    let rec loop () =
+      let r = if !in_high then r_hi else r_lo in
+      let next = Rng.exponential rng ~mean:(1. /. r) in
+      if next <= !until_switch then begin
+        until_switch := !until_switch -. next;
+        Process.delay next;
+        emit ()
+      end
+      else begin
+        Process.delay !until_switch;
+        in_high := not !in_high;
+        until_switch := Rng.exponential rng ~mean:dwell
+      end;
+      loop ()
+    in
+    loop ()
 
 (* --- Monitor probe ----------------------------------------------------------
 
@@ -599,16 +709,26 @@ let run cfg =
       | None -> ())
     st.sites;
   Array.iter (fun site -> Process.spawn eng (refresher_process st site)) st.sites;
-  Array.iter
-    (fun site ->
-      for _ = 1 to p.Params.clients_per_secondary do
+  (match cfg.client_mode with
+  | Closed_loop ->
+    Array.iter
+      (fun site ->
+        for _ = 1 to p.Params.clients_per_secondary do
+          let rng = Rng.split root in
+          Process.spawn eng (client_process st site rng)
+        done)
+      st.sites
+  | Open_loop { clients; arrival; session_pool } ->
+    Array.iter
+      (fun site ->
         let rng = Rng.split root in
-        Process.spawn eng (client_process st site rng)
-      done)
-    st.sites;
+        Process.spawn eng
+          (open_loop_process st site ~clients ~arrival ~session_pool rng))
+      st.sites);
   Engine.run ~until:p.Params.duration eng;
   let m = st.metrics in
   let measured = p.Params.duration -. p.Params.warmup in
+  let checker_started = Sys.time () in
   let check_errors =
     if not cfg.record_history then []
     else begin
@@ -634,6 +754,9 @@ let run cfg =
         st.sites;
       List.rev !errors
     end
+  in
+  let checker_cpu_s =
+    if cfg.record_history then Sys.time () -. checker_started else 0.
   in
   let secondary_utilization =
     let busy =
@@ -680,6 +803,8 @@ let run cfg =
     channel_max_queue =
       max channel_stats.Lsr_faults.Channel.max_flight
         channel_stats.Lsr_faults.Channel.max_ooo;
+    sim_events = Engine.events_processed eng;
+    checker_cpu_s;
     resources =
       resource_report st.primary_res
       :: Array.to_list (Array.map (fun site -> resource_report site.res) st.sites);

@@ -17,6 +17,24 @@
 open Lsr_core
 open Lsr_workload
 
+(** Arrival process for the open-loop client model: [Poisson] at the matched
+    offered rate, or [Mmpp b] — a two-state Markov-modulated Poisson process
+    with burstiness ratio [b] = high rate / low rate (clamped to [>= 1]) and
+    the same long-run mean rate. *)
+type arrival = Poisson | Mmpp of float
+
+type client_mode =
+  | Closed_loop
+      (** the paper's model: one coroutine per client, thinking between
+          transactions ([Params.clients_per_secondary] per site) *)
+  | Open_loop of { clients : int; arrival : arrival; session_pool : int }
+      (** aggregated model for very large populations: one seeded arrival
+          process per site generates the stream a population of [clients]
+          closed-loop clients would offer ({!offered_rate}), each
+          transaction runs in a short-lived process, and session labels come
+          from a rotating pool of [session_pool] slots ([<= 0] picks
+          [min clients 4096]) *)
+
 type config = {
   params : Params.t;
   guarantee : Session.guarantee;
@@ -36,6 +54,10 @@ type config = {
           secondary instead of the client's home site (0 in the paper's
           model). Exercises the strong-session-SI read floor and the PCSI
           comparison. *)
+  client_mode : client_mode;
+      (** how the client population is modeled; [Closed_loop] (the default)
+          reproduces the paper, [Open_loop] scales to millions of modeled
+          clients *)
   faults : Lsr_faults.Channel.config option;
       (** when set, each secondary receives propagated records through a
           fault-injection {!Lsr_faults.Channel} (loss / duplication / delay /
@@ -72,9 +94,18 @@ type config = {
           never changes outcomes (the probe only reads state). *)
 }
 
-(** [config params guarantee ~seed] with ablations off, no recording, no
-    fault injection ([fault_tick] defaults to 1 s) and no observability. *)
+(** [config params guarantee ~seed] with ablations off, closed-loop clients,
+    no recording, no fault injection ([fault_tick] defaults to 1 s) and no
+    observability. *)
 val config : Params.t -> Session.guarantee -> seed:int -> config
+
+(** [offered_rate p ~clients] is the per-site transaction arrival rate (per
+    virtual second) that [clients] closed-loop clients would offer if they
+    never queued: [clients / (think_time + mean_tran_size *
+    op_service_time)]. The open-loop model drives its arrival process at
+    exactly this rate, so the two models see equal offered load for equal
+    [clients]. *)
+val offered_rate : Params.t -> clients:int -> float
 
 (** End-of-run queueing telemetry of one {!Lsr_sim.Resource} (the primary
     or one secondary site), read at the instant the run stops — busy time
@@ -136,6 +167,14 @@ type outcome = {
   channel_duplicated : int;  (** extra copies injected by the network *)
   channel_max_queue : int;
       (** peak in-flight / out-of-order buffer depth over all channels *)
+  sim_events : int;
+      (** total simulator events fired during the run — the denominator-free
+          work measure behind the perf bench's events/second. Includes every
+          scheduled wakeup, so attaching a periodic {!Monitor} raises it
+          without changing any simulation outcome. *)
+  checker_cpu_s : float;
+      (** CPU seconds the end-of-run checker battery took (0 when
+          [record_history = false]) *)
   resources : resource_report list;
       (** queueing telemetry per site resource, primary first then
           secondaries in index order — the input of {!Bottleneck} *)

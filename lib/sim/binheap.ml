@@ -62,3 +62,10 @@ let pop h =
 let clear h =
   h.data <- [||];
   h.size <- 0
+
+let fold h ~init ~f =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc

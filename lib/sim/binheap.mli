@@ -22,3 +22,7 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a
 
 val clear : 'a t -> unit
+
+(** [fold h ~init ~f] folds over every element in unspecified order. O(n);
+    for sampling aggregate state without disturbing the heap. *)
+val fold : 'a t -> init:'acc -> f:('acc -> 'a -> 'acc) -> 'acc

@@ -35,3 +35,7 @@ val run : ?until:float -> t -> unit
 
 (** Number of pending (non-cancelled) events. *)
 val pending : t -> int
+
+(** Total events fired since [create] — the simulator's work measure, used
+    by the perf bench to report events/second. *)
+val events_processed : t -> int

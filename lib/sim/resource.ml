@@ -10,12 +10,26 @@ type job = {
   waker : unit Process.waker;
 }
 
+(* Processor-sharing jobs are keyed by the virtual time at which their demand
+   is met (arrival virtual time + demand); [seq] makes completion order
+   deterministic when finish times tie. *)
+type ps_job = {
+  vfinish : float;
+  seq : int;
+  ps_amount : float;
+  ps_arrived : float;  (* real arrival time, for sojourn telemetry *)
+  ps_waker : unit Process.waker;
+}
+
 type t = {
   eng : Engine.t;
   name : string;
   discipline : discipline;
-  (* Processor sharing: the set of jobs in simultaneous service. *)
-  mutable active : job list;
+  (* Processor sharing: jobs in simultaneous service, ordered by finish
+     virtual time, plus the fluid clock they are measured against. *)
+  ps_heap : ps_job Binheap.t;
+  mutable vtime : float;
+  mutable ps_seq : int;
   mutable last_update : float;
   mutable completion : Engine.handle option;
   (* Fifo / round-robin: the waiting line and the server state. *)
@@ -46,7 +60,12 @@ let create ?(name = "resource") eng ~discipline =
     eng;
     name;
     discipline;
-    active = [];
+    ps_heap =
+      Binheap.create ~cmp:(fun a b ->
+          let c = Float.compare a.vfinish b.vfinish in
+          if c <> 0 then c else Int.compare a.seq b.seq);
+    vtime = 0.;
+    ps_seq = 0;
     last_update = Engine.now eng;
     completion = None;
     queue = Queue.create ();
@@ -67,7 +86,7 @@ let create ?(name = "resource") eng ~discipline =
    integral exact. *)
 let raw_jobs t =
   match t.discipline with
-  | Processor_sharing -> List.length t.active
+  | Processor_sharing -> Binheap.length t.ps_heap
   | Fifo | Round_robin _ -> Queue.length t.queue + if t.serving then 1 else 0
 
 (* Charge the interval since the last update to the queue-length integral.
@@ -86,27 +105,32 @@ let note_arrival t =
 (* Per-job tallies, recorded once at completion. Waiting time is the sojourn
    beyond the job's own service demand — exactly the queueing delay under
    Fifo, and the slowdown from sharing the server under RR/PS. *)
-let note_completion t job =
+let note_completion_values t ~amount ~arrived =
   advance_area t;
   t.completions <- t.completions + 1;
-  let sojourn = Engine.now t.eng -. job.arrived in
-  Stat.record t.service job.amount;
-  Stat.record t.wait (Float.max 0. (sojourn -. job.amount))
+  let sojourn = Engine.now t.eng -. arrived in
+  Stat.record t.service amount;
+  Stat.record t.wait (Float.max 0. (sojourn -. amount))
+
+let note_completion t job =
+  note_completion_values t ~amount:job.amount ~arrived:job.arrived
 
 (* --- Processor sharing ---------------------------------------------------
 
-   All [n] active jobs progress at rate [1/n]. We advance the fluid state
-   lazily: on every arrival and every completion event we charge the elapsed
-   time to each job, then reschedule the next completion for the job with the
-   least remaining work. *)
+   All [n] active jobs progress at rate [1/n]. Rather than walking every job
+   on every event (O(n) per event, O(n^2) per busy period), the fluid state
+   is a single virtual clock [vtime] advancing at rate [1/n]: a job arriving
+   at virtual time [V] with demand [a] finishes when [vtime] reaches
+   [V + a], so the next completion is always the minimum finish virtual time
+   in a heap, and every arrival/completion costs O(log n). Completion
+   instants are identical to the per-job formulation up to float rounding. *)
 
 let ps_advance t =
   let now = Engine.now t.eng in
   let elapsed = now -. t.last_update in
-  let n = List.length t.active in
+  let n = Binheap.length t.ps_heap in
   if elapsed > 0. && n > 0 then begin
-    let rate = 1. /. float_of_int n in
-    List.iter (fun j -> j.remaining <- j.remaining -. (elapsed *. rate)) t.active;
+    t.vtime <- t.vtime +. (elapsed /. float_of_int n);
     t.busy <- t.busy +. elapsed
   end;
   t.last_update <- now
@@ -117,30 +141,48 @@ let rec ps_reschedule t =
     Engine.cancel t.eng h;
     t.completion <- None
   | None -> ());
-  match t.active with
-  | [] -> ()
-  | jobs ->
-    let least = List.fold_left (fun acc j -> min acc j.remaining) infinity jobs in
-    let n = float_of_int (List.length jobs) in
-    let delay = max 0. (least *. n) in
+  match Binheap.peek t.ps_heap with
+  | None -> ()
+  | Some next ->
+    let n = float_of_int (Binheap.length t.ps_heap) in
+    let delay = max 0. ((next.vfinish -. t.vtime) *. n) in
     t.completion <- Some (Engine.schedule t.eng ~delay (fun () -> ps_complete t))
 
 and ps_complete t =
   t.completion <- None;
   ps_advance t;
-  let done_, running = List.partition (fun j -> j.remaining <= epsilon) t.active in
-  List.iter (note_completion t) done_;
-  t.active <- running;
-  List.iter (fun j -> j.waker ()) done_;
+  (* Pop every job whose demand is met at the advanced virtual time; ties
+     complete in arrival order (heap order includes [seq]). *)
+  let rec drain wakers =
+    match Binheap.peek t.ps_heap with
+    | Some j when j.vfinish -. t.vtime <= epsilon ->
+      (* Telemetry first: the pending interval in the queue-length integral
+         must be charged at the population that held during it, i.e. with
+         this job still counted. *)
+      note_completion_values t ~amount:j.ps_amount ~arrived:j.ps_arrived;
+      ignore (Binheap.pop t.ps_heap);
+      drain (j.ps_waker :: wakers)
+    | Some _ | None -> List.rev wakers
+  in
+  let wakers = drain [] in
+  List.iter (fun waker -> waker ()) wakers;
   ps_reschedule t
 
 let ps_use t amount =
   Process.suspend (fun waker ->
       note_arrival t;
       ps_advance t;
-      t.active <-
-        t.active
-        @ [ { remaining = amount; amount; arrived = Engine.now t.eng; waker } ];
+      let job =
+        {
+          vfinish = t.vtime +. amount;
+          seq = t.ps_seq;
+          ps_amount = amount;
+          ps_arrived = Engine.now t.eng;
+          ps_waker = waker;
+        }
+      in
+      t.ps_seq <- t.ps_seq + 1;
+      Binheap.push t.ps_heap job;
       ps_reschedule t)
 
 (* --- Fifo ---------------------------------------------------------------- *)
@@ -224,12 +266,12 @@ let load t =
        for exactly this instant), so a sampled queue length never overshoots
        the population that is still genuinely in service. *)
     let elapsed = Engine.now t.eng -. t.last_update in
-    let n = List.length t.active in
+    let n = Binheap.length t.ps_heap in
     if n = 0 then 0
     else begin
-      let progress = elapsed /. float_of_int n in
-      List.length
-        (List.filter (fun j -> j.remaining -. progress > epsilon) t.active)
+      let v_now = t.vtime +. (elapsed /. float_of_int n) in
+      Binheap.fold t.ps_heap ~init:0 ~f:(fun acc j ->
+          if j.vfinish -. v_now > epsilon then acc + 1 else acc)
     end
   | Fifo | Round_robin _ -> Queue.length t.queue + if t.serving then 1 else 0
 
@@ -241,7 +283,8 @@ let busy_time t =
   let now = Engine.now t.eng in
   match t.discipline with
   | Processor_sharing ->
-    if t.active = [] then t.busy else t.busy +. (now -. t.last_update)
+    if Binheap.is_empty t.ps_heap then t.busy
+    else t.busy +. (now -. t.last_update)
   | Fifo | Round_robin _ ->
     if t.serving then t.busy +. (now -. t.slice_start) else t.busy
 

@@ -1,0 +1,36 @@
+(** A condition variable specialized to waiting for a monotone integer
+    level to reach a per-waiter threshold.
+
+    {!Condition} re-evaluates every waiter's predicate on every signal —
+    O(waiters) per signal, which is quadratic when thousands of processes
+    block per advance of the level (the session-blocking herd at bench
+    scale). Here waiters are keyed by threshold in a min-heap, so each
+    {!advance} pays O(log n) per waiter actually woken and nothing for the
+    rest.
+
+    The threshold is a function: it is re-evaluated after every wake-up and
+    the process re-enqueues if the (possibly risen) threshold is still
+    above the level — the same re-check loop as {!Condition.await}, needed
+    because e.g. a pooled session's [seq(c)] can rise while one of its
+    reads is already waiting. *)
+
+type t
+
+(** [create ()] starts with the level at [min_int] (everything waits). *)
+val create : unit -> t
+
+(** Largest value ever passed to {!advance}. *)
+val level : t -> int
+
+(** [await t ~threshold] returns once [threshold () <= level t],
+    suspending the calling process until then. Must run inside a process.
+    Waiters satisfied by the same {!advance} wake in threshold order,
+    then registration order (deterministic). *)
+val await : t -> threshold:(unit -> int) -> unit
+
+(** [advance t v] raises the level to [v] (no-op if [v <= level t]) and
+    wakes every waiter whose threshold is now reached. *)
+val advance : t -> int -> unit
+
+(** Number of blocked waiters. *)
+val waiting : t -> int

@@ -71,6 +71,69 @@ let access_path handle ~table ~where =
     (fun (column, _) -> List.mem column indexed)
     (equality_conjuncts where)
 
+(* Inequality conjuncts on the AND spine: per-column one-sided bounds,
+   [(scalar, inclusive)], candidates for an index range seek. *)
+let rec range_conjuncts = function
+  | Cmp { column; op; value } -> (
+    match (scalar_of_literal value, op) with
+    | Some scalar, Lt -> [ (column, `Hi (scalar, false)) ]
+    | Some scalar, Le -> [ (column, `Hi (scalar, true)) ]
+    | Some scalar, Gt -> [ (column, `Lo (scalar, false)) ]
+    | Some scalar, Ge -> [ (column, `Lo (scalar, true)) ]
+    | Some _, (Eq | Ne) | None, _ -> [])
+  | And (a, b) -> range_conjuncts a @ range_conjuncts b
+  | True | Or _ | Not _ -> []
+
+(* Tightest interval implied by one column's bounds. [None] when two bounds
+   on the same side are incomparable (no single stored value can satisfy
+   both, so the range path is not applicable). *)
+let merge_bounds bounds =
+  let tighter ~side current (v, incl) =
+    match current with
+    | None -> Some (Some (v, incl))
+    | Some (v0, incl0) -> (
+      match Row.scalar_compare v v0 with
+      | None -> None
+      | Some c ->
+        let c = match side with `Lo -> c | `Hi -> -c in
+        if c > 0 || (c = 0 && incl0 && not incl) then Some (Some (v, incl))
+        else Some current)
+  in
+  List.fold_left
+    (fun acc bound ->
+      match acc with
+      | None -> None
+      | Some (lo, hi) -> (
+        match bound with
+        | `Lo b -> Option.map (fun lo -> (lo, hi)) (tighter ~side:`Lo lo b)
+        | `Hi b -> Option.map (fun hi -> (lo, hi)) (tighter ~side:`Hi hi b)))
+    (Some (None, None)) bounds
+
+(* A range access path: the first indexed column with a usable interval from
+   the AND spine. Only consulted when no equality path exists. *)
+let range_path handle ~table ~where =
+  let indexed = Lsr_core.Handle.indexed_fields handle ~table in
+  let bounds = range_conjuncts where in
+  let columns =
+    List.fold_left
+      (fun acc (c, _) -> if List.mem c acc then acc else acc @ [ c ])
+      [] bounds
+  in
+  List.find_map
+    (fun column ->
+      if not (List.mem column indexed) then None
+      else
+        let own =
+          List.filter_map
+            (fun (c, b) -> if c = column then Some b else None)
+            bounds
+        in
+        match merge_bounds own with
+        | Some ((Some _, _) | (_, Some _)) as interval ->
+          Option.map (fun iv -> (column, iv)) interval
+        | Some (None, None) | None -> None)
+    columns
+
 (* A top-level pk-equality conjunct (on the AND spine; disjunctions are
    opaque) pins the single candidate row. Matches the exact-key class of the
    static analyzer, whose symbolic read sets must over-approximate the rows
@@ -87,7 +150,8 @@ let rec pk_conjunct = function
 
 (* Rows matching [where]: a point lookup when the condition pins the pk, an
    index lookup when a top-level equality conjunct hits an indexed column,
-   otherwise a full scan (which reads — and records — every row). *)
+   an index range seek when an inequality conjunct does, otherwise a full
+   scan (which reads — and records — every row). *)
 let matching handle ~table ~where =
   match pk_conjunct where with
   | Some pk -> (
@@ -99,7 +163,11 @@ let matching handle ~table ~where =
       match access_path handle ~table ~where with
       | Some (field, value) ->
         Lsr_core.Handle.row_lookup handle ~table ~field ~value
-      | None -> Lsr_core.Handle.row_scan handle ~table ~where:(fun _ -> true)
+      | None -> (
+        match range_path handle ~table ~where with
+        | Some (field, (lo, hi)) ->
+          Lsr_core.Handle.row_range handle ~table ~field ~lo ~hi
+        | None -> Lsr_core.Handle.row_scan handle ~table ~where:(fun _ -> true))
     in
     List.filter (fun (_, row) -> eval_cond row where) candidates
 
@@ -203,6 +271,20 @@ let eval_aggregate rows agg =
     | [] -> None
     | v :: vs -> Some (List.fold_left max v vs))
 
+let describe_interval field (lo, hi) =
+  let v v = Format.asprintf "%a" Row.pp_scalar v in
+  match (lo, hi) with
+  | Some (l, li), Some (h, hi_incl) ->
+    Printf.sprintf "%s %s %s %s %s" (v l)
+      (if li then "<=" else "<")
+      field
+      (if hi_incl then "<=" else "<")
+      (v h)
+  | Some (l, li), None -> Printf.sprintf "%s %s %s" field (if li then ">=" else ">") (v l)
+  | None, Some (h, hi_incl) ->
+    Printf.sprintf "%s %s %s" field (if hi_incl then "<=" else "<") (v h)
+  | None, None -> field
+
 let describe_access handle ~table ~where =
   match pk_conjunct where with
   | Some pk -> Printf.sprintf "access: point lookup %s[%s]" table pk
@@ -211,7 +293,12 @@ let describe_access handle ~table ~where =
     | Some (field, value) ->
       Printf.sprintf "access: index lookup %s.%s = %s" table field
         (Format.asprintf "%a" Row.pp_scalar value)
-    | None -> Printf.sprintf "access: full scan of %s" table)
+    | None -> (
+      match range_path handle ~table ~where with
+      | Some (field, interval) ->
+        Printf.sprintf "access: index range scan %s.%s (%s)" table field
+          (describe_interval field interval)
+      | None -> Printf.sprintf "access: full scan of %s" table))
 
 let describe_filter where =
   match where with

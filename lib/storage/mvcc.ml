@@ -1,3 +1,5 @@
+module Sset = Set.Make (String)
+
 type version = { committed_at : Timestamp.t; value : string option }
 
 type txn_state = Active | Committed_ | Aborted_
@@ -25,6 +27,12 @@ type t = {
   clock : Timestamp.source;
   (* Per-key version chains, newest first. *)
   store : (string, version list) Hashtbl.t;
+  (* Committed keys in lexicographic order: prefix and range scans seek in
+     O(log n) instead of folding over the whole store. *)
+  mutable key_set : Sset.t;
+  (* Stored versions across all keys, maintained incrementally so the
+     monitor can sample it every virtual second at zero marginal cost. *)
+  mutable versions : int;
   wal : Wal.t;
   mutable next_txn_id : int;
   (* Commit timestamps with the writes installed, newest first; the basis of
@@ -39,6 +47,8 @@ let create ?(name = "db") () =
     name;
     clock = Timestamp.source ();
     store = Hashtbl.create 1024;
+    key_set = Sset.empty;
+    versions = 0;
     wal = Wal.create ();
     next_txn_id = 0;
     commits = [];
@@ -116,8 +126,13 @@ let first_committer_conflict t txn =
 
 let install t ~commit_ts updates =
   let apply { Wal.key; value } =
-    let versions = Option.value ~default:[] (Hashtbl.find_opt t.store key) in
-    Hashtbl.replace t.store key ({ committed_at = commit_ts; value } :: versions)
+    (match Hashtbl.find_opt t.store key with
+    | Some versions ->
+      Hashtbl.replace t.store key ({ committed_at = commit_ts; value } :: versions)
+    | None ->
+      Hashtbl.replace t.store key [ { committed_at = commit_ts; value } ];
+      t.key_set <- Sset.add key t.key_set);
+    t.versions <- t.versions + 1
   in
   List.iter apply updates;
   t.commits <- (commit_ts, updates) :: t.commits;
@@ -196,12 +211,20 @@ let nth_state t i =
 
 let committed_state t = state_at t t.latest_commit
 
+let keys_from t start = Sset.to_seq_from start t.key_set
+
 let fold_keys t ~prefix ~init ~f =
-  let matches key =
-    String.length key >= String.length prefix
-    && String.sub key 0 (String.length prefix) = prefix
+  (* Keys are sorted, so every key with [prefix] sits in one contiguous run
+     starting at the first key >= prefix: seek there and stop at the first
+     non-match instead of folding over the whole store. *)
+  let plen = String.length prefix in
+  let matches key = String.length key >= plen && String.sub key 0 plen = prefix in
+  let rec consume acc seq =
+    match seq () with
+    | Seq.Nil -> acc
+    | Seq.Cons (key, rest) -> if matches key then consume (f acc key) rest else acc
   in
-  Hashtbl.fold (fun key _ acc -> if matches key then f acc key else acc) t.store init
+  consume init (keys_from t prefix)
 
 let commit_history t = List.rev_map fst t.commits
 let commits_with_updates t = List.rev t.commits
@@ -232,10 +255,10 @@ let vacuum t ~before =
       | None -> ()
       | Some versions -> Hashtbl.replace t.store key (trim versions))
     keys;
+  t.versions <- t.versions - !reclaimed;
   !reclaimed
 
-let version_count t =
-  Hashtbl.fold (fun _ versions acc -> acc + List.length versions) t.store 0
+let version_count t = t.versions
 
 let encode_string buf s =
   Buffer.add_string buf (string_of_int (String.length s));

@@ -112,8 +112,14 @@ val nth_state : t -> int -> (string * string) list
 val committed_state : t -> (string * string) list
 
 (** [fold_keys t ~prefix ~init ~f] folds over every key ever written with the
-    given prefix (visibility is up to the caller via [read]). *)
+    given prefix, in ascending lexicographic order (visibility is up to the
+    caller via [read]). Costs O(log n + k) for k matching keys, not O(n). *)
 val fold_keys : t -> prefix:string -> init:'acc -> f:('acc -> string -> 'acc) -> 'acc
+
+(** [keys_from t start] is the ascending sequence of every key ever written
+    that is [>= start]. Backs index range seeks: O(log n) to position, O(1)
+    per element. The sequence is persistent (safe to re-force). *)
+val keys_from : t -> string -> string Seq.t
 
 (** {2 Maintenance} *)
 

@@ -55,6 +55,54 @@ let scalar_key = function
   | Text s -> "t" ^ s
   | Bool b -> if b then "b1" else "b0"
 
+(* SQL comparison semantics: Int and Float compare numerically across types,
+   everything else only within its own type. *)
+let scalar_compare a b =
+  match (a, b) with
+  | Int x, Int y -> Some (compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Float x, Float y -> Some (Float.compare x y)
+  | Text x, Text y -> Some (String.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | (Int _ | Float _ | Text _ | Bool _), _ -> None
+
+(* Map a float to 64 bits whose unsigned order matches numeric order: flip
+   the sign bit of non-negatives, complement negatives. -0.0 is normalized
+   to +0.0 first so numerically-equal floats encode equally. *)
+let monotone_bits f =
+  let f = if f = 0.0 then 0.0 else f in
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+  else Int64.lognot bits
+
+(* Escape so the result never contains '\x00' (reserved as a separator in
+   index keys) while preserving lexicographic order: images are
+   0x00 -> 0x01 0x01, 0x01 -> 0x01 0x02, c -> c otherwise, which are
+   mutually order-consistent and leave '\x00' strictly below any image. *)
+let escape_text s =
+  if String.for_all (fun c -> c > '\x01') s then s
+  else begin
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\x00' -> Buffer.add_string buf "\x01\x01"
+        | '\x01' -> Buffer.add_string buf "\x01\x02"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let order_key v =
+  match v with
+  | Bool b -> if b then "b1" else "b0"
+  | Int i -> Printf.sprintf "n%016Lx" (monotone_bits (float_of_int i))
+  | Float f -> Printf.sprintf "n%016Lx" (monotone_bits f)
+  | Text s -> "s" ^ escape_text s
+
+let order_tag = function Bool _ -> 'b' | Int _ | Float _ -> 'n' | Text _ -> 's'
+
 (* Codec: [count] then per field [tag; name; payload], each string
    length-prefixed with a decimal length and ':'. Human-debuggable and has no
    escaping pitfalls. *)

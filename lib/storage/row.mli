@@ -32,10 +32,28 @@ val bool_exn : t -> string -> bool
 (** [set row field v] replaces (or adds) one field. *)
 val set : t -> string -> scalar -> t
 
-(** [scalar_key v] is an injective string encoding of [v], used to build
-    secondary-index storage keys. Not order-preserving across types; equal
-    scalars (and only equal scalars) map to equal strings. *)
+(** [scalar_key v] is an injective string encoding of [v] (used e.g. for
+    group-by bucketing). Not order-preserving, and distinguishes [Int 1]
+    from [Float 1.]; equal scalars (and only equal scalars) map to equal
+    strings. *)
 val scalar_key : scalar -> string
+
+(** [scalar_compare a b] orders two scalars under SQL comparison semantics:
+    [Int]/[Float] compare numerically across types, all other comparisons
+    require matching constructors. [None] = incomparable. *)
+val scalar_compare : scalar -> scalar -> int option
+
+(** [order_key v] encodes [v] so that [String.compare (order_key a)
+    (order_key b)] agrees with {!scalar_compare} whenever the latter is
+    defined ([Int 1] and [Float 1.] encode identically; integers beyond
+    2{^53} are rounded to the nearest float, so callers re-verify with
+    {!scalar_compare}). Incomparable types land in disjoint tagged bands
+    ordered [Bool < numeric < Text]. The result never contains ['\x00'],
+    so it can be followed by a ['\x00'] separator in composite keys. *)
+val order_key : scalar -> string
+
+(** First byte of {!order_key}: ['b'], ['n'] or ['s']. *)
+val order_tag : scalar -> char
 
 (** {2 Codec} *)
 

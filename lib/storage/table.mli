@@ -44,9 +44,25 @@ val scan : t -> Mvcc.txn -> where:(Row.t -> bool) -> (string * Row.t) list
 val count : t -> Mvcc.txn -> where:(Row.t -> bool) -> int
 
 (** [lookup t txn ~field ~value] is all visible rows whose [field] equals
-    [value], via the secondary index, sorted by primary key.
+    [value] under SQL comparison semantics ([Int 1] matches [Float 1.]),
+    via the secondary index, sorted by primary key.
     @raise Invalid_argument when [field] is not declared in [indexes]. *)
 val lookup : t -> Mvcc.txn -> field:string -> value:Row.scalar -> (string * Row.t) list
+
+(** [range_lookup t txn ~field ~lo ~hi] is all visible rows whose [field]
+    falls in the given interval, via a contiguous secondary-index seek.
+    Each bound is [(value, inclusive)]; [None] leaves that side open (both
+    [None] returns every row with the field present). Bounds compare with
+    {!Row.scalar_compare}, so rows whose stored value is incomparable with
+    a bound never match. Sorted by primary key.
+    @raise Invalid_argument when [field] is not declared in [indexes]. *)
+val range_lookup :
+  t ->
+  Mvcc.txn ->
+  field:string ->
+  lo:(Row.scalar * bool) option ->
+  hi:(Row.scalar * bool) option ->
+  (string * Row.t) list
 
 (** The storage key for a row, exposed for tests and debugging. *)
 val storage_key : t -> pk:string -> string

@@ -1,0 +1,290 @@
+(* The open-loop aggregated client model (PR 6): statistical equivalence
+   against the paper's closed-loop model at matched offered load, arrival-
+   process sanity, bitwise determinism, a hundred-thousand-client run with
+   the full checker battery, and the BENCH_6.json schema contract. *)
+
+open Lsr_core
+open Lsr_experiments
+module Params = Lsr_workload.Params
+module Confidence = Lsr_stats.Confidence
+module Json = Lsr_obs.Json
+
+let check_bool = Alcotest.(check bool)
+
+(* Small MPL so the closed-loop system is far from saturation: there the
+   closed-loop offered load equals the open-loop arrival rate and the two
+   models must agree on every steady-state statistic. *)
+let eq_params =
+  {
+    Params.default with
+    Params.num_secondaries = 2;
+    clients_per_secondary = 10;
+    warmup = 30.;
+    duration = 230.;
+  }
+
+let eq_config guarantee ~seed mode =
+  {
+    (Sim_system.config eq_params guarantee ~seed) with
+    Sim_system.record_history = true;
+    client_mode = mode;
+  }
+
+let open_mode =
+  Sim_system.Open_loop
+    { clients = 10; arrival = Sim_system.Poisson; session_pool = 0 }
+
+let replicate guarantee mode =
+  List.init 5 (fun i -> Sim_system.run (eq_config guarantee ~seed:(100 + i) mode))
+
+(* Two means are equivalent when their 95% Student-t intervals overlap,
+   with a small relative floor so zero-width intervals (e.g. an abort rate
+   of exactly 0 in every replication) don't demand bitwise equality. *)
+let compatible name a b =
+  let ia = Confidence.of_samples a and ib = Confidence.of_samples b in
+  let gap = Float.abs (ia.Confidence.mean -. ib.Confidence.mean) in
+  let slack =
+    ia.Confidence.half_width +. ib.Confidence.half_width
+    +. (0.1 *. Float.max (Float.abs ia.Confidence.mean) (Float.abs ib.Confidence.mean))
+    +. 1e-6
+  in
+  check_bool
+    (Printf.sprintf "%s: |%.4f - %.4f| <= %.4f" name ia.Confidence.mean
+       ib.Confidence.mean slack)
+    true (gap <= slack)
+
+let guarantees =
+  [
+    ("weak", Session.Weak);
+    ("pcsi", Session.Prefix_consistent);
+    ("strong-session", Session.Strong_session);
+    ("strong", Session.Strong);
+  ]
+
+let test_equivalence () =
+  List.iter
+    (fun (gname, g) ->
+      let closed = replicate g Sim_system.Closed_loop in
+      let opened = replicate g open_mode in
+      List.iter
+        (fun (o : Sim_system.outcome) ->
+          Alcotest.(check (list string))
+            (gname ^ ": closed-loop run satisfies its guarantee")
+            [] o.Sim_system.check_errors)
+        closed;
+      List.iter
+        (fun (o : Sim_system.outcome) ->
+          Alcotest.(check (list string))
+            (gname ^ ": open-loop run satisfies its guarantee")
+            [] o.Sim_system.check_errors)
+        opened;
+      let metric f l = List.map f l in
+      compatible
+        (gname ^ ": throughput")
+        (metric (fun o -> o.Sim_system.throughput_fast) closed)
+        (metric (fun o -> o.Sim_system.throughput_fast) opened);
+      compatible
+        (gname ^ ": abort rate")
+        (metric
+           (fun (o : Sim_system.outcome) ->
+             float_of_int o.Sim_system.aborts
+             /. float_of_int (max 1 o.Sim_system.updates_completed))
+           closed)
+        (metric
+           (fun (o : Sim_system.outcome) ->
+             float_of_int o.Sim_system.aborts
+             /. float_of_int (max 1 o.Sim_system.updates_completed))
+           opened);
+      compatible
+        (gname ^ ": read age")
+        (metric (fun o -> o.Sim_system.read_age_mean) closed)
+        (metric (fun o -> o.Sim_system.read_age_mean) opened))
+    guarantees
+
+let test_mmpp_sanity () =
+  (* The MMPP keeps the long-run mean rate: a bursty run completes a
+     transaction count comparable to the Poisson run's, and the burstiness
+     must not break any guarantee. *)
+  let run mode = Sim_system.run (eq_config Session.Strong_session ~seed:7 mode) in
+  let poisson = run open_mode in
+  let bursty =
+    run
+      (Sim_system.Open_loop
+         { clients = 10; arrival = Sim_system.Mmpp 4.0; session_pool = 0 })
+  in
+  let txns (o : Sim_system.outcome) =
+    o.Sim_system.reads_completed + o.Sim_system.updates_completed
+  in
+  check_bool "bursty run completed work" true (txns bursty > 0);
+  Alcotest.(check (list string))
+    "bursty run satisfies its guarantee" [] bursty.Sim_system.check_errors;
+  let ratio = float_of_int (txns bursty) /. float_of_int (txns poisson) in
+  check_bool
+    (Printf.sprintf "mean rate preserved (ratio %.2f)" ratio)
+    true
+    (ratio > 0.6 && ratio < 1.4)
+
+let scrub (o : Sim_system.outcome) =
+  (* checker_cpu_s is wall CPU — the only nondeterministic outcome field. *)
+  { o with Sim_system.checker_cpu_s = 0. }
+
+let test_determinism () =
+  let run seed = Sim_system.run (eq_config Session.Strong_session ~seed open_mode) in
+  check_bool "same seed, identical outcome" true (scrub (run 5) = scrub (run 5));
+  check_bool "different seed, different outcome" true
+    (scrub (run 5) <> scrub (run 6))
+
+let test_hundred_thousand_clients () =
+  (* A runtest-sized version of the BENCH_6 showcase: 100k modeled clients
+     across two sites, history recording on, full checker battery at the
+     end. The committed BENCH_6.json covers the 10^6 point. *)
+  let params =
+    {
+      Params.default with
+      Params.num_secondaries = 2;
+      clients_per_secondary = 50_000;
+      op_service_time = 1e-6;
+      propagation_delay = 0.5;
+      tran_size_min = 2;
+      tran_size_max = 6;
+      warmup = 0.5;
+      duration = 2.0;
+    }
+  in
+  let o =
+    Sim_system.run
+      {
+        (Sim_system.config params Session.Strong_session ~seed:42) with
+        Sim_system.record_history = true;
+        client_mode =
+          Sim_system.Open_loop
+            { clients = 50_000; arrival = Sim_system.Poisson; session_pool = 0 };
+      }
+  in
+  Alcotest.(check (list string))
+    "checker battery passes at 100k modeled clients" []
+    o.Sim_system.check_errors;
+  let txns = o.Sim_system.reads_completed + o.Sim_system.updates_completed in
+  check_bool
+    (Printf.sprintf "offered load is actually reached (%d txns)" txns)
+    true (txns > 10_000);
+  check_bool "checker really ran" true (o.Sim_system.checker_cpu_s >= 0.)
+
+(* --- BENCH_6.json schema ----------------------------------------------------- *)
+
+let synthetic_phase label =
+  {
+    Perf_bench.label;
+    cpu_s = 1.5;
+    sim_events = 1000;
+    events_per_s = 666.7;
+    txns = 100;
+    txns_per_s = 66.7;
+    peak_rss_kb = 4096;
+    checker_cpu_s = 0.1;
+    check_errors = 0;
+  }
+
+let synthetic_report =
+  {
+    Perf_bench.seed = 1;
+    quick = true;
+    sites = 2;
+    pair_clients_per_site = 10;
+    offered_per_site = 1.4;
+    virtual_s = 12.;
+    open_loop = synthetic_phase "open-loop";
+    closed_loop = synthetic_phase "closed-loop";
+    speedup_events_per_s = 1.0;
+    showcase_clients = 20;
+    showcase = synthetic_phase "showcase";
+  }
+
+let test_bench_schema_roundtrip () =
+  let text = Json.to_string (Perf_bench.to_json synthetic_report) in
+  match Json.parse text with
+  | Error e -> Alcotest.failf "emitted report does not re-parse: %s" e
+  | Ok j -> (
+    match Perf_bench.validate j with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "emitted report fails its own schema: %s" e)
+
+let test_bench_schema_rejects () =
+  let strip field = function
+    | Json.Obj fields -> Json.Obj (List.remove_assoc field fields)
+    | j -> j
+  in
+  let j = Perf_bench.to_json synthetic_report in
+  List.iter
+    (fun field ->
+      match Perf_bench.validate (strip field j) with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "schema accepted a report without %S" field)
+    [ "bench"; "seed"; "open_loop"; "speedup_events_per_s"; "showcase" ];
+  match Perf_bench.validate (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "schema accepted a non-object"
+
+let test_committed_bench_report () =
+  (* The committed perf trajectory: full-scale (not quick), the open-loop
+     model at least 5x the closed-loop events/s at equal offered load, the
+     showcase at >= 10^6 modeled clients with a clean checker battery. *)
+  (* Under `dune runtest` the cwd is _build/default/test; under a direct
+     `dune exec` it is the project root. *)
+  let file =
+    if Sys.file_exists "../BENCH_6.json" then "../BENCH_6.json"
+    else "BENCH_6.json"
+  in
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  let j =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "BENCH_6.json is invalid JSON: %s" e
+  in
+  (match Perf_bench.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "BENCH_6.json fails the schema: %s" e);
+  let num path =
+    match Json.member path j with
+    | Some (Json.Num f) -> f
+    | _ -> Alcotest.failf "missing numeric field %S" path
+  in
+  (match Json.member "quick" j with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.fail "committed report must come from a full-scale run");
+  check_bool
+    (Printf.sprintf "speedup %.2f >= 5x" (num "speedup_events_per_s"))
+    true
+    (num "speedup_events_per_s" >= 5.);
+  check_bool "showcase at a million modeled clients" true
+    (num "showcase_clients" >= 1_000_000.);
+  match Json.member "showcase" j with
+  | Some showcase -> (
+    match Json.member "check_errors" showcase with
+    | Some (Json.Num 0.) -> ()
+    | _ -> Alcotest.fail "showcase checker battery must be clean")
+  | None -> Alcotest.fail "missing showcase phase"
+
+let () =
+  Alcotest.run "lsr_scale"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "open vs closed loop, all guarantees" `Slow
+            test_equivalence;
+          Alcotest.test_case "mmpp sanity" `Quick test_mmpp_sanity;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "100k modeled clients + checker" `Slow
+            test_hundred_thousand_clients;
+        ] );
+      ( "bench-schema",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bench_schema_roundtrip;
+          Alcotest.test_case "rejects bad reports" `Quick test_bench_schema_rejects;
+          Alcotest.test_case "committed BENCH_6.json" `Quick
+            test_committed_bench_report;
+        ] );
+    ]

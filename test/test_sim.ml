@@ -307,6 +307,61 @@ let test_condition_waiting_count () =
   Engine.run eng;
   check_int "all released" 0 (Condition.waiting cond)
 
+(* --- Seqcond ------------------------------------------------------------------- *)
+
+let test_seqcond_threshold_order () =
+  let eng = Engine.create () in
+  let sc = Seqcond.create () in
+  let woken = ref [] in
+  List.iter
+    (fun threshold ->
+      Process.spawn eng (fun () ->
+          Seqcond.await sc ~threshold:(fun () -> threshold);
+          woken := threshold :: !woken))
+    [ 3; 1; 2 ];
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      Seqcond.advance sc 1;
+      Process.delay 1.;
+      check_int "only the satisfied waiter woke" 2 (Seqcond.waiting sc);
+      Seqcond.advance sc 3);
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "woken as thresholds pass, lowest first" [ 1; 2; 3 ] (List.rev !woken);
+  check_int "all released" 0 (Seqcond.waiting sc);
+  check_int "level sticks at the high-water mark" 3 (Seqcond.level sc)
+
+let test_seqcond_rising_threshold () =
+  (* A pooled session's required seq can rise while one of its reads is
+     already blocked: the waiter must re-check after waking and go back to
+     sleep until the new threshold is reached. *)
+  let eng = Engine.create () in
+  let sc = Seqcond.create () in
+  let need = ref 2 in
+  let resumed_at = ref 0. in
+  Process.spawn eng (fun () ->
+      Seqcond.await sc ~threshold:(fun () -> !need);
+      resumed_at := Process.now ());
+  Process.spawn eng (fun () ->
+      Process.delay 1.;
+      need := 5 (* rises before the old threshold is reached *);
+      Seqcond.advance sc 2;
+      Process.delay 1.;
+      Seqcond.advance sc 5);
+  Engine.run eng;
+  check_float "resumed only once the risen threshold passed" 2. !resumed_at
+
+let test_seqcond_immediate () =
+  let eng = Engine.create () in
+  let sc = Seqcond.create () in
+  Seqcond.advance sc 7;
+  let ran = ref false in
+  Process.spawn eng (fun () ->
+      Seqcond.await sc ~threshold:(fun () -> 7);
+      ran := true);
+  Engine.run eng;
+  check_bool "threshold already reached returns immediately" true !ran
+
 (* --- Mailbox ------------------------------------------------------------------- *)
 
 let test_mailbox_fifo () =
@@ -823,6 +878,41 @@ let prop_stat_mean_matches_naive =
       let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
       Float.abs (Stat.mean s -. naive) < 1e-6 *. (1. +. Float.abs naive))
 
+(* Budgeted-ops guard (PR 6): the event heap must stay O(log n) per
+   operation under a large randomized load, including interleaved
+   cancellations. 200k events is bench-scale; the 10s budget is generous
+   enough to never flake while catching any O(n) sift or compaction
+   regression. *)
+let test_engine_heap_budget () =
+  let eng = Engine.create () in
+  let rng = Rng.create 0xBEEF in
+  let fired = ref 0 in
+  let handles =
+    Array.init 200_000 (fun _ ->
+        Engine.schedule eng
+          ~delay:(1000. *. Rng.float rng)
+          (fun () -> incr fired))
+  in
+  (* Cancel a scattered 10% so removal paths are exercised too. *)
+  let cancelled = ref 0 in
+  Array.iteri
+    (fun i h ->
+      if i mod 10 = 3 then begin
+        Engine.cancel eng h;
+        incr cancelled
+      end)
+    handles;
+  let t0 = Sys.time () in
+  Engine.run eng;
+  let elapsed = Sys.time () -. t0 in
+  check_int "every surviving event fired" (200_000 - !cancelled) !fired;
+  check_int "events_processed counts firings"
+    (200_000 - !cancelled)
+    (Engine.events_processed eng);
+  check_bool
+    (Printf.sprintf "200k-event heap drained in %.2fs cpu (budget 10s)" elapsed)
+    true (elapsed < 10.)
+
 (* --- Suite ----------------------------------------------------------------------- *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -853,6 +943,8 @@ let () =
             test_engine_until_exact_boundary;
           Alcotest.test_case "fifo ties with cancel and until" `Quick
             test_engine_fifo_ties_with_cancel_and_until;
+          Alcotest.test_case "200k-event heap budget" `Slow
+            test_engine_heap_budget;
         ] );
       ( "process",
         [
@@ -871,6 +963,13 @@ let () =
           Alcotest.test_case "waiting count" `Quick test_condition_waiting_count;
           Alcotest.test_case "distinct predicates" `Quick
             test_condition_distinct_predicates;
+        ] );
+      ( "seqcond",
+        [
+          Alcotest.test_case "threshold order" `Quick test_seqcond_threshold_order;
+          Alcotest.test_case "rising threshold" `Quick
+            test_seqcond_rising_threshold;
+          Alcotest.test_case "immediate pass" `Quick test_seqcond_immediate;
         ] );
       ( "mailbox",
         [

@@ -366,6 +366,105 @@ let test_exec_index_agrees_with_scan () =
       in
       Alcotest.(check (list string)) "same rows" scanned indexed)
 
+(* Pinned repro of the cross-type index-equality soundness bug found by the
+   randomized identity suite below: SQL numeric comparison treats Int 1 and
+   Float 1.0 as equal, but the old index verification compared encoded
+   scalar keys, which are type-tagged — so the indexed path dropped rows
+   whose stored numeric type differed from the literal's. *)
+let test_exec_index_cross_type_equality () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  let h = Lsr_core.Handle.make ~schema:[ ("t", [ "v" ]) ] db txn in
+  let exec sql =
+    match Sql.exec h sql with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %s" sql e
+  in
+  exec "INSERT INTO t (pk, v) VALUES ('int', 1)";
+  exec "INSERT INTO t (pk, v) VALUES ('float', 1.0)";
+  Alcotest.(check (list string))
+    "indexed equality matches both numeric representations"
+    [ "float"; "int" ]
+    (select_pks h "SELECT * FROM t WHERE v = 1");
+  Alcotest.(check (list string))
+    "float literal too" [ "float"; "int" ]
+    (select_pks h "SELECT * FROM t WHERE v = 1.0")
+
+(* Randomized differential identity: the same rows and the same WHERE
+   clause must produce the same result through the secondary-index path
+   (equality and range) and through the full scan. Rows mix Int / Float /
+   Text / Bool / missing values so the order-preserving key encoding and
+   its re-verification are both exercised. *)
+let test_exec_index_randomized_identity () =
+  let module Rng = Lsr_sim.Rng in
+  let rng = Rng.create 0xD1FF in
+  let random_value () =
+    match Rng.uniform rng ~lo:0 ~hi:9 with
+    | 0 | 1 | 2 -> Some (string_of_int (Rng.uniform rng ~lo:(-20) ~hi:20))
+    | 3 | 4 | 5 ->
+      Some (Printf.sprintf "%.2f" (float_of_int (Rng.uniform rng ~lo:(-200) ~hi:200) /. 10.))
+    | 6 | 7 ->
+      Some (Printf.sprintf "'w%d'" (Rng.uniform rng ~lo:0 ~hi:30))
+    | 8 -> Some (if Rng.bernoulli rng ~p:0.5 then "TRUE" else "FALSE")
+    | _ -> None
+  in
+  let random_bound () =
+    if Rng.bernoulli rng ~p:0.6 then
+      string_of_int (Rng.uniform rng ~lo:(-20) ~hi:20)
+    else Printf.sprintf "'w%d'" (Rng.uniform rng ~lo:0 ~hi:30)
+  in
+  let ops = [| ">"; ">="; "<"; "<="; "=" |] in
+  let used_range = ref false in
+  for trial = 0 to 29 do
+    let mk indexed =
+      let db = Mvcc.create () in
+      let txn = Mvcc.begin_txn db in
+      Lsr_core.Handle.make
+        ~schema:[ ("t", if indexed then [ "v" ] else [] ) ]
+        db txn
+    in
+    let hi = mk true and hs = mk false in
+    let stmts =
+      List.init 25 (fun i ->
+          match random_value () with
+          | Some v -> Printf.sprintf "INSERT INTO t (pk, v) VALUES ('r%02d', %s)" i v
+          | None -> Printf.sprintf "INSERT INTO t (pk) VALUES ('r%02d')" i)
+    in
+    List.iter
+      (fun sql ->
+        List.iter
+          (fun h ->
+            match Sql.exec h sql with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" sql e)
+          [ hi; hs ])
+      stmts;
+    let where =
+      match Rng.uniform rng ~lo:0 ~hi:2 with
+      | 0 ->
+        Printf.sprintf "v %s %s"
+          ops.(Rng.uniform rng ~lo:0 ~hi:(Array.length ops - 1))
+          (random_bound ())
+      | 1 -> Printf.sprintf "v > %s AND v <= %s" (random_bound ()) (random_bound ())
+      | _ -> Printf.sprintf "v >= %s AND v < %s" (random_bound ()) (random_bound ())
+    in
+    let q = Printf.sprintf "SELECT * FROM t WHERE %s" where in
+    (match Sql.exec hi ("EXPLAIN " ^ q) with
+    | Ok (Executor.Plan lines) ->
+      if
+        List.exists
+          (fun l ->
+            String.length l >= 25
+            && String.sub l 0 25 = "access: index range scan ")
+          lines
+      then used_range := true
+    | Ok _ | Error _ -> Alcotest.failf "EXPLAIN failed on trial %d" trial);
+    Alcotest.(check (list string))
+      (Printf.sprintf "trial %d: %s" trial where)
+      (select_pks hs q) (select_pks hi q)
+  done;
+  check_bool "the index range path was actually exercised" true !used_range
+
 let test_exec_render () =
   with_books (fun h ->
       match Sql.exec h "SELECT title FROM books WHERE pk = 'b1'" with
@@ -836,6 +935,10 @@ let () =
           Alcotest.test_case "int pk" `Quick test_exec_int_pk;
           Alcotest.test_case "missing pk rejected" `Quick
             test_exec_missing_pk_rejected;
+          Alcotest.test_case "index cross-type equality" `Quick
+            test_exec_index_cross_type_equality;
+          Alcotest.test_case "index randomized identity" `Quick
+            test_exec_index_randomized_identity;
           Alcotest.test_case "index agrees with scan" `Quick
             test_exec_index_agrees_with_scan;
           Alcotest.test_case "aggregates" `Quick test_exec_aggregates;

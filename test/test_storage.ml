@@ -808,6 +808,157 @@ let test_index_key_injective_with_delimiters () =
   Alcotest.(check (list string)) "plain value isolated" [ "2" ]
     (List.map fst (Table.lookup tbl reader ~field:"tag" ~value:(Row.Text "a")))
 
+(* Pinned repro (PR 6): stored Int, probed Float (and vice versa). SQL
+   numeric equality is cross-type, so the index path must agree with a
+   predicate scan using Row.scalar_compare — the old encoded-key
+   verification silently dropped the other representation. *)
+let test_index_cross_type_numeric () =
+  let db = Mvcc.create () in
+  let tbl = Table.define ~indexes:[ "v" ] db ~name:"t" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert tbl t1 ~pk:"i" [ ("v", Row.Int 7) ];
+  Table.insert tbl t1 ~pk:"f" [ ("v", Row.Float 7.0) ];
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  Alcotest.(check (list string))
+    "Int probe finds both representations" [ "f"; "i" ]
+    (List.map fst (Table.lookup tbl reader ~field:"v" ~value:(Row.Int 7)));
+  Alcotest.(check (list string))
+    "Float probe finds both representations" [ "f"; "i" ]
+    (List.map fst (Table.lookup tbl reader ~field:"v" ~value:(Row.Float 7.0)))
+
+let test_order_key_agrees_with_compare () =
+  (* The order-preserving encoding must sort exactly like scalar_compare
+     wherever the latter is defined, including the nasty floats and the
+     delimiter bytes in text. *)
+  let scalars =
+    [
+      Row.Int (-5); Row.Int 0; Row.Int 7; Row.Float (-12.5); Row.Float (-0.0);
+      Row.Float 0.0; Row.Float 0.25; Row.Float 7.0; Row.Float 1e300;
+      Row.Text ""; Row.Text "a"; Row.Text "a\x00b"; Row.Text "a\x01b";
+      Row.Text "ab"; Row.Bool false; Row.Bool true;
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match Row.scalar_compare a b with
+          | None -> ()
+          | Some c ->
+            let ka = Row.order_key a and kb = Row.order_key b in
+            check_int
+              (Format.asprintf "order_key(%a) vs order_key(%a)" Row.pp_scalar a
+                 Row.pp_scalar b)
+              (compare c 0)
+              (compare (String.compare ka kb) 0))
+        scalars)
+    scalars
+
+let range_pks tbl reader ~lo ~hi =
+  List.map fst (Table.range_lookup tbl reader ~field:"v" ~lo ~hi)
+
+let test_range_lookup_semantics () =
+  let db = Mvcc.create () in
+  let tbl = Table.define ~indexes:[ "v" ] db ~name:"t" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert tbl t1 ~pk:"a" [ ("v", Row.Int 1) ];
+  Table.insert tbl t1 ~pk:"b" [ ("v", Row.Float 2.5) ];
+  Table.insert tbl t1 ~pk:"c" [ ("v", Row.Int 4) ];
+  Table.insert tbl t1 ~pk:"d" [ ("v", Row.Text "x") ];
+  Table.insert tbl t1 ~pk:"e" [ ("v", Row.Bool true) ];
+  Table.insert tbl t1 ~pk:"f" [] (* no v at all *);
+  ignore (commit_exn db t1);
+  let reader = Mvcc.begin_txn db in
+  Alcotest.(check (list string))
+    "closed numeric interval, cross-type endpoints" [ "b"; "c" ]
+    (range_pks tbl reader
+       ~lo:(Some (Row.Float 2.0, true))
+       ~hi:(Some (Row.Int 4, true)));
+  Alcotest.(check (list string))
+    "exclusive bounds drop the endpoints" [ "b" ]
+    (range_pks tbl reader
+       ~lo:(Some (Row.Int 1, false))
+       ~hi:(Some (Row.Int 4, false)));
+  Alcotest.(check (list string))
+    "unbounded below stays within the numeric type band" [ "a"; "b" ]
+    (range_pks tbl reader ~lo:None ~hi:(Some (Row.Float 2.5, true)));
+  Alcotest.(check (list string))
+    "unbounded above" [ "c" ]
+    (range_pks tbl reader ~lo:(Some (Row.Int 3, true)) ~hi:None);
+  Alcotest.(check (list string))
+    "text range never matches numerics or bools" [ "d" ]
+    (range_pks tbl reader ~lo:(Some (Row.Text "a", true)) ~hi:None);
+  Alcotest.(check (list string))
+    "empty interval" []
+    (range_pks tbl reader
+       ~lo:(Some (Row.Int 10, true))
+       ~hi:(Some (Row.Int 4, true)))
+
+let test_range_lookup_sees_own_writes () =
+  let db = Mvcc.create () in
+  let tbl = Table.define ~indexes:[ "v" ] db ~name:"t" in
+  let t1 = Mvcc.begin_txn db in
+  Table.insert tbl t1 ~pk:"committed" [ ("v", Row.Int 5) ];
+  ignore (commit_exn db t1);
+  let t2 = Mvcc.begin_txn db in
+  Table.insert tbl t2 ~pk:"pending" [ ("v", Row.Int 6) ];
+  Alcotest.(check (list string))
+    "pending write visible in own range" [ "committed"; "pending" ]
+    (range_pks tbl t2 ~lo:(Some (Row.Int 0, true)) ~hi:(Some (Row.Int 10, true)))
+
+(* Budgeted-ops guard (PR 6): fold_keys / keys_from are seek-based, so
+   enumerating a small prefix band of a large committed keyspace must not
+   scan the whole table. A linear fold would visit ~10^9 keys here (10k
+   folds x 100k keys); the budget is generous enough to never flake on a
+   slow machine while still catching any O(n)-per-fold regression. *)
+let test_prefix_seek_budget () =
+  let db = Mvcc.create () in
+  let txn = Mvcc.begin_txn db in
+  for i = 0 to 99_999 do
+    Mvcc.write db txn (Printf.sprintf "bulk:%06d" i) (Some "v")
+  done;
+  for i = 0 to 9 do
+    Mvcc.write db txn (Printf.sprintf "needle:%d" i) (Some "v")
+  done;
+  ignore (commit_exn db txn);
+  let t0 = Sys.time () in
+  let found = ref 0 in
+  for _ = 1 to 10_000 do
+    found :=
+      Mvcc.fold_keys db ~prefix:"needle:" ~init:0 ~f:(fun acc _ -> acc + 1)
+  done;
+  let elapsed = Sys.time () -. t0 in
+  check_int "prefix band enumerated" 10 !found;
+  check_bool
+    (Printf.sprintf "10k prefix folds over 100k keys in %.2fs cpu (budget 10s)"
+       elapsed)
+    true (elapsed < 10.)
+
+(* Budgeted-ops guard (PR 6): reads at recent snapshots must stay O(1) in
+   the length of a hot key's version chain. *)
+let test_version_chain_read_budget () =
+  let db = Mvcc.create () in
+  for i = 1 to 50_000 do
+    let txn = Mvcc.begin_txn db in
+    Mvcc.write db txn "hot" (Some (string_of_int i));
+    ignore (Mvcc.commit db txn)
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to 100_000 do
+    let txn = Mvcc.begin_txn db in
+    (match Mvcc.read db txn "hot" with
+    | Some _ -> ()
+    | None -> Alcotest.fail "hot key vanished");
+    Mvcc.end_read db txn
+  done;
+  let elapsed = Sys.time () -. t0 in
+  check_bool
+    (Printf.sprintf
+       "100k snapshot reads of a 50k-version chain in %.2fs cpu (budget 10s)"
+       elapsed)
+    true (elapsed < 10.)
+
 (* Lookup always agrees with a full predicate scan. *)
 let prop_index_agrees_with_scan =
   let gen =
@@ -951,8 +1102,23 @@ let () =
             test_index_unindexed_field_rejected;
           Alcotest.test_case "delimiter injectivity" `Quick
             test_index_key_injective_with_delimiters;
+          Alcotest.test_case "cross-type numeric equality" `Quick
+            test_index_cross_type_numeric;
+          Alcotest.test_case "order_key agrees with scalar_compare" `Quick
+            test_order_key_agrees_with_compare;
+          Alcotest.test_case "range_lookup semantics" `Quick
+            test_range_lookup_semantics;
+          Alcotest.test_case "range_lookup sees own writes" `Quick
+            test_range_lookup_sees_own_writes;
         ]
         @ qsuite [ prop_index_agrees_with_scan ] );
+      ( "budget",
+        [
+          Alcotest.test_case "prefix seek over 100k keys" `Slow
+            test_prefix_seek_budget;
+          Alcotest.test_case "50k-version chain reads" `Slow
+            test_version_chain_read_budget;
+        ] );
       ( "table",
         [
           Alcotest.test_case "crud" `Quick test_table_crud;
