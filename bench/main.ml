@@ -157,7 +157,7 @@ let run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome =
     (Obs.event_count obs)
     (Lineage.event_count lineage)
 
-(* --- Simulator scaling bench (BENCH_6.json) --------------------------------- *)
+(* --- Simulator scaling bench (BENCH_7.json) --------------------------------- *)
 
 (* The per-PR perf trajectory: paired open-loop vs closed-loop runs at equal
    offered load plus a million-client showcase with the full checker
@@ -332,6 +332,7 @@ let micro_tests () =
           commit_ts = (if i mod 5 = 0 then Some i else None);
           reads = [];
           writes = [];
+          fence = None;
         }
     done;
     Test.make ~name:"checker/inversions-1k-txns"
@@ -480,24 +481,24 @@ let all_targets =
    CI observability smoke run). *)
 let extra_targets =
   [
-    "ablate-contention"; "fig-staleness"; "fig-utilization"; "faults";
-    "smoke"; "analyze"; "perf";
+    "ablate-contention"; "fig-staleness"; "fig-utilization"; "fig-fence";
+    "faults"; "smoke"; "analyze"; "perf";
   ]
 
 let bench_out_arg =
   let doc =
     "Where the $(b,perf) target writes its machine-readable report \
-     (BENCH_6.json schema)."
+     (BENCH_7.json schema)."
   in
-  Arg.(value & opt string "BENCH_6.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt string "BENCH_7.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
 
 let targets_arg =
   let doc =
     "What to regenerate: table1, fig2..fig8, figures (all figures), \
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
-     from all): ablate-contention, fig-staleness, fig-utilization, faults, \
-     smoke, analyze, perf."
+     from all): ablate-contention, fig-staleness, fig-utilization, \
+     fig-fence, faults, smoke, analyze, perf."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -566,6 +567,7 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
       emit ~csv (Figures.fig_staleness opts);
     if List.mem "fig-utilization" wanted then
       emit ~csv (Figures.fig_utilization opts);
+    if List.mem "fig-fence" wanted then emit ~csv (Figures.fig_fence opts);
     run_ablations opts ~csv ~wanted;
     if List.mem "faults" wanted then
       run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome;

@@ -48,7 +48,7 @@ let seed_arg =
 (* --- simulate ------------------------------------------------------------------ *)
 
 let simulate guarantee seed secondaries clients browsing duration serial ship
-    validate open_loop arrival session_pool =
+    validate open_loop arrival session_pool fence =
   let params =
     let base = if browsing then Params.browsing Params.default else Params.default in
     {
@@ -71,6 +71,10 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       serial_refresh = serial;
       ship_aborted = ship;
       client_mode;
+      fence =
+        (match fence with
+        | None -> Sim_system.No_fence
+        | Some f -> Sim_system.All_reads f);
     }
   in
   (match client_mode with
@@ -93,6 +97,11 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       (Sim_system.offered_rate params ~clients)
       (if browsing then "95/5" else "80/20")
       duration);
+  Option.iter
+    (fun f ->
+      Printf.printf "freshness fence on every read: %s\n%!"
+        (Session.fence_to_string f))
+    fence;
   let o = Sim_system.run cfg in
   let rows =
     [
@@ -105,6 +114,10 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       [ "updates completed"; string_of_int o.Sim_system.updates_completed ];
       [ "update aborts (restarted)"; string_of_int o.Sim_system.aborts ];
       [ "reads blocked on session"; string_of_int o.Sim_system.blocked_reads ];
+    ]
+    @ (if fence = None then []
+       else [ [ "fenced reads"; string_of_int o.Sim_system.fenced_reads ] ])
+    @ [
       [ "mean session wait"; Printf.sprintf "%.2f s" o.Sim_system.block_wait_mean ];
       [ "refresh transactions"; string_of_int o.Sim_system.refresh_commits ];
       [ "mean replica staleness"; Printf.sprintf "%.2f s" o.Sim_system.refresh_staleness_mean ];
@@ -182,12 +195,32 @@ let simulate_cmd =
     in
     Arg.(value & opt int 0 & info [ "session-pool" ] ~docv:"N" ~doc)
   in
+  let fence =
+    let parse s =
+      match Session.fence_of_string s with
+      | Ok f -> Ok f
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf f = Format.pp_print_string ppf (Session.fence_to_string f) in
+    let fence_conv = Arg.conv (parse, print) in
+    let doc =
+      "Freshness fence carried by every read-only transaction: \
+       $(b,exact:)$(i,TS) (snapshot must include primary commit $(i,TS)), \
+       $(b,age:)$(i,D) (snapshot at most $(i,D) virtual seconds stale, \
+       resolved against the primary commit clock when the read is \
+       submitted), or $(b,session) (exactly the strong-session-SI read \
+       floor, whatever the ambient guarantee). Fenced reads block on the \
+       site's threshold queue until the refresher catches up; with \
+       $(b,--validate) the checker audits every fence claim."
+    in
+    Arg.(value & opt (some fence_conv) None & info [ "fence" ] ~docv:"FENCE" ~doc)
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation of the replicated system")
     Term.(
       const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
       $ browsing $ duration $ serial $ ship $ validate $ open_loop $ arrival
-      $ session_pool)
+      $ session_pool $ fence)
 
 (* --- bottleneck ----------------------------------------------------------------- *)
 

@@ -26,6 +26,7 @@ let record h ~session ~first_op ~snapshot ~reads ~writes ~commit_ts =
       commit_ts;
       reads;
       writes;
+      fence = None;
     }
 
 let roster_invariant db =

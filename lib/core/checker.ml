@@ -304,24 +304,117 @@ let check_completeness ~primary ~secondary =
              ns (List.length expected) (List.length actual))
   end
 
+(* --- Fence audit -------------------------------------------------------------
+
+   Every committed read that carried a freshness fence must have observed a
+   snapshot actually satisfying it:
+   - [Exact ts]: snapshot >= ts;
+   - [Session_seq]: snapshot >= the session's fence floor at the read's
+     first operation — the max over commit timestamps of the session's
+     earlier committed updates and snapshots of its earlier
+     [Session_seq]-fenced reads (the same wall-order sweep as
+     [inversions], restricted to what the fence promises);
+   - [Max_age d]: snapshot >= the commit-visibility horizon at
+     [read_at - d], replayed from the primary's commit clock. Without a
+     clock a [Max_age] claim is unauditable and reported as a violation —
+     recording fenced histories without the clock is a harness bug. *)
+let check_fences ?clock history =
+  let committed_txns = List.filter committed (History.transactions history) in
+  let by_start =
+    List.sort (fun a b -> Int.compare a.History.first_op b.History.first_op)
+      committed_txns
+  in
+  let by_finish =
+    List.sort (fun a b -> Int.compare a.History.finished b.History.finished)
+      committed_txns
+  in
+  let floors : (string, Timestamp.t) Hashtbl.t = Hashtbl.create 64 in
+  let note (t : History.txn) =
+    let bump ts =
+      match Hashtbl.find_opt floors t.session with
+      | Some best when Timestamp.compare best ts >= 0 -> ()
+      | Some _ | None -> Hashtbl.replace floors t.session ts
+    in
+    (match (t.kind, t.commit_ts) with
+    | History.Update, Some cts -> bump cts
+    | History.Update, None | History.Read_only, _ -> ());
+    match (t.kind, t.fence) with
+    | History.Read_only, Some { History.claim = Session.Session_seq; _ } ->
+      bump t.snapshot
+    | _, _ -> ()
+  in
+  let violations = ref [] in
+  let violation t2 fmt =
+    Format.kasprintf
+      (fun msg ->
+        violations :=
+          Format.asprintf "%a: fence violated: %s" History.pp_txn t2 msg
+          :: !violations)
+      fmt
+  in
+  let check (t2 : History.txn) =
+    match (t2.kind, t2.fence) with
+    | History.Update, _ | _, None -> ()
+    | History.Read_only, Some { History.claim; read_at } -> (
+      match claim with
+      | Session.Exact ts ->
+        if Timestamp.compare t2.snapshot ts < 0 then
+          violation t2 "snapshot %a < exact fence %a" Timestamp.pp t2.snapshot
+            Timestamp.pp ts
+      | Session.Session_seq -> (
+        match Hashtbl.find_opt floors t2.session with
+        | Some floor when Timestamp.compare t2.snapshot floor < 0 ->
+          violation t2 "snapshot %a < session fence floor %a" Timestamp.pp
+            t2.snapshot Timestamp.pp floor
+        | Some _ | None -> ())
+      | Session.Max_age d -> (
+        match clock with
+        | None ->
+          violation t2 "Max_age %g claim but no commit clock to audit it" d
+        | Some c ->
+          let horizon = Session.clock_horizon c ~cutoff:(read_at -. d) in
+          if Timestamp.compare t2.snapshot horizon < 0 then
+            violation t2
+              "snapshot %a < visibility horizon %a (age %g at read time %g)"
+              Timestamp.pp t2.snapshot Timestamp.pp horizon d read_at))
+  in
+  let rec sweep pending = function
+    | [] -> ()
+    | (t2 : History.txn) :: rest ->
+      let rec absorb = function
+        | (t1 : History.txn) :: more when t1.finished < t2.first_op ->
+          note t1;
+          absorb more
+        | remaining -> remaining
+      in
+      let pending = absorb pending in
+      check t2;
+      sweep pending rest
+  in
+  sweep by_finish by_start;
+  List.rev !violations
+
 type report = {
   weak_si_violations : string list;
   inversions_all : inversion list;
   inversions_in_session : inversion list;
   inversions_after_update : inversion list;
+  fence_violations : string list;
 }
 
-let analyze history =
+let analyze ?clock history =
   {
     weak_si_violations = check_weak_si history;
     inversions_all = inversions history;
     inversions_in_session = inversions ~same_session_only:true history;
     inversions_after_update =
       inversions ~same_session_only:true ~earlier_updates_only:true history;
+    fence_violations = check_fences ?clock history;
   }
 
 let satisfies guarantee report =
   report.weak_si_violations = []
+  && report.fence_violations = []
   &&
   match guarantee with
   | Session.Weak -> true

@@ -80,21 +80,37 @@ val is_serializable : History.t -> bool
     [S^i_p]. Returns [Error message] on the first divergence. *)
 val check_completeness : primary:Mvcc.t -> secondary:Mvcc.t -> (unit, string) result
 
-(** Full report for a finished run: weak-SI violations and inversions at
-    each strictness level. *)
+(** [check_fences ?clock h] audits every committed fenced read: its recorded
+    snapshot must actually satisfy its {!History.fence_claim}. [Exact] is
+    checked against the fence timestamp, [Session_seq] against the session's
+    wall-order fence floor (earlier committed updates and earlier
+    [Session_seq]-fenced reads of the same session), and [Max_age] against
+    the commit-visibility horizon replayed from [clock] at
+    [read_at - age] — a [Max_age] claim with no [clock] is itself reported
+    as a violation. Returns violation descriptions (empty = all fences
+    honoured). *)
+val check_fences : ?clock:Session.clock -> History.t -> string list
+
+(** Full report for a finished run: weak-SI violations, inversions at each
+    strictness level, and fence-audit violations. *)
 type report = {
   weak_si_violations : string list;
   inversions_all : inversion list;  (** any pair (strong SI) *)
   inversions_in_session : inversion list;  (** same session (strong session SI) *)
   inversions_after_update : inversion list;
       (** same session, earlier transaction is an update (PCSI) *)
+  fence_violations : string list;
+      (** committed fenced reads whose snapshot broke their fence *)
 }
 
-val analyze : History.t -> report
+(** [analyze ?clock h] — [clock] is the primary's commit clock, needed to
+    audit [Max_age] fences (see {!check_fences}). *)
+val analyze : ?clock:Session.clock -> History.t -> report
 
 (** [satisfies guarantee report] — does the run meet the advertised
     guarantee? [Weak] requires weak SI only; [Prefix_consistent] additionally
     no in-session inversions whose earlier transaction is an update;
     [Strong_session] no in-session inversions at all; [Strong] no inversions
-    anywhere. *)
+    anywhere. Fence violations fail every guarantee — a fence is a per-read
+    contract independent of the ambient level. *)
 val satisfies : Session.guarantee -> report -> bool

@@ -4,6 +4,11 @@ type kind =
   | Read_only
   | Update
 
+type fence_claim = {
+  claim : Session.fence;
+  read_at : float;  (* virtual time the fenced read resolved its horizon *)
+}
+
 type txn = {
   id : int;
   session : string;
@@ -15,6 +20,7 @@ type txn = {
   commit_ts : Timestamp.t option;
   reads : (string * string option) list;
   writes : Wal.update list;
+  fence : fence_claim option;
 }
 
 type t = {
@@ -29,6 +35,8 @@ let tick t =
   t.events <- t.events + 1;
   t.events
 
+let now t = t.events
+
 let fresh_id t =
   t.ids <- t.ids + 1;
   t.ids
@@ -38,10 +46,14 @@ let transactions t = List.rev t.txns
 let length t = List.length t.txns
 
 let pp_txn ppf txn =
-  Format.fprintf ppf "T%d[%s;%s;%s;ops %d..%d;snap %a%a]" txn.id txn.session
+  Format.fprintf ppf "T%d[%s;%s;%s;ops %d..%d;snap %a%a%a]" txn.id txn.session
     (match txn.kind with Read_only -> "ro" | Update -> "up")
     txn.site txn.first_op txn.finished Timestamp.pp txn.snapshot
     (fun ppf -> function
       | None -> ()
       | Some ts -> Format.fprintf ppf ";commit %a" Timestamp.pp ts)
     txn.commit_ts
+    (fun ppf -> function
+      | None -> ()
+      | Some f -> Format.fprintf ppf ";fence %a" Session.pp_fence f.claim)
+    txn.fence

@@ -19,6 +19,15 @@ type kind =
   | Read_only
   | Update
 
+(** The freshness fence a read-only transaction ran under, as recorded in
+    the history so {!Checker} can audit that the snapshot actually honoured
+    it. [read_at] is the virtual time at which the fence was resolved
+    (relevant to [Max_age], whose horizon is a function of that instant). *)
+type fence_claim = {
+  claim : Session.fence;
+  read_at : float;
+}
+
 type txn = {
   id : int;  (** unique within the history *)
   session : string;
@@ -33,6 +42,8 @@ type txn = {
   reads : (string * string option) list;
       (** recorded reads (key, observed value), oldest first *)
   writes : Wal.update list;  (** effective writes, for committed updates *)
+  fence : fence_claim option;
+      (** the freshness fence the read ran under, if any *)
 }
 
 type t
@@ -41,6 +52,10 @@ val create : unit -> t
 
 (** [tick t] advances and returns the global event counter. *)
 val tick : t -> int
+
+(** [now t] is the current value of the event counter, without advancing
+    it. The embedded system uses it as its commit clock's time axis. *)
+val now : t -> int
 
 (** [fresh_id t] allocates a history-unique transaction id. *)
 val fresh_id : t -> int

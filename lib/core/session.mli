@@ -37,6 +37,55 @@ val pp_guarantee : Format.formatter -> guarantee -> unit
 (** The paper's three algorithms, in plotting order (PCSI excluded). *)
 val all_guarantees : guarantee list
 
+(** An optional per-read freshness fence, turning the discrete guarantee
+    ladder into a continuous staleness/latency dial:
+
+    - [Exact ts] — the snapshot must include the primary commit [ts];
+    - [Max_age d] — the snapshot may be at most [d] units of virtual time
+      stale, resolved against the primary's commit {!type:clock} into the
+      largest commit timestamp older than [now - d] (the commit-visibility
+      horizon of Minnal/SCAR);
+    - [Session_seq] — the snapshot must be at least as fresh as the
+      session's own [seq(c)] and read floor. Under any ambient guarantee
+      this reproduces ALG-STRONG-SESSION-SI for the fenced reads, because
+      {!note_read} keeps the read floor for [Session_seq]-fenced reads even
+      when the guarantee alone would not.
+
+    A fence only ever strengthens the ambient guarantee: the effective
+    requirement is the [max] of both thresholds. *)
+type fence =
+  | Exact of Timestamp.t
+  | Max_age of float
+  | Session_seq
+
+val fence_to_string : fence -> string
+
+(** Parses the CLI syntax [exact:<ts> | age:<delta> | session]. *)
+val fence_of_string : string -> (fence, string) result
+
+val pp_fence : Format.formatter -> fence -> unit
+
+(** The primary's commit clock: an append-only monotone map from commit
+    timestamp to virtual commit time. [Max_age] fences are resolved against
+    it; the checker replays it to audit committed fenced reads. *)
+type clock
+
+val clock_create : unit -> clock
+
+(** [clock_note c ~commit_ts ~at] appends one primary commit. Both
+    coordinates must be monotone ([invalid_arg] otherwise). *)
+val clock_note : clock -> commit_ts:Timestamp.t -> at:float -> unit
+
+(** [clock_horizon c ~cutoff] is the largest commit timestamp whose commit
+    time is [<= cutoff] ([Timestamp.zero] if none): the visibility horizon a
+    snapshot must reach to be no staler than [cutoff]. *)
+val clock_horizon : clock -> cutoff:float -> Timestamp.t
+
+(** [clock_time_of c ts] is the recorded commit time of [ts], if any. *)
+val clock_time_of : clock -> Timestamp.t -> float option
+
+val clock_len : clock -> int
+
 type t
 
 val create : guarantee -> t
@@ -61,18 +110,35 @@ val read_floor : t -> string -> Timestamp.t
 val note_update_commit : t -> label:string -> commit_ts:Timestamp.t -> unit
 
 (** [note_read t ~label ~snapshot] records the snapshot a read-only
-    transaction of session [label] observed (raises the read floor under
-    [Strong_session]/[Strong]; no-op otherwise). *)
-val note_read : t -> label:string -> snapshot:Timestamp.t -> unit
+    transaction of session [label] observed. The read floor rises under
+    [Strong_session]/[Strong], and also when the read carried a
+    [Session_seq] fence (no-op otherwise). *)
+val note_read : ?fence:fence -> t -> label:string -> snapshot:Timestamp.t -> unit
+
+(** [fence_threshold t ~label fence] is the smallest [seq(DBsec)]
+    satisfying [fence] alone. [Max_age] needs [~clock] and [~now]
+    ([invalid_arg] otherwise); the horizon is resolved once, at the instant
+    the read asks — the Minnal per-statement visibility horizon [B]. *)
+val fence_threshold :
+  t -> ?clock:clock -> ?now:float -> label:string -> fence -> Timestamp.t
 
 (** [required_seq t ~label] is the smallest [seq(DBsec)] at which a
     read-only transaction from session [label] may start:
     - [Weak]: [Timestamp.zero] (never waits);
     - [Prefix_consistent]: [seq(c)];
-    - [Strong_session] / [Strong]: [max (seq c) (read_floor c)].
-    Monotone in time for a fixed label, which lets blocked readers wait on
-    a threshold queue instead of re-polling. *)
-val required_seq : t -> label:string -> Timestamp.t
+    - [Strong_session] / [Strong]: [max (seq c) (read_floor c)];
+    and with [?fence], the [max] of the above and {!fence_threshold}.
+    Monotone in time for a fixed label and fence threshold, which lets
+    blocked readers wait on a threshold queue instead of re-polling. *)
+val required_seq :
+  ?fence:fence -> ?clock:clock -> ?now:float -> t -> label:string -> Timestamp.t
 
 (** [may_read t ~label ~seq_dbsec] = [required_seq t ~label <= seq_dbsec]. *)
-val may_read : t -> label:string -> seq_dbsec:Timestamp.t -> bool
+val may_read :
+  ?fence:fence ->
+  ?clock:clock ->
+  ?now:float ->
+  t ->
+  label:string ->
+  seq_dbsec:Timestamp.t ->
+  bool

@@ -16,11 +16,29 @@ type slot = {
   channel : channel option;
 }
 
+exception Unsatisfiable_read of {
+  secondary : int;
+  required : Timestamp.t;
+  available : Timestamp.t;
+  pumps : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Unsatisfiable_read { secondary; required; available; pumps } ->
+      Some
+        (Printf.sprintf
+           "System.Unsatisfiable_read(secondary %d: needs seq %d, has %d \
+            after %d pumps)"
+           secondary required available pumps)
+    | _ -> None)
+
 type t = {
   primary : Primary.t;
   propagator : Propagation.t;
   slots : slot array;
   sessions : Session.t;
+  clock : Session.clock;
   history : History.t;
   schema : (string * string list) list;
   obs : Lsr_obs.Obs.t;
@@ -52,6 +70,7 @@ let create ?(secondaries = 1) ?(schema = []) ?faults
     propagator = Propagation.create ~from:0 ~obs ~lineage (Primary.wal primary);
     slots = Array.init secondaries (make_slot ~obs ~lineage ?faults);
     sessions = Session.create guarantee;
+    clock = Session.clock_create ();
     history = History.create ();
     schema;
     obs;
@@ -77,6 +96,12 @@ let secondary t i = (slot t i).site
 let secondary_db t i = Secondary.db (slot t i).site
 let sessions t = t.sessions
 let history t = t.history
+
+(* The embedded system has no virtual time; the history event counter is its
+   commit clock's time axis, so [Max_age] fences are measured in "events
+   ago". *)
+let commit_clock t = t.clock
+let clock_now t = float_of_int (History.now t.history)
 
 let connect t ?secondary label =
   let secondary =
@@ -187,6 +212,7 @@ let update t client ?force_abort body =
            { commit_ts; updates = List.length writes });
     Session.note_update_commit t.sessions ~label:client.label ~commit_ts;
     let finished = History.tick t.history in
+    Session.clock_note t.clock ~commit_ts ~at:(float_of_int finished);
     let reads =
       match !handle_ref with Some h -> Handle.reads h | None -> []
     in
@@ -202,6 +228,7 @@ let update t client ?force_abort body =
         commit_ts = Some commit_ts;
         reads;
         writes;
+        fence = None;
       };
     Ok value
   | Primary.Aborted reason ->
@@ -222,21 +249,23 @@ let update t client ?force_abort body =
         commit_ts = None;
         reads;
         writes = [];
+        fence = None;
       };
     Error reason
 
-let run_read t client body =
+let run_read ?fence t client body =
   let s = slot t client.secondary in
   if s.crashed then
     failwith (Printf.sprintf "secondary %d is down" client.secondary);
   Lsr_obs.Obs.incr t.c_reads;
   let db = Secondary.db s.site in
+  let read_at = clock_now t in
   let first_op = History.tick t.history in
   let snapshot = Secondary.seq_dbsec s.site in
   if Lsr_obs.Lineage.enabled t.lineage then
     Lsr_obs.Lineage.sample_read t.lineage
       ~site:(Secondary.name s.site) ~snapshot;
-  Session.note_read t.sessions ~label:client.label ~snapshot;
+  Session.note_read ?fence t.sessions ~label:client.label ~snapshot;
   let txn = Mvcc.begin_txn db in
   let h = Handle.make ~schema:t.schema db txn in
   let value = body h in
@@ -254,31 +283,68 @@ let run_read t client body =
       commit_ts = None;
       reads = Handle.reads h;
       writes = [];
+      fence = Option.map (fun claim -> { History.claim; read_at }) fence;
     };
   value
 
-let session_condition t client =
-  let s = slot t client.secondary in
-  Session.may_read t.sessions ~label:client.label
-    ~seq_dbsec:(Secondary.seq_dbsec s.site)
+(* The seq(DBsec) threshold this read needs. A [Max_age] fence resolves its
+   visibility horizon here, once — the Minnal per-statement horizon [B] —
+   so retrying the same read keeps the same target. *)
+let required_for ?fence t client =
+  Session.required_seq ?fence ~clock:t.clock ~now:(clock_now t) t.sessions
+    ~label:client.label
 
-let read t client body =
-  if (slot t client.secondary).crashed then
+let session_condition ?fence t client =
+  let s = slot t client.secondary in
+  Timestamp.compare (required_for ?fence t client)
+    (Secondary.seq_dbsec s.site)
+  <= 0
+
+(* Bound on pump rounds in a blocked read. Each pump drives the fault
+   channels to quiescence, so commits already in the primary log arrive in
+   one round; the bound exists for fences demanding a commit that does not
+   exist yet ([Exact] in the future), where no amount of pumping helps. *)
+let max_read_pumps = 4
+
+let read ?fence t client body =
+  let s = slot t client.secondary in
+  if s.crashed then
     failwith (Printf.sprintf "secondary %d is down" client.secondary);
-  if not (session_condition t client) then begin
+  let required = required_for ?fence t client in
+  let satisfied () =
+    Timestamp.compare required (Secondary.seq_dbsec s.site) <= 0
+  in
+  if not (satisfied ()) then begin
     t.blocked_reads <- t.blocked_reads + 1;
     (* Waiting for lazy replication to catch up: in the embedded system this
-       means driving propagation and refresh ourselves. One pump must
-       suffice — seq(c) only ever holds timestamps of commits already in the
-       primary log. *)
-    pump t;
-    if not (session_condition t client) then
-      failwith "System.read: session condition unsatisfiable after pump"
+       means driving propagation and refresh ourselves. With a lossy channel
+       a single propagate-and-refresh round is not guaranteed to deliver
+       everything, so retry up to the bound and raise a typed error — not a
+       bare [failwith] — only once the bound is exhausted. *)
+    let pumps = ref 0 in
+    while (not (satisfied ())) && !pumps < max_read_pumps do
+      incr pumps;
+      pump t
+    done;
+    if not (satisfied ()) then
+      raise
+        (Unsatisfiable_read
+           {
+             secondary = client.secondary;
+             required;
+             available = Secondary.seq_dbsec s.site;
+             pumps = !pumps;
+           })
   end;
-  run_read t client body
+  run_read ?fence t client body
 
-let read_nowait t client body =
-  if session_condition t client then Some (run_read t client body) else None
+let read_nowait ?fence t client body =
+  (* A crashed target is "cannot serve this read now" — the [None] case of
+     the contract, not an exception from inside [run_read]. *)
+  if (slot t client.secondary).crashed then None
+  else if session_condition ?fence t client then
+    Some (run_read ?fence t client body)
+  else None
 
 (* --- Failures -------------------------------------------------------------- *)
 
@@ -347,8 +413,9 @@ let check t =
           then add_error "recovered secondary %d diverges from primary" i
         end)
     t.slots;
-  let report = Checker.analyze t.history in
+  let report = Checker.analyze ~clock:t.clock t.history in
   List.iter (fun v -> add_error "weak SI violation: %s" v) report.weak_si_violations;
+  List.iter (fun v -> add_error "%s" v) report.fence_violations;
   if not (Checker.satisfies (guarantee t) report) then begin
     let offending =
       match guarantee t with

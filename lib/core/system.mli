@@ -18,6 +18,17 @@ open Lsr_storage
 
 type t
 
+(** Raised by {!read} when the read's required freshness threshold is still
+    unreachable after the bounded pump-retry loop — e.g. an [Exact] fence
+    naming a commit that does not exist yet. [available] is the target
+    secondary's [seq(DBsec)] at the last attempt. *)
+exception Unsatisfiable_read of {
+  secondary : int;
+  required : Timestamp.t;
+  available : Timestamp.t;
+  pumps : int;
+}
+
 (** A client session: a label and the secondary it is connected to. *)
 type client
 
@@ -68,6 +79,11 @@ val secondary_db : t -> int -> Mvcc.t
 val sessions : t -> Session.t
 val history : t -> History.t
 
+(** The primary's commit clock. The embedded system has no virtual time, so
+    its time axis is the {!History} event counter: a [Max_age d] fence means
+    "at most [d] history events stale". *)
+val commit_clock : t -> Session.clock
+
 (** [connect t label] opens a client session. Clients are assigned to
     secondaries round-robin unless [secondary] is given. A fresh [label]
     starts a fresh session (ordering constraints never span labels). *)
@@ -100,12 +116,23 @@ val update :
     [seq(c) <= seq(DBsec)] does not hold, the read {e waits} — which in the
     embedded system means forcing propagation and refresh until the copy
     catches up (equivalent to the client waiting for lazy replication).
-    Never waits under [Weak]. *)
-val read : t -> client -> (Handle.t -> 'a) -> 'a
+    Never waits under [Weak] (without a fence).
+
+    [fence], when given, additionally requires the snapshot to satisfy the
+    {!Session.fence}: the effective threshold is the [max] of the guarantee's
+    and the fence's. A [Max_age] fence resolves its visibility horizon once,
+    when the read is submitted. The fence is recorded in the history so
+    {!Checker.check_fences} can audit it after the run.
+    @raise Unsatisfiable_read when the threshold is still unreachable after
+    a bounded number of pump rounds. *)
+val read : ?fence:Session.fence -> t -> client -> (Handle.t -> 'a) -> 'a
 
 (** [read_nowait t c body] is [read] but returns [None] instead of waiting
-    when the session condition does not hold. *)
-val read_nowait : t -> client -> (Handle.t -> 'a) -> 'a option
+    when the freshness threshold is not met — or when the target secondary
+    is crashed (a crashed site cannot serve the read {e now}; it does not
+    raise). *)
+val read_nowait :
+  ?fence:Session.fence -> t -> client -> (Handle.t -> 'a) -> 'a option
 
 (** {2 Replication control (lazy!)} *)
 

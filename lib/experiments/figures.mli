@@ -84,6 +84,14 @@ val fig_staleness : run_opts -> figure
     the system approaches its throughput knee. *)
 val fig_utilization : run_opts -> figure
 
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): the staleness/latency tradeoff of bounded-staleness
+    read fences. Every read carries a [Max_age d] fence under ALG-WEAK-SI and
+    the sweep tightens [d] across at least four settings (plus an unfenced
+    baseline, plotted one decade looser than the loosest bound); series are
+    read response time p50/p95 and p95 observed snapshot age. *)
+val fig_fence : run_opts -> figure
+
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)
 val ablate_propagation : run_opts -> figure

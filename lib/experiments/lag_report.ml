@@ -31,19 +31,25 @@ let row_of_site lineage site =
     fresh;
   List.iter (Histogram.record lag_hist) lags;
   let reads = List.length fresh in
+  let refreshes = List.length lags in
+  (* A site with no samples gets explicit zero quantiles, never a quantile of
+     an empty histogram: the row must stay finite on its own (the table
+     renders "-" for the empty sections, and the JSON must stay null-free
+     without relying on downstream clamping). *)
+  let quantile hist n q = if n = 0 then 0. else q hist in
   {
     site;
     reads;
-    age_p50 = Histogram.median age_hist;
-    age_p95 = Histogram.p95 age_hist;
-    age_p99 = Histogram.p99 age_hist;
+    age_p50 = quantile age_hist reads Histogram.median;
+    age_p95 = quantile age_hist reads Histogram.p95;
+    age_p99 = quantile age_hist reads Histogram.p99;
     missed_mean =
       (if reads = 0 then 0. else float_of_int !missed_sum /. float_of_int reads);
     missed_max = !missed_max;
-    refreshes = List.length lags;
-    lag_p50 = Histogram.median lag_hist;
-    lag_p95 = Histogram.p95 lag_hist;
-    lag_p99 = Histogram.p99 lag_hist;
+    refreshes;
+    lag_p50 = quantile lag_hist refreshes Histogram.median;
+    lag_p95 = quantile lag_hist refreshes Histogram.p95;
+    lag_p99 = quantile lag_hist refreshes Histogram.p99;
   }
 
 let of_lineage lineage =
@@ -56,38 +62,44 @@ let header =
   ]
 
 let render rows =
+  (* Sections with no samples render "-" rather than a misleading 0.00: an
+     empty-site row is explicit in the table. *)
+  let cell n f = if n = 0 then "-" else Table_fmt.float_cell f in
   let cells r =
     [
       r.site;
       string_of_int r.reads;
-      Table_fmt.float_cell r.age_p50;
-      Table_fmt.float_cell r.age_p95;
-      Table_fmt.float_cell r.age_p99;
-      Table_fmt.float_cell r.missed_mean;
+      cell r.reads r.age_p50;
+      cell r.reads r.age_p95;
+      cell r.reads r.age_p99;
+      cell r.reads r.missed_mean;
       string_of_int r.missed_max;
       string_of_int r.refreshes;
-      Table_fmt.float_cell r.lag_p50;
-      Table_fmt.float_cell r.lag_p95;
-      Table_fmt.float_cell r.lag_p99;
+      cell r.refreshes r.lag_p50;
+      cell r.refreshes r.lag_p95;
+      cell r.refreshes r.lag_p99;
     ]
   in
   Table_fmt.render ~header (List.map cells rows)
 
 let to_json rows =
+  (* [Json.number] prints non-finite floats as [null]; clamp here so the lag
+     report is null-free by construction (consumers index it numerically). *)
+  let num f = Json.Num (if Float.is_finite f then f else 0.) in
   let row_json r =
     Json.Obj
       [
         ("site", Json.Str r.site);
-        ("reads", Json.Num (float_of_int r.reads));
-        ("age_p50", Json.Num r.age_p50);
-        ("age_p95", Json.Num r.age_p95);
-        ("age_p99", Json.Num r.age_p99);
-        ("missed_mean", Json.Num r.missed_mean);
-        ("missed_max", Json.Num (float_of_int r.missed_max));
-        ("refreshes", Json.Num (float_of_int r.refreshes));
-        ("lag_p50", Json.Num r.lag_p50);
-        ("lag_p95", Json.Num r.lag_p95);
-        ("lag_p99", Json.Num r.lag_p99);
+        ("reads", num (float_of_int r.reads));
+        ("age_p50", num r.age_p50);
+        ("age_p95", num r.age_p95);
+        ("age_p99", num r.age_p99);
+        ("missed_mean", num r.missed_mean);
+        ("missed_max", num (float_of_int r.missed_max));
+        ("refreshes", num (float_of_int r.refreshes));
+        ("lag_p50", num r.lag_p50);
+        ("lag_p95", num r.lag_p95);
+        ("lag_p99", num r.lag_p99);
       ]
   in
   Json.Obj [ ("sites", Json.Arr (List.map row_json rows)) ]

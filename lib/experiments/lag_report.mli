@@ -13,7 +13,13 @@
 
     Rows come out sorted by site name and all floats use the canonical
     {!Lsr_obs.Json.number} form, so the report is byte-identical across
-    same-seed runs ([bench --lag-report]). *)
+    same-seed runs ([bench --lag-report]).
+
+    A site with no samples in a section (zero reads, or zero refreshes) gets
+    explicit zero quantiles for that section — never the quantile of an
+    empty histogram — and the table renders "-" for those cells. The JSON is
+    null-free by construction: every numeric field is clamped finite before
+    serialization. *)
 
 type row = {
   site : string;

@@ -1,5 +1,5 @@
 (** The per-PR performance trajectory bench behind [bench perf] and the
-    committed [BENCH_6.json] (see ROADMAP.md for the trajectory commitment).
+    committed [BENCH_7.json] (see ROADMAP.md for the trajectory commitment).
 
     Three deterministic runs of the simulated system, all with a tiny
     per-operation service time so the sites stay far from saturation (the

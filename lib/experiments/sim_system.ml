@@ -10,6 +10,11 @@ type client_mode =
   | Closed_loop
   | Open_loop of { clients : int; arrival : arrival; session_pool : int }
 
+type fence_policy =
+  | No_fence
+  | All_reads of Session.fence
+  | Fence_mix of (float * Session.fence option) list
+
 type config = {
   params : Params.t;
   guarantee : Session.guarantee;
@@ -19,6 +24,7 @@ type config = {
   ship_aborted : bool;
   migrate_prob : float;
   client_mode : client_mode;
+  fence : fence_policy;
   faults : Lsr_faults.Channel.config option;
   fault_tick : float;
   obs : Obs.t;
@@ -36,6 +42,7 @@ let config params guarantee ~seed =
     ship_aborted = false;
     migrate_prob = 0.;
     client_mode = Closed_loop;
+    fence = No_fence;
     faults = None;
     fault_tick = 1.0;
     obs = Obs.null;
@@ -72,6 +79,7 @@ type outcome = {
   throughput_fast : float;
   read_rt_mean : float;
   update_rt_mean : float;
+  read_rt_p50 : float;
   read_rt_p95 : float;
   update_rt_p95 : float;
   reads_completed : int;
@@ -79,6 +87,7 @@ type outcome = {
   aborts : int;
   fcw_aborts : int;
   blocked_reads : int;
+  fenced_reads : int;
   block_wait_mean : float;
   refresh_staleness_mean : float;
   refresh_commits : int;
@@ -166,6 +175,10 @@ type state = {
      outcome reports freshness whether or not a lineage sink is attached). *)
   commit_ord : (Timestamp.t, int) Hashtbl.t;
   mutable commit_count : int;
+  (* Primary commit clock (commit ts -> virtual time): resolves [Max_age]
+     fence horizons and replays them in the checker's fence audit. *)
+  clock : Session.clock;
+  mutable fenced_reads : int;
   jitter_rng : Rng.t;
   mutable label_counter : int;
 }
@@ -176,7 +189,14 @@ let make_site cfg eng fault_rng index =
   let session_cond = Seqcond.create () in
   let site_name = Printf.sprintf "secondary-%d" index in
   let sec =
-    Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage ()
+    (* The refresher wakes fenced/session-blocked readers as it commits:
+       each refresh commit advances the site's threshold queue to the new
+       seq(DBsec) from inside the applicator step, so readers parked on a
+       required seq are released by exactly the commit that satisfies
+       them. *)
+    Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage
+      ~on_refresh_commit:(fun ts -> Seqcond.advance session_cond ts)
+      ()
   in
   let chan =
     Option.map
@@ -296,8 +316,9 @@ let run_applicator st site app =
       in
       Metrics.note_refresh st.metrics ~now ~staleness;
       Obs.observe st.ins.h_staleness staleness;
-      Condition.signal site.pending_cond;
-      Seqcond.advance site.session_cond (Secondary.seq_dbsec site.sec)
+      (* seq(DBsec) and the site's threshold queue already advanced inside
+         [applicator_step] (the [on_refresh_commit] hook). *)
+      Condition.signal site.pending_cond
     | Secondary.Done -> ()
   in
   go ()
@@ -373,6 +394,7 @@ let execute_update st rng label spec =
       match Mvcc.commit pdb txn with
       | Mvcc.Committed commit_ts ->
         Hashtbl.replace st.commit_times commit_ts (Engine.now st.eng);
+        Session.clock_note st.clock ~commit_ts ~at:(Engine.now st.eng);
         st.commit_count <- st.commit_count + 1;
         Hashtbl.replace st.commit_ord commit_ts st.commit_count;
         if Lsr_obs.Lineage.enabled st.cfg.lineage then
@@ -393,6 +415,7 @@ let execute_update st rng label spec =
               commit_ts = Some commit_ts;
               reads = List.rev !reads;
               writes;
+              fence = None;
             }
       | Mvcc.Aborted (Mvcc.Write_conflict _) ->
         (* A real conflict under the first-committer-wins rule (key skew);
@@ -408,11 +431,38 @@ let execute_update st rng label spec =
   in
   attempt ()
 
-let execute_read st site label spec =
+let execute_read ?fence st site label spec =
   let p = st.cfg.params in
   let sdb = Secondary.db site.sec in
+  (* An [Exact] or [Max_age] fence resolves its threshold once, at
+     submission (the Minnal per-statement horizon B): blocking does not move
+     the target. A [Session_seq] fence stays live, like the guarantee's own
+     threshold — it must reduce exactly to the strong-session requirement,
+     and under a shared session label (open-loop pool) the session floor can
+     rise while this read waits; the audit holds the read to the floor at
+     its first operation, which is where the threshold queue re-evaluates
+     last (no yield between wake and first_op). *)
+  let read_at = Engine.now st.eng in
+  let fence_b =
+    match fence with
+    | None -> fun () -> Timestamp.zero
+    | Some f ->
+      st.fenced_reads <- st.fenced_reads + 1;
+      (match f with
+      | Session.Session_seq ->
+        fun () -> Session.fence_threshold st.sessions ~label Session.Session_seq
+      | Session.Exact _ | Session.Max_age _ ->
+        let b =
+          Session.fence_threshold st.sessions ~clock:st.clock ~now:read_at
+            ~label f
+        in
+        fun () -> b)
+  in
+  let required () =
+    max (Session.required_seq st.sessions ~label) (fence_b ())
+  in
   let may_read () =
-    Session.may_read st.sessions ~label ~seq_dbsec:(Secondary.seq_dbsec site.sec)
+    Timestamp.compare (required ()) (Secondary.seq_dbsec site.sec) <= 0
   in
   if not (may_read ()) then begin
     let wait_start = Engine.now st.eng in
@@ -420,8 +470,7 @@ let execute_read st site label spec =
       Obs.begin_span st.cfg.obs ~track:site.trk_clients ~name:"session-block"
         ~now:wait_start
     in
-    Seqcond.await site.session_cond ~threshold:(fun () ->
-        Session.required_seq st.sessions ~label);
+    Seqcond.await site.session_cond ~threshold:required;
     let now = Engine.now st.eng in
     Obs.end_span st.cfg.obs sp ~now;
     Obs.incr st.ins.c_blocked_reads;
@@ -452,7 +501,7 @@ let execute_read st site label spec =
   Obs.observe st.ins.h_read_missed (float_of_int missed);
   if Lsr_obs.Lineage.enabled st.cfg.lineage then
     Lsr_obs.Lineage.sample_read st.cfg.lineage ~site:site.site_name ~snapshot;
-  Session.note_read st.sessions ~label ~snapshot;
+  Session.note_read ?fence st.sessions ~label ~snapshot;
   let txn = Mvcc.begin_txn sdb in
   let reads = ref [] in
   List.iter
@@ -478,7 +527,31 @@ let execute_read st site label spec =
         commit_ts = None;
         reads = List.rev !reads;
         writes = [];
+        fence = Option.map (fun claim -> { History.claim; read_at }) fence;
       }
+
+(* The fence for one read, drawn from the run's fence policy. [All_reads]
+   draws nothing from the rng, so a run with [All_reads Session_seq] under
+   ALG-SI consumes the exact same random stream as the unfenced
+   ALG-STRONG-SESSION-SI run it must reproduce. [Fence_mix] draws once per
+   read: weighted classes, [None] entries modelling unfenced traffic. *)
+let draw_fence st rng =
+  match st.cfg.fence with
+  | No_fence -> None
+  | All_reads f -> Some f
+  | Fence_mix weighted ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. Float.max 0. w) 0. weighted in
+    if total <= 0. then None
+    else begin
+      let x = Rng.float rng *. total in
+      let rec pick acc = function
+        | [] -> None
+        | (w, f) :: rest ->
+          let acc = acc +. Float.max 0. w in
+          if x < acc then f else pick acc rest
+      in
+      pick 0. weighted
+    end
 
 (* Execute one generated transaction against the system and record its
    telemetry — the body shared by both client models. *)
@@ -500,7 +573,8 @@ let run_txn st site rng ~label spec =
       then st.sites.(Rng.uniform rng ~lo:0 ~hi:(Array.length st.sites - 1))
       else site
     in
-    execute_read st site label spec);
+    let fence = draw_fence st rng in
+    execute_read ?fence st site label spec);
   let now = Engine.now st.eng in
   Obs.end_span st.cfg.obs sp ~now;
   Obs.observe
@@ -695,6 +769,8 @@ let run cfg =
       commit_times = Hashtbl.create 4096;
       commit_ord = Hashtbl.create 4096;
       commit_count = 0;
+      clock = Session.clock_create ();
+      fenced_reads = 0;
       jitter_rng = Rng.create (cfg.seed lxor 0x5EED);
       label_counter = 0;
     }
@@ -733,10 +809,13 @@ let run cfg =
     if not cfg.record_history then []
     else begin
       let errors = ref [] in
-      let report = Checker.analyze st.history in
+      let report = Checker.analyze ~clock:st.clock st.history in
       List.iter
         (fun v -> errors := ("weak SI violation: " ^ v) :: !errors)
         report.Checker.weak_si_violations;
+      List.iter
+        (fun v -> errors := v :: !errors)
+        report.Checker.fence_violations;
       if not (Checker.satisfies cfg.guarantee report) then
         errors :=
           Printf.sprintf "guarantee %s violated"
@@ -777,6 +856,7 @@ let run cfg =
     throughput_fast = float_of_int (Metrics.fast_completions m) /. measured;
     read_rt_mean = Stat.mean (Metrics.read_rt m);
     update_rt_mean = Stat.mean (Metrics.update_rt m);
+    read_rt_p50 = Lsr_stats.Histogram.median (Metrics.read_rt_hist m);
     read_rt_p95 = Lsr_stats.Histogram.p95 (Metrics.read_rt_hist m);
     update_rt_p95 = Lsr_stats.Histogram.p95 (Metrics.update_rt_hist m);
     reads_completed = Stat.count (Metrics.read_rt m);
@@ -784,6 +864,7 @@ let run cfg =
     aborts = Metrics.aborts m;
     fcw_aborts = Metrics.fcw_aborts m;
     blocked_reads = Metrics.blocked_reads m;
+    fenced_reads = st.fenced_reads;
     block_wait_mean = Stat.mean (Metrics.block_wait m);
     refresh_staleness_mean = Stat.mean (Metrics.refresh_staleness m);
     refresh_commits = Metrics.refresh_commits m;

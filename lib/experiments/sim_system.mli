@@ -35,6 +35,20 @@ type client_mode =
           from a rotating pool of [session_pool] slots ([<= 0] picks
           [min clients 4096]) *)
 
+(** Which freshness fence (if any) read-only transactions carry; applies
+    identically under both client modes (the fence is attached per read in
+    the shared transaction body). *)
+type fence_policy =
+  | No_fence
+  | All_reads of Session.fence
+      (** every read carries this fence. Draws nothing from the workload
+          rng, so [All_reads Session_seq] under [Session.Weak] replays the
+          exact random stream of an unfenced [Session.Strong_session] run *)
+  | Fence_mix of (float * Session.fence option) list
+      (** per-read weighted draw over fence classes ([None] = unfenced
+          traffic); weights need not sum to 1, non-positive weights are
+          ignored, an all-nonpositive mix degenerates to [No_fence] *)
+
 type config = {
   params : Params.t;
   guarantee : Session.guarantee;
@@ -58,6 +72,17 @@ type config = {
       (** how the client population is modeled; [Closed_loop] (the default)
           reproduces the paper, [Open_loop] scales to millions of modeled
           clients *)
+  fence : fence_policy;
+      (** freshness fences on read-only transactions ([No_fence] by
+          default). A fenced read blocks on the site's threshold queue until
+          seq(DBsec) reaches the [max] of its guarantee's and its fence's
+          requirement — the refresher wakes it from the commit that
+          satisfies it. [Exact] and [Max_age] resolve their threshold once,
+          at submission; [Session_seq] is re-evaluated while waiting (the
+          session floor can rise under a shared open-loop label), so it
+          reduces exactly to the strong-session requirement. With
+          [record_history] the fence is recorded per read and audited by
+          {!Lsr_core.Checker.check_fences} at the end. *)
   faults : Lsr_faults.Channel.config option;
       (** when set, each secondary receives propagated records through a
           fault-injection {!Lsr_faults.Channel} (loss / duplication / delay /
@@ -133,6 +158,7 @@ type outcome = {
           measured time — the y-axis of Figures 2, 5 and 8 *)
   read_rt_mean : float;  (** mean read-only response time (Figures 3, 6) *)
   update_rt_mean : float;  (** mean update response time (Figures 4, 7) *)
+  read_rt_p50 : float;  (** median read-only response time *)
   read_rt_p95 : float;  (** 95th-percentile read-only response time *)
   update_rt_p95 : float;
   reads_completed : int;
@@ -142,6 +168,9 @@ type outcome = {
       (** real write-write conflicts at the primary (nonzero under key
           skew); included in [aborts] *)
   blocked_reads : int;  (** read-only transactions that waited on seq(c) *)
+  fenced_reads : int;
+      (** read-only transactions that carried a freshness fence (whether or
+          not they had to wait) *)
   block_wait_mean : float;
   refresh_staleness_mean : float;
       (** seconds between an update's primary commit and its refresh commit *)

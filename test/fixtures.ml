@@ -33,6 +33,7 @@ let record_serial h db ~session ~template ~reads ~writes =
       commit_ts = Some cts;
       reads = observed;
       writes = pending;
+      fence = None;
     };
   (id, template)
 
@@ -74,6 +75,7 @@ let write_skew_history () =
         commit_ts = Some cts;
         reads;
         writes;
+        fence = None;
       };
     id
   in

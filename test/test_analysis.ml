@@ -234,6 +234,7 @@ let finish db h mapping (l : live) =
         commit_ts = None;
         reads;
         writes = [];
+        fence = None;
       };
     mapping := (id, l.template.Template.name) :: !mapping
   end
@@ -255,6 +256,7 @@ let finish db h mapping (l : live) =
           commit_ts = Some cts;
           reads;
           writes;
+          fence = None;
         };
       mapping := (id, l.template.Template.name) :: !mapping
 

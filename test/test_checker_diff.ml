@@ -103,6 +103,7 @@ let gen_history seed =
             commit_ts;
             reads;
             writes;
+            fence = None;
           })
       finish_order
   done;

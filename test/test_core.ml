@@ -615,6 +615,7 @@ let test_pretty_printers () =
       commit_ts = None;
       reads = [];
       writes = [];
+      fence = None;
     }
   in
   let txn_text = Format.asprintf "%a" History.pp_txn txn in
@@ -687,10 +688,96 @@ let test_session_guarantee_names () =
   Alcotest.(check string) "pcsi" "ALG-PCSI"
     (Session.guarantee_name Session.Prefix_consistent)
 
+(* --- Freshness fences --------------------------------------------------------------- *)
+
+let test_fence_string_round_trip () =
+  List.iter
+    (fun f ->
+      match Session.fence_of_string (Session.fence_to_string f) with
+      | Ok f' ->
+        Alcotest.(check string)
+          "round trip" (Session.fence_to_string f) (Session.fence_to_string f')
+      | Error e -> Alcotest.fail e)
+    [ Session.Exact 42; Session.Max_age 2.5; Session.Session_seq ];
+  List.iter
+    (fun s ->
+      match Session.fence_of_string s with
+      | Ok _ -> Alcotest.failf "parsed garbage fence %S" s
+      | Error _ -> ())
+    [ ""; "bogus"; "exact:"; "exact:x"; "age:"; "age:nope"; "sessions" ]
+
+let test_fence_clock_horizon () =
+  let c = Session.clock_create () in
+  check_int "empty clock has zero horizon" Timestamp.zero
+    (Session.clock_horizon c ~cutoff:1e9);
+  Session.clock_note c ~commit_ts:1 ~at:10.;
+  Session.clock_note c ~commit_ts:2 ~at:20.;
+  Session.clock_note c ~commit_ts:5 ~at:20.;
+  Session.clock_note c ~commit_ts:7 ~at:35.;
+  check_int "entries tracked" 4 (Session.clock_len c);
+  check_int "before first commit" Timestamp.zero
+    (Session.clock_horizon c ~cutoff:9.);
+  check_int "exactly at a commit" 1 (Session.clock_horizon c ~cutoff:10.);
+  check_int "ties resolve to the newest" 5 (Session.clock_horizon c ~cutoff:20.);
+  check_int "between commits" 5 (Session.clock_horizon c ~cutoff:34.9);
+  check_int "after the last commit" 7 (Session.clock_horizon c ~cutoff:1e6);
+  (match Session.clock_time_of c 5 with
+  | Some t -> Alcotest.(check (float 1e-9)) "time of ts 5" 20. t
+  | None -> Alcotest.fail "ts 5 should be in the clock");
+  check_bool "unknown ts has no time" true (Session.clock_time_of c 3 = None);
+  (* The clock is append-only and monotone in both coordinates. *)
+  check_bool "non-monotone ts rejected" true
+    (try
+       Session.clock_note c ~commit_ts:6 ~at:40.;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "non-monotone time rejected" true
+    (try
+       Session.clock_note c ~commit_ts:9 ~at:30.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_fence_raises_weak_floor () =
+  (* A fence is additive to the ambient guarantee: under Weak, required_seq
+     is the fence's threshold alone; a Session_seq fence reduces exactly to
+     the strong-session requirement. *)
+  let mgr = Session.create Session.Weak in
+  Session.note_update_commit mgr ~label:"c" ~commit_ts:10;
+  check_int "weak alone requires nothing" Timestamp.zero
+    (Session.required_seq mgr ~label:"c");
+  check_int "exact fence requires its ts" 17
+    (Session.required_seq ~fence:(Session.Exact 17) mgr ~label:"c");
+  check_int "session fence = strong-session requirement" 10
+    (Session.required_seq ~fence:Session.Session_seq mgr ~label:"c");
+  check_bool "fenced read blocked on stale copy" false
+    (Session.may_read ~fence:Session.Session_seq mgr ~label:"c" ~seq_dbsec:5);
+  (* A Session_seq-fenced read raises the session's read floor even under
+     Weak, so later Session_seq reads never move backwards. *)
+  Session.note_read ~fence:Session.Session_seq mgr ~label:"c" ~snapshot:12;
+  check_int "session fence floor ratchets" 12
+    (Session.required_seq ~fence:Session.Session_seq mgr ~label:"c");
+  check_int "guarantee alone still requires nothing" Timestamp.zero
+    (Session.required_seq mgr ~label:"c")
+
+let test_fence_max_age_threshold () =
+  let mgr = Session.create Session.Weak in
+  let clock = Session.clock_create () in
+  Session.clock_note clock ~commit_ts:3 ~at:10.;
+  Session.clock_note clock ~commit_ts:8 ~at:50.;
+  check_int "horizon at now-5" 3
+    (Session.fence_threshold mgr ~clock ~now:40. ~label:"c" (Session.Max_age 5.));
+  check_int "tight bound reaches the newest commit" 8
+    (Session.fence_threshold mgr ~clock ~now:50. ~label:"c" (Session.Max_age 0.));
+  check_bool "Max_age without a clock is a programming error" true
+    (try
+       ignore (Session.fence_threshold mgr ~label:"c" (Session.Max_age 1.));
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Checker ------------------------------------------------------------------------ *)
 
 let mk_txn ~id ~session ~kind ~first_op ~finished ~snapshot ?commit_ts
-    ?(reads = []) ?(writes = []) () =
+    ?(reads = []) ?(writes = []) ?fence () =
   {
     History.id;
     session;
@@ -702,6 +789,7 @@ let mk_txn ~id ~session ~kind ~first_op ~finished ~snapshot ?commit_ts
     commit_ts;
     reads;
     writes;
+    fence;
   }
 
 let history_of txns =
@@ -755,6 +843,69 @@ let test_checker_read_read_inversion () =
   in
   check_int "backward snapshot is an inversion" 1
     (List.length (Checker.inversions ~same_session_only:true h))
+
+let test_checker_fence_audit () =
+  (* A mis-woken fenced reader — snapshot below what its fence promised —
+     must be caught by the audit even though the ambient guarantee (Weak)
+     tolerates arbitrary staleness. *)
+  let fenced claim read_at = { History.claim; read_at } in
+  let violating =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"w" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 ~commit_ts:5 ();
+        (* Exact fence at 5, but woken with a snapshot of 3. *)
+        mk_txn ~id:2 ~session:"r" ~kind:History.Read_only ~first_op:3
+          ~finished:4 ~snapshot:3
+          ~fence:(fenced (Session.Exact 5) 3.) ();
+        (* Session_seq fence: session "w" committed ts 5 before this read
+           started, so a snapshot of 2 breaks the session floor. *)
+        mk_txn ~id:3 ~session:"w" ~kind:History.Read_only ~first_op:5
+          ~finished:6 ~snapshot:2
+          ~fence:(fenced Session.Session_seq 5.) ();
+      ]
+  in
+  let violations = Checker.check_fences violating in
+  check_int "both mis-woken readers caught" 2 (List.length violations);
+  let report = Checker.analyze violating in
+  check_int "report carries the fence violations" 2
+    (List.length report.Checker.fence_violations);
+  check_bool "weak SI alone would have accepted the history" false
+    (Checker.satisfies Session.Weak report);
+  (* The same history with honest snapshots passes. *)
+  let clean =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"w" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 ~commit_ts:5 ();
+        mk_txn ~id:2 ~session:"r" ~kind:History.Read_only ~first_op:3
+          ~finished:4 ~snapshot:5
+          ~fence:(fenced (Session.Exact 5) 3.) ();
+        mk_txn ~id:3 ~session:"w" ~kind:History.Read_only ~first_op:5
+          ~finished:6 ~snapshot:5
+          ~fence:(fenced Session.Session_seq 5.) ();
+      ]
+  in
+  check_int "honest fenced reads pass the audit" 0
+    (List.length (Checker.check_fences clean));
+  (* A Max_age claim is auditable only with the commit clock; without one it
+     is reported, never silently skipped. *)
+  let aged =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"w" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0 ~commit_ts:5 ();
+        mk_txn ~id:2 ~session:"r" ~kind:History.Read_only ~first_op:3
+          ~finished:4 ~snapshot:0
+          ~fence:(fenced (Session.Max_age 1.) 10.) ();
+      ]
+  in
+  check_int "Max_age without a clock is itself a violation" 1
+    (List.length (Checker.check_fences aged));
+  let clock = Session.clock_create () in
+  Session.clock_note clock ~commit_ts:5 ~at:2.;
+  check_int "with the clock, the stale Max_age read is caught" 1
+    (List.length (Checker.check_fences ~clock aged))
 
 let test_checker_concurrent_txns_not_inverted () =
   (* Overlapping transactions impose no ordering constraint. *)
@@ -851,6 +1002,7 @@ let test_checker_satisfies () =
       inversions_all = [];
       inversions_in_session = [];
       inversions_after_update = [];
+      fence_violations = [];
     }
   in
   let dummy =
@@ -897,6 +1049,7 @@ let record_update h ~session ~reads ~writes db body =
         commit_ts = Some cts;
         reads = observed;
         writes = pending;
+        fence = None;
       }
   | Mvcc.Aborted _ -> Alcotest.fail "unexpected abort while recording"
 
@@ -941,6 +1094,7 @@ let test_write_skew_not_serializable () =
       commit_ts = Some c1;
       reads = r1;
       writes = w1;
+      fence = None;
     };
   History.add h
     {
@@ -954,6 +1108,7 @@ let test_write_skew_not_serializable () =
       commit_ts = Some c2;
       reads = r2;
       writes = w2;
+      fence = None;
     };
   check_bool "write skew breaks serializability" false (Checker.is_serializable h);
   match Checker.serialization_cycle h with
@@ -1105,6 +1260,7 @@ let prop_one_sr_serializable =
                 commit_ts = Some cts;
                 reads = observed;
                 writes = pending;
+                fence = None;
               }
           | Error _ -> ())
         specs;
@@ -1135,6 +1291,7 @@ let prop_inversions_match_bruteforce =
             commit_ts;
             reads = [];
             writes = [];
+            fence = None;
           })
         (pair (int_range 0 1000)
            (pair (int_range 0 2)
@@ -1412,6 +1569,86 @@ let test_system_read_nowait () =
   System.pump sys;
   check_bool "nowait succeeds after pump" true
     (System.read_nowait sys c (fun h -> Handle.get h "x") = Some (Some "1"))
+
+let test_system_read_nowait_crashed () =
+  (* A crashed secondary cannot serve the read now — read_nowait reports
+     None instead of raising, and serves again after recovery. *)
+  let sys = System.create ~secondaries:2 ~guarantee:Session.Weak () in
+  let c = System.connect sys ~secondary:0 "c" in
+  (match System.update sys c (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  System.pump sys;
+  check_bool "satisfiable read returns Some" true
+    (System.read_nowait sys c (fun h -> Handle.get h "x") = Some (Some "1"));
+  System.crash_secondary sys 0;
+  check_bool "crashed secondary returns None, not an exception" true
+    (System.read_nowait sys c (fun h -> Handle.get h "x") = None);
+  System.recover_secondary sys 0;
+  check_bool "serves again after recovery" true
+    (System.read_nowait sys c (fun h -> Handle.get h "x") = Some (Some "1"))
+
+let test_system_fenced_read_session_seq () =
+  (* A Session_seq fence under Weak gives that one read exactly the
+     strong-session treatment: it waits for the session's own update. *)
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "alice" in
+  (match System.update sys c (fun h -> Handle.put h "order" "placed") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  check_bool "unfenced weak read is stale" true
+    (System.read sys c (fun h -> Handle.get h "order") = None);
+  check_str_opt "session-fenced read sees own write"
+    (Some "placed")
+    (System.read ~fence:Session.Session_seq sys c (fun h -> Handle.get h "order"));
+  check_int "the fenced read had to wait" 1 (System.blocked_reads sys);
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_fenced_read_exact_and_max_age () =
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "c" in
+  (match System.update sys c (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let committed = Session.seq (System.sessions sys) "c" in
+  check_bool "the update advanced seq(c)" true
+    (Timestamp.compare committed Timestamp.zero > 0);
+  check_str_opt "exact fence forces the copy up to the commit" (Some "1")
+    (System.read ~fence:(Session.Exact committed) sys c (fun h ->
+         Handle.get h "x"));
+  (match System.update sys c (fun h -> Handle.put h "x" "2") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  (* Max_age 0: nothing older than "now" may be missing — the copy must
+     catch up to every commit already on the clock. *)
+  check_str_opt "age:0 fence observes the newest commit" (Some "2")
+    (System.read ~fence:(Session.Max_age 0.) sys c (fun h -> Handle.get h "x"));
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_system_fenced_read_future_unsatisfiable () =
+  (* An Exact fence naming a commit that does not exist cannot be satisfied
+     by any amount of pumping: the bounded retry loop must give up with the
+     typed error, not loop forever or fail with an opaque message. *)
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
+  let c = System.connect sys "c" in
+  (match System.update sys c (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let committed = Session.seq (System.sessions sys) "c" in
+  let future = committed + 1000 in
+  match System.read ~fence:(Session.Exact future) sys c (fun h -> Handle.get h "x") with
+  | _ -> Alcotest.fail "future fence should be unsatisfiable"
+  | exception System.Unsatisfiable_read { secondary; required; available; pumps } ->
+    check_int "failing site" 0 secondary;
+    check_int "required the future ts" future required;
+    check_int "available is the caught-up seq" committed available;
+    check_bool "retried a bounded number of times" true (pumps > 0)
 
 let test_system_forced_abort () =
   let sys = System.create ~secondaries:1 ~guarantee:Session.Weak () in
@@ -1748,6 +1985,14 @@ let () =
           Alcotest.test_case "pcsi blocks after update" `Quick
             test_session_pcsi_blocks_after_update;
           Alcotest.test_case "guarantee names" `Quick test_session_guarantee_names;
+          Alcotest.test_case "fence string round trip" `Quick
+            test_fence_string_round_trip;
+          Alcotest.test_case "fence commit-clock horizon" `Quick
+            test_fence_clock_horizon;
+          Alcotest.test_case "fence raises the weak floor" `Quick
+            test_fence_raises_weak_floor;
+          Alcotest.test_case "fence max-age threshold" `Quick
+            test_fence_max_age_threshold;
         ] );
       ( "checker",
         [
@@ -1768,6 +2013,7 @@ let () =
           Alcotest.test_case "secondary ahead" `Quick
             test_checker_completeness_secondary_ahead;
           Alcotest.test_case "satisfies matrix" `Quick test_checker_satisfies;
+          Alcotest.test_case "fence audit" `Quick test_checker_fence_audit;
         ]
         @ qsuite [ prop_inversions_match_bruteforce ] );
       ( "serializability",
@@ -1809,6 +2055,14 @@ let () =
           Alcotest.test_case "strong blocks cross-session" `Quick
             test_system_strong_blocks_cross_session;
           Alcotest.test_case "read_nowait" `Quick test_system_read_nowait;
+          Alcotest.test_case "read_nowait on a crashed site" `Quick
+            test_system_read_nowait_crashed;
+          Alcotest.test_case "fenced read: session_seq" `Quick
+            test_system_fenced_read_session_seq;
+          Alcotest.test_case "fenced read: exact and max-age" `Quick
+            test_system_fenced_read_exact_and_max_age;
+          Alcotest.test_case "fenced read: unsatisfiable future" `Quick
+            test_system_fenced_read_future_unsatisfiable;
           Alcotest.test_case "forced abort" `Quick test_system_forced_abort;
           Alcotest.test_case "fcw abort in log" `Quick test_system_fcw_abort_surfaces;
           Alcotest.test_case "multi-secondary consistency" `Quick

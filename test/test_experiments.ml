@@ -426,6 +426,48 @@ let test_lag_report_rows () =
         && r.Lag_report.missed_mean <= float_of_int r.Lag_report.missed_max))
     rows
 
+let test_lag_report_empty_site () =
+  (* A site that only ever read (zero refreshes) and one that only ever
+     refreshed (zero reads) must still produce finite rows: explicit zero
+     quantiles for the empty section, "-" cells in the table, and
+     null-free JSON. *)
+  let lineage = Lsr_obs.Lineage.create () in
+  Lsr_obs.Lineage.sample_read lineage ~site:"readersite" ~snapshot:0;
+  Lsr_obs.Lineage.emit lineage ~txn:1
+    (Lsr_obs.Lineage.Primary_commit { commit_ts = 1; updates = 1 });
+  Lsr_obs.Lineage.emit lineage ~site:"refreshsite" ~txn:1
+    (Lsr_obs.Lineage.Refresh_committed { commit_ts = 1 });
+  let rows = Lag_report.of_lineage lineage in
+  check_int "two rows" 2 (List.length rows);
+  let finite r =
+    List.for_all Float.is_finite
+      [
+        r.Lag_report.age_p50; r.Lag_report.age_p95; r.Lag_report.age_p99;
+        r.Lag_report.missed_mean; r.Lag_report.lag_p50; r.Lag_report.lag_p95;
+        r.Lag_report.lag_p99;
+      ]
+  in
+  List.iter (fun r -> check_bool "row finite" true (finite r)) rows;
+  let row site = List.find (fun r -> r.Lag_report.site = site) rows in
+  let ro = row "readersite" and rf = row "refreshsite" in
+  check_int "reader site has no refreshes" 0 ro.Lag_report.refreshes;
+  check_bool "empty lag section is zero" true
+    (ro.Lag_report.lag_p50 = 0. && ro.Lag_report.lag_p99 = 0.);
+  check_int "refresh-only site has no reads" 0 rf.Lag_report.reads;
+  check_bool "empty age section is zero" true
+    (rf.Lag_report.age_p50 = 0. && rf.Lag_report.age_p99 = 0.
+    && rf.Lag_report.missed_mean = 0.);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let table = Lag_report.render rows in
+  check_bool "empty sections render as explicit - cells" true
+    (contains table "-");
+  let json = Lag_report.json_string rows in
+  check_bool "json is null-free" true (not (contains json "null"))
+
 let test_sim_freshness_outcome () =
   (* The always-on freshness reduction lands in the outcome even without a
      lineage sink attached. *)
@@ -626,6 +668,33 @@ let test_figures_tiny_fig234 () =
     (last (series_by_label f3 "ALG-STRONG-SI")
     > last (series_by_label f3 "ALG-WEAK-SI"))
 
+let test_figures_tiny_fig_fence () =
+  (* The fence sweep must expose the staleness/latency tradeoff: tightening
+     the Max_age bound never lowers read latency, and the tightest setting
+     is strictly slower than unfenced (reads block on the threshold queue
+     until the horizon is applied). *)
+  let fig = Figures.fig_fence tiny_opts in
+  Alcotest.(check string) "id" "fig-fence" fig.Figures.id;
+  check_int "three series" 3 (List.length fig.Figures.series);
+  List.iter
+    (fun s ->
+      check_bool "at least four fence settings + baseline" true
+        (List.length s.Figures.points >= 5))
+    fig.Figures.series;
+  (* Points run loosest (unfenced baseline) to tightest. *)
+  let means label =
+    List.map
+      (fun (p : Figures.point) -> p.Figures.interval.Lsr_stats.Confidence.mean)
+      (series_by_label fig label).Figures.points
+  in
+  let p95s = means "read rt p95" in
+  let loosest = List.hd p95s and tightest = List.nth p95s (List.length p95s - 1) in
+  check_bool "tightest fence strictly slower than unfenced" true
+    (tightest > loosest);
+  let ages = means "snapshot age p95" in
+  check_bool "tightest fence observes no staler snapshots than unfenced" true
+    (List.nth ages (List.length ages - 1) <= List.hd ages)
+
 let test_figures_tiny_fig5_ideal_line () =
   let f5, _, _ = Figures.fig5_6_7 tiny_opts in
   check_int "ideal + three algorithms" 4 (List.length f5.Figures.series);
@@ -696,6 +765,8 @@ let () =
           Alcotest.test_case "lineage exports byte-deterministic" `Quick
             test_sim_lineage_exports_deterministic;
           Alcotest.test_case "lag report rows" `Quick test_lag_report_rows;
+          Alcotest.test_case "lag report empty site" `Quick
+            test_lag_report_empty_site;
           Alcotest.test_case "freshness in outcome" `Quick
             test_sim_freshness_outcome;
           Alcotest.test_case "monitor does not perturb" `Quick
@@ -718,5 +789,7 @@ let () =
           Alcotest.test_case "params_for" `Quick test_params_for;
           Alcotest.test_case "tiny fig2/3/4 sweep" `Slow test_figures_tiny_fig234;
           Alcotest.test_case "fig5 ideal line" `Slow test_figures_tiny_fig5_ideal_line;
+          Alcotest.test_case "fig-fence tradeoff" `Slow
+            test_figures_tiny_fig_fence;
         ] );
     ]

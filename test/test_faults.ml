@@ -215,6 +215,43 @@ let test_system_pump_under_chaos () =
       = Mvcc.committed_state (System.primary_db sys))
   done
 
+(* Regression: a strong-session read through a lossy channel must keep
+   pumping (bounded retry) until the copy catches up, instead of failing
+   after one round. Chaos drops and reorders aggressively, so a single
+   propagate+refresh pass routinely leaves the required commit in flight. *)
+let test_system_blocked_read_under_chaos () =
+  let inj = Injector.create ~config:Channel.chaos ~seed:77 () in
+  let sys =
+    System.create ~secondaries:2 ~faults:(Injector.faults inj)
+      ~guarantee:Session.Strong_session ()
+  in
+  let c = System.connect sys ~secondary:0 "reader" in
+  for i = 1 to 10 do
+    (match
+       System.update sys c (fun h -> Handle.put h "k" (string_of_int i))
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unexpected abort");
+    (* The session read must wait out the lossy channel and see the write
+       it just committed — never an error, never a stale value. *)
+    Alcotest.(check (option string))
+      (Printf.sprintf "read-your-writes through chaos, round %d" i)
+      (Some (string_of_int i))
+      (System.read sys c (fun h -> Handle.get h "k"))
+  done;
+  (* Same path with an explicit fence to the newest commit. *)
+  let newest = Session.seq (System.sessions sys) "reader" in
+  Alcotest.(check (option string))
+    "exact-fenced read through chaos" (Some "10")
+    (System.read ~fence:(Session.Exact newest) sys c (fun h -> Handle.get h "k"));
+  check_bool "reads actually blocked" true (System.blocked_reads sys > 0);
+  check_bool "faults were injected, not disabled" true
+    ((Injector.total inj).Channel.dropped > 0);
+  System.pump sys;
+  match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "check failed: %s" (String.concat "; " es)
+
 (* Crash a secondary mid-refresh — its refresher has consumed a start record
    whose commit is still in the channel — then recover and prove the system
    heals. *)
@@ -502,6 +539,8 @@ let () =
         [
           Alcotest.test_case "pump under chaos" `Quick
             test_system_pump_under_chaos;
+          Alcotest.test_case "blocked read under chaos" `Quick
+            test_system_blocked_read_under_chaos;
           Alcotest.test_case "crash mid-refresh recovers" `Quick
             test_system_crash_mid_refresh_recovers;
         ] );

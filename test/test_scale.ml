@@ -1,7 +1,8 @@
 (* The open-loop aggregated client model (PR 6): statistical equivalence
    against the paper's closed-loop model at matched offered load, arrival-
    process sanity, bitwise determinism, a hundred-thousand-client run with
-   the full checker battery, and the BENCH_6.json schema contract. *)
+   the full checker battery, the BENCH_7.json schema contract, and the
+   Session_seq fence / strong-session-SI equivalence (PR 7). *)
 
 open Lsr_core
 open Lsr_experiments
@@ -101,6 +102,64 @@ let test_equivalence () =
         (metric (fun o -> o.Sim_system.read_age_mean) opened))
     guarantees
 
+let scrub (o : Sim_system.outcome) =
+  (* checker_cpu_s is wall CPU — the only nondeterministic outcome field. *)
+  { o with Sim_system.checker_cpu_s = 0. }
+
+let test_fence_session_equivalence () =
+  (* A Session_seq fence on every read under ALG-WEAK-SI must reduce exactly
+     to ALG-STRONG-SESSION-SI: the fence policy draws nothing from the
+     workload rng, so per seed the two configurations replay the same random
+     stream, every read blocks on the same threshold, and the checker
+     returns identical verdicts. Closed-loop trajectories are bitwise
+     identical; the open-loop comparison is statistical (a rotating session
+     label can gain commits while a read waits, and the fence resolves its
+     threshold once at submission). *)
+  let fenced_cfg ~seed mode =
+    {
+      (eq_config Session.Weak ~seed mode) with
+      Sim_system.fence = Sim_system.All_reads Session.Session_seq;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let plain =
+        Sim_system.run
+          (eq_config Session.Strong_session ~seed Sim_system.Closed_loop)
+      in
+      let fenced = Sim_system.run (fenced_cfg ~seed Sim_system.Closed_loop) in
+      Alcotest.(check (list string))
+        "checker verdicts identical" plain.Sim_system.check_errors
+        fenced.Sim_system.check_errors;
+      check_bool "every read carried the fence" true
+        (fenced.Sim_system.fenced_reads >= fenced.Sim_system.reads_completed);
+      check_bool "the fenced run earned its verdict (reads blocked)" true
+        (fenced.Sim_system.blocked_reads = plain.Sim_system.blocked_reads);
+      let norm o = scrub { o with Sim_system.fenced_reads = 0 } in
+      check_bool "closed-loop trajectories bitwise identical" true
+        (norm plain = norm fenced))
+    [ 100; 101; 102 ];
+  let plain = replicate Session.Strong_session open_mode in
+  let fenced =
+    List.init 5 (fun i -> Sim_system.run (fenced_cfg ~seed:(100 + i) open_mode))
+  in
+  List.iter
+    (fun (o : Sim_system.outcome) ->
+      Alcotest.(check (list string))
+        "open-loop fenced run passes the checker (incl. fence audit)" []
+        o.Sim_system.check_errors)
+    fenced;
+  let metric f l = List.map f l in
+  compatible "fence≡session: throughput"
+    (metric (fun o -> o.Sim_system.throughput_fast) plain)
+    (metric (fun o -> o.Sim_system.throughput_fast) fenced);
+  compatible "fence≡session: read rt"
+    (metric (fun o -> o.Sim_system.read_rt_mean) plain)
+    (metric (fun o -> o.Sim_system.read_rt_mean) fenced);
+  compatible "fence≡session: blocked reads"
+    (metric (fun o -> float_of_int o.Sim_system.blocked_reads) plain)
+    (metric (fun o -> float_of_int o.Sim_system.blocked_reads) fenced)
+
 let test_mmpp_sanity () =
   (* The MMPP keeps the long-run mean rate: a bursty run completes a
      transaction count comparable to the Poisson run's, and the burstiness
@@ -124,10 +183,6 @@ let test_mmpp_sanity () =
     true
     (ratio > 0.6 && ratio < 1.4)
 
-let scrub (o : Sim_system.outcome) =
-  (* checker_cpu_s is wall CPU — the only nondeterministic outcome field. *)
-  { o with Sim_system.checker_cpu_s = 0. }
-
 let test_determinism () =
   let run seed = Sim_system.run (eq_config Session.Strong_session ~seed open_mode) in
   check_bool "same seed, identical outcome" true (scrub (run 5) = scrub (run 5));
@@ -135,9 +190,9 @@ let test_determinism () =
     (scrub (run 5) <> scrub (run 6))
 
 let test_hundred_thousand_clients () =
-  (* A runtest-sized version of the BENCH_6 showcase: 100k modeled clients
-     across two sites, history recording on, full checker battery at the
-     end. The committed BENCH_6.json covers the 10^6 point. *)
+  (* A runtest-sized version of the perf-bench showcase: 100k modeled
+     clients across two sites, history recording on, full checker battery
+     at the end. The committed BENCH_7.json covers the 10^6 point. *)
   let params =
     {
       Params.default with
@@ -170,7 +225,7 @@ let test_hundred_thousand_clients () =
     true (txns > 10_000);
   check_bool "checker really ran" true (o.Sim_system.checker_cpu_s >= 0.)
 
-(* --- BENCH_6.json schema ----------------------------------------------------- *)
+(* --- BENCH_7.json schema ----------------------------------------------------- *)
 
 let synthetic_phase label =
   {
@@ -232,18 +287,18 @@ let test_committed_bench_report () =
   (* Under `dune runtest` the cwd is _build/default/test; under a direct
      `dune exec` it is the project root. *)
   let file =
-    if Sys.file_exists "../BENCH_6.json" then "../BENCH_6.json"
-    else "BENCH_6.json"
+    if Sys.file_exists "../BENCH_7.json" then "../BENCH_7.json"
+    else "BENCH_7.json"
   in
   let text = In_channel.with_open_bin file In_channel.input_all in
   let j =
     match Json.parse text with
     | Ok j -> j
-    | Error e -> Alcotest.failf "BENCH_6.json is invalid JSON: %s" e
+    | Error e -> Alcotest.failf "BENCH_7.json is invalid JSON: %s" e
   in
   (match Perf_bench.validate j with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "BENCH_6.json fails the schema: %s" e);
+  | Error e -> Alcotest.failf "BENCH_7.json fails the schema: %s" e);
   let num path =
     match Json.member path j with
     | Some (Json.Num f) -> f
@@ -272,6 +327,8 @@ let () =
         [
           Alcotest.test_case "open vs closed loop, all guarantees" `Slow
             test_equivalence;
+          Alcotest.test_case "session fence ≡ strong-session SI" `Slow
+            test_fence_session_equivalence;
           Alcotest.test_case "mmpp sanity" `Quick test_mmpp_sanity;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
@@ -284,7 +341,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_bench_schema_roundtrip;
           Alcotest.test_case "rejects bad reports" `Quick test_bench_schema_rejects;
-          Alcotest.test_case "committed BENCH_6.json" `Quick
+          Alcotest.test_case "committed BENCH_7.json" `Quick
             test_committed_bench_report;
         ] );
     ]
