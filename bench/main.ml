@@ -216,24 +216,66 @@ let run_analysis ~csv =
         "needs"; "verdict";
       ]
     rows;
+  (* The planner's summary over the same workloads: what the mixed
+     per-template assignment costs vs pricing everything at the uniform
+     weakest-safe guarantee, and how the 2-shard partition routes updates. *)
+  let plans =
+    List.map
+      (fun (name, templates) ->
+        Lsr_analysis.Plan.infer ~workload:name templates)
+      (Lsr_analysis.Builtin.workloads ())
+  in
+  let plan_rows =
+    List.map
+      (fun (p : Lsr_analysis.Plan.t) ->
+        let open Lsr_analysis in
+        let fenced =
+          List.length
+            (List.filter
+               (fun (a : Plan.assignment) -> a.Plan.fence <> None)
+               p.Plan.assignments)
+        in
+        [
+          p.Plan.workload;
+          Lsr_core.Session.guarantee_name p.Plan.uniform;
+          string_of_int (Plan.uniform_cost p);
+          string_of_int (Plan.mixed_cost p);
+          string_of_int fenced;
+          string_of_int (List.length p.Plan.residual);
+          string_of_int (Partition.shard_count p.Plan.partition);
+          string_of_int (List.length p.Plan.partition.Partition.cross_shard_updates);
+        ])
+      plans
+  in
+  Lsr_stats.Table_fmt.print
+    ~title:"Workload plans (mixed per-template assignment, 2-shard partition)"
+    ~header:
+      [
+        "workload"; "uniform needs"; "uniform cost"; "mixed cost";
+        "fenced templates"; "residual"; "shards"; "cross-shard updates";
+      ]
+    plan_rows;
   match csv with
   | None -> ()
   | Some dir ->
     Lsr_obs.Fsutil.mkdir_p dir;
-    let file = Filename.concat dir "analysis.json" in
-    let text =
-      Obs_json.to_string
-        (Obs_json.Arr (List.map Lsr_analysis.Analyzer.to_json reports))
+    let write_json file json =
+      let file = Filename.concat dir file in
+      let text = Obs_json.to_string json in
+      let oc = open_out file in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      match Obs_json.parse text with
+      | Ok _ -> Printf.printf "(analysis written to %s)\n%!" file
+      | Error e ->
+        Printf.eprintf "internal error: %s is invalid JSON: %s\n%!" file e;
+        exit 2
     in
-    let oc = open_out file in
-    output_string oc text;
-    output_char oc '\n';
-    close_out oc;
-    (match Obs_json.parse text with
-    | Ok _ -> Printf.printf "(analysis written to %s)\n%!" file
-    | Error e ->
-      Printf.eprintf "internal error: %s is invalid JSON: %s\n%!" file e;
-      exit 2)
+    write_json "analysis.json"
+      (Obs_json.Arr (List.map Lsr_analysis.Analyzer.to_json reports));
+    write_json "plans.json"
+      (Obs_json.Arr (List.map Lsr_analysis.Plan.to_json plans))
 
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
@@ -482,7 +524,7 @@ let all_targets =
 let extra_targets =
   [
     "ablate-contention"; "fig-staleness"; "fig-utilization"; "fig-fence";
-    "faults"; "smoke"; "analyze"; "perf";
+    "fig-plan"; "faults"; "smoke"; "analyze"; "perf";
   ]
 
 let bench_out_arg =
@@ -498,7 +540,7 @@ let targets_arg =
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
      from all): ablate-contention, fig-staleness, fig-utilization, \
-     fig-fence, faults, smoke, analyze, perf."
+     fig-fence, fig-plan, faults, smoke, analyze, perf."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -568,6 +610,7 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
     if List.mem "fig-utilization" wanted then
       emit ~csv (Figures.fig_utilization opts);
     if List.mem "fig-fence" wanted then emit ~csv (Figures.fig_fence opts);
+    if List.mem "fig-plan" wanted then emit ~csv (Figures.fig_plan opts);
     run_ablations opts ~csv ~wanted;
     if List.mem "faults" wanted then
       run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome;

@@ -443,7 +443,7 @@ let sql_cmd =
 
 (* --- analyze --------------------------------------------------------------------- *)
 
-let analyze guarantee workload_names json_file allowlist_file =
+let analyze guarantee workload_names json_file allowlist_file plan shards =
   let all = Lsr_analysis.Builtin.workloads () in
   let selected =
     match workload_names with
@@ -465,16 +465,32 @@ let analyze guarantee workload_names json_file allowlist_file =
         Lsr_analysis.Analyzer.run ~guarantee ~workload:name templates)
       selected
   in
-  List.iteri
-    (fun i r ->
-      if i > 0 then print_newline ();
-      print_string (Lsr_analysis.Analyzer.render r))
-    reports;
+  let plans =
+    if not plan then []
+    else
+      List.map
+        (fun (name, templates) ->
+          Lsr_analysis.Plan.infer ~shards ~workload:name templates)
+        selected
+  in
+  if plan then
+    List.iteri
+      (fun i p ->
+        if i > 0 then print_newline ();
+        print_string (Lsr_analysis.Plan.render p))
+      plans
+  else
+    List.iteri
+      (fun i r ->
+        if i > 0 then print_newline ();
+        print_string (Lsr_analysis.Analyzer.render r))
+      reports;
   (match json_file with
   | None -> ()
   | Some file ->
     let json =
-      Lsr_obs.Json.Arr (List.map Lsr_analysis.Analyzer.to_json reports)
+      if plan then Lsr_obs.Json.Arr (List.map Lsr_analysis.Plan.to_json plans)
+      else Lsr_obs.Json.Arr (List.map Lsr_analysis.Analyzer.to_json reports)
     in
     let text = Lsr_obs.Json.to_string json in
     let oc = open_out file in
@@ -524,7 +540,7 @@ let analyze_cmd =
   let workloads =
     let doc =
       "Built-in workloads to analyze (default: all). Known: tpcw, \
-       write_skew, disjoint, txn_gen."
+       write_skew, disjoint, txn_gen, fence_mix."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
   in
@@ -543,10 +559,23 @@ let analyze_cmd =
             "File of known-benign dangerous-structure ids (one per line, # \
              comments). Exit 1 if the analysis reports any id not listed.")
   in
+  let plan =
+    let doc =
+      "Emit the workload plan instead of the raw analysis: minimal \
+       per-template guarantee/fence assignment and the shard routing plan."
+    in
+    Arg.(value & flag & info [ "plan" ] ~doc)
+  in
+  let shards =
+    let doc = "Shard budget for the partition analysis (with --plan)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Statically analyze template workloads for SI anomalies")
-    Term.(const analyze $ guarantee $ workloads $ json_file $ allowlist_file)
+    Term.(
+      const analyze $ guarantee $ workloads $ json_file $ allowlist_file $ plan
+      $ shards)
 
 (* --- trace ----------------------------------------------------------------------- *)
 

@@ -122,7 +122,8 @@ let to_json report =
         ("witness", Str f.Session_pass.witness);
       ]
   in
-  Obj
+  sort_keys
+  @@ Obj
     [
       ("workload", Str report.workload);
       ("guarantee", Str (Session.guarantee_name report.guarantee));

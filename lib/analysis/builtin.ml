@@ -53,12 +53,29 @@ let disjoint () =
 
 let txn_gen () = Template.txn_gen_templates ()
 
+(* Read-heavy sessions with exactly one inversion-prone reader: the inbox
+   listing races the message posts (update-then-read and read-then-read
+   inversions), while the dashboard and the archive read regions no update
+   template ever writes. The planner must fence read_inbox alone — the
+   workload the mixed-assignment tests and the fig-plan figure are built
+   around. No dangerous structures: post_message reads nothing, so no rw
+   edge leaves it and no consecutive rw pair exists. *)
+let fence_mix () =
+  [
+    t ~name:"read_dashboard" [ "SELECT * FROM boards WHERE pk = 'summary'" ];
+    t ~name:"read_archive" [ "SELECT body FROM archive WHERE pk = ':doc'" ];
+    t ~name:"read_inbox" [ "SELECT * FROM inbox WHERE owner = ':user'" ];
+    t ~name:"post_message"
+      [ "INSERT INTO inbox (pk, owner, body) VALUES (':msg', ':user', ':body')" ];
+  ]
+
 let workloads () =
   [
     ("tpcw", tpcw ());
     ("write_skew", write_skew ());
     ("disjoint", disjoint ());
     ("txn_gen", txn_gen ());
+    ("fence_mix", fence_mix ());
   ]
 
 let find name = List.assoc_opt name (workloads ())

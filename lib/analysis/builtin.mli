@@ -9,6 +9,11 @@ val write_skew : unit -> Template.t list
 val disjoint : unit -> Template.t list
 val txn_gen : unit -> Template.t list
 
+(** Read-heavy mix with exactly one inversion-prone reader ([read_inbox],
+    raced by [post_message]) and two readers of never-written regions: the
+    showcase for mixed per-template fence assignment ({!Plan}). *)
+val fence_mix : unit -> Template.t list
+
 (** All of the above, keyed by workload name, in report order. *)
 val workloads : unit -> (string * Template.t list) list
 

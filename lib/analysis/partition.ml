@@ -1,0 +1,196 @@
+type atom = {
+  table : string;
+  key : string option;
+}
+
+let atom_name a =
+  match a.key with
+  | Some k -> Printf.sprintf "%s[%s]" a.table k
+  | None -> Printf.sprintf "%s[rest]" a.table
+
+let compare_atom a b = compare (a.table, a.key) (b.table, b.key)
+
+type route = {
+  template : string;
+  read_only : bool;
+  read_shards : int list;
+  write_shards : int list;
+  shards : int list;
+  cross_shard : bool;
+}
+
+type t = {
+  requested : int;
+  shards : atom list list;
+  routes : route list;
+  cross_shard_updates : string list;
+  cross_shard_reads : string list;
+}
+
+(* Atom universe: per table, every exact constant key any template names,
+   plus one residual atom when any access is not an exact constant (a
+   parameter, predicate or scan can land on keys no template spells out).
+   Tables nobody parameterizes or scans get no residual atom — their key
+   space is exactly the named constants. *)
+let atoms_of_templates templates =
+  let tables : (string, string list * bool) Hashtbl.t = Hashtbl.create 16 in
+  let note (a : Symbolic.access) =
+    let keys, residual =
+      Option.value (Hashtbl.find_opt tables a.Symbolic.table) ~default:([], false)
+    in
+    let entry =
+      match a.Symbolic.region with
+      | Symbolic.Exact (Symbolic.Const k) ->
+        ((if List.mem k keys then keys else k :: keys), residual)
+      | Symbolic.Exact (Symbolic.Param _) | Symbolic.Range _ | Symbolic.Scan ->
+        (keys, true)
+    in
+    Hashtbl.replace tables a.Symbolic.table entry
+  in
+  List.iter
+    (fun (tm : Template.t) ->
+      List.iter note tm.Template.footprint.Symbolic.reads;
+      List.iter note tm.Template.footprint.Symbolic.writes)
+    templates;
+  Hashtbl.fold
+    (fun table (keys, residual) acc ->
+      let consts = List.map (fun k -> { table; key = Some k }) keys in
+      let rest = if residual then [ { table; key = None } ] else [] in
+      rest @ consts @ acc)
+    tables []
+  |> List.sort compare_atom
+
+(* The atoms an access may touch: an exact constant is itself; anything
+   else (parameter, predicate, scan) may touch every atom of its table —
+   the same conservative direction as {!Symbolic.may_overlap}. *)
+let atoms_of_access all (a : Symbolic.access) =
+  match a.Symbolic.region with
+  | Symbolic.Exact (Symbolic.Const k) -> [ { table = a.Symbolic.table; key = Some k } ]
+  | Symbolic.Exact (Symbolic.Param _) | Symbolic.Range _ | Symbolic.Scan ->
+    List.filter (fun atom -> atom.table = a.Symbolic.table) all
+
+let dedup_atoms atoms =
+  List.sort_uniq compare_atom atoms
+
+let footprint_atoms all accesses =
+  dedup_atoms (List.concat_map (atoms_of_access all) accesses)
+
+(* Cost of splitting a template across two shard candidates: a cross-shard
+   update transaction needs a commit protocol, a cross-shard read only a
+   consistent multi-shard snapshot — updates dominate the objective. *)
+let template_weight (tm : Template.t) = if tm.Template.read_only then 1 else 1000
+
+let analyze ?(shards = 2) templates =
+  let requested = max 1 shards in
+  let all = atoms_of_templates templates in
+  let touched =
+    List.map
+      (fun (tm : Template.t) ->
+        ( tm,
+          footprint_atoms all
+            (tm.Template.footprint.Symbolic.reads
+            @ tm.Template.footprint.Symbolic.writes) ))
+      templates
+  in
+  (* Greedy agglomerative partition: start one shard per atom, repeatedly
+     merge the pair of shards the heaviest set of templates straddles
+     (ties: lowest pair in the current order). When no template straddles
+     any pair but more shards remain than requested, merge the two smallest
+     shards — zero-cost merges, for balance only. Deterministic throughout:
+     the atom universe is sorted and every tie-break is positional. *)
+  let parts = ref (List.map (fun a -> [ a ]) all) in
+  let straddle_weight p q =
+    List.fold_left
+      (fun acc (tm, atoms) ->
+        let hits part = List.exists (fun a -> List.mem a atoms) part in
+        if hits p && hits q then acc + template_weight tm else acc)
+      0 touched
+  in
+  while List.length !parts > requested do
+    let arr = Array.of_list !parts in
+    let n = Array.length arr in
+    let best = ref (-1, 0, 1) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let w = straddle_weight arr.(i) arr.(j) in
+        let bw, _, _ = !best in
+        if w > bw then best := (w, i, j)
+      done
+    done;
+    let w, i, j = !best in
+    let i, j =
+      if w > 0 then (i, j)
+      else begin
+        (* No interference left: merge the two smallest shards. *)
+        let size k = List.length arr.(k) in
+        let best = ref (max_int, 0, 1) in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let s = size i + size j in
+            let bs, _, _ = !best in
+            if s < bs then best := (s, i, j)
+          done
+        done;
+        let _, i, j = !best in
+        (i, j)
+      end
+    in
+    let merged = List.sort compare_atom (arr.(i) @ arr.(j)) in
+    parts :=
+      Array.to_list arr
+      |> List.mapi (fun k part -> (k, part))
+      |> List.filter_map (fun (k, part) ->
+             if k = j then None else if k = i then Some merged else Some part)
+  done;
+  let shards =
+    List.map (List.sort compare_atom) !parts
+    |> List.sort (fun a b ->
+           match (a, b) with
+           | x :: _, y :: _ -> compare_atom x y
+           | _, _ -> compare a b)
+  in
+  let shard_of atom =
+    let rec go i = function
+      | [] -> invalid_arg ("Partition.shard_of: unknown atom " ^ atom_name atom)
+      | part :: rest -> if List.mem atom part then i else go (i + 1) rest
+    in
+    go 0 shards
+  in
+  let shard_ids accesses =
+    footprint_atoms all accesses
+    |> List.map shard_of
+    |> List.sort_uniq compare
+  in
+  let routes =
+    List.map
+      (fun (tm : Template.t) ->
+        let read_shards = shard_ids tm.Template.footprint.Symbolic.reads in
+        let write_shards = shard_ids tm.Template.footprint.Symbolic.writes in
+        let shards = List.sort_uniq compare (read_shards @ write_shards) in
+        {
+          template = tm.Template.name;
+          read_only = tm.Template.read_only;
+          read_shards;
+          write_shards;
+          shards;
+          cross_shard = List.length shards > 1;
+        })
+      templates
+    |> List.sort (fun a b -> String.compare a.template b.template)
+  in
+  let cross kind =
+    List.filter_map
+      (fun r -> if r.cross_shard && r.read_only = kind then Some r.template else None)
+      routes
+  in
+  {
+    requested;
+    shards;
+    routes;
+    cross_shard_updates = cross false;
+    cross_shard_reads = cross true;
+  }
+
+let shard_count t = List.length t.shards
+
+let route t name = List.find_opt (fun r -> r.template = name) t.routes

@@ -42,10 +42,15 @@ let rw_vulnerable (a : Template.t) (ra : Symbolic.access) =
          a.footprint.Symbolic.writes)
   | Symbolic.Range _ | Symbolic.Scan -> true
 
+let dep_rank = function Ww -> 0 | Wr -> 1 | Rw -> 2
+
 (* One edge per (src, dst, dep), keeping the first witnessing access pair —
    except that a vulnerable rw witness supersedes a non-vulnerable one.
-   Edges are found in deterministic template order, so reports are stable. *)
+   Witnesses are found in template order; the final edge list is sorted by
+   (src, dst, dep) so reports are canonical regardless of how the template
+   list was assembled. *)
 let build templates =
+  Template.check_distinct templates;
   let edges = ref [] in
   let add src dst dep src_access dst_access vulnerable =
     let same e = e.src = src && e.dst = dst && e.dep = dep in
@@ -82,7 +87,13 @@ let build templates =
               add a.name b.name Rw x y (rw_vulnerable a x)))
         templates)
     templates;
-  { templates; edges = List.rev !edges }
+  let edges =
+    List.sort
+      (fun a b ->
+        compare (a.src, a.dst, dep_rank a.dep) (b.src, b.dst, dep_rank b.dep))
+      (List.rev !edges)
+  in
+  { templates; edges }
 
 let restrict t names =
   {

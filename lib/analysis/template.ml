@@ -77,6 +77,19 @@ let txn_gen_templates () =
     };
   ]
 
+exception Duplicate_template of string
+
+(* Template names are SDG node identities: two templates sharing a name
+   would silently merge into one node and the analysis would reason about a
+   program that does not exist. *)
+let check_distinct templates =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.name then raise (Duplicate_template t.name);
+      Hashtbl.replace seen t.name ())
+    templates
+
 let params t =
   List.fold_left
     (fun acc stmt ->

@@ -38,6 +38,16 @@ val txn_gen_templates : unit -> t list
 (** Table name under which raw key-value accesses are modelled. *)
 val kv_table : string
 
+(** Raised by {!check_distinct} with the offending name. Template names are
+    SDG node identities, so a duplicate would silently merge two distinct
+    programs into one node. *)
+exception Duplicate_template of string
+
+(** [check_distinct ts] validates that template names are pairwise distinct.
+    Called by {!Sdg.build} (and therefore by every analyzer entry point).
+    @raise Duplicate_template on the first repeated name. *)
+val check_distinct : t list -> unit
+
 (** Parameters of the template, first occurrence order. *)
 val params : t -> string list
 

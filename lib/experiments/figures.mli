@@ -92,6 +92,15 @@ val fig_utilization : run_opts -> figure
     read response time p50/p95 and p95 observed snapshot age. *)
 val fig_fence : run_opts -> figure
 
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): the run-time value of the static planner's mixed
+    assignment ({!Lsr_analysis.Plan}). Three deployments of the [fence_mix]
+    workload shape under ambient ALG-WEAK-SI — every read Session_seq-fenced
+    (the uniform weakest-safe guarantee), only the plan's inversion-prone
+    fraction fenced, and unfenced — compared on mean read response time vs
+    load. *)
+val fig_plan : run_opts -> figure
+
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)
 val ablate_propagation : run_opts -> figure

@@ -100,6 +100,7 @@ type outcome = {
   primary_utilization : float;
   secondary_utilization : float;
   check_errors : string list;
+  check_report : Checker.report option;
   channel_dropped : int;
   channel_retransmitted : int;
   channel_duplicated : int;
@@ -805,8 +806,8 @@ let run cfg =
   let m = st.metrics in
   let measured = p.Params.duration -. p.Params.warmup in
   let checker_started = Sys.time () in
-  let check_errors =
-    if not cfg.record_history then []
+  let check_errors, check_report =
+    if not cfg.record_history then ([], None)
     else begin
       let errors = ref [] in
       let report = Checker.analyze ~clock:st.clock st.history in
@@ -831,7 +832,7 @@ let run cfg =
           | Error e ->
             errors := Printf.sprintf "secondary %d: %s" site.index e :: !errors)
         st.sites;
-      List.rev !errors
+      (List.rev !errors, Some report)
     end
   in
   let checker_cpu_s =
@@ -878,6 +879,7 @@ let run cfg =
     primary_utilization = Resource.busy_time st.primary_res /. p.Params.duration;
     secondary_utilization;
     check_errors;
+    check_report;
     channel_dropped = channel_stats.Lsr_faults.Channel.dropped;
     channel_retransmitted = channel_stats.Lsr_faults.Channel.retransmitted;
     channel_duplicated = channel_stats.Lsr_faults.Channel.duplicated;

@@ -190,6 +190,12 @@ type outcome = {
   check_errors : string list;
       (** empty when the run satisfied its guarantee (always empty when
           [record_history = false]) *)
+  check_report : Lsr_core.Checker.report option;
+      (** the full checker battery report behind [check_errors] ([None]
+          when [record_history = false]) — lets callers ask finer questions
+          than pass/fail, e.g. which guarantees the history would also have
+          satisfied, or which session inversions actually occurred (the
+          planner cross-validation tests do both) *)
   channel_dropped : int;
       (** transmissions lost by the fault channels (0 without [faults]) *)
   channel_retransmitted : int;  (** sender timeouts that resent a record *)

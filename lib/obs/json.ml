@@ -223,3 +223,11 @@ let to_string j =
   let buf = Buffer.create 256 in
   emit buf j;
   Buffer.contents buf
+
+let rec sort_keys = function
+  | (Null | Bool _ | Num _ | Str _) as v -> v
+  | Arr items -> Arr (List.map sort_keys items)
+  | Obj fields ->
+    Obj
+      (List.map (fun (name, v) -> (name, sort_keys v)) fields
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))

@@ -31,3 +31,8 @@ val member : string -> t -> t option
 (** [to_string j] re-emits a parsed value (object field order preserved);
     used only by tests for round-tripping. *)
 val to_string : t -> string
+
+(** [sort_keys j] recursively sorts every object's fields by name — the
+    canonical form the analyzer and planner exporters emit so their JSON is
+    byte-stable under refactoring (array order is semantic and preserved). *)
+val sort_keys : t -> t

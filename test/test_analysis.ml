@@ -1,4 +1,4 @@
-(* Tests for the static SI-anomaly analyzer (lib/analysis), in three tiers:
+(* Tests for the static SI-anomaly analyzer (lib/analysis), in four tiers:
 
    1. units for the symbolic footprint extraction, the static dependency
       graph and the session-guarantee pass;
@@ -9,7 +9,12 @@
       clean must produce no cycle at all;
    3. the session cross-validation: a replicated-system run under weak SI
       whose data-dependent in-session inversions must all be predicted by
-      the session pass. *)
+      the session pass;
+   4. the planner (Plan + Partition) and its bidirectional cross-validation:
+      the inferred minimal per-template assignment must replay clean through
+      the simulator's full checker battery (fence audit included), and any
+      strictly weaker assignment at a flagged template must reproduce the
+      predicted inversion on the same seeded run. *)
 
 open Lsr_storage
 open Lsr_core
@@ -504,6 +509,352 @@ let test_session_cross_validation () =
            report.Analyzer.session_flags))
     data_dependent
 
+(* --- Duplicate template names -------------------------------------------------- *)
+
+let test_duplicate_template_rejected () =
+  let t1 = Template.of_sql_exn ~name:"dup" [ "SELECT * FROM t WHERE pk = 'a'" ] in
+  let t2 = Template.of_sql_exn ~name:"dup" [ "SELECT * FROM t WHERE pk = 'b'" ] in
+  (try
+     ignore (Sdg.build [ t1; t2 ]);
+     Alcotest.fail "Sdg.build must reject duplicate template names"
+   with Template.Duplicate_template name ->
+     check_string "the offending name is reported" "dup" name);
+  (try
+     ignore (Plan.infer ~workload:"dup" [ t1; t2 ]);
+     Alcotest.fail "Plan.infer must reject duplicate template names"
+   with Template.Duplicate_template _ -> ());
+  (* Distinct names pass the same check. *)
+  Template.check_distinct [ t1; { t2 with Template.name = "dup2" } ]
+
+(* --- Region-overlap edge cases in the SDG -------------------------------------- *)
+
+let edges_between sdg ~src ~dst =
+  List.filter (fun e -> e.Sdg.src = src && e.Sdg.dst = dst) sdg.Sdg.edges
+
+let test_sdg_overlap_edges () =
+  let t = Template.of_sql_exn in
+  (* Distinct exact constants are the one provably-disjoint case: no edge
+     in either direction. *)
+  let reader_a = t ~name:"reader_a" [ "SELECT v FROM g WHERE pk = 'a'" ] in
+  let writer_b = t ~name:"writer_b" [ "UPDATE g SET v = 1 WHERE pk = 'b'" ] in
+  let sdg = Sdg.build [ reader_a; writer_b ] in
+  check_int "exact 'a' vs exact 'b': no edges at all" 0
+    (List.length (edges_between sdg ~src:"reader_a" ~dst:"writer_b")
+    + List.length (edges_between sdg ~src:"writer_b" ~dst:"reader_a"));
+  (* A scan overlaps every region of its table — and nothing elsewhere. *)
+  let scanner = t ~name:"scanner" [ "SELECT * FROM g" ] in
+  let other = t ~name:"other_table" [ "UPDATE h SET v = 2 WHERE pk = 'b'" ] in
+  let sdg = Sdg.build [ scanner; writer_b; other ] in
+  check_bool "scan anti-depends on a same-table exact writer" true
+    (List.exists
+       (fun e -> e.Sdg.dep = Sdg.Rw)
+       (edges_between sdg ~src:"scanner" ~dst:"writer_b"));
+  check_int "scan vs another table: nothing" 0
+    (List.length (edges_between sdg ~src:"scanner" ~dst:"other_table"));
+  (* Predicates on disjoint constants ('g1' vs 'g2') would never collide at
+     run time, but the symbolic layer keeps them conservatively overlapping:
+     the edge must be present (soundness over precision). *)
+  let genre_a = t ~name:"read_g1" [ "SELECT * FROM g WHERE genre = 'g1'" ] in
+  let genre_b = t ~name:"write_g2" [ "UPDATE g SET v = 3 WHERE genre = 'g2'" ] in
+  let sdg = Sdg.build [ genre_a; genre_b ] in
+  check_bool "adjacent non-overlapping predicates keep a conservative rw edge"
+    true
+    (List.exists
+       (fun e -> e.Sdg.dep = Sdg.Rw)
+       (edges_between sdg ~src:"read_g1" ~dst:"write_g2"));
+  (* Parameter aliasing: the same ':k' in two templates can bind to
+     different keys (edge stays, vulnerable), while within one template a
+     parameter binds once (read-modify-write of ':k' is defused). *)
+  let p_reader = t ~name:"p_reader" [ "SELECT v FROM g WHERE pk = ':k'" ] in
+  let p_writer = t ~name:"p_writer" [ "UPDATE g SET v = 4 WHERE pk = ':k'" ] in
+  let sdg = Sdg.build [ p_reader; p_writer ] in
+  let rw =
+    List.find
+      (fun e -> e.Sdg.dep = Sdg.Rw)
+      (edges_between sdg ~src:"p_reader" ~dst:"p_writer")
+  in
+  check_bool "cross-template ':k' aliasing keeps the rw edge vulnerable" true
+    rw.Sdg.vulnerable;
+  let self =
+    List.find
+      (fun e -> e.Sdg.dep = Sdg.Rw)
+      (edges_between sdg ~src:"p_writer" ~dst:"p_writer")
+  in
+  check_bool "within one template ':k' binds once: self rw edge defused" false
+    self.Sdg.vulnerable;
+  (* An empty read set produces no outgoing rw edge: blind writers cannot
+     pivot a dangerous structure. *)
+  let blind = t ~name:"blind" [ "INSERT INTO g (pk, v) VALUES (':m', 1)" ] in
+  let sdg = Sdg.build [ blind; scanner ] in
+  check_bool "a blind writer has no outgoing rw edge" true
+    (List.for_all
+       (fun e -> not (e.Sdg.src = "blind" && e.Sdg.dep = Sdg.Rw))
+       sdg.Sdg.edges);
+  (* Edge lists come out canonically sorted, whatever the template order. *)
+  let key e = (e.Sdg.src, e.Sdg.dst, Sdg.dep_rank e.Sdg.dep) in
+  let report = Analyzer.run ~workload:"tpcw" (Builtin.tpcw ()) in
+  let keys = List.map key report.Analyzer.sdg.Sdg.edges in
+  check_bool "tpcw edges sorted by (src, dst, dep)" true
+    (keys = List.sort compare keys)
+
+(* --- Planner: minimal assignments and shard partition -------------------------- *)
+
+let guarantee_eq = Session.guarantee_name
+
+let test_plan_fence_mix () =
+  let plan = Plan.infer ~workload:"fence_mix" (Builtin.fence_mix ()) in
+  let assignment name =
+    match Plan.assignment plan name with
+    | Some a -> a
+    | None -> Alcotest.failf "no assignment for %s" name
+  in
+  let inbox = assignment "read_inbox" in
+  check_string "read_inbox needs strong session"
+    (guarantee_eq Session.Strong_session)
+    (guarantee_eq inbox.Plan.level);
+  check_bool "read_inbox is Session_seq-fenced" true
+    (inbox.Plan.fence = Some Session.Session_seq);
+  check_bool "its why names the racing update" true
+    (contains inbox.Plan.why "post_message");
+  List.iter
+    (fun name ->
+      let a = assignment name in
+      check_string (name ^ " stays weak") (guarantee_eq Session.Weak)
+        (guarantee_eq a.Plan.level);
+      check_bool (name ^ " is unfenced") true (a.Plan.fence = None))
+    [ "read_dashboard"; "read_archive"; "post_message" ];
+  check_int "mixed plan cost" 2 (Plan.mixed_cost plan);
+  check_int "uniform cost is three fenced readers" 6 (Plan.uniform_cost plan);
+  check_int "no residual write skew" 0 (List.length plan.Plan.residual);
+  (* Only the inversion-prone reader's shard owes session bookkeeping. *)
+  let route name =
+    match Partition.route plan.Plan.partition name with
+    | Some r -> r
+    | None -> Alcotest.failf "no route for %s" name
+  in
+  let shard_level sid = List.assoc sid plan.Plan.shard_levels in
+  let inbox_shard = List.hd (route "read_inbox").Partition.read_shards in
+  check_string "the inbox shard needs strong session"
+    (guarantee_eq Session.Strong_session)
+    (guarantee_eq (shard_level inbox_shard));
+  let dash_shard = List.hd (route "read_dashboard").Partition.read_shards in
+  check_string "the dashboard/archive shard needs nothing"
+    (guarantee_eq Session.Weak)
+    (guarantee_eq (shard_level dash_shard));
+  check_int "fence_mix partitions with no cross-shard template" 0
+    (List.length plan.Plan.partition.Partition.cross_shard_updates
+    + List.length plan.Plan.partition.Partition.cross_shard_reads)
+
+let test_plan_tpcw_partition () =
+  let plan = Plan.infer ~workload:"tpcw" (Builtin.tpcw ()) in
+  let p = plan.Plan.partition in
+  check_int "two shards (books, orders)" 2 (Partition.shard_count p);
+  Alcotest.(check (list string))
+    "buy_confirm is the only cross-shard update (the commit-protocol cost)"
+    [ "buy_confirm" ] p.Partition.cross_shard_updates;
+  (match Partition.route p "order_status" with
+  | Some r ->
+    check_bool "order_status stays single-shard" false r.Partition.cross_shard
+  | None -> Alcotest.fail "order_status must be routed");
+  (* Every tpcw reader is inversion-prone, so the mixed plan degenerates to
+     the uniform one — the planner only wins when some reader is clean. *)
+  check_int "tpcw mixed cost = uniform cost" (Plan.uniform_cost plan)
+    (Plan.mixed_cost plan);
+  check_int "write skew stays residual (cannot be fenced away)" 12
+    (List.length plan.Plan.residual)
+
+let test_partition_budget_and_determinism () =
+  let templates = Builtin.write_skew () in
+  let one = Partition.analyze ~shards:1 templates in
+  check_int "budget 1 collapses to one shard" 1 (Partition.shard_count one);
+  check_bool "single shard: nothing is cross-shard" true
+    (one.Partition.cross_shard_updates = []
+    && one.Partition.cross_shard_reads = []);
+  let sixteen = Partition.analyze ~shards:16 templates in
+  check_int "budget beyond the atom count: one shard per atom" 2
+    (Partition.shard_count sixteen);
+  (* duty[x] and duty[y] cannot be separated without splitting both
+     check-then-sign-off templates: at 2 shards everything goes cross. *)
+  let two = Partition.analyze ~shards:2 templates in
+  List.iter
+    (fun (r : Partition.route) ->
+      check_bool (r.Partition.template ^ " is cross-shard") true
+        r.Partition.cross_shard)
+    two.Partition.routes;
+  let a = Partition.analyze ~shards:2 (Builtin.tpcw ()) in
+  let b = Partition.analyze ~shards:2 (Builtin.tpcw ()) in
+  check_bool "same templates, structurally identical partition" true (a = b)
+
+let test_plan_json_deterministic () =
+  let plan = Plan.infer ~workload:"fence_mix" (Builtin.fence_mix ()) in
+  let json = Plan.to_json plan in
+  let text = Lsr_obs.Json.to_string json in
+  (match Lsr_obs.Json.parse text with
+  | Error e -> Alcotest.failf "plan JSON does not parse: %s" e
+  | Ok _ -> ());
+  check_string "plan JSON keys are canonical (sort_keys is a fixpoint)" text
+    (Lsr_obs.Json.to_string (Lsr_obs.Json.sort_keys json));
+  let r = Analyzer.run ~workload:"fence_mix" (Builtin.fence_mix ()) in
+  let rj = Analyzer.to_json r in
+  check_string "analyzer JSON keys are canonical too"
+    (Lsr_obs.Json.to_string rj)
+    (Lsr_obs.Json.to_string (Lsr_obs.Json.sort_keys rj))
+
+(* --- Bidirectional cross-validation of the plan -------------------------------- *)
+
+module Sim = Lsr_experiments.Sim_system
+
+(* A validation-sized simulator run: small, history recording on, reads
+   migrating between secondaries (the read-then-read inversions the
+   Strong_session flags predict need migration to manifest), and jittered
+   propagation deliveries — with zero jitter both secondaries apply each
+   batch at the same instant and stay in lockstep, so a migrated read can
+   never land on a staler site and the read-then-read anomaly is
+   structurally impossible. *)
+let sim_outcome ~guarantee ~fence ~seed =
+  let params =
+    {
+      Lsr_workload.Params.default with
+      Lsr_workload.Params.num_secondaries = 2;
+      clients_per_secondary = 8;
+      propagation_jitter = 20.;
+      warmup = 20.;
+      duration = 170.;
+    }
+  in
+  Sim.run
+    {
+      (Sim.config params guarantee ~seed) with
+      Sim.record_history = true;
+      migrate_prob = 0.3;
+      fence;
+    }
+
+(* The simulator's clients execute exactly the txn_gen template pair, so
+   its plan can be replayed and refuted against the real system. *)
+let test_plan_cross_validation_sim () =
+  let plan = Plan.infer ~workload:"txn_gen" (Builtin.txn_gen ()) in
+  let fence =
+    match Plan.fence_for plan "txn_gen_read_only" with
+    | Some f -> f
+    | None -> Alcotest.fail "the plan must fence the inversion-prone reader"
+  in
+  check_bool "the static realization is a Session_seq fence" true
+    (fence = Session.Session_seq);
+  (* Forward: the minimal assignment replays clean through the full checker
+     battery — weak-SI audit, inversion checks at the plan's uniform target
+     level, completeness, and the per-read fence audit. *)
+  let minimal = sim_outcome ~guarantee:Session.Weak ~fence:(Sim.All_reads fence) ~seed:42 in
+  Alcotest.(check (list string))
+    "minimal plan: checker battery clean" [] minimal.Sim.check_errors;
+  check_bool "fences were actually exercised" true (minimal.Sim.fenced_reads > 0);
+  let report = Option.get minimal.Sim.check_report in
+  check_bool "the fenced-Weak run satisfies the uniform target level" true
+    (Checker.satisfies plan.Plan.uniform report);
+  check_int "every fence claim honoured" 0
+    (List.length report.Checker.fence_violations);
+  (* Reverse, rung 0: dropping the fence (Weak assignment at the flagged
+     template) must reproduce the update-then-read inversion the
+     Session_pass predicted. *)
+  let weak = sim_outcome ~guarantee:Session.Weak ~fence:Sim.No_fence ~seed:42 in
+  Alcotest.(check (list string))
+    "the weak run still satisfies its own (weak) target" []
+    weak.Sim.check_errors;
+  let wreport = Option.get weak.Sim.check_report in
+  check_bool "unfenced run violates the reader's needed level" false
+    (Checker.satisfies Session.Strong_session wreport);
+  check_bool "the predicted update-then-read inversion manifests" true
+    (wreport.Checker.inversions_after_update <> []);
+  (* Reverse, rung 1: PCSI (one step below the needed Strong_session)
+     prevents update-then-read but the read-then-read flag — which is what
+     made the plan pick Strong_session — still manifests under migration. *)
+  let pcsi =
+    sim_outcome ~guarantee:Session.Prefix_consistent ~fence:Sim.No_fence ~seed:42
+  in
+  Alcotest.(check (list string))
+    "the PCSI run satisfies PCSI" [] pcsi.Sim.check_errors;
+  let preport = Option.get pcsi.Sim.check_report in
+  check_bool "PCSI still shows the read-then-read inversion" false
+    (Checker.satisfies Session.Strong_session preport);
+  check_int "and no update-then-read inversions remain" 0
+    (List.length preport.Checker.inversions_after_update)
+
+(* The fence_mix plan on the embedded system: per-template fences exactly
+   as inferred. The mixed assignment must be clean end to end; weakening
+   only the flagged template must reproduce its predicted anomaly. *)
+let test_plan_cross_validation_embedded () =
+  let templates = Builtin.fence_mix () in
+  let plan = Plan.infer ~workload:"fence_mix" templates in
+  let find name =
+    List.find (fun (t : Template.t) -> t.Template.name = name) templates
+  in
+  let run_mix ~drop_inbox_fence =
+    let sys = System.create ~secondaries:2 ~guarantee:Session.Weak () in
+    let client = System.connect sys "alice" in
+    let exec name binding =
+      let t = find name in
+      let stmts = Template.instantiate t binding in
+      if t.Template.read_only then begin
+        let fence =
+          if drop_inbox_fence && name = "read_inbox" then None
+          else Plan.fence_for plan name
+        in
+        match fence with
+        | Some f -> System.read ~fence:f sys client (fun h -> exec_all h stmts)
+        | None -> System.read sys client (fun h -> exec_all h stmts)
+      end
+      else
+        match System.update sys client (fun h -> exec_all h stmts) with
+        | Ok () -> ()
+        | Error _ -> Alcotest.failf "%s aborted" name
+    in
+    (match
+       System.update sys client (fun h ->
+           exec_all h
+             (parse_init
+                [
+                  "INSERT INTO boards (pk, headline) VALUES ('summary', 'all \
+                   green')";
+                  "INSERT INTO archive (pk, body) VALUES ('d1', 'old text')";
+                ]))
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "init aborted");
+    System.pump sys;
+    (* The session: browse (the plan leaves these unfenced), post a
+       message, then immediately list the inbox at the stale secondary —
+       the inversion the plan fences against. *)
+    exec "read_dashboard" [];
+    exec "read_archive" [ ("doc", Ast.Text "d1") ];
+    exec "post_message"
+      [
+        ("msg", Ast.Text "m1"); ("user", Ast.Text "alice");
+        ("body", Ast.Text "hi");
+      ];
+    exec "read_inbox" [ ("user", Ast.Text "alice") ];
+    System.pump sys;
+    Checker.analyze ~clock:(System.commit_clock sys) (System.history sys)
+  in
+  let clean = run_mix ~drop_inbox_fence:false in
+  check_bool "the mixed plan satisfies strong session SI" true
+    (Checker.satisfies Session.Strong_session clean);
+  check_int "all fence claims honoured" 0
+    (List.length clean.Checker.fence_violations);
+  let broken = run_mix ~drop_inbox_fence:true in
+  check_bool "dropping only read_inbox's fence loses strong session SI" false
+    (Checker.satisfies Session.Strong_session broken);
+  check_bool "the inversion is the predicted update-then-read kind" true
+    (broken.Checker.inversions_after_update <> []);
+  check_bool "and the plan's witness named exactly this race" true
+    (List.exists
+       (fun (f : Session_pass.flag) ->
+         f.Session_pass.kind = Session_pass.Update_then_read
+         && f.Session_pass.earlier = "post_message"
+         && f.Session_pass.later = "read_inbox")
+       (match Plan.assignment plan "read_inbox" with
+       | Some a -> a.Plan.flags
+       | None -> []))
+
 let () =
   Alcotest.run "analysis"
     [
@@ -521,6 +872,10 @@ let () =
           Alcotest.test_case "disjoint clean" `Quick test_sdg_disjoint_clean;
           Alcotest.test_case "tpcw pivots on the predicate writer" `Quick
             test_sdg_tpcw_pivots;
+          Alcotest.test_case "duplicate template names rejected" `Quick
+            test_duplicate_template_rejected;
+          Alcotest.test_case "region-overlap edge cases" `Quick
+            test_sdg_overlap_edges;
         ] );
       ( "session-pass",
         [
@@ -538,5 +893,20 @@ let () =
             test_cross_validate_disjoint;
           Alcotest.test_case "session inversions predicted" `Quick
             test_session_cross_validation;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "fence_mix minimal assignment" `Quick
+            test_plan_fence_mix;
+          Alcotest.test_case "tpcw shard partition" `Quick
+            test_plan_tpcw_partition;
+          Alcotest.test_case "partition budget and determinism" `Quick
+            test_partition_budget_and_determinism;
+          Alcotest.test_case "plan JSON canonical" `Quick
+            test_plan_json_deterministic;
+          Alcotest.test_case "plan vs simulator (both directions)" `Quick
+            test_plan_cross_validation_sim;
+          Alcotest.test_case "plan vs embedded system (both directions)" `Quick
+            test_plan_cross_validation_embedded;
         ] );
     ]
