@@ -11,7 +11,7 @@ module Obs = Lsr_obs.Obs
 module Obs_json = Lsr_obs.Json
 module Lineage = Lsr_obs.Lineage
 
-let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~on_outcome =
+let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~on_outcome =
   {
     Figures.quick;
     seed;
@@ -22,6 +22,7 @@ let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~on_outcome =
     obs;
     lineage;
     monitor;
+    watchdog;
     on_outcome;
   }
 
@@ -68,7 +69,7 @@ let run_ablations opts ~csv ~wanted =
    the performance numbers: the protocol must keep its guarantees (check
    errors = 0) while the retransmission layer pays for the faults in
    staleness and queue depth. *)
-let run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome =
+let run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -93,6 +94,7 @@ let run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome =
           {
             (Sim_system.config params Lsr_core.Session.Strong_session ~seed) with
             Sim_system.record_history = true;
+            watchdog;
             faults;
             obs;
             lineage;
@@ -128,7 +130,7 @@ let run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome =
    the whole observability pipeline: every span phase fires, the counters
    move, and --trace/--metrics produce loadable files in a couple of
    seconds. Used by the `runtest` smoke rule. *)
-let run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome =
+let run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -145,6 +147,7 @@ let run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome =
       Sim_system.obs;
       lineage;
       monitor;
+      watchdog;
     }
   in
   let o = Sim_system.run cfg in
@@ -155,7 +158,18 @@ let run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome =
     o.Sim_system.throughput_fast o.Sim_system.reads_completed
     o.Sim_system.updates_completed o.Sim_system.refresh_commits
     (Obs.event_count obs)
-    (Lineage.event_count lineage)
+    (Lineage.event_count lineage);
+  match o.Sim_system.watchdog_verdict with
+  | None -> ()
+  | Some v ->
+    Printf.printf
+      "smoke watchdog: alerts=%d inversions=%d/%d/%d mismatches=%d \
+       fence_failures=%d peak_state=%d\n%!"
+      v.Lsr_core.Watchdog.alerts_total v.Lsr_core.Watchdog.v_inversions_all
+      v.Lsr_core.Watchdog.v_inversions_in_session
+      v.Lsr_core.Watchdog.v_inversions_after_update
+      v.Lsr_core.Watchdog.read_mismatches v.Lsr_core.Watchdog.fence_failures
+      o.Sim_system.watchdog_peak_state
 
 (* --- Simulator scaling bench (BENCH_7.json) --------------------------------- *)
 
@@ -505,6 +519,15 @@ let bottleneck_arg =
   in
   Arg.(value & opt (some string) None & info [ "bottleneck" ] ~docv:"FILE" ~doc)
 
+let watchdog_arg =
+  let doc =
+    "Attach the online consistency watchdog to every run (weak-SI reads, \
+     inversion floors and fence claims checked incrementally, in memory \
+     bounded by the active visibility window) and write one deterministic \
+     report per run as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "watchdog" ] ~docv:"FILE" ~doc)
+
 let lag_report_arg =
   let doc =
     "Print a per-site freshness / propagation-lag table (p50/p95/p99) from \
@@ -524,15 +547,15 @@ let all_targets =
 let extra_targets =
   [
     "ablate-contention"; "fig-staleness"; "fig-utilization"; "fig-fence";
-    "fig-plan"; "faults"; "smoke"; "analyze"; "perf";
+    "fig-plan"; "fig-watchdog"; "faults"; "smoke"; "analyze"; "perf";
   ]
 
 let bench_out_arg =
   let doc =
     "Where the $(b,perf) target writes its machine-readable report \
-     (BENCH_7.json schema)."
+     (BENCH_9.json schema)."
   in
-  Arg.(value & opt string "BENCH_7.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt string "BENCH_9.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
 
 let targets_arg =
   let doc =
@@ -540,7 +563,7 @@ let targets_arg =
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
      from all): ablate-contention, fig-staleness, fig-utilization, \
-     fig-fence, fig-plan, faults, smoke, analyze, perf."
+     fig-fence, fig-plan, fig-watchdog, faults, smoke, analyze, perf."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -564,7 +587,7 @@ let export what write file =
     exit 2
 
 let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
-    bottleneck bench_out targets =
+    bottleneck watchdog_file bench_out targets =
   let wanted = List.concat_map expand targets in
   let unknown =
     List.filter
@@ -585,7 +608,9 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
       if timeseries <> None then Monitor.create ~interval:1.0 ()
       else Monitor.null
     in
+    let watchdog = watchdog_file <> None in
     let bottleneck_entries = ref [] in
+    let watchdog_entries = ref [] in
     let on_outcome tag (cfg : Sim_system.config) outcome =
       if bottleneck <> None then
         bottleneck_entries :=
@@ -593,9 +618,17 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
             Bottleneck.tag;
             report = Bottleneck.analyze cfg.Sim_system.params outcome;
           }
-          :: !bottleneck_entries
+          :: !bottleneck_entries;
+      match outcome.Sim_system.watchdog_report with
+      | Some report when watchdog ->
+        watchdog_entries :=
+          Obs_json.Obj [ ("tag", Obs_json.Str tag); ("report", report) ]
+          :: !watchdog_entries
+      | Some _ | None -> ()
     in
-    let opts = opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~on_outcome in
+    let opts =
+      opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~on_outcome
+    in
     Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
       (if quick then "quick" else "paper-scale")
       seed;
@@ -611,14 +644,29 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
       emit ~csv (Figures.fig_utilization opts);
     if List.mem "fig-fence" wanted then emit ~csv (Figures.fig_fence opts);
     if List.mem "fig-plan" wanted then emit ~csv (Figures.fig_plan opts);
+    if List.mem "fig-watchdog" wanted then emit ~csv (Figures.fig_watchdog opts);
     run_ablations opts ~csv ~wanted;
     if List.mem "faults" wanted then
-      run_faults ~quick ~seed ~obs ~lineage ~monitor ~on_outcome;
+      run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome;
     if List.mem "smoke" wanted then
-      run_smoke ~seed ~obs ~lineage ~monitor ~on_outcome;
+      run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome;
     if List.mem "analyze" wanted then run_analysis ~csv;
     if List.mem "perf" wanted then run_perf ~quick ~seed ~verbose ~bench_out;
     if List.mem "micro" wanted then run_micro ();
+    Option.iter
+      (fun file ->
+        let json =
+          Obs_json.sort_keys
+            (Obs_json.Obj [ ("runs", Obs_json.Arr (List.rev !watchdog_entries)) ])
+        in
+        export "watchdog"
+          (fun ~file ->
+            let oc = open_out file in
+            output_string oc (Obs_json.to_string json);
+            output_char oc '\n';
+            close_out oc)
+          file)
+      watchdog_file;
     Option.iter (export "trace" (Obs.write_trace obs)) trace;
     Option.iter (export "metrics" (Obs.write_metrics obs)) metrics;
     Option.iter (export "lineage" (Lineage.write lineage)) lineage_file;
@@ -664,6 +712,6 @@ let cmd =
       ret
         (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ trace_arg
        $ metrics_arg $ lineage_arg $ lag_report_arg $ timeseries_arg
-       $ bottleneck_arg $ bench_out_arg $ targets_arg))
+       $ bottleneck_arg $ watchdog_arg $ bench_out_arg $ targets_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -48,7 +48,7 @@ let seed_arg =
 (* --- simulate ------------------------------------------------------------------ *)
 
 let simulate guarantee seed secondaries clients browsing duration serial ship
-    validate open_loop arrival session_pool fence =
+    validate watchdog open_loop arrival session_pool fence =
   let params =
     let base = if browsing then Params.browsing Params.default else Params.default in
     {
@@ -68,6 +68,7 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
     {
       (Sim_system.config params guarantee ~seed) with
       Sim_system.record_history = validate;
+      watchdog;
       serial_refresh = serial;
       ship_aborted = ship;
       client_mode;
@@ -126,7 +127,52 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       [ "secondary utilization"; Printf.sprintf "%.1f%%" (100. *. o.Sim_system.secondary_utilization) ];
     ]
   in
+  let rows =
+    rows
+    @
+    match o.Sim_system.watchdog_verdict with
+    | None -> []
+    | Some v ->
+      [
+        [ "watchdog alerts"; string_of_int v.Lsr_core.Watchdog.alerts_total ];
+        [ "watchdog peak state"; string_of_int o.Sim_system.watchdog_peak_state ];
+      ]
+  in
   Lsr_stats.Table_fmt.print ~title:"outcome" ~header:[ "metric"; "value" ] rows;
+  (match o.Sim_system.watchdog_verdict with
+  | None -> ()
+  | Some v ->
+    let open Lsr_core.Watchdog in
+    let inversions_at_level =
+      match guarantee with
+      | Session.Weak -> 0
+      | Session.Prefix_consistent -> v.v_inversions_after_update
+      | Session.Strong_session -> v.v_inversions_in_session
+      | Session.Strong -> v.v_inversions_all
+    in
+    let clean =
+      v.read_mismatches = 0 && v.fence_failures = 0 && inversions_at_level = 0
+    in
+    Printf.printf
+      "\nwatchdog: %s — %d read mismatches, %d fence failures, inversions \
+       all/session/after-update %d/%d/%d\n"
+      (if clean then "guarantee held throughout the run"
+       else "VIOLATIONS DETECTED ONLINE")
+      v.read_mismatches v.fence_failures v.v_inversions_all
+      v.v_inversions_in_session v.v_inversions_after_update;
+    if not clean then begin
+      let shown, rest =
+        let rec split n = function
+          | x :: tl when n > 0 ->
+            let s, r = split (n - 1) tl in
+            (x :: s, r)
+          | l -> ([], List.length l)
+        in
+        split 10 o.Sim_system.watchdog_alerts
+      in
+      List.iter (fun a -> Format.printf "  %a@." pp_alert a) shown;
+      if rest > 0 then Printf.printf "  ... and %d more retained alerts\n" rest
+    end);
   if validate then
     match o.Sim_system.check_errors with
     | [] -> print_endline "\nchecker: run satisfies its guarantee and completeness"
@@ -155,6 +201,17 @@ let simulate_cmd =
   in
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Record the history and run the checker.")
+  in
+  let watchdog =
+    let doc =
+      "Attach the online consistency watchdog: weak-SI reads, inversion \
+       floors and fence claims are checked incrementally as transactions \
+       finish, in memory bounded by the active visibility window — so the \
+       guarantee is verified even without $(b,--validate)'s full history \
+       recording. Violations are reported as typed alerts the moment they \
+       happen."
+    in
+    Arg.(value & flag & info [ "watchdog" ] ~doc)
   in
   let open_loop =
     let doc =
@@ -219,8 +276,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one simulation of the replicated system")
     Term.(
       const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
-      $ browsing $ duration $ serial $ ship $ validate $ open_loop $ arrival
-      $ session_pool $ fence)
+      $ browsing $ duration $ serial $ ship $ validate $ watchdog $ open_loop
+      $ arrival $ session_pool $ fence)
 
 (* --- bottleneck ----------------------------------------------------------------- *)
 
@@ -597,16 +654,21 @@ let trace guarantee seed steps txn_id =
   done;
   System.pump sys;
   let traced () =
-    String.concat ", "
-      (List.map string_of_int (Lsr_obs.Lineage.txns lineage))
+    match Lsr_obs.Lineage.txns lineage with
+    | [] -> "(none this run)"
+    | ids -> String.concat ", " (List.map string_of_int ids)
   in
   match txn_id with
   | Some id -> (
     match Lsr_obs.Lineage.journey lineage ~txn:id with
     | [] ->
       Printf.printf
-        "no lineage recorded for transaction %d (traced update txns: %s)\n" id
-        (traced ());
+        "error: unknown-transaction: no causal journey recorded for \
+         transaction %d\n\
+         traced update transactions: %s\n\
+         (only committed update transactions leave a journey; read-only and \
+         aborted transactions are never traced)\n"
+        id (traced ());
       exit 1
     | events ->
       Printf.printf "causal journey of update transaction %d:\n" id;

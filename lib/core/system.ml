@@ -39,6 +39,7 @@ type t = {
   slots : slot array;
   sessions : Session.t;
   clock : Session.clock;
+  wdog : Watchdog.t option;
   history : History.t;
   schema : (string * string list) list;
   obs : Lsr_obs.Obs.t;
@@ -52,25 +53,44 @@ type t = {
 
 type client = { label : string; secondary : int }
 
-let make_slot ~obs ~lineage ?faults i =
+(* Each refresh commit both wakes nothing (the embedded system pumps
+   synchronously) and advances the watchdog's retirement horizon for the
+   site, when a watchdog is attached. *)
+let refresh_hook wdog i =
+  match wdog with
+  | None -> None
+  | Some w -> Some (fun ts -> Watchdog.note_refresh w ~site:i ~seq:ts)
+
+let make_slot ~obs ~lineage ?faults ~wdog i =
   {
     site =
-      Secondary.create ~name:(Printf.sprintf "secondary-%d" i) ~obs ~lineage ();
+      Secondary.create
+        ~name:(Printf.sprintf "secondary-%d" i)
+        ~obs ~lineage
+        ?on_refresh_commit:(refresh_hook wdog i) ();
     crashed = false;
     clean = true;
     channel = Option.map (fun f -> f i) faults;
   }
 
 let create ?(secondaries = 1) ?(schema = []) ?faults
-    ?(obs = Lsr_obs.Obs.null) ?(lineage = Lsr_obs.Lineage.null) ~guarantee () =
+    ?(obs = Lsr_obs.Obs.null) ?(lineage = Lsr_obs.Lineage.null)
+    ?(watchdog = false) ~guarantee () =
   if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
   let primary = Primary.create () in
+  let clock = Session.clock_create () in
+  let wdog =
+    if watchdog then
+      Some (Watchdog.create ~obs ~lineage ~clock ~sites:secondaries ())
+    else None
+  in
   {
     primary;
     propagator = Propagation.create ~from:0 ~obs ~lineage (Primary.wal primary);
-    slots = Array.init secondaries (make_slot ~obs ~lineage ?faults);
+    slots = Array.init secondaries (make_slot ~obs ~lineage ?faults ~wdog);
     sessions = Session.create guarantee;
-    clock = Session.clock_create ();
+    clock;
+    wdog;
     history = History.create ();
     schema;
     obs;
@@ -101,6 +121,7 @@ let history t = t.history
    commit clock's time axis, so [Max_age] fences are measured in "events
    ago". *)
 let commit_clock t = t.clock
+let watchdog t = t.wdog
 let clock_now t = float_of_int (History.now t.history)
 
 let connect t ?secondary label =
@@ -197,6 +218,9 @@ let compact t =
 
 let update t client ?force_abort body =
   let first_op = History.tick t.history in
+  let wtok =
+    Option.map (fun w -> Watchdog.begin_update w ~session:client.label) t.wdog
+  in
   let handle_ref = ref None in
   let wrapped db txn =
     let h = Handle.make ~schema:t.schema db txn in
@@ -216,9 +240,16 @@ let update t client ?force_abort body =
     let reads =
       match !handle_ref with Some h -> Handle.reads h | None -> []
     in
+    let id = History.fresh_id t.history in
+    (match (t.wdog, wtok) with
+    | Some w, Some tok ->
+      Watchdog.end_update w tok ~id ~now:(float_of_int finished) ~mvcc_txn:txn
+        ~commit:(Some (commit_ts, writes))
+        ~snapshot ~reads
+    | _ -> ());
     History.add t.history
       {
-        History.id = History.fresh_id t.history;
+        History.id = id;
         session = client.label;
         kind = History.Update;
         site = "primary";
@@ -237,9 +268,17 @@ let update t client ?force_abort body =
     let reads =
       match !handle_ref with Some h -> Handle.reads h | None -> []
     in
+    let id = History.fresh_id t.history in
+    (match (t.wdog, wtok) with
+    | Some w, Some tok ->
+      (* Aborted transactions pin nothing; the token only releases its
+         horizon pin. *)
+      Watchdog.end_update w tok ~id ~now:(float_of_int finished) ~commit:None
+        ~snapshot:Timestamp.zero ~reads
+    | _ -> ());
     History.add t.history
       {
-        History.id = History.fresh_id t.history;
+        History.id = id;
         session = client.label;
         kind = History.Update;
         site = "primary";
@@ -266,14 +305,27 @@ let run_read ?fence t client body =
     Lsr_obs.Lineage.sample_read t.lineage
       ~site:(Secondary.name s.site) ~snapshot;
   Session.note_read ?fence t.sessions ~label:client.label ~snapshot;
+  let wtok =
+    Option.map
+      (fun w -> Watchdog.begin_read w ~session:client.label ~snapshot)
+      t.wdog
+  in
   let txn = Mvcc.begin_txn db in
   let h = Handle.make ~schema:t.schema db txn in
   let value = body h in
   Mvcc.end_read db txn;
   let finished = History.tick t.history in
+  let id = History.fresh_id t.history in
+  let fence_claim = Option.map (fun claim -> { History.claim; read_at }) fence in
+  (match (t.wdog, wtok) with
+  | Some w, Some tok ->
+    Watchdog.end_read ?fence:fence_claim w tok ~id
+      ~site:(Printf.sprintf "secondary-%d" client.secondary)
+      ~now:(float_of_int finished) ~reads:(Handle.reads h)
+  | _ -> ());
   History.add t.history
     {
-      History.id = History.fresh_id t.history;
+      History.id = id;
       session = client.label;
       kind = History.Read_only;
       site = Printf.sprintf "secondary-%d" client.secondary;
@@ -283,7 +335,7 @@ let run_read ?fence t client body =
       commit_ts = None;
       reads = Handle.reads h;
       writes = [];
-      fence = Option.map (fun claim -> { History.claim; read_at }) fence;
+      fence = fence_claim;
     };
   value
 
@@ -372,7 +424,8 @@ let recover_secondary t i =
   let fresh =
     Secondary.create_from
       ~name:(Printf.sprintf "secondary-%d" i)
-      ~obs:t.obs ~lineage:t.lineage backup
+      ~obs:t.obs ~lineage:t.lineage
+      ?on_refresh_commit:(refresh_hook t.wdog i) backup
   in
   (* ... and reinitialize seq(DBsec) from a dummy transaction's view of the
      primary's latest committed state (§4). *)
@@ -380,6 +433,11 @@ let recover_secondary t i =
   let seed = Mvcc.latest_commit_ts (Primary.db t.primary) in
   Mvcc.end_read (Primary.db t.primary) dummy;
   Secondary.reseed_seq fresh seed;
+  (* The recovered copy corresponds to primary state [seed]: the watchdog's
+     per-site horizon jumps forward with it. *)
+  (match t.wdog with
+  | Some w -> Watchdog.note_refresh w ~site:i ~seq:seed
+  | None -> ());
   Option.iter (fun ch -> ch.ch_reset ()) s.channel;
   s.site <- fresh;
   s.crashed <- false

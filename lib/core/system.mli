@@ -62,12 +62,19 @@ type channel = {
     primary emits a [Primary_commit] event per committed update transaction
     (trace id = primary MVCC txn id), the propagator and every secondary
     append the journey stages, and each read-only transaction contributes a
-    freshness sample for its site (see {!Lsr_obs.Lineage}). *)
+    freshness sample for its site (see {!Lsr_obs.Lineage}).
+
+    [watchdog] attaches an online {!Watchdog}: every transaction is checked
+    incrementally as it finishes (weak-SI reads, inversion floors, fence
+    claims) and each refresh commit advances the watchdog's retirement
+    horizon. Alerts are available from {!watchdog} while the system runs —
+    before, and independently of, the post-hoc {!check}. *)
 val create :
   ?secondaries:int -> ?schema:(string * string list) list ->
   ?faults:(int -> channel) ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?watchdog:bool ->
   guarantee:Session.guarantee -> unit -> t
 
 val guarantee : t -> Session.guarantee
@@ -83,6 +90,10 @@ val history : t -> History.t
     its time axis is the {!History} event counter: a [Max_age d] fence means
     "at most [d] history events stale". *)
 val commit_clock : t -> Session.clock
+
+(** The online checker attached at {!create} ([None] without
+    [~watchdog:true]). *)
+val watchdog : t -> Watchdog.t option
 
 (** [connect t label] opens a client session. Clients are assigned to
     secondaries round-robin unless [secondary] is given. A fresh [label]

@@ -1,0 +1,612 @@
+open Lsr_storage
+module Obs = Lsr_obs.Obs
+module Lineage = Lsr_obs.Lineage
+module Json = Lsr_obs.Json
+
+type level =
+  | All_sessions
+  | In_session
+  | After_update
+
+type alert_kind =
+  | Read_mismatch of {
+      key : string;
+      observed : string option;
+      expected : string option;
+    }
+  | Inversion of { level : level; earlier : int; floor : Timestamp.t }
+  | Fence_violation of { detail : string }
+
+type alert = {
+  at : float;
+  txn : int;
+  session : string;
+  site : string;
+  snapshot : Timestamp.t;
+  kind : alert_kind;
+  trace : Lineage.event list;
+}
+
+type verdict = {
+  read_mismatches : int;
+  v_inversions_all : int;
+  v_inversions_in_session : int;
+  v_inversions_after_update : int;
+  fence_failures : int;
+  alerts_total : int;
+  alerts_dropped : int;
+}
+
+(* A per-key committed-writer chain: versions in commit-timestamp order, with
+   a live window [lo, hi) over a growable ring-free array. Retirement only
+   ever drops the oldest version, so the window slides forward and the dead
+   prefix is reclaimed by compaction once it dominates the array. *)
+type chain = {
+  mutable c_ts : Timestamp.t array;
+  mutable c_v : string option array;
+  mutable c_lo : int;
+  mutable c_hi : int;
+}
+
+let chain_create () =
+  { c_ts = Array.make 4 Timestamp.zero; c_v = Array.make 4 None; c_lo = 0; c_hi = 0 }
+
+let chain_len c = c.c_hi - c.c_lo
+
+let chain_append c ts v =
+  let cap = Array.length c.c_ts in
+  if c.c_hi = cap then begin
+    let live = chain_len c in
+    if c.c_lo >= live && c.c_lo > 0 then begin
+      (* Dead prefix at least half the array: slide the window back. *)
+      Array.blit c.c_ts c.c_lo c.c_ts 0 live;
+      Array.blit c.c_v c.c_lo c.c_v 0 live
+    end
+    else begin
+      let cap' = max 8 (2 * cap) in
+      let ts' = Array.make cap' Timestamp.zero and v' = Array.make cap' None in
+      Array.blit c.c_ts c.c_lo ts' 0 live;
+      Array.blit c.c_v c.c_lo v' 0 live;
+      c.c_ts <- ts';
+      c.c_v <- v'
+    end;
+    c.c_lo <- 0;
+    c.c_hi <- live
+  end;
+  c.c_ts.(c.c_hi) <- ts;
+  c.c_v.(c.c_hi) <- v;
+  c.c_hi <- c.c_hi + 1
+
+(* Index one past the last version with ts <= [s] (cf. the checker's
+   [partition]); the visible version is at the returned index - 1. *)
+let chain_partition c s =
+  let lo = ref c.c_lo and hi = ref c.c_hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Timestamp.compare c.c_ts.(mid) s <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let chain_drop_head c =
+  c.c_v.(c.c_lo) <- None;
+  (* release the value for the GC *)
+  c.c_lo <- c.c_lo + 1;
+  if c.c_lo = c.c_hi then begin
+    c.c_lo <- 0;
+    c.c_hi <- 0
+  end
+
+type token = {
+  tk_serial : int;
+  tk_session : string;
+  tk_global : (Timestamp.t * int) option;
+  tk_session_floor : (Timestamp.t * int) option;
+  tk_update_floor : (Timestamp.t * int) option;
+  tk_fence_floor : Timestamp.t option;
+  tk_snapshot : Timestamp.t;  (* reads only; updates re-declare at end *)
+}
+
+type t = {
+  alert_cap : int;
+  clock : Session.clock option;
+  lineage : Lineage.t;
+  (* Weak-SI state: primary writes newer than the horizon, per key, plus the
+     folded base value of everything retired. *)
+  chains : (string, chain) Hashtbl.t;
+  base : (string, string option) Hashtbl.t;
+  unretired : (Timestamp.t * Wal.update list) Queue.t;
+  mutable last_commit_ts : Timestamp.t;
+  mutable live_versions : int;
+  mutable retired_versions : int;
+  (* Inversion floors: maximal pinned state with its witness, globally and
+     per session (all committed txns, and updates only for PCSI); plus the
+     fence-audit session floor. *)
+  mutable global_floor : (Timestamp.t * int) option;
+  session_floor : (string, Timestamp.t * int) Hashtbl.t;
+  update_floor : (string, Timestamp.t * int) Hashtbl.t;
+  fence_floor : (string, Timestamp.t) Hashtbl.t;
+  mutable floors_swept_at : int;
+  (* Retirement horizon inputs: per-site seq(DBsec) and in-flight pins. *)
+  site_seq : Timestamp.t array;
+  pins : (int, Timestamp.t) Hashtbl.t;
+  mutable min_pin : Timestamp.t;  (* valid unless [min_pin_dirty] *)
+  mutable min_pin_dirty : bool;
+  mutable next_serial : int;
+  mutable horizon : Timestamp.t;
+  (* Alerts: newest-first bounded log plus exact per-kind counters. *)
+  mutable alert_log : alert list;
+  mutable alert_log_len : int;
+  mutable n_read : int;
+  mutable n_inv_all : int;
+  mutable n_inv_sess : int;
+  mutable n_inv_upd : int;
+  mutable n_fence : int;
+  c_alert_read : Obs.counter;
+  c_alert_inversion : Obs.counter;
+  c_alert_fence : Obs.counter;
+  g_state : Obs.gauge;
+  mutable peak : int;
+}
+
+let create ?(alert_cap = 256) ?(obs = Obs.null) ?(lineage = Lineage.null)
+    ?clock ~sites () =
+  if sites < 1 then invalid_arg "Watchdog.create: need at least 1 site";
+  {
+    alert_cap = max 0 alert_cap;
+    clock;
+    lineage;
+    chains = Hashtbl.create 1024;
+    base = Hashtbl.create 1024;
+    unretired = Queue.create ();
+    last_commit_ts = Timestamp.zero;
+    live_versions = 0;
+    retired_versions = 0;
+    global_floor = None;
+    session_floor = Hashtbl.create 64;
+    update_floor = Hashtbl.create 64;
+    fence_floor = Hashtbl.create 64;
+    floors_swept_at = 0;
+    site_seq = Array.make sites Timestamp.zero;
+    pins = Hashtbl.create 64;
+    min_pin = max_int;
+    min_pin_dirty = false;
+    next_serial = 0;
+    horizon = Timestamp.zero;
+    alert_log = [];
+    alert_log_len = 0;
+    n_read = 0;
+    n_inv_all = 0;
+    n_inv_sess = 0;
+    n_inv_upd = 0;
+    n_fence = 0;
+    c_alert_read = Obs.counter obs "watchdog.alerts.read_mismatch";
+    c_alert_inversion = Obs.counter obs "watchdog.alerts.inversion";
+    c_alert_fence = Obs.counter obs "watchdog.alerts.fence";
+    g_state = Obs.gauge obs "watchdog.state_size";
+    peak = 0;
+  }
+
+let state_size t =
+  t.live_versions + Queue.length t.unretired
+  + Hashtbl.length t.session_floor
+  + Hashtbl.length t.update_floor
+  + Hashtbl.length t.fence_floor
+  + Hashtbl.length t.pins
+
+let peak_state t = t.peak
+let retired_versions t = t.retired_versions
+let live_versions t = t.live_versions
+let horizon t = t.horizon
+
+let note_state t =
+  let s = state_size t in
+  if s > t.peak then t.peak <- s;
+  Obs.set_gauge t.g_state (float_of_int s)
+
+(* --- Horizon pins ----------------------------------------------------------- *)
+
+let pin t ts =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  Hashtbl.replace t.pins serial ts;
+  if ts < t.min_pin then t.min_pin <- ts;
+  serial
+
+let unpin t serial =
+  match Hashtbl.find_opt t.pins serial with
+  | None -> ()
+  | Some ts ->
+    Hashtbl.remove t.pins serial;
+    if ts = t.min_pin then t.min_pin_dirty <- true
+
+let min_pin t =
+  if t.min_pin_dirty then begin
+    t.min_pin <- Hashtbl.fold (fun _ ts acc -> min ts acc) t.pins max_int;
+    t.min_pin_dirty <- false
+  end;
+  t.min_pin
+
+(* --- Alerts ----------------------------------------------------------------- *)
+
+let record_alert t ~at ~txn ~session ~site ~snapshot ?mvcc_txn kind =
+  (match kind with
+  | Read_mismatch _ ->
+    t.n_read <- t.n_read + 1;
+    Obs.incr t.c_alert_read
+  | Inversion { level; _ } ->
+    (match level with
+    | All_sessions -> t.n_inv_all <- t.n_inv_all + 1
+    | In_session -> t.n_inv_sess <- t.n_inv_sess + 1
+    | After_update -> t.n_inv_upd <- t.n_inv_upd + 1);
+    Obs.incr t.c_alert_inversion
+  | Fence_violation _ ->
+    t.n_fence <- t.n_fence + 1;
+    Obs.incr t.c_alert_fence);
+  if t.alert_log_len < t.alert_cap then begin
+    let trace =
+      match mvcc_txn with
+      | Some id when Lineage.enabled t.lineage -> Lineage.journey t.lineage ~txn:id
+      | Some _ | None -> []
+    in
+    t.alert_log <- { at; txn; session; site; snapshot; kind; trace } :: t.alert_log;
+    t.alert_log_len <- t.alert_log_len + 1
+  end
+
+(* --- Floors ----------------------------------------------------------------- *)
+
+(* Raise a floor, keeping the earlier witness on equal timestamps — the same
+   tie rule as [Checker.inversions]'s [note]. *)
+let bump_floor tbl session ts id =
+  match Hashtbl.find_opt tbl session with
+  | Some (best, _) when Timestamp.compare best ts >= 0 -> ()
+  | Some _ | None -> Hashtbl.replace tbl session (ts, id)
+
+let bump_global t ts id =
+  match t.global_floor with
+  | Some (best, _) when Timestamp.compare best ts >= 0 -> ()
+  | Some _ | None -> t.global_floor <- Some (ts, id)
+
+let bump_fence_floor t session ts =
+  match Hashtbl.find_opt t.fence_floor session with
+  | Some best when Timestamp.compare best ts >= 0 -> ()
+  | Some _ | None -> Hashtbl.replace t.fence_floor session ts
+
+(* Session floors at or below the horizon can never fire again: any future
+   transaction's snapshot is at least the horizon at its own first operation
+   (a read's snapshot is its site's seq(DBsec) >= the min over sites; an
+   update's snapshot is the primary's newest commit >= every retired one).
+   Sweeping them keeps the tables O(sessions active in the window). *)
+let floors_len t =
+  Hashtbl.length t.session_floor
+  + Hashtbl.length t.update_floor
+  + Hashtbl.length t.fence_floor
+
+let sweep_floors t =
+  let len = floors_len t in
+  if len >= 64 && len >= 2 * t.floors_swept_at then begin
+    let drop tbl keep_of =
+      let dead =
+        Hashtbl.fold
+          (fun session v acc ->
+            if Timestamp.compare (keep_of v) t.horizon <= 0 then session :: acc
+            else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    drop t.session_floor fst;
+    drop t.update_floor fst;
+    drop t.fence_floor (fun ts -> ts);
+    t.floors_swept_at <- floors_len t
+  end
+
+(* --- Retirement ------------------------------------------------------------- *)
+
+let retire t =
+  if not (Queue.is_empty t.unretired) then begin
+    let site_min = Array.fold_left min max_int t.site_seq in
+    let front_ts, _ = Queue.peek t.unretired in
+    if Timestamp.compare front_ts site_min <= 0 then begin
+      let h = min site_min (min_pin t) in
+      if Timestamp.compare h t.horizon > 0 then t.horizon <- h;
+      while
+        match Queue.peek_opt t.unretired with
+        | Some (ts, _) -> Timestamp.compare ts h <= 0
+        | None -> false
+      do
+        let ts, writes = Queue.pop t.unretired in
+        List.iter
+          (fun { Wal.key; value } ->
+            Hashtbl.replace t.base key value;
+            (match Hashtbl.find_opt t.chains key with
+            | Some c when chain_len c > 0 && Timestamp.equal c.c_ts.(c.c_lo) ts ->
+              chain_drop_head c;
+              if chain_len c = 0 then Hashtbl.remove t.chains key
+            | Some _ | None ->
+              (* Commits arrive in timestamp order and retire in the same
+                 order, so the popped version is always the chain head. *)
+              assert false);
+            t.live_versions <- t.live_versions - 1;
+            t.retired_versions <- t.retired_versions + 1)
+          writes
+      done;
+      sweep_floors t
+    end
+  end
+
+let note_refresh t ~site ~seq =
+  if site < 0 || site >= Array.length t.site_seq then
+    invalid_arg "Watchdog.note_refresh: unknown site";
+  if Timestamp.compare seq t.site_seq.(site) > 0 then begin
+    t.site_seq.(site) <- seq;
+    retire t;
+    note_state t
+  end
+
+(* --- Event stream ----------------------------------------------------------- *)
+
+let capture t ~session ~pin_at =
+  {
+    tk_serial = pin t pin_at;
+    tk_session = session;
+    tk_global = t.global_floor;
+    tk_session_floor = Hashtbl.find_opt t.session_floor session;
+    tk_update_floor = Hashtbl.find_opt t.update_floor session;
+    tk_fence_floor = Hashtbl.find_opt t.fence_floor session;
+    tk_snapshot = pin_at;
+  }
+
+let begin_read t ~session ~snapshot = capture t ~session ~pin_at:snapshot
+
+let begin_update t ~session =
+  (* Any attempt of this transaction reads the primary's newest commit at
+     attempt start, which is at least the newest commit seen so far. *)
+  capture t ~session ~pin_at:t.last_commit_ts
+
+(* Expected value of [key] in primary state S@[snapshot]: newest live chain
+   version at or below the snapshot, else the folded base (everything
+   retired is at or below the horizon, hence visible), else absent. Only
+   called with [snapshot >= horizon at the reader's first operation], which
+   the token's pin guarantees. *)
+let expected_value t key snapshot =
+  match Hashtbl.find_opt t.chains key with
+  | Some c ->
+    let pos = chain_partition c snapshot in
+    if pos > c.c_lo then c.c_v.(pos - 1)
+    else Option.join (Hashtbl.find_opt t.base key)
+  | None -> Option.join (Hashtbl.find_opt t.base key)
+
+let validate_reads t ~at ~txn ~session ~site ~snapshot ?mvcc_txn ~own_writes
+    reads =
+  List.iter
+    (fun (key, observed) ->
+      let own =
+        match own_writes with
+        | [] -> false
+        | ws -> List.exists (fun { Wal.key = k; _ } -> String.equal k key) ws
+      in
+      if not own then begin
+        let expected = expected_value t key snapshot in
+        if expected <> observed then
+          record_alert t ~at ~txn ~session ~site ~snapshot ?mvcc_txn
+            (Read_mismatch { key; observed; expected })
+      end)
+    reads
+
+let check_inversions t tok ~at ~txn ~site ~snapshot ?mvcc_txn () =
+  let check level floor =
+    match floor with
+    | Some (ts, earlier) when Timestamp.compare snapshot ts < 0 ->
+      record_alert t ~at ~txn ~session:tok.tk_session ~site ~snapshot ?mvcc_txn
+        (Inversion { level; earlier; floor = ts })
+    | Some _ | None -> ()
+  in
+  check All_sessions tok.tk_global;
+  check In_session tok.tk_session_floor;
+  check After_update tok.tk_update_floor
+
+let check_fence t tok ~at ~txn ~site ~snapshot fence =
+  match fence with
+  | None -> ()
+  | Some { History.claim; read_at } ->
+    let violation detail =
+      record_alert t ~at ~txn ~session:tok.tk_session ~site ~snapshot
+        (Fence_violation { detail })
+    in
+    (match claim with
+    | Session.Exact ts ->
+      if Timestamp.compare snapshot ts < 0 then
+        violation
+          (Format.asprintf "snapshot %a < exact fence %a" Timestamp.pp snapshot
+             Timestamp.pp ts)
+    | Session.Session_seq -> (
+      match tok.tk_fence_floor with
+      | Some floor when Timestamp.compare snapshot floor < 0 ->
+        violation
+          (Format.asprintf "snapshot %a < session fence floor %a" Timestamp.pp
+             snapshot Timestamp.pp floor)
+      | Some _ | None -> ())
+    | Session.Max_age d -> (
+      match t.clock with
+      | None ->
+        violation
+          (Format.asprintf "Max_age %g claim but no commit clock to audit it" d)
+      | Some c ->
+        (* Safe to resolve now: the cutoff precedes the read, so commits
+           appended to the clock after this instant cannot affect it. *)
+        let hor = Session.clock_horizon c ~cutoff:(read_at -. d) in
+        if Timestamp.compare snapshot hor < 0 then
+          violation
+            (Format.asprintf
+               "snapshot %a < visibility horizon %a (age %g at read time %g)"
+               Timestamp.pp snapshot Timestamp.pp hor d read_at)))
+
+let end_read ?fence t tok ~id ~site ~now ~reads =
+  unpin t tok.tk_serial;
+  let snapshot = tok.tk_snapshot in
+  validate_reads t ~at:now ~txn:id ~session:tok.tk_session ~site ~snapshot
+    ~own_writes:[] reads;
+  check_inversions t tok ~at:now ~txn:id ~site ~snapshot ();
+  check_fence t tok ~at:now ~txn:id ~site ~snapshot fence;
+  (* The floors this read raises for later transactions: a committed
+     read-only transaction pins its snapshot (all levels except the
+     updates-only PCSI floor), and a [Session_seq]-fenced one also raises
+     its session's fence floor. *)
+  bump_global t snapshot id;
+  bump_floor t.session_floor tok.tk_session snapshot id;
+  (match fence with
+  | Some { History.claim = Session.Session_seq; _ } ->
+    bump_fence_floor t tok.tk_session snapshot
+  | Some _ | None -> ());
+  note_state t
+
+let end_update ?mvcc_txn t tok ~id ~now ~commit ~snapshot ~reads =
+  unpin t tok.tk_serial;
+  match commit with
+  | None ->
+    (* Aborted: pins nothing, checks nothing (the definitions quantify over
+       committed transactions; the post-hoc checker never sees this
+       transaction in the simulator either). *)
+    note_state t
+  | Some (commit_ts, writes) ->
+    if Timestamp.compare commit_ts t.last_commit_ts <= 0 then
+      invalid_arg "Watchdog.end_update: commits must arrive in commit order";
+    validate_reads t ~at:now ~txn:id ~session:tok.tk_session ~site:"primary"
+      ~snapshot ?mvcc_txn ~own_writes:writes reads;
+    check_inversions t tok ~at:now ~txn:id ~site:"primary" ~snapshot ?mvcc_txn
+      ();
+    bump_global t commit_ts id;
+    bump_floor t.session_floor tok.tk_session commit_ts id;
+    bump_floor t.update_floor tok.tk_session commit_ts id;
+    bump_fence_floor t tok.tk_session commit_ts;
+    t.last_commit_ts <- commit_ts;
+    if writes <> [] then begin
+      List.iter
+        (fun { Wal.key; value } ->
+          let c =
+            match Hashtbl.find_opt t.chains key with
+            | Some c -> c
+            | None ->
+              let c = chain_create () in
+              Hashtbl.replace t.chains key c;
+              c
+          in
+          chain_append c commit_ts value;
+          t.live_versions <- t.live_versions + 1)
+        writes;
+      Queue.push (commit_ts, writes) t.unretired
+    end;
+    note_state t
+
+(* --- Results ---------------------------------------------------------------- *)
+
+let alerts t =
+  List.sort
+    (fun a b ->
+      match Float.compare a.at b.at with 0 -> Int.compare a.txn b.txn | c -> c)
+    t.alert_log
+
+let verdict t =
+  let total = t.n_read + t.n_inv_all + t.n_inv_sess + t.n_inv_upd + t.n_fence in
+  {
+    read_mismatches = t.n_read;
+    v_inversions_all = t.n_inv_all;
+    v_inversions_in_session = t.n_inv_sess;
+    v_inversions_after_update = t.n_inv_upd;
+    fence_failures = t.n_fence;
+    alerts_total = total;
+    alerts_dropped = total - t.alert_log_len;
+  }
+
+let satisfies t g =
+  t.n_read = 0 && t.n_fence = 0
+  &&
+  match g with
+  | Session.Weak -> true
+  | Session.Prefix_consistent -> t.n_inv_upd = 0
+  | Session.Strong_session -> t.n_inv_sess = 0
+  | Session.Strong -> t.n_inv_all = 0
+
+(* --- Rendering -------------------------------------------------------------- *)
+
+let level_name = function
+  | All_sessions -> "all-sessions"
+  | In_session -> "in-session"
+  | After_update -> "after-update"
+
+let value_str = function Some v -> v | None -> "<none>"
+
+let pp_kind ppf = function
+  | Read_mismatch { key; observed; expected } ->
+    Format.fprintf ppf "read %s = %s but primary state has %s" key
+      (value_str observed) (value_str expected)
+  | Inversion { level; earlier; floor } ->
+    Format.fprintf ppf "inversion (%s): snapshot behind txn %d's state %a"
+      (level_name level) earlier Timestamp.pp floor
+  | Fence_violation { detail } -> Format.fprintf ppf "fence violated: %s" detail
+
+let pp_alert ppf a =
+  Format.fprintf ppf "[%.3f] txn %d (session %s at %s, snapshot %a): %a" a.at
+    a.txn a.session a.site Timestamp.pp a.snapshot pp_kind a.kind
+
+let kind_json = function
+  | Read_mismatch { key; observed; expected } ->
+    [
+      ("kind", Json.Str "read_mismatch");
+      ("key", Json.Str key);
+      ( "observed",
+        match observed with Some v -> Json.Str v | None -> Json.Null );
+      ( "expected",
+        match expected with Some v -> Json.Str v | None -> Json.Null );
+    ]
+  | Inversion { level; earlier; floor } ->
+    [
+      ("kind", Json.Str "inversion");
+      ("level", Json.Str (level_name level));
+      ("earlier", Json.Num (float_of_int earlier));
+      ("floor", Json.Num (float_of_int floor));
+    ]
+  | Fence_violation { detail } ->
+    [ ("kind", Json.Str "fence_violation"); ("detail", Json.Str detail) ]
+
+let alert_json a =
+  Json.Obj
+    ([
+       ("at", Json.Num a.at);
+       ("txn", Json.Num (float_of_int a.txn));
+       ("session", Json.Str a.session);
+       ("site", Json.Str a.site);
+       ("snapshot", Json.Num (float_of_int a.snapshot));
+       ( "trace",
+         Json.Arr
+           (List.map
+              (fun e -> Json.Str (Format.asprintf "%a" Lineage.pp_event e))
+              a.trace) );
+     ]
+    @ kind_json a.kind)
+
+let report_json t =
+  let v = verdict t in
+  Json.sort_keys
+    (Json.Obj
+       [
+         ( "verdict",
+           Json.Obj
+             [
+               ("read_mismatches", Json.Num (float_of_int v.read_mismatches));
+               ("inversions_all", Json.Num (float_of_int v.v_inversions_all));
+               ( "inversions_in_session",
+                 Json.Num (float_of_int v.v_inversions_in_session) );
+               ( "inversions_after_update",
+                 Json.Num (float_of_int v.v_inversions_after_update) );
+               ("fence_failures", Json.Num (float_of_int v.fence_failures));
+               ("alerts_total", Json.Num (float_of_int v.alerts_total));
+               ("alerts_dropped", Json.Num (float_of_int v.alerts_dropped));
+             ] );
+         ("state_size", Json.Num (float_of_int (state_size t)));
+         ("peak_state", Json.Num (float_of_int t.peak));
+         ("live_versions", Json.Num (float_of_int t.live_versions));
+         ("retired_versions", Json.Num (float_of_int t.retired_versions));
+         ("horizon", Json.Num (float_of_int t.horizon));
+         ("alerts", Json.Arr (List.map alert_json (alerts t)));
+       ])

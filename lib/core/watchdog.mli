@@ -1,0 +1,210 @@
+(** Online consistency watchdog: streaming SI-anomaly detection with bounded
+    memory.
+
+    {!Checker} audits a fully recorded {!History} after the run; this module
+    performs the same three audits {e while the run executes}, subscribing to
+    the live event stream at exactly the points where [History] records
+    transactions today:
+
+    - {e weak-SI read validation}: every recorded read is checked against the
+      primary state sequence at the reader's snapshot, answered from per-key
+      committed-writer chains by binary search (the same pinned-version rule
+      the checker's MVSG construction uses);
+    - {e inversion floors}: the sorted sweep of {!Checker.inversions} becomes
+      an O(1)-amortized floor update per commit — the maximal state pinned by
+      any finished committed transaction is maintained globally, per session,
+      and per session restricted to updates (the PCSI floor), and every
+      transaction captures the three floors at its first operation;
+    - {e fence audit}: the {!Checker.check_fences} wall-order session floor
+      is maintained the same way, and [Exact]/[Max_age]/[Session_seq] claims
+      are checked the moment the fenced read finishes.
+
+    Violations surface immediately as typed {!alert}s (bounded log, per-kind
+    counters, the offending update's {!Lsr_obs.Lineage} trace attached when a
+    sink is recording).
+
+    {b Bounded memory.} State below the global minimum secondary visibility
+    horizon is retired continuously: once every secondary has refreshed past
+    a committed version — and no in-flight transaction's snapshot pins it —
+    the version folds into a per-key base value and its chain entry is
+    dropped; session floors below the horizon are swept out, because no
+    future snapshot can be older than the horizon at its own first operation.
+    A run with the watchdog on and history recording {e off} verifies the
+    same guarantees in O(active visibility window) memory instead of
+    O(run length).
+
+    {b Equivalence.} For every committed transaction the captured floors
+    equal the post-hoc sweep's floors exactly, because the begin/end hooks
+    fire adjacent to the same wall-order ticks [History] uses ([finished <
+    first_op] iff the earlier transaction's end hook ran before the later
+    one's begin hook) and ties keep the earlier witness, like
+    {!Checker.inversions}. The differential suite in [test/test_watchdog.ml]
+    checks verdict and alert-set equality against {!Checker.analyze} across
+    fuzzed runs. Aborted transactions pin nothing and are never validated
+    (the definitions quantify over committed transactions only). *)
+
+open Lsr_storage
+
+type t
+
+(** Which inversion floor a violation was detected against — mirroring the
+    three lists of {!Checker.report}. *)
+type level =
+  | All_sessions  (** {!Checker.report.inversions_all} (strong SI) *)
+  | In_session  (** [inversions_in_session] (strong session SI) *)
+  | After_update  (** [inversions_after_update] (PCSI) *)
+
+type alert_kind =
+  | Read_mismatch of {
+      key : string;
+      observed : string option;
+      expected : string option;
+    }
+      (** A recorded read disagreed with the primary state sequence at the
+          reader's snapshot. *)
+  | Inversion of { level : level; earlier : int; floor : Timestamp.t }
+      (** The transaction's snapshot is older than the maximal state pinned
+          by committed transaction [earlier], which finished before this
+          transaction's first operation. *)
+  | Fence_violation of { detail : string }
+      (** A fenced read's snapshot did not honour its freshness claim. *)
+
+type alert = {
+  at : float;  (** virtual time of detection (the transaction's finish) *)
+  txn : int;  (** the offending transaction's history id *)
+  session : string;
+  site : string;
+  snapshot : Timestamp.t;
+  kind : alert_kind;
+  trace : Lsr_obs.Lineage.event list;
+      (** the offending update's lineage journey so far, when a sink is
+          recording ([[]] for reads and disabled sinks) *)
+}
+
+val pp_alert : Format.formatter -> alert -> unit
+
+(** Per-kind violation counts — the online mirror of {!Checker.report}
+    (counting alerts, including any dropped beyond the bounded log). *)
+type verdict = {
+  read_mismatches : int;
+  v_inversions_all : int;
+  v_inversions_in_session : int;
+  v_inversions_after_update : int;
+  fence_failures : int;
+  alerts_total : int;
+  alerts_dropped : int;  (** alerts beyond the bounded log's capacity *)
+}
+
+(** [create ~sites ()] is a fresh watchdog for a system with [sites]
+    secondaries. [alert_cap] bounds the retained alert log (default 256;
+    counters keep exact totals past the cap). [clock] is the primary commit
+    clock used to audit [Max_age] claims — as in {!Checker.check_fences}, a
+    [Max_age] claim without a clock is itself a violation. [obs] receives
+    [watchdog.alerts.*] counters and a [watchdog.state_size] gauge;
+    [lineage], when recording, supplies the journey attached to update
+    alerts. *)
+val create :
+  ?alert_cap:int ->
+  ?obs:Lsr_obs.Obs.t ->
+  ?lineage:Lsr_obs.Lineage.t ->
+  ?clock:Session.clock ->
+  sites:int ->
+  unit ->
+  t
+
+(** {2 Event stream}
+
+    One token per transaction: obtained at the transaction's first operation
+    (where [History] takes its [first_op] tick — the token captures the
+    inversion and fence floors at that instant and pins the retirement
+    horizon), consumed exactly once at its finish. Hooks must be called with
+    no scheduler yield between the corresponding [History] tick and the
+    hook. *)
+
+type token
+
+(** [begin_read t ~session ~snapshot] — a read-only transaction starts with
+    [snapshot] (its secondary's seq(DBsec)). Pins the horizon at
+    [snapshot]. *)
+val begin_read : t -> session:string -> snapshot:Timestamp.t -> token
+
+(** [begin_update t ~session] — an update transaction starts at the primary.
+    Pins the horizon at the newest commit seen so far (a lower bound for any
+    snapshot a retrying attempt can observe). *)
+val begin_update : t -> session:string -> token
+
+(** [end_read t token ~id ~site ~now ?fence ~reads] — the read-only
+    transaction finished: validate its reads, check the captured inversion
+    floors, audit the fence claim, then raise the floors it pins (its
+    snapshot; also the session fence floor for a [Session_seq] claim). *)
+val end_read :
+  ?fence:History.fence_claim ->
+  t ->
+  token ->
+  id:int ->
+  site:string ->
+  now:float ->
+  reads:(string * string option) list ->
+  unit
+
+(** [end_update t token ~id ~now ~commit ~snapshot ~reads ?mvcc_txn] — the
+    update transaction finished. [commit = Some (commit_ts, writes)]:
+    validate reads (own-written keys excluded), check the captured floors,
+    raise all floors to [commit_ts], and append the writes to the per-key
+    version chains (commits must arrive in commit-timestamp order).
+    [commit = None]: the transaction aborted — it pins nothing, nothing is
+    checked (matching the checker, which quantifies over committed
+    transactions), the token only releases its horizon pin. [mvcc_txn] is
+    the primary MVCC transaction id, used to attach the lineage journey to
+    any alert. *)
+val end_update :
+  ?mvcc_txn:int ->
+  t ->
+  token ->
+  id:int ->
+  now:float ->
+  commit:(Timestamp.t * Wal.update list) option ->
+  snapshot:Timestamp.t ->
+  reads:(string * string option) list ->
+  unit
+
+(** [note_refresh t ~site ~seq] — secondary [site] committed a refresh
+    transaction, advancing its seq(DBsec) to [seq] (wire to
+    {!Secondary.create}'s [on_refresh_commit]). Advances the retirement
+    horizon and retires versions and session floors below it. *)
+val note_refresh : t -> site:int -> seq:Timestamp.t -> unit
+
+(** {2 Results} *)
+
+(** Retained alerts sorted by (virtual time, txn id) — deterministic for a
+    deterministic run. *)
+val alerts : t -> alert list
+
+val verdict : t -> verdict
+
+(** [satisfies t g] mirrors {!Checker.satisfies}: no read mismatches, no
+    fence failures, and no inversions at the level [g] promises. *)
+val satisfies : t -> Session.guarantee -> bool
+
+(** {2 Introspection} *)
+
+(** Current tracked state: live chain versions + unretired commits + session
+    floors + active transaction pins (the quantity bounded by the active
+    visibility window). *)
+val state_size : t -> int
+
+val peak_state : t -> int
+
+(** Committed versions folded into the base map so far. *)
+val retired_versions : t -> int
+
+val live_versions : t -> int
+
+(** The current retirement horizon (newest commit timestamp with every
+    version at or below it retired-or-retirable). *)
+val horizon : t -> Timestamp.t
+
+(** Deterministic JSON report: verdict counts, state/peak/retired sizes and
+    the retained alerts (sorted), all object keys sorted
+    ({!Lsr_obs.Json.sort_keys}). *)
+val report_json : t -> Lsr_obs.Json.t

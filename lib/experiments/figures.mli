@@ -50,6 +50,10 @@ type run_opts = {
       (** periodic system monitor attached to every run of the sweep; each
           run bumps the series' run ordinal so the time-series of successive
           runs stay apart. Default {!Monitor.null}. *)
+  watchdog : bool;
+      (** attach the online {!Lsr_core.Watchdog} to every run of the sweep
+          (per-run reports then reach the caller through [on_outcome]'s
+          outcome). Default [false]. *)
   on_outcome : string -> Sim_system.config -> Sim_system.outcome -> unit;
       (** called once per completed simulation run with a unique tag
           ("<sweep tag> rep <i>"), the exact config it ran under and its
@@ -100,6 +104,16 @@ val fig_fence : run_opts -> figure
     fraction fenced, and unfenced — compared on mean read response time vs
     load. *)
 val fig_plan : run_opts -> figure
+
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): the online watchdog's cost vs run length against
+    the linear-history post-hoc checker. Per run length, the same seeded
+    trajectory is run three ways — unchecked, watchdog-on with history off,
+    and history-on with the post-hoc battery; series are the watchdog's peak
+    state, the recorded history size, and the CPU cost of each checking
+    mode. The watchdog series stay bounded by the active visibility window
+    while the post-hoc series grow with the run. *)
+val fig_watchdog : run_opts -> figure
 
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)

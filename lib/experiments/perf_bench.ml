@@ -12,6 +12,8 @@ type phase = {
   peak_rss_kb : int;
   checker_cpu_s : float;
   check_errors : int;
+  watchdog_alerts : int;
+  watchdog_peak_state : int;
 }
 
 type report = {
@@ -26,12 +28,15 @@ type report = {
   speedup_events_per_s : float;
   showcase_clients : int;
   showcase : phase;
+  showcase_plain : phase;
+  showcase_watchdog : phase;
+  watchdog_overhead_frac : float;
 }
 
 (* Resident-set high-water mark of this process, from /proc/self/status
    (VmHWM, in kB). Falls back to the GC's top heap size on systems without
-   procfs. Monotone over the process lifetime, so phases are measured
-   smallest-footprint first. *)
+   procfs. Monotone over a process lifetime — which is why every measured
+   phase runs in its own forked child (see [measure_in_child]). *)
 let peak_rss_kb () =
   let from_proc () =
     match open_in "/proc/self/status" with
@@ -56,7 +61,7 @@ let peak_rss_kb () =
   | Some kb -> kb
   | None -> Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8) / 1024
 
-let measure ~label cfg =
+let measure_once ~label cfg =
   let t0 = Sys.time () in
   let o = Sim_system.run cfg in
   let cpu = Sys.time () -. t0 in
@@ -74,7 +79,67 @@ let measure ~label cfg =
     peak_rss_kb = peak_rss_kb ();
     checker_cpu_s = o.Sim_system.checker_cpu_s;
     check_errors = List.length o.Sim_system.check_errors;
+    watchdog_alerts =
+      (match o.Sim_system.watchdog_verdict with
+      | Some v -> v.Lsr_core.Watchdog.alerts_total
+      | None -> 0);
+    watchdog_peak_state = o.Sim_system.watchdog_peak_state;
   }
+
+(* Each rep runs in a forked child and ships its phase record back through a
+   pipe. Process isolation buys two things: [peak_rss_kb] becomes *this
+   phase's* high-water mark instead of the monotone process-wide one (so
+   phase ordering no longer matters and a 3 GB fleet doesn't inflate every
+   later phase's number), and reps don't stack heaps — the OCaml 5.1 runtime
+   never returns major-heap pools to the OS, so two in-process closed-loop
+   reps would peak at nearly double the real footprint. Falls back to
+   in-process measurement where [fork] is unavailable. *)
+let measure_in_child ~label cfg =
+  match Unix.pipe () with
+  | exception Unix.Unix_error _ -> measure_once ~label cfg
+  | r, w ->
+    (match Unix.fork () with
+    | exception Unix.Unix_error _ ->
+      Unix.close r;
+      Unix.close w;
+      measure_once ~label cfg
+    | 0 ->
+      Unix.close r;
+      let oc = Unix.out_channel_of_descr w in
+      Marshal.to_channel oc (measure_once ~label cfg) [];
+      close_out oc;
+      (* Skip at_exit: the child must not flush/close the parent's shared
+         stdout buffers or run its exit hooks twice. *)
+      Unix._exit 0
+    | pid ->
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      let result =
+        match (Marshal.from_channel ic : phase) with
+        | p -> Ok p
+        | exception (End_of_file | Failure _) -> Error ()
+      in
+      close_in ic;
+      let _, status = Unix.waitpid [] pid in
+      (match (status, result) with
+      | Unix.WEXITED 0, Ok p -> p
+      | _ -> failwith (label ^ ": measurement child failed")))
+
+(* Best-of-[reps] timing: the simulation is deterministic (every rep fires
+   the same events and completes the same transactions — asserted), so reps
+   differ only in CPU time, which on shared hardware is noised by co-tenant
+   memory-bandwidth contention. Keeping the fastest rep is the standard way
+   to report the cost the code actually has. *)
+let measure ?(reps = 1) ~label cfg =
+  let best = ref (measure_in_child ~label cfg) in
+  for _ = 2 to reps do
+    let p = measure_in_child ~label cfg in
+    if p.sim_events <> !best.sim_events || p.txns <> !best.txns then
+      failwith (label ^ ": nondeterministic rep (events/txns differ)");
+    if p.cpu_s -. p.checker_cpu_s < !best.cpu_s -. !best.checker_cpu_s then
+      best := p
+  done;
+  !best
 
 (* The paired comparison and the showcase both run with a tiny per-operation
    service time so the sites stay far from saturation even at huge
@@ -97,6 +162,10 @@ let scaled_params ?think_time ~sites ~clients ~propagation ~warmup ~duration ()
 
 let run ?(progress = ignore) ~quick ~seed () =
   let sites = 2 in
+  (* Full-scale timing phases run best-of-3 (pair) / best-of-2 (showcase);
+     quick mode is for shape checks, one rep is enough. *)
+  let pair_reps = if quick then 1 else 3 in
+  let showcase_reps = if quick then 1 else 2 in
   let pair_clients = if quick then 2_000 else 1_000_000 in
   let showcase_clients_per_site = if quick then 10_000 else 500_000 in
   let virtual_s = 8. in
@@ -121,13 +190,10 @@ let run ?(progress = ignore) ~quick ~seed () =
       Sim_system.client_mode = mode;
     }
   in
-  (* Open loop first: the RSS high-water mark is monotone, so the
-     small-footprint phase must be measured before the closed-loop fleet
-     inflates it. *)
   progress
     (Printf.sprintf "open-loop pair run: %d modeled clients/site" pair_clients);
   let open_loop =
-    measure ~label:"open-loop"
+    measure ~reps:pair_reps ~label:"open-loop"
       (pair_cfg
          (Sim_system.Open_loop
             { clients = pair_clients; arrival = Sim_system.Poisson; session_pool = 0 }))
@@ -135,7 +201,9 @@ let run ?(progress = ignore) ~quick ~seed () =
   progress
     (Printf.sprintf "closed-loop pair run: %d coroutine clients/site"
        pair_clients);
-  let closed_loop = measure ~label:"closed-loop" (pair_cfg Sim_system.Closed_loop) in
+  let closed_loop =
+    measure ~reps:pair_reps ~label:"closed-loop" (pair_cfg Sim_system.Closed_loop)
+  in
   progress
     (Printf.sprintf "showcase: %d modeled clients with full checker battery"
        (sites * showcase_clients_per_site));
@@ -150,19 +218,34 @@ let run ?(progress = ignore) ~quick ~seed () =
       tran_size_max = 6;
     }
   in
+  let showcase_cfg =
+    {
+      (Sim_system.config showcase_params Session.Strong_session ~seed) with
+      Sim_system.client_mode =
+        Sim_system.Open_loop
+          {
+            clients = showcase_clients_per_site;
+            arrival = Sim_system.Poisson;
+            session_pool = 0;
+          };
+    }
+  in
+  (* Unchecked baseline first, then the bounded-memory online check, then the
+     linear-history post-hoc battery: the watchdog's CPU and state cost are
+     both measured against the exact same run (same seed, same trajectory —
+     attaching the watchdog never changes outcomes). *)
+  progress "showcase baseline: no history, no online check";
+  let showcase_plain =
+    measure ~reps:showcase_reps ~label:"showcase-plain" showcase_cfg
+  in
+  progress "showcase watchdog: online check, history recording off";
+  let showcase_watchdog =
+    measure ~reps:showcase_reps ~label:"showcase-watchdog"
+      { showcase_cfg with Sim_system.watchdog = true }
+  in
   let showcase =
-    measure ~label:"showcase"
-      {
-        (Sim_system.config showcase_params Session.Strong_session ~seed) with
-        Sim_system.record_history = true;
-        client_mode =
-          Sim_system.Open_loop
-            {
-              clients = showcase_clients_per_site;
-              arrival = Sim_system.Poisson;
-              session_pool = 0;
-            };
-      }
+    measure ~reps:showcase_reps ~label:"showcase"
+      { showcase_cfg with Sim_system.record_history = true }
   in
   {
     seed;
@@ -176,6 +259,11 @@ let run ?(progress = ignore) ~quick ~seed () =
     speedup_events_per_s = open_loop.events_per_s /. closed_loop.events_per_s;
     showcase_clients = sites * showcase_clients_per_site;
     showcase;
+    showcase_plain;
+    showcase_watchdog;
+    watchdog_overhead_frac =
+      (showcase_watchdog.cpu_s -. showcase_plain.cpu_s)
+      /. Float.max 1e-9 showcase_plain.cpu_s;
   }
 
 (* --- JSON ------------------------------------------------------------------- *)
@@ -192,6 +280,8 @@ let phase_to_json p =
       ("peak_rss_kb", Json.Num (float_of_int p.peak_rss_kb));
       ("checker_cpu_s", Json.Num p.checker_cpu_s);
       ("check_errors", Json.Num (float_of_int p.check_errors));
+      ("watchdog_alerts", Json.Num (float_of_int p.watchdog_alerts));
+      ("watchdog_peak_state", Json.Num (float_of_int p.watchdog_peak_state));
     ]
 
 let to_json r =
@@ -209,6 +299,9 @@ let to_json r =
       ("speedup_events_per_s", Json.Num r.speedup_events_per_s);
       ("showcase_clients", Json.Num (float_of_int r.showcase_clients));
       ("showcase", phase_to_json r.showcase);
+      ("showcase_plain", phase_to_json r.showcase_plain);
+      ("showcase_watchdog", phase_to_json r.showcase_watchdog);
+      ("watchdog_overhead_frac", Json.Num r.watchdog_overhead_frac);
     ]
 
 let phase_fields =
@@ -216,6 +309,7 @@ let phase_fields =
     ("label", `Str); ("cpu_s", `Num); ("sim_events", `Num);
     ("events_per_s", `Num); ("txns", `Num); ("txns_per_s", `Num);
     ("peak_rss_kb", `Num); ("checker_cpu_s", `Num); ("check_errors", `Num);
+    ("watchdog_alerts", `Num); ("watchdog_peak_state", `Num);
   ]
 
 let check_field ctx j (name, kind) =
@@ -243,7 +337,8 @@ let validate j =
       ("pair_clients_per_site", `Num); ("offered_per_site", `Num);
       ("virtual_s", `Num); ("open_loop", `Obj); ("closed_loop", `Obj);
       ("speedup_events_per_s", `Num); ("showcase_clients", `Num);
-      ("showcase", `Obj);
+      ("showcase", `Obj); ("showcase_plain", `Obj);
+      ("showcase_watchdog", `Obj); ("watchdog_overhead_frac", `Num);
     ]
   in
   match check_all "report" j top_fields with
@@ -262,7 +357,9 @@ let validate j =
       | name :: rest -> (
         match check_phase name with Error _ as e -> e | Ok () -> phases rest)
     in
-    phases [ "open_loop"; "closed_loop"; "showcase" ]
+    phases
+      [ "open_loop"; "closed_loop"; "showcase"; "showcase_plain";
+        "showcase_watchdog" ]
 
 let write r ~file =
   let oc = open_out file in
@@ -283,6 +380,8 @@ let phase_rows p =
     string_of_int p.peak_rss_kb;
     Printf.sprintf "%.2f" p.checker_cpu_s;
     string_of_int p.check_errors;
+    string_of_int p.watchdog_alerts;
+    string_of_int p.watchdog_peak_state;
   ]
 
 let print r =
@@ -296,8 +395,15 @@ let print r =
     ~header:
       [
         "phase"; "cpu s"; "events"; "events/s"; "txns"; "txns/s"; "rss kB";
-        "checker s"; "check errs";
+        "checker s"; "check errs"; "wd alerts"; "wd state";
       ]
-    [ phase_rows r.open_loop; phase_rows r.closed_loop; phase_rows r.showcase ];
+    [
+      phase_rows r.open_loop; phase_rows r.closed_loop;
+      phase_rows r.showcase_plain; phase_rows r.showcase_watchdog;
+      phase_rows r.showcase;
+    ];
   Printf.printf "open-loop / closed-loop events-per-second speedup: %.2fx\n%!"
-    r.speedup_events_per_s
+    r.speedup_events_per_s;
+  Printf.printf
+    "online watchdog cpu overhead over the unchecked showcase: %.1f%%\n%!"
+    (100. *. r.watchdog_overhead_frac)

@@ -1,17 +1,28 @@
 (** The per-PR performance trajectory bench behind [bench perf] and the
-    committed [BENCH_7.json] (see ROADMAP.md for the trajectory commitment).
+    committed [BENCH_9.json] (see ROADMAP.md for the trajectory commitment).
 
-    Three deterministic runs of the simulated system, all with a tiny
+    Five deterministic runs of the simulated system, all with a tiny
     per-operation service time so the sites stay far from saturation (the
     bench measures simulator speed, not the paper's contention curves):
 
     - an {e open-loop} and a {e closed-loop} run at equal offered load
       ({!Sim_system.offered_rate}), same seed, same virtual duration — the
       paired comparison behind the events-per-second speedup;
-    - a {e showcase} open-loop run at a million-plus modeled clients with
-      history recording on, so the full checker battery executes over the
-      result (its CPU time is reported separately and excluded from the
-      simulator-speed figures).
+    - three {e showcase} open-loop runs at a million-plus modeled clients,
+      same seed and therefore the same trajectory: an unchecked baseline, a
+      run with the online {!Lsr_core.Watchdog} attached (history recording
+      off — the bounded-memory check), and a run with history recording on
+      so the full post-hoc checker battery executes over the result (its
+      CPU time is reported separately and excluded from the simulator-speed
+      figures). The watchdog-vs-baseline CPU delta is the committed
+      watchdog overhead.
+
+    Every measured run executes in a forked child process, so each phase's
+    RSS high-water mark is its own (a 3 GB closed-loop fleet does not
+    inflate later phases' numbers), and the full-scale timing phases run
+    best-of-N repetitions (3 for the pair, 2 for the showcases; the reps
+    must fire identical event/transaction counts — asserted) to suppress
+    co-tenant memory-bandwidth noise on shared hardware.
 
     Timings use {!Sys.time} (single-threaded process, CPU ~ wall), so the
     report is deterministic in everything except the timing fields. *)
@@ -24,10 +35,14 @@ type phase = {
   txns : int;  (** completed transactions in the measured window *)
   txns_per_s : float;
   peak_rss_kb : int;
-      (** process RSS high-water mark after the phase (monotone — phases are
-          measured smallest-footprint first) *)
+      (** RSS high-water mark of the phase's own measurement process *)
   checker_cpu_s : float;
   check_errors : int;
+  watchdog_alerts : int;
+      (** total online alerts (0 for phases without the watchdog) *)
+  watchdog_peak_state : int;
+      (** peak watchdog state — versions + floors + pins tracked at once,
+          bounded by the active visibility window (0 without the watchdog) *)
 }
 
 type report = {
@@ -41,18 +56,23 @@ type report = {
   closed_loop : phase;
   speedup_events_per_s : float;  (** open_loop / closed_loop events/s *)
   showcase_clients : int;  (** total modeled clients in the showcase *)
-  showcase : phase;
+  showcase : phase;  (** history recording on, post-hoc checker battery *)
+  showcase_plain : phase;  (** unchecked baseline (no history, no watchdog) *)
+  showcase_watchdog : phase;  (** online watchdog on, history recording off *)
+  watchdog_overhead_frac : float;
+      (** (showcase_watchdog.cpu_s - showcase_plain.cpu_s) /
+          showcase_plain.cpu_s — the CPU price of the online check *)
 }
 
-(** [run ~quick ~seed ()] executes the three phases. [quick] shrinks the
-    client counts ~100x for smoke use; [progress] receives one line per
-    phase before it starts. *)
+(** [run ~quick ~seed ()] executes the five phases. [quick] shrinks the
+    client counts ~100x and drops to one rep per phase for smoke use;
+    [progress] receives one line per phase before it starts. *)
 val run : ?progress:(string -> unit) -> quick:bool -> seed:int -> unit -> report
 
 val to_json : report -> Lsr_obs.Json.t
 
 (** [validate j] checks the committed-schema contract: every field of the
-    report and of its three phase objects present, numbers finite, [bench]
+    report and of its five phase objects present, numbers finite, [bench]
     equal to ["perf"]. The emitter and this validator live together so the
     schema test and the bench cannot drift apart. *)
 val validate : Lsr_obs.Json.t -> (unit, string) result

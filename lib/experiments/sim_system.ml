@@ -20,6 +20,7 @@ type config = {
   guarantee : Session.guarantee;
   seed : int;
   record_history : bool;
+  watchdog : bool;
   serial_refresh : bool;
   ship_aborted : bool;
   migrate_prob : float;
@@ -38,6 +39,7 @@ let config params guarantee ~seed =
     guarantee;
     seed;
     record_history = false;
+    watchdog = false;
     serial_refresh = false;
     ship_aborted = false;
     migrate_prob = 0.;
@@ -107,6 +109,10 @@ type outcome = {
   channel_max_queue : int;
   sim_events : int;
   checker_cpu_s : float;
+  watchdog_verdict : Watchdog.verdict option;
+  watchdog_alerts : Watchdog.alert list;
+  watchdog_peak_state : int;
+  watchdog_report : Lsr_obs.Json.t option;
   resources : resource_report list;
 }
 
@@ -179,12 +185,17 @@ type state = {
   (* Primary commit clock (commit ts -> virtual time): resolves [Max_age]
      fence horizons and replays them in the checker's fence audit. *)
   clock : Session.clock;
+  (* Online checker; [None] unless [cfg.watchdog]. [track_reads] caches
+     [record_history || watchdog]: both consumers need the observed values
+     collected on the hot path. *)
+  watchdog : Watchdog.t option;
+  track_reads : bool;
   mutable fenced_reads : int;
   jitter_rng : Rng.t;
   mutable label_counter : int;
 }
 
-let make_site cfg eng fault_rng index =
+let make_site cfg eng wdog fault_rng index =
   let queue_cond = Condition.create () in
   let pending_cond = Condition.create () in
   let session_cond = Seqcond.create () in
@@ -196,7 +207,13 @@ let make_site cfg eng fault_rng index =
        required seq are released by exactly the commit that satisfies
        them. *)
     Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage
-      ~on_refresh_commit:(fun ts -> Seqcond.advance session_cond ts)
+      ~on_refresh_commit:(fun ts ->
+        Seqcond.advance session_cond ts;
+        (* The same commit that wakes blocked readers advances the
+           watchdog's retirement horizon for this site. *)
+        match wdog with
+        | Some w -> Watchdog.note_refresh w ~site:index ~seq:ts
+        | None -> ())
       ()
   in
   let chan =
@@ -371,6 +388,13 @@ let execute_update st rng label spec =
   let p = st.cfg.params in
   let pdb = Primary.db st.primary in
   let first_op = History.tick st.history in
+  (* One watchdog token for the whole retry loop: only the committed attempt
+     becomes a transaction, matching the single history record below. *)
+  let wtok =
+    match st.watchdog with
+    | Some w -> Some (Watchdog.begin_update w ~session:label)
+    | None -> None
+  in
   let rec attempt () =
     let snapshot = Mvcc.latest_commit_ts pdb in
     let txn = Mvcc.begin_txn pdb in
@@ -381,7 +405,7 @@ let execute_update st rng label spec =
         match op with
         | Txn_gen.Read_op key ->
           let v = Mvcc.read pdb txn key in
-          if st.cfg.record_history then reads := (key, v) :: !reads
+          if st.track_reads then reads := (key, v) :: !reads
         | Txn_gen.Write_op (key, value) -> Mvcc.write pdb txn key (Some value))
       spec.Txn_gen.ops;
     if Rng.bernoulli rng ~p:p.Params.abort_prob then begin
@@ -403,21 +427,36 @@ let execute_update st rng label spec =
             (Lsr_obs.Lineage.Primary_commit
                { commit_ts; updates = List.length writes });
         Session.note_update_commit st.sessions ~label ~commit_ts;
-        if st.cfg.record_history then
-          History.add st.history
-            {
-              History.id = History.fresh_id st.history;
-              session = label;
-              kind = History.Update;
-              site = "primary";
-              first_op;
-              finished = History.tick st.history;
-              snapshot;
-              commit_ts = Some commit_ts;
-              reads = List.rev !reads;
-              writes;
-              fence = None;
-            }
+        if st.track_reads then begin
+          (* One id and finish tick shared by the history record and the
+             watchdog, so inversion witnesses are comparable across both.
+             Nothing yields between [Mvcc.commit] above and here, so the
+             watchdog sees commits in commit-timestamp order. *)
+          let id = History.fresh_id st.history in
+          let finished = History.tick st.history in
+          (match (st.watchdog, wtok) with
+          | Some w, Some tok ->
+            Watchdog.end_update w tok ~id ~now:(Engine.now st.eng)
+              ~mvcc_txn:(Mvcc.txn_id txn)
+              ~commit:(Some (commit_ts, writes))
+              ~snapshot ~reads:(List.rev !reads)
+          | _ -> ());
+          if st.cfg.record_history then
+            History.add st.history
+              {
+                History.id = id;
+                session = label;
+                kind = History.Update;
+                site = "primary";
+                first_op;
+                finished;
+                snapshot;
+                commit_ts = Some commit_ts;
+                reads = List.rev !reads;
+                writes;
+                fence = None;
+              }
+        end
       | Mvcc.Aborted (Mvcc.Write_conflict _) ->
         (* A real conflict under the first-committer-wins rule (key skew);
            restart like any other abort to maintain the offered load. *)
@@ -480,6 +519,13 @@ let execute_read ?fence st site label spec =
   end;
   let first_op = History.tick st.history in
   let snapshot = Secondary.seq_dbsec site.sec in
+  (* Token taken right at the first-operation tick (no yield since): the
+     captured floors equal the post-hoc sweep's floors at [first_op]. *)
+  let wtok =
+    match st.watchdog with
+    | Some w -> Some (Watchdog.begin_read w ~session:label ~snapshot)
+    | None -> None
+  in
   (* Freshness of the snapshot this read is about to use: how old its newest
      reflected primary commit is, and how many commits it misses. Always
      computed (the outcome reports it); the lineage sink gets the same
@@ -511,25 +557,37 @@ let execute_read ?fence st site label spec =
       match op with
       | Txn_gen.Read_op key ->
         let v = Mvcc.read sdb txn key in
-        if st.cfg.record_history then reads := (key, v) :: !reads
+        if st.track_reads then reads := (key, v) :: !reads
       | Txn_gen.Write_op _ -> assert false (* read-only by construction *))
     spec.Txn_gen.ops;
   Mvcc.end_read sdb txn;
-  if st.cfg.record_history then
-    History.add st.history
-      {
-        History.id = History.fresh_id st.history;
-        session = label;
-        kind = History.Read_only;
-        site = Printf.sprintf "secondary-%d" site.index;
-        first_op;
-        finished = History.tick st.history;
-        snapshot;
-        commit_ts = None;
-        reads = List.rev !reads;
-        writes = [];
-        fence = Option.map (fun claim -> { History.claim; read_at }) fence;
-      }
+  if st.track_reads then begin
+    let id = History.fresh_id st.history in
+    let finished = History.tick st.history in
+    let fence_claim =
+      Option.map (fun claim -> { History.claim; read_at }) fence
+    in
+    (match (st.watchdog, wtok) with
+    | Some w, Some tok ->
+      Watchdog.end_read ?fence:fence_claim w tok ~id ~site:site.site_name
+        ~now:(Engine.now st.eng) ~reads:(List.rev !reads)
+    | _ -> ());
+    if st.cfg.record_history then
+      History.add st.history
+        {
+          History.id = id;
+          session = label;
+          kind = History.Read_only;
+          site = site.site_name;
+          first_op;
+          finished;
+          snapshot;
+          commit_ts = None;
+          reads = List.rev !reads;
+          writes = [];
+          fence = fence_claim;
+        }
+  end
 
 (* The fence for one read, drawn from the run's fence policy. [All_reads]
    draws nothing from the rng, so a run with [All_reads Session_seq] under
@@ -708,19 +766,30 @@ let monitor_probe st () =
           float_of_int (Mvcc.version_count (Primary.db st.primary)) );
       ]
   in
-  Array.fold_left
-    (fun acc site ->
-      acc
-      @ resource site.res
-      @ [
-          ( site.site_name ^ ".update_queue",
-            float_of_int (Secondary.update_queue_length site.sec) );
-          ( site.site_name ^ ".pending",
-            float_of_int (Secondary.pending_queue_length site.sec) );
-          ( site.site_name ^ ".versions",
-            float_of_int (Mvcc.version_count (Secondary.db site.sec)) );
-        ])
-    primary st.sites
+  let per_site =
+    Array.fold_left
+      (fun acc site ->
+        acc
+        @ resource site.res
+        @ [
+            ( site.site_name ^ ".update_queue",
+              float_of_int (Secondary.update_queue_length site.sec) );
+            ( site.site_name ^ ".pending",
+              float_of_int (Secondary.pending_queue_length site.sec) );
+            ( site.site_name ^ ".versions",
+              float_of_int (Mvcc.version_count (Secondary.db site.sec)) );
+          ])
+      primary st.sites
+  in
+  match st.watchdog with
+  | None -> per_site
+  | Some w ->
+    per_site
+    @ [
+        ( "watchdog.alerts",
+          float_of_int (Watchdog.verdict w).Watchdog.alerts_total );
+        ("watchdog.state", float_of_int (Watchdog.state_size w));
+      ]
 
 let resource_report r =
   {
@@ -749,6 +818,16 @@ let run cfg =
   Lsr_obs.Lineage.set_clock cfg.lineage (fun () -> Engine.now eng);
   Lsr_obs.Lineage.new_epoch cfg.lineage;
   let primary = Primary.create () in
+  (* Clock and watchdog exist before the sites: each site's refresh-commit
+     hook feeds the watchdog's retirement horizon. *)
+  let clock = Session.clock_create () in
+  let wdog =
+    if cfg.watchdog then
+      Some
+        (Watchdog.create ~obs:cfg.obs ~lineage:cfg.lineage ~clock
+           ~sites:p.Params.num_secondaries ())
+    else None
+  in
   let st =
     {
       cfg;
@@ -762,7 +841,7 @@ let run cfg =
           ~lineage:cfg.lineage (Primary.wal primary);
       sites =
         Array.init p.Params.num_secondaries
-          (make_site cfg eng (Rng.create (cfg.seed lxor 0xFA17)));
+          (make_site cfg eng wdog (Rng.create (cfg.seed lxor 0xFA17)));
       sessions = Session.create cfg.guarantee;
       metrics = Metrics.create ~warmup:p.Params.warmup ~cap:p.Params.response_time_cap;
       ins = instruments cfg.obs;
@@ -770,7 +849,9 @@ let run cfg =
       commit_times = Hashtbl.create 4096;
       commit_ord = Hashtbl.create 4096;
       commit_count = 0;
-      clock = Session.clock_create ();
+      clock;
+      watchdog = wdog;
+      track_reads = cfg.record_history || cfg.watchdog;
       fenced_reads = 0;
       jitter_rng = Rng.create (cfg.seed lxor 0x5EED);
       label_counter = 0;
@@ -838,6 +919,20 @@ let run cfg =
   let checker_cpu_s =
     if cfg.record_history then Sys.time () -. checker_started else 0.
   in
+  (* The watchdog's verdict joins the same error channel as the post-hoc
+     battery, so a violated guarantee fails the run whether or not a history
+     was recorded. *)
+  let check_errors =
+    match st.watchdog with
+    | Some w when not (Watchdog.satisfies w cfg.guarantee) ->
+      check_errors
+      @ [
+          Printf.sprintf "watchdog: guarantee %s violated (%d alerts)"
+            (Session.guarantee_name cfg.guarantee)
+            (Watchdog.verdict w).Watchdog.alerts_total;
+        ]
+    | Some _ | None -> check_errors
+  in
   let secondary_utilization =
     let busy =
       Array.fold_left (fun acc site -> acc +. Resource.busy_time site.res) 0. st.sites
@@ -888,6 +983,12 @@ let run cfg =
         channel_stats.Lsr_faults.Channel.max_ooo;
     sim_events = Engine.events_processed eng;
     checker_cpu_s;
+    watchdog_verdict = Option.map Watchdog.verdict st.watchdog;
+    watchdog_alerts =
+      (match st.watchdog with Some w -> Watchdog.alerts w | None -> []);
+    watchdog_peak_state =
+      (match st.watchdog with Some w -> Watchdog.peak_state w | None -> 0);
+    watchdog_report = Option.map Watchdog.report_json st.watchdog;
     resources =
       resource_report st.primary_res
       :: Array.to_list (Array.map (fun site -> resource_report site.res) st.sites);

@@ -56,6 +56,17 @@ type config = {
   record_history : bool;
       (** record every transaction and run the checker battery at the end
           (memory-heavy; meant for validation runs, not performance sweeps) *)
+  watchdog : bool;
+      (** attach an online {!Lsr_core.Watchdog}: the weak-SI read
+          validation, the inversion floors for all three session-guarantee
+          levels and the fence audit run incrementally as transactions
+          finish, in memory bounded by the active visibility window — so
+          guarantees are verified even with [record_history = false] (and
+          on runs too long to record). Alerts land in
+          [watchdog_alerts]/[watchdog_verdict], a failed guarantee also in
+          [check_errors]. Attaching the watchdog never changes simulation
+          outcomes (it only observes; virtual time never advances in its
+          hooks). *)
   serial_refresh : bool;
       (** ablation: the refresher waits for each applicator to commit before
           processing the next record (no concurrent applicators) *)
@@ -210,6 +221,22 @@ type outcome = {
   checker_cpu_s : float;
       (** CPU seconds the end-of-run checker battery took (0 when
           [record_history = false]) *)
+  watchdog_verdict : Lsr_core.Watchdog.verdict option;
+      (** the online watchdog's final per-kind violation counts ([None]
+          when [watchdog = false]) *)
+  watchdog_alerts : Lsr_core.Watchdog.alert list;
+      (** the watchdog's retained alert log, sorted by (virtual time,
+          txn id) — deterministic for a fixed seed *)
+  watchdog_peak_state : int;
+      (** peak watchdog state size (live versions + unretired commits +
+          session floors + in-flight pins): the memory the online check
+          needed, bounded by the active visibility window rather than the
+          run length *)
+  watchdog_report : Lsr_obs.Json.t option;
+      (** {!Lsr_core.Watchdog.report_json} of the attached watchdog —
+          verdict counts, state sizes, retirement horizon and the retained
+          alert log, keys sorted, deterministic for a fixed seed ([None]
+          when [watchdog = false]) *)
   resources : resource_report list;
       (** queueing telemetry per site resource, primary first then
           secondaries in index order — the input of {!Bottleneck} *)

@@ -907,6 +907,102 @@ let test_checker_fence_audit () =
   check_int "with the clock, the stale Max_age read is caught" 1
     (List.length (Checker.check_fences ~clock aged))
 
+let test_checker_fence_edge_cases () =
+  let fenced claim read_at = { History.claim; read_at } in
+  (* A Max_age claim audited against a clock with no commits yet: the
+     visibility horizon of an empty clock is state zero, which any snapshot
+     satisfies — present-but-empty is not the same as absent (a violation).
+     The watchdog inherits exactly this behaviour from check_fences. *)
+  let aged =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"r" ~kind:History.Read_only ~first_op:1
+          ~finished:2 ~snapshot:0
+          ~fence:(fenced (Session.Max_age 1.) 10.) ();
+      ]
+  in
+  check_int "Max_age vs empty clock: horizon 0, trivially satisfied" 0
+    (List.length (Checker.check_fences ~clock:(Session.clock_create ()) aged));
+  check_int "the same claim with no clock at all is a violation" 1
+    (List.length (Checker.check_fences aged));
+  (* Fence claims on transactions that later abort are never audited: the
+     audit quantifies over committed transactions, and an aborted update
+     must not raise the session fence floor either. *)
+  let aborted_fenced =
+    history_of
+      [
+        (* Aborted update carrying a (nonsensical but recordable) fence. *)
+        mk_txn ~id:1 ~session:"s" ~kind:History.Update ~first_op:1 ~finished:2
+          ~snapshot:0
+          ~fence:(fenced (Session.Exact 99) 1.) ();
+        (* Committed update at ts 5 raises the floor for its session... *)
+        mk_txn ~id:2 ~session:"s" ~kind:History.Update ~first_op:3 ~finished:4
+          ~snapshot:0 ~commit_ts:5 ();
+        (* Aborted update at a would-be ts 9 must NOT raise it further. *)
+        mk_txn ~id:3 ~session:"s" ~kind:History.Update ~first_op:5 ~finished:6
+          ~snapshot:0 ();
+        (* ...so a Session_seq read at snapshot 5 is honest (floor 5, not 9),
+           and the aborted claims above were ignored entirely. *)
+        mk_txn ~id:4 ~session:"s" ~kind:History.Read_only ~first_op:7
+          ~finished:8 ~snapshot:5
+          ~fence:(fenced Session.Session_seq 7.) ();
+      ]
+  in
+  check_int "aborted claims ignored, aborted commits don't raise the floor" 0
+    (List.length (Checker.check_fences aborted_fenced));
+  (* Multiple Session_seq claims in one session ratchet: the first fenced
+     read's snapshot becomes part of the floor the second is audited
+     against, so a later read regressing below it is a violation even
+     though no update intervened. *)
+  let ratchet =
+    history_of
+      [
+        mk_txn ~id:1 ~session:"s" ~kind:History.Read_only ~first_op:1
+          ~finished:2 ~snapshot:7
+          ~fence:(fenced Session.Session_seq 1.) ();
+        mk_txn ~id:2 ~session:"s" ~kind:History.Read_only ~first_op:3
+          ~finished:4 ~snapshot:3
+          ~fence:(fenced Session.Session_seq 3.) ();
+      ]
+  in
+  check_int "second Session_seq claim audited against the first's snapshot" 1
+    (List.length (Checker.check_fences ratchet));
+  (* The online watchdog agrees on all three edge cases, fed the same
+     streams through its hooks. *)
+  let wd_case ~clock txns =
+    let w = Watchdog.create ?clock ~sites:1 () in
+    List.iter
+      (fun (t : History.txn) ->
+        match t.History.kind with
+        | History.Read_only ->
+          let tok =
+            Watchdog.begin_read w ~session:t.History.session
+              ~snapshot:t.History.snapshot
+          in
+          Watchdog.end_read ?fence:t.History.fence w tok ~id:t.History.id
+            ~site:t.History.site
+            ~now:(float_of_int t.History.finished)
+            ~reads:t.History.reads
+        | History.Update ->
+          let tok = Watchdog.begin_update w ~session:t.History.session in
+          Watchdog.end_update w tok ~id:t.History.id
+            ~now:(float_of_int t.History.finished)
+            ~commit:
+              (Option.map (fun ts -> (ts, t.History.writes)) t.History.commit_ts)
+            ~snapshot:t.History.snapshot ~reads:t.History.reads)
+      txns;
+    (Watchdog.verdict w).Watchdog.fence_failures
+  in
+  check_int "watchdog: Max_age vs empty clock trivially satisfied" 0
+    (wd_case ~clock:(Some (Session.clock_create ()))
+       (History.transactions aged));
+  check_int "watchdog: Max_age with no clock is a violation" 1
+    (wd_case ~clock:None (History.transactions aged));
+  check_int "watchdog: aborted claims ignored, floors unmoved" 0
+    (wd_case ~clock:None (History.transactions aborted_fenced));
+  check_int "watchdog: Session_seq claims ratchet" 1
+    (wd_case ~clock:None (History.transactions ratchet))
+
 let test_checker_concurrent_txns_not_inverted () =
   (* Overlapping transactions impose no ordering constraint. *)
   let h =
@@ -2014,6 +2110,8 @@ let () =
             test_checker_completeness_secondary_ahead;
           Alcotest.test_case "satisfies matrix" `Quick test_checker_satisfies;
           Alcotest.test_case "fence audit" `Quick test_checker_fence_audit;
+          Alcotest.test_case "fence audit edge cases" `Quick
+            test_checker_fence_edge_cases;
         ]
         @ qsuite [ prop_inversions_match_bruteforce ] );
       ( "serializability",

@@ -1,0 +1,436 @@
+(* The online watchdog's differential suite (PR 9): on every fuzzed run the
+   streaming verdict must equal the post-hoc checker battery's, alert for
+   alert — the same weak-SI read mismatches, the same inversion witness
+   pairs at all three strictness levels, the same fence-audit failures.
+   Plus the watchdog's own contracts: deterministic alert ordering, zero
+   effect on simulation outcomes, and bounded state through continuous
+   retirement (embedded system and simulator). *)
+
+open Lsr_core
+open Lsr_experiments
+module Params = Lsr_workload.Params
+module Json = Lsr_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- differential: watchdog verdict == Checker.analyze ---------------------- *)
+
+let base_params =
+  {
+    Params.default with
+    Params.num_secondaries = 2;
+    clients_per_secondary = 5;
+    warmup = 10.;
+    duration = 120.;
+  }
+
+let both_cfg ?(params = base_params) guarantee ~seed =
+  {
+    (Sim_system.config params guarantee ~seed) with
+    Sim_system.record_history = true;
+    watchdog = true;
+  }
+
+(* The inversion witness pairs (earlier id, later id) the watchdog retained
+   at one level. Comparable only when nothing was dropped past the alert
+   cap. *)
+let alert_pairs level (alerts : Watchdog.alert list) =
+  List.filter_map
+    (fun (a : Watchdog.alert) ->
+      match a.Watchdog.kind with
+      | Watchdog.Inversion { level = l; earlier; floor = _ } when l = level ->
+        Some (earlier, a.Watchdog.txn)
+      | _ -> None)
+    alerts
+  |> List.sort compare
+
+let report_pairs (invs : Checker.inversion list) =
+  List.map
+    (fun (i : Checker.inversion) ->
+      (i.Checker.earlier.History.id, i.Checker.later.History.id))
+    invs
+  |> List.sort compare
+
+let assert_equivalent ~tag (o : Sim_system.outcome) =
+  let report =
+    match o.Sim_system.check_report with
+    | Some r -> r
+    | None -> Alcotest.failf "%s: no checker report" tag
+  in
+  let v =
+    match o.Sim_system.watchdog_verdict with
+    | Some v -> v
+    | None -> Alcotest.failf "%s: no watchdog verdict" tag
+  in
+  check_int
+    (tag ^ ": weak-SI read mismatches")
+    (List.length report.Checker.weak_si_violations)
+    v.Watchdog.read_mismatches;
+  check_int
+    (tag ^ ": inversions (all)")
+    (List.length report.Checker.inversions_all)
+    v.Watchdog.v_inversions_all;
+  check_int
+    (tag ^ ": inversions (in session)")
+    (List.length report.Checker.inversions_in_session)
+    v.Watchdog.v_inversions_in_session;
+  check_int
+    (tag ^ ": inversions (after update)")
+    (List.length report.Checker.inversions_after_update)
+    v.Watchdog.v_inversions_after_update;
+  check_int
+    (tag ^ ": fence failures")
+    (List.length report.Checker.fence_violations)
+    v.Watchdog.fence_failures;
+  (* Witness-for-witness equality whenever the bounded log kept everything:
+     the watchdog must blame the same (earlier, later) transaction pairs the
+     post-hoc sweep finds, not merely count the same. *)
+  if v.Watchdog.alerts_dropped = 0 then begin
+    Alcotest.(check (list (pair int int)))
+      (tag ^ ": witness pairs (all)")
+      (report_pairs report.Checker.inversions_all)
+      (alert_pairs Watchdog.All_sessions o.Sim_system.watchdog_alerts);
+    Alcotest.(check (list (pair int int)))
+      (tag ^ ": witness pairs (in session)")
+      (report_pairs report.Checker.inversions_in_session)
+      (alert_pairs Watchdog.In_session o.Sim_system.watchdog_alerts);
+    Alcotest.(check (list (pair int int)))
+      (tag ^ ": witness pairs (after update)")
+      (report_pairs report.Checker.inversions_after_update)
+      (alert_pairs Watchdog.After_update o.Sim_system.watchdog_alerts)
+  end;
+  (* Same final verdict per guarantee ladder rung. *)
+  List.iter
+    (fun g ->
+      let online =
+        v.Watchdog.read_mismatches = 0
+        && v.Watchdog.fence_failures = 0
+        &&
+        match g with
+        | Session.Weak -> true
+        | Session.Prefix_consistent -> v.Watchdog.v_inversions_after_update = 0
+        | Session.Strong_session -> v.Watchdog.v_inversions_in_session = 0
+        | Session.Strong -> v.Watchdog.v_inversions_all = 0
+      in
+      check_bool
+        (Printf.sprintf "%s: satisfies %s agrees" tag (Session.guarantee_name g))
+        (Checker.satisfies g report) online)
+    [
+      Session.Weak; Session.Prefix_consistent; Session.Strong_session;
+      Session.Strong;
+    ]
+
+let guarantees =
+  [
+    ("weak", Session.Weak);
+    ("pcsi", Session.Prefix_consistent);
+    ("strong-session", Session.Strong_session);
+    ("strong", Session.Strong);
+  ]
+
+let test_differential_guarantees () =
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun seed ->
+          let tag = Printf.sprintf "%s seed=%d" gname seed in
+          assert_equivalent ~tag (Sim_system.run (both_cfg g ~seed)))
+        [ 11; 12; 13 ])
+    guarantees
+
+let test_differential_migration () =
+  (* Cross-site load balancing provokes real in-session inversions under
+     weak SI — the interesting case for the per-session floors. *)
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun seed ->
+          let cfg =
+            { (both_cfg g ~seed) with Sim_system.migrate_prob = 0.4 }
+          in
+          let tag = Printf.sprintf "migrate %s seed=%d" gname seed in
+          assert_equivalent ~tag (Sim_system.run cfg))
+        [ 21; 22 ])
+    guarantees
+
+let test_differential_fences () =
+  (* Fence mixes exercise the wall-order fence floor and the Max_age
+     horizon audit in both checkers. *)
+  let mixes =
+    [
+      ("session", Sim_system.All_reads Session.Session_seq);
+      ("age", Sim_system.All_reads (Session.Max_age 2.0));
+      ( "mix",
+        Sim_system.Fence_mix
+          [
+            (0.3, Some Session.Session_seq);
+            (0.2, Some (Session.Max_age 1.0));
+            (0.5, None);
+          ] );
+    ]
+  in
+  List.iter
+    (fun (mname, fence) ->
+      List.iter
+        (fun seed ->
+          let cfg =
+            { (both_cfg Session.Weak ~seed) with Sim_system.fence }
+          in
+          let tag = Printf.sprintf "fence %s seed=%d" mname seed in
+          assert_equivalent ~tag (Sim_system.run cfg))
+        [ 31; 32 ])
+    mixes
+
+let test_differential_faults () =
+  (* Chaos networking delays refresh arbitrarily: snapshots get very stale,
+     the retirement horizon crawls, and both checkers must still agree. *)
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (both_cfg Session.Strong_session ~seed) with
+          Sim_system.faults = Some Lsr_faults.Channel.chaos;
+          migrate_prob = 0.2;
+        }
+      in
+      let tag = Printf.sprintf "chaos seed=%d" seed in
+      assert_equivalent ~tag (Sim_system.run cfg))
+    [ 41; 42 ]
+
+let test_differential_abortive () =
+  (* A high abort rate exercises the aborted-update path: aborted attempts
+     pin nothing, validate nothing, and must not shift any floor. *)
+  let params = { base_params with Params.abort_prob = 0.3 } in
+  List.iter
+    (fun (gname, g) ->
+      let tag = Printf.sprintf "aborts %s" gname in
+      assert_equivalent ~tag (Sim_system.run (both_cfg ~params g ~seed:51)))
+    guarantees
+
+(* --- watchdog contracts ------------------------------------------------------ *)
+
+let scrub (o : Sim_system.outcome) =
+  {
+    o with
+    Sim_system.checker_cpu_s = 0.;
+    check_report = None;
+    watchdog_verdict = None;
+    watchdog_alerts = [];
+    watchdog_peak_state = 0;
+    watchdog_report = None;
+  }
+
+let test_watchdog_never_perturbs () =
+  (* Attaching the watchdog must not change a single simulation outcome
+     field: it only observes, and virtual time never advances in its
+     hooks. *)
+  let run watchdog =
+    Sim_system.run
+      {
+        (Sim_system.config base_params Session.Strong_session ~seed:5) with
+        Sim_system.record_history = true;
+        watchdog;
+      }
+  in
+  let off = run false and on_ = run true in
+  check_bool "identical scrubbed outcomes" true (scrub off = scrub on_);
+  Alcotest.(check (list string))
+    "identical check errors" off.Sim_system.check_errors
+    on_.Sim_system.check_errors
+
+let test_alerts_sorted_and_bounded () =
+  let o =
+    Sim_system.run
+      { (both_cfg Session.Weak ~seed:7) with Sim_system.migrate_prob = 0.4 }
+  in
+  let v = Option.get o.Sim_system.watchdog_verdict in
+  check_bool "run produced alerts" true (v.Watchdog.alerts_total > 0);
+  let rec sorted = function
+    | (a : Watchdog.alert) :: (b : Watchdog.alert) :: rest ->
+      (a.Watchdog.at < b.Watchdog.at
+      || (a.Watchdog.at = b.Watchdog.at && a.Watchdog.txn <= b.Watchdog.txn))
+      && sorted (b :: rest)
+    | _ -> true
+  in
+  check_bool "alerts sorted by (time, txn)" true
+    (sorted o.Sim_system.watchdog_alerts);
+  check_int "retained = total - dropped"
+    (v.Watchdog.alerts_total - v.Watchdog.alerts_dropped)
+    (List.length o.Sim_system.watchdog_alerts);
+  check_int "verdict totals alerts by kind" v.Watchdog.alerts_total
+    (v.Watchdog.read_mismatches + v.Watchdog.v_inversions_all
+    + v.Watchdog.v_inversions_in_session
+    + v.Watchdog.v_inversions_after_update
+    + v.Watchdog.fence_failures);
+  (* The JSON report is deterministic and sorted. *)
+  match o.Sim_system.watchdog_report with
+  | None -> Alcotest.fail "watchdog report missing"
+  | Some report -> (
+    let text = Json.to_string report in
+    match Json.parse text with
+    | Error e -> Alcotest.failf "watchdog report does not re-parse: %s" e
+    | Ok reparsed ->
+      check_bool "report keys already sorted" true
+        (Json.to_string (Json.sort_keys reparsed) = text))
+
+let test_bounded_memory () =
+  (* Same trajectory, growing run length: the recorded history grows
+     linearly while the watchdog's peak state stays within the (fixed)
+     active visibility window — the long run's peak must stay far below its
+     own transaction count and close to the short run's peak. *)
+  let run duration =
+    let params = { base_params with Params.duration } in
+    Sim_system.run (both_cfg ~params Session.Strong_session ~seed:9)
+  in
+  let short = run 100. and long = run 800. in
+  let txns (o : Sim_system.outcome) =
+    o.Sim_system.reads_completed + o.Sim_system.updates_completed
+  in
+  check_bool "long run did ~8x the work" true (txns long > 5 * txns short);
+  check_bool
+    (Printf.sprintf "peak state flat across run lengths (%d vs %d)"
+       short.Sim_system.watchdog_peak_state long.Sim_system.watchdog_peak_state)
+    true
+    (long.Sim_system.watchdog_peak_state
+    < 2 * short.Sim_system.watchdog_peak_state);
+  check_bool
+    (Printf.sprintf "peak state %d well below %d txns"
+       long.Sim_system.watchdog_peak_state (txns long))
+    true
+    (long.Sim_system.watchdog_peak_state * 4 < txns long)
+
+(* --- embedded system --------------------------------------------------------- *)
+
+let test_embedded_inversion_alert () =
+  (* Provoke a textbook inversion in the embedded system: commit at the
+     primary, read the not-yet-refreshed secondary. Under Weak that is
+     legal for the ambient guarantee, but the watchdog still records the
+     strong-SI-level inversion — and the post-hoc checker agrees. *)
+  let sys = System.create ~secondaries:1 ~guarantee:Session.Weak ~watchdog:true () in
+  let alice = System.connect sys "alice" in
+  let bob = System.connect sys "bob" in
+  (match System.update sys alice (fun h -> Handle.put h "x" "1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "seed update aborted");
+  System.pump sys;
+  (match System.update sys alice (fun h -> Handle.put h "x" "2") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "second update aborted");
+  (* No pump: bob reads the stale secondary after alice's commit finished. *)
+  check_bool "stale read observed the old value" true
+    (System.read sys bob (fun h -> Handle.get h "x") = Some "1");
+  System.pump sys;
+  let w = Option.get (System.watchdog sys) in
+  let v = Watchdog.verdict w in
+  check_bool "watchdog saw the strong-SI inversion" true
+    (v.Watchdog.v_inversions_all > 0);
+  check_int "no weak-SI mismatch (the stale snapshot was consistent)" 0
+    v.Watchdog.read_mismatches;
+  check_bool "weak guarantee still satisfied online" true
+    (Watchdog.satisfies w Session.Weak);
+  check_bool "strong would not be" false (Watchdog.satisfies w Session.Strong);
+  (* Post-hoc agreement on the same run. *)
+  let report =
+    Checker.analyze ~clock:(System.commit_clock sys) (System.history sys)
+  in
+  check_int "post-hoc count agrees"
+    (List.length report.Checker.inversions_all)
+    v.Watchdog.v_inversions_all;
+  Alcotest.(check (list (pair int int)))
+    "post-hoc witnesses agree"
+    (report_pairs report.Checker.inversions_all)
+    (alert_pairs Watchdog.All_sessions (Watchdog.alerts w))
+
+let test_embedded_retirement () =
+  (* Refresh commits drive the horizon: once every secondary has applied a
+     version and nothing pins it, it folds into the base map. *)
+  let sys =
+    System.create ~secondaries:2 ~guarantee:Session.Strong_session
+      ~watchdog:true ()
+  in
+  let c = System.connect sys "writer" in
+  for i = 1 to 50 do
+    (match
+       System.update sys c (fun h -> Handle.put h "k" (string_of_int i))
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "update aborted");
+    if i mod 5 = 0 then System.pump sys
+  done;
+  System.pump sys;
+  let w = Option.get (System.watchdog sys) in
+  check_bool "horizon advanced" true (Watchdog.horizon w > 0);
+  check_bool "versions were retired" true (Watchdog.retired_versions w > 40);
+  check_bool
+    (Printf.sprintf "live state small (%d live, %d retired)"
+       (Watchdog.live_versions w) (Watchdog.retired_versions w))
+    true
+    (Watchdog.live_versions w < 10);
+  check_bool "state size bounded" true
+    (Watchdog.state_size w < Watchdog.peak_state w + 1);
+  check_bool "clean verdict" true (Watchdog.satisfies w Session.Strong_session)
+
+let test_embedded_recovery () =
+  (* Crash/recover a secondary with the watchdog attached: recovery reseeds
+     the site's visibility horizon and the verdict stays clean under the
+     guarantee the system advertises. *)
+  let sys =
+    System.create ~secondaries:2 ~guarantee:Session.Strong_session
+      ~watchdog:true ()
+  in
+  let c = System.connect sys "writer" in
+  let put v =
+    match System.update sys c (fun h -> Handle.put h "k" v) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "update aborted"
+  in
+  put "1";
+  System.pump sys;
+  System.crash_secondary sys 1;
+  put "2";
+  put "3";
+  System.recover_secondary sys 1;
+  put "4";
+  System.pump sys;
+  let reader = System.connect sys ~secondary:1 "reader" in
+  check_bool "recovered site serves the latest value" true
+    (System.read sys reader (fun h -> Handle.get h "k") = Some "4");
+  (match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "post-hoc check failed: %s" (String.concat "; " es));
+  let w = Option.get (System.watchdog sys) in
+  check_bool "watchdog verdict clean across crash/recovery" true
+    (Watchdog.satisfies w Session.Strong_session);
+  check_bool "recovery advanced the horizon" true (Watchdog.horizon w > 0)
+
+let () =
+  Alcotest.run "lsr_watchdog"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all guarantees" `Slow test_differential_guarantees;
+          Alcotest.test_case "session migration" `Slow
+            test_differential_migration;
+          Alcotest.test_case "fence mixes" `Slow test_differential_fences;
+          Alcotest.test_case "chaos faults" `Slow test_differential_faults;
+          Alcotest.test_case "high abort rate" `Slow test_differential_abortive;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "never perturbs the run" `Quick
+            test_watchdog_never_perturbs;
+          Alcotest.test_case "alerts sorted, counted, bounded" `Quick
+            test_alerts_sorted_and_bounded;
+          Alcotest.test_case "bounded memory vs run length" `Slow
+            test_bounded_memory;
+        ] );
+      ( "embedded",
+        [
+          Alcotest.test_case "inversion alert + post-hoc agreement" `Quick
+            test_embedded_inversion_alert;
+          Alcotest.test_case "continuous retirement" `Quick
+            test_embedded_retirement;
+          Alcotest.test_case "crash and recovery" `Quick test_embedded_recovery;
+        ] );
+    ]
