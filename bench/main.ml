@@ -11,7 +11,8 @@ module Obs = Lsr_obs.Obs
 module Obs_json = Lsr_obs.Json
 module Lineage = Lsr_obs.Lineage
 
-let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~on_outcome =
+let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~flight
+    ~on_outcome =
   {
     Figures.quick;
     seed;
@@ -23,6 +24,7 @@ let opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~on_outcome =
     lineage;
     monitor;
     watchdog;
+    flight;
     on_outcome;
   }
 
@@ -69,7 +71,8 @@ let run_ablations opts ~csv ~wanted =
    the performance numbers: the protocol must keep its guarantees (check
    errors = 0) while the retransmission layer pays for the faults in
    staleness and queue depth. *)
-let run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
+let run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~flight
+    ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -99,6 +102,7 @@ let run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
             obs;
             lineage;
             monitor;
+            flight;
           }
         in
         let o = Sim_system.run cfg in
@@ -130,7 +134,7 @@ let run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
    the whole observability pipeline: every span phase fires, the counters
    move, and --trace/--metrics produce loadable files in a couple of
    seconds. Used by the `runtest` smoke rule. *)
-let run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
+let run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~flight ~on_outcome =
   let open Lsr_workload in
   let params =
     {
@@ -148,6 +152,7 @@ let run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome =
       lineage;
       monitor;
       watchdog;
+      flight;
     }
   in
   let o = Sim_system.run cfg in
@@ -528,6 +533,16 @@ let watchdog_arg =
   in
   Arg.(value & opt (some string) None & info [ "watchdog" ] ~docv:"FILE" ~doc)
 
+let flight_arg =
+  let doc =
+    "Attach the bounded flight recorder to every run (the unified event \
+     stream absorbed into a fixed-capacity ring; a watchdog alert or \
+     checker failure snapshots a postmortem bundle, otherwise the end-of-run \
+     window is kept) and write one bundle per run as JSON to $(docv). \
+     Inspect bundles with $(b,lsrepl replay)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
 let lag_report_arg =
   let doc =
     "Print a per-site freshness / propagation-lag table (p50/p95/p99) from \
@@ -547,15 +562,16 @@ let all_targets =
 let extra_targets =
   [
     "ablate-contention"; "fig-staleness"; "fig-utilization"; "fig-fence";
-    "fig-plan"; "fig-watchdog"; "faults"; "smoke"; "analyze"; "perf";
+    "fig-plan"; "fig-watchdog"; "fig-flight"; "faults"; "smoke"; "analyze";
+    "perf";
   ]
 
 let bench_out_arg =
   let doc =
     "Where the $(b,perf) target writes its machine-readable report \
-     (BENCH_9.json schema)."
+     (BENCH_10.json schema)."
   in
-  Arg.(value & opt string "BENCH_9.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt string "BENCH_10.json" & info [ "bench-out" ] ~docv:"FILE" ~doc)
 
 let targets_arg =
   let doc =
@@ -563,7 +579,8 @@ let targets_arg =
      ablations, ablate-propagation, ablate-applicators, ablate-pcsi, \
      ablate-delay, micro or all (default). Extension studies (excluded \
      from all): ablate-contention, fig-staleness, fig-utilization, \
-     fig-fence, fig-plan, fig-watchdog, faults, smoke, analyze, perf."
+     fig-fence, fig-plan, fig-watchdog, fig-flight, faults, smoke, \
+     analyze, perf."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET" ~doc)
 
@@ -587,7 +604,7 @@ let export what write file =
     exit 2
 
 let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
-    bottleneck watchdog_file bench_out targets =
+    bottleneck watchdog_file flight_file bench_out targets =
   let wanted = List.concat_map expand targets in
   let unknown =
     List.filter
@@ -609,8 +626,13 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
       else Monitor.null
     in
     let watchdog = watchdog_file <> None in
+    let flight =
+      if flight_file <> None then Lsr_obs.Flight.create ()
+      else Lsr_obs.Flight.null
+    in
     let bottleneck_entries = ref [] in
     let watchdog_entries = ref [] in
+    let flight_entries = ref [] in
     let on_outcome tag (cfg : Sim_system.config) outcome =
       if bottleneck <> None then
         bottleneck_entries :=
@@ -619,6 +641,12 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
             report = Bottleneck.analyze cfg.Sim_system.params outcome;
           }
           :: !bottleneck_entries;
+      (match outcome.Sim_system.flight_report with
+      | Some bundle when flight_file <> None ->
+        flight_entries :=
+          Obs_json.Obj [ ("tag", Obs_json.Str tag); ("bundle", bundle) ]
+          :: !flight_entries
+      | Some _ | None -> ());
       match outcome.Sim_system.watchdog_report with
       | Some report when watchdog ->
         watchdog_entries :=
@@ -627,7 +655,8 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
       | Some _ | None -> ()
     in
     let opts =
-      opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~on_outcome
+      opts ~quick ~seed ~verbose ~obs ~lineage ~monitor ~watchdog ~flight
+        ~on_outcome
     in
     Printf.printf "lazy-replication benchmark harness (%s mode, seed %d)\n%!"
       (if quick then "quick" else "paper-scale")
@@ -645,11 +674,13 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
     if List.mem "fig-fence" wanted then emit ~csv (Figures.fig_fence opts);
     if List.mem "fig-plan" wanted then emit ~csv (Figures.fig_plan opts);
     if List.mem "fig-watchdog" wanted then emit ~csv (Figures.fig_watchdog opts);
+    if List.mem "fig-flight" wanted then emit ~csv (Figures.fig_flight opts);
     run_ablations opts ~csv ~wanted;
     if List.mem "faults" wanted then
-      run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome;
+      run_faults ~quick ~seed ~obs ~lineage ~monitor ~watchdog ~flight
+        ~on_outcome;
     if List.mem "smoke" wanted then
-      run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~on_outcome;
+      run_smoke ~seed ~obs ~lineage ~monitor ~watchdog ~flight ~on_outcome;
     if List.mem "analyze" wanted then run_analysis ~csv;
     if List.mem "perf" wanted then run_perf ~quick ~seed ~verbose ~bench_out;
     if List.mem "micro" wanted then run_micro ();
@@ -667,6 +698,20 @@ let main quick seed csv verbose trace metrics lineage_file lag_report timeseries
             close_out oc)
           file)
       watchdog_file;
+    Option.iter
+      (fun file ->
+        let json =
+          Obs_json.sort_keys
+            (Obs_json.Obj [ ("runs", Obs_json.Arr (List.rev !flight_entries)) ])
+        in
+        export "flight"
+          (fun ~file ->
+            let oc = open_out file in
+            output_string oc (Obs_json.to_string json);
+            output_char oc '\n';
+            close_out oc)
+          file)
+      flight_file;
     Option.iter (export "trace" (Obs.write_trace obs)) trace;
     Option.iter (export "metrics" (Obs.write_metrics obs)) metrics;
     Option.iter (export "lineage" (Lineage.write lineage)) lineage_file;
@@ -712,6 +757,7 @@ let cmd =
       ret
         (const main $ quick_arg $ seed_arg $ csv_arg $ verbose_arg $ trace_arg
        $ metrics_arg $ lineage_arg $ lag_report_arg $ timeseries_arg
-       $ bottleneck_arg $ watchdog_arg $ bench_out_arg $ targets_arg))
+       $ bottleneck_arg $ watchdog_arg $ flight_arg $ bench_out_arg
+       $ targets_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -45,24 +45,66 @@ let guarantee_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+(* --- shared workload options -----------------------------------------------------
+
+   simulate and bottleneck size the simulated system with the same four
+   flags and derive the same Params record from them; one term bundle keeps
+   the option names, defaults and the params/banner derivation from
+   drifting apart between subcommands. *)
+
+type workload_opts = {
+  w_secondaries : int;
+  w_clients : int;
+  w_browsing : bool;
+  w_duration : float;
+}
+
+let workload_term =
+  let secondaries =
+    Arg.(value & opt int 5 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
+  in
+  let clients =
+    Arg.(value & opt int 20 & info [ "clients"; "c" ] ~doc:"Clients per secondary.")
+  in
+  let browsing =
+    Arg.(value & flag & info [ "browsing" ] ~doc:"Use the 95/5 TPC-W browsing mix.")
+  in
+  let duration =
+    Arg.(value & opt float 600. & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
+  in
+  Term.(
+    const (fun w_secondaries w_clients w_browsing w_duration ->
+        { w_secondaries; w_clients; w_browsing; w_duration })
+    $ secondaries $ clients $ browsing $ duration)
+
+let workload_params w =
+  let base =
+    if w.w_browsing then Params.browsing Params.default else Params.default
+  in
+  {
+    base with
+    Params.num_secondaries = w.w_secondaries;
+    clients_per_secondary = w.w_clients;
+    duration = w.w_duration;
+    warmup = min (w.w_duration /. 5.) Params.default.Params.warmup;
+  }
+
+let workload_mix w = if w.w_browsing then "95/5" else "80/20"
+
 (* --- simulate ------------------------------------------------------------------ *)
 
-let simulate guarantee seed secondaries clients browsing duration serial ship
-    validate watchdog open_loop arrival session_pool fence =
-  let params =
-    let base = if browsing then Params.browsing Params.default else Params.default in
-    {
-      base with
-      Params.num_secondaries = secondaries;
-      clients_per_secondary = clients;
-      duration;
-      warmup = min (duration /. 5.) Params.default.Params.warmup;
-    }
-  in
+let simulate guarantee seed w serial ship validate watchdog open_loop arrival
+    session_pool fence flight_file =
+  let params = workload_params w in
   let client_mode =
     match open_loop with
     | 0 -> Sim_system.Closed_loop
     | n -> Sim_system.Open_loop { clients = n; arrival; session_pool }
+  in
+  let flight =
+    match flight_file with
+    | None -> Lsr_obs.Flight.null
+    | Some _ -> Lsr_obs.Flight.create ()
   in
   let cfg =
     {
@@ -72,6 +114,7 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
       serial_refresh = serial;
       ship_aborted = ship;
       client_mode;
+      flight;
       fence =
         (match fence with
         | None -> Sim_system.No_fence
@@ -82,22 +125,19 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
   | Sim_system.Closed_loop ->
     Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n%!"
       (Session.guarantee_name guarantee)
-      secondaries clients
-      (if browsing then "95/5" else "80/20")
-      duration
+      w.w_secondaries w.w_clients (workload_mix w) w.w_duration
   | Sim_system.Open_loop { clients; arrival; _ } ->
     Printf.printf
       "simulating %s: %d secondaries, open loop (%d modeled clients/site, %s \
        arrivals, %.1f txn/s/site), %s mix, %.0fs\n\
        %!"
       (Session.guarantee_name guarantee)
-      secondaries clients
+      w.w_secondaries clients
       (match arrival with
       | Sim_system.Poisson -> "poisson"
       | Sim_system.Mmpp b -> Printf.sprintf "mmpp x%.1f" b)
       (Sim_system.offered_rate params ~clients)
-      (if browsing then "95/5" else "80/20")
-      duration);
+      (workload_mix w) w.w_duration);
   Option.iter
     (fun f ->
       Printf.printf "freshness fence on every read: %s\n%!"
@@ -171,28 +211,39 @@ let simulate guarantee seed secondaries clients browsing duration serial ship
         split 10 o.Sim_system.watchdog_alerts
       in
       List.iter (fun a -> Format.printf "  %a@." pp_alert a) shown;
-      if rest > 0 then Printf.printf "  ... and %d more retained alerts\n" rest
+      if rest > 0 then Printf.printf "  ... and %d more retained alerts\n" rest;
+      (* The retained log is bounded; say so explicitly when it truncated
+         (the per-kind totals above stay exact past the cap). *)
+      if v.alerts_dropped > 0 then
+        Printf.printf
+          "  ... and %d further alerts dropped past the bounded log's cap \
+           (counts above remain exact)\n"
+          v.alerts_dropped
     end);
-  if validate then
-    match o.Sim_system.check_errors with
-    | [] -> print_endline "\nchecker: run satisfies its guarantee and completeness"
-    | es ->
+  (match o.Sim_system.check_errors with
+  | [] ->
+    if validate then
+      print_endline "\nchecker: run satisfies its guarantee and completeness"
+  | es ->
+    if validate then begin
       print_endline "\nchecker: VIOLATIONS FOUND";
       List.iter (fun e -> print_endline ("  " ^ e)) es
+    end);
+  match (flight_file, o.Sim_system.flight_report) with
+  | Some file, Some bundle ->
+    let oc = open_out file in
+    output_string oc (Lsr_obs.Json.to_string bundle);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nflight recorder: %d events seen, %s — bundle written to %s\n"
+      o.Sim_system.flight_events
+      (match o.Sim_system.flight_trigger with
+      | Some reason -> Printf.sprintf "postmortem triggered by %s" reason
+      | None -> "no anomaly (end-of-run window captured)")
+      file
+  | _ -> ()
 
 let simulate_cmd =
-  let secondaries =
-    Arg.(value & opt int 5 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
-  in
-  let clients =
-    Arg.(value & opt int 20 & info [ "clients"; "c" ] ~doc:"Clients per secondary.")
-  in
-  let browsing =
-    Arg.(value & flag & info [ "browsing" ] ~doc:"Use the 95/5 TPC-W browsing mix.")
-  in
-  let duration =
-    Arg.(value & opt float 600. & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
-  in
   let serial =
     Arg.(value & flag & info [ "serial-refresh" ] ~doc:"Disable concurrent applicators.")
   in
@@ -272,29 +323,28 @@ let simulate_cmd =
     in
     Arg.(value & opt (some fence_conv) None & info [ "fence" ] ~docv:"FENCE" ~doc)
   in
+  let flight_file =
+    let doc =
+      "Attach the bounded flight recorder and write its postmortem bundle \
+       to $(docv) after the run. With $(b,--watchdog), the first online \
+       alert triggers the capture mid-run; with $(b,--validate), a failed \
+       checker battery triggers it at the end; otherwise the bundle holds \
+       the end-of-run event window. Inspect the bundle with \
+       $(b,lsrepl replay)."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation of the replicated system")
     Term.(
-      const simulate $ guarantee_arg $ seed_arg $ secondaries $ clients
-      $ browsing $ duration $ serial $ ship $ validate $ watchdog $ open_loop
-      $ arrival $ session_pool $ fence)
+      const simulate $ guarantee_arg $ seed_arg $ workload_term $ serial $ ship
+      $ validate $ watchdog $ open_loop $ arrival $ session_pool $ fence
+      $ flight_file)
 
 (* --- bottleneck ----------------------------------------------------------------- *)
 
-let bottleneck guarantee seed secondaries clients browsing duration json_file
-    timeseries =
-  let params =
-    let base =
-      if browsing then Params.browsing Params.default else Params.default
-    in
-    {
-      base with
-      Params.num_secondaries = secondaries;
-      clients_per_secondary = clients;
-      duration;
-      warmup = min (duration /. 5.) Params.default.Params.warmup;
-    }
-  in
+let bottleneck guarantee seed w json_file timeseries =
+  let params = workload_params w in
   let monitor =
     match timeseries with
     | None -> Monitor.null
@@ -303,9 +353,7 @@ let bottleneck guarantee seed secondaries clients browsing duration json_file
   let cfg = { (Sim_system.config params guarantee ~seed) with Sim_system.monitor } in
   Printf.printf "simulating %s: %d secondaries x %d clients, %s mix, %.0fs\n\n%!"
     (Session.guarantee_name guarantee)
-    secondaries clients
-    (if browsing then "95/5" else "80/20")
-    duration;
+    w.w_secondaries w.w_clients (workload_mix w) w.w_duration;
   let o = Sim_system.run cfg in
   let report = Bottleneck.analyze params o in
   print_string (Bottleneck.render report);
@@ -321,18 +369,6 @@ let bottleneck guarantee seed secondaries clients browsing duration json_file
     json_file
 
 let bottleneck_cmd =
-  let secondaries =
-    Arg.(value & opt int 5 & info [ "secondaries"; "s" ] ~doc:"Secondary sites.")
-  in
-  let clients =
-    Arg.(value & opt int 20 & info [ "clients"; "c" ] ~doc:"Clients per secondary.")
-  in
-  let browsing =
-    Arg.(value & flag & info [ "browsing" ] ~doc:"Use the 95/5 TPC-W browsing mix.")
-  in
-  let duration =
-    Arg.(value & opt float 600. & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
-  in
   let json_file =
     Arg.(
       value
@@ -350,8 +386,8 @@ let bottleneck_cmd =
     (Cmd.info "bottleneck"
        ~doc:"Run one simulation and report where the capacity goes")
     Term.(
-      const bottleneck $ guarantee_arg $ seed_arg $ secondaries $ clients
-      $ browsing $ duration $ json_file $ timeseries)
+      const bottleneck $ guarantee_arg $ seed_arg $ workload_term $ json_file
+      $ timeseries)
 
 (* --- demo ----------------------------------------------------------------------- *)
 
@@ -714,6 +750,140 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a random workload and dump the checked history")
     Term.(const trace $ guarantee_arg $ seed_arg $ steps $ txn_id)
 
+(* --- replay ---------------------------------------------------------------------- *)
+
+(* Time-travel debugging over a committed postmortem bundle: the default
+   view prints the capture header and the witness interleaving of the
+   implicated transactions; --seek/--txn/--at reconstruct the window at any
+   instant; --diff audits two bundles for determinism. Everything here is a
+   pure function of the bundle files, so outputs golden cleanly. *)
+let replay bundle_file diff_file seek txn at limit =
+  let open Lsr_obs.Flight in
+  let load file =
+    match load_bundle ~file with
+    | Ok b -> b
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" file e;
+      exit 1
+  in
+  let b = load bundle_file in
+  let print_events ?(label_omitted = "earlier") evs =
+    let total = List.length evs in
+    let evs =
+      if limit > 0 && total > limit then begin
+        Printf.printf "  (... %d %s events omitted; raise --limit to see them)\n"
+          (total - limit) label_omitted;
+        List.filteri (fun i _ -> i >= total - limit) evs
+      end
+      else evs
+    in
+    List.iter (fun e -> Format.printf "  %a@." pp_event e) evs
+  in
+  match diff_file with
+  | Some other ->
+    let a, bb = (b, load other) in
+    (match diff a bb with
+    | None ->
+      Printf.printf
+        "no divergence: both bundles retain the same %d-event window\n"
+        (Array.length a.window)
+    | Some (i, ea, eb) ->
+      Printf.printf "FIRST DIVERGENCE at window index %d:\n" i;
+      let side tag = function
+        | Some e -> Format.printf "  %s: %a@." tag pp_event e
+        | None -> Printf.printf "  %s: <window ended>\n" tag
+      in
+      side "A" ea;
+      side "B" eb;
+      exit 1)
+  | None -> (
+    match (at, seek, txn) with
+    | Some vt, _, _ ->
+      Printf.printf "visible snapshot horizons at vt=%.6f:\n" vt;
+      List.iter
+        (fun (site, h) ->
+          if h < 0 then Printf.printf "  %-16s (unknown before the window)\n" site
+          else Printf.printf "  %-16s %d\n" site h)
+        (horizons_at b ~vt)
+    | None, Some vt, _ ->
+      Printf.printf "window events up to vt=%.6f:\n" vt;
+      print_events (events_until b ~vt)
+    | None, None, Some id ->
+      Printf.printf "window events touching transaction %d:\n" id;
+      print_events (txn_events b ~id)
+    | None, None, None ->
+      Printf.printf "flight bundle v%d — trigger: %s%s\n" b.version b.reason
+        (if b.detail = "" then "" else "\n  " ^ b.detail);
+      Printf.printf
+        "captured at vt=%.6f: %d-event window, %d earlier events evicted, %d \
+         primary commits over the run\n"
+        b.at (Array.length b.window) b.dropped b.commits;
+      Printf.printf "implicated transactions: %s\n"
+        (match b.implicated with
+        | [] -> "(none)"
+        | ids -> String.concat ", " (List.map string_of_int ids));
+      print_endline "visibility horizons at capture:";
+      List.iter (fun (site, h) -> Printf.printf "  %-16s %d\n" site h) b.horizons;
+      List.iter
+        (fun (id, journey) ->
+          Printf.printf "lineage journey of txn %d:\n" id;
+          match journey with
+          | Lsr_obs.Json.Arr evs ->
+            List.iter
+              (fun ev -> print_endline ("  " ^ Lsr_obs.Json.to_string ev))
+              evs
+          | j -> print_endline ("  " ^ Lsr_obs.Json.to_string j))
+        b.journeys;
+      (match witness_events b with
+      | [] ->
+        print_endline "event window (oldest first):";
+        print_events (Array.to_list b.window)
+      | evs ->
+        print_endline
+          "witness interleaving of the implicated transactions (oldest first):";
+        print_events evs))
+
+let replay_cmd =
+  let bundle_file =
+    let doc = "Postmortem bundle written by simulate --flight or the bench." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE" ~doc)
+  in
+  let diff_file =
+    let doc =
+      "Determinism audit: compare $(i,BUNDLE) against $(docv) and report \
+       the first divergence between their event windows (exit 1), or that \
+       none exists. Two bundles from the same seed must not diverge."
+    in
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"OTHER" ~doc)
+  in
+  let seek =
+    let doc = "Print the window events up to virtual time $(docv)." in
+    Arg.(value & opt (some float) None & info [ "seek" ] ~docv:"VT" ~doc)
+  in
+  let txn =
+    let doc =
+      "Print the window events touching transaction $(docv) (matched as \
+       MVCC id or history id)."
+    in
+    Arg.(value & opt (some int) None & info [ "txn" ] ~docv:"ID" ~doc)
+  in
+  let at =
+    let doc =
+      "Print each site's visible snapshot horizon at virtual time $(docv), \
+       reconstructed from the window (takes precedence over \
+       --seek/--txn)."
+    in
+    Arg.(value & opt (some float) None & info [ "at" ] ~docv:"VT" ~doc)
+  in
+  let limit =
+    let doc = "Print at most the last $(docv) events per listing (0 = all)." in
+    Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Time-travel through a flight recorder postmortem bundle")
+    Term.(const replay $ bundle_file $ diff_file $ seek $ txn $ at $ limit)
+
 let () =
   let info =
     Cmd.info "lsrepl"
@@ -724,5 +894,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; bottleneck_cmd; demo_cmd; params_cmd; trace_cmd;
-            sql_cmd; analyze_cmd;
+            sql_cmd; analyze_cmd; replay_cmd;
           ]))

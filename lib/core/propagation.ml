@@ -8,13 +8,14 @@ type t = {
      update lists. *)
   update_lists : (int, Wal.update list) Hashtbl.t;
   lineage : Lsr_obs.Lineage.t;
+  flight : Lsr_obs.Flight.t;
   c_polls : Lsr_obs.Obs.counter;
   c_shipped : Lsr_obs.Obs.counter;
   g_in_flight : Lsr_obs.Obs.gauge;
 }
 
 let create ?from ?(ship_aborted = false) ?(obs = Lsr_obs.Obs.null)
-    ?(lineage = Lsr_obs.Lineage.null) wal =
+    ?(lineage = Lsr_obs.Lineage.null) ?(flight = Lsr_obs.Flight.null) wal =
   let cursor = match from with Some o -> o | None -> Wal.length wal in
   {
     wal;
@@ -22,6 +23,7 @@ let create ?from ?(ship_aborted = false) ?(obs = Lsr_obs.Obs.null)
     ship_aborted;
     update_lists = Hashtbl.create 64;
     lineage;
+    flight;
     c_polls = Lsr_obs.Obs.counter obs "propagation.polls";
     c_shipped = Lsr_obs.Obs.counter obs "propagation.records_shipped";
     g_in_flight = Lsr_obs.Obs.gauge obs "propagation.in_flight";
@@ -81,6 +83,17 @@ let poll t =
           Lsr_obs.Lineage.emit t.lineage ~txn Lsr_obs.Lineage.Batched
         | Txn_record.Commit_rec { txn; updates; _ } ->
           Lsr_obs.Lineage.emit t.lineage ~txn
+            (Lsr_obs.Lineage.Shipped { updates = List.length updates })
+        | Txn_record.Abort_rec _ -> ())
+      records;
+  if Lsr_obs.Flight.enabled t.flight then
+    List.iter
+      (fun record ->
+        match record with
+        | Txn_record.Start_rec { txn; _ } ->
+          Lsr_obs.Flight.note_stage t.flight ~txn Lsr_obs.Lineage.Batched
+        | Txn_record.Commit_rec { txn; updates; _ } ->
+          Lsr_obs.Flight.note_stage t.flight ~txn
             (Lsr_obs.Lineage.Shipped { updates = List.length updates })
         | Txn_record.Abort_rec _ -> ())
       records;

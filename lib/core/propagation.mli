@@ -21,12 +21,14 @@ type t
     [propagation.polls] / [propagation.records_shipped] and the
     [propagation.in_flight] gauge. [lineage] receives a [Batched] event when
     a transaction's start record is picked up and a [Shipped] event when its
-    squashed commit record leaves the propagator. *)
+    squashed commit record leaves the propagator; [flight] records the same
+    two stages into the bounded black box. *)
 val create :
   ?from:int ->
   ?ship_aborted:bool ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?flight:Lsr_obs.Flight.t ->
   Wal.t ->
   t
 

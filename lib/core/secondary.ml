@@ -30,6 +30,7 @@ type t = {
   on_refresh_commit : Timestamp.t -> unit;
   (* Observability (no-ops unless an enabled registry is supplied). *)
   lineage : Lsr_obs.Lineage.t;
+  flight : Lsr_obs.Flight.t;
   c_started : Lsr_obs.Obs.counter;
   c_committed : Lsr_obs.Obs.counter;
   c_aborted : Lsr_obs.Obs.counter;
@@ -44,7 +45,7 @@ type refresher_outcome =
   | Blocked_on_pending
   | Idle
 
-let make ~name ~obs ~lineage db on_refresh_commit =
+let make ~name ~obs ~lineage ~flight db on_refresh_commit =
   let module Obs = Lsr_obs.Obs in
   let inst fmt suffix = Printf.sprintf fmt name suffix in
   {
@@ -57,6 +58,7 @@ let make ~name ~obs ~lineage db on_refresh_commit =
     seq_dbsec = Timestamp.zero;
     on_refresh_commit;
     lineage;
+    flight;
     c_started = Obs.counter obs (inst "%s.refresh_%s" "started");
     c_committed = Obs.counter obs (inst "%s.refresh_%s" "committed");
     c_aborted = Obs.counter obs (inst "%s.refresh_%s" "aborted");
@@ -65,13 +67,14 @@ let make ~name ~obs ~lineage db on_refresh_commit =
   }
 
 let create ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
-    ?(lineage = Lsr_obs.Lineage.null) ?(on_refresh_commit = fun _ -> ()) () =
-  make ~name ~obs ~lineage (Mvcc.create ~name ()) on_refresh_commit
+    ?(lineage = Lsr_obs.Lineage.null) ?(flight = Lsr_obs.Flight.null)
+    ?(on_refresh_commit = fun _ -> ()) () =
+  make ~name ~obs ~lineage ~flight (Mvcc.create ~name ()) on_refresh_commit
 
 let create_from ?(name = "secondary") ?(obs = Lsr_obs.Obs.null)
-    ?(lineage = Lsr_obs.Lineage.null) ?(on_refresh_commit = fun _ -> ())
-    backup =
-  make ~name ~obs ~lineage (Mvcc.restore ~name backup) on_refresh_commit
+    ?(lineage = Lsr_obs.Lineage.null) ?(flight = Lsr_obs.Flight.null)
+    ?(on_refresh_commit = fun _ -> ()) backup =
+  make ~name ~obs ~lineage ~flight (Mvcc.restore ~name backup) on_refresh_commit
 
 let db t = t.db
 let name t = t.name
@@ -82,6 +85,12 @@ let enqueue t record =
      match record with
      | Txn_record.Commit_rec { txn; _ } ->
        Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn Lsr_obs.Lineage.Enqueued
+     | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> ());
+  (if Lsr_obs.Flight.enabled t.flight then
+     match record with
+     | Txn_record.Commit_rec { txn; _ } ->
+       Lsr_obs.Flight.note_stage t.flight ~site:t.name ~txn
+         Lsr_obs.Lineage.Enqueued
      | Txn_record.Start_rec _ | Txn_record.Abort_rec _ -> ());
   Lsr_obs.Obs.set_gauge t.g_update_queue
     (float_of_int (Queue.length t.update_queue))
@@ -101,6 +110,9 @@ let refresher_step t =
       Hashtbl.replace t.refresh_txns txn refresh;
       if Lsr_obs.Lineage.enabled t.lineage then
         Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn
+          Lsr_obs.Lineage.Refresh_started;
+      if Lsr_obs.Flight.enabled t.flight then
+        Lsr_obs.Flight.note_stage t.flight ~site:t.name ~txn
           Lsr_obs.Lineage.Refresh_started;
       Lsr_obs.Obs.incr t.c_started;
       Started txn
@@ -180,6 +192,9 @@ let applicator_step t app =
           Queue.transfer keep t.applicators);
         if Lsr_obs.Lineage.enabled t.lineage then
           Lsr_obs.Lineage.emit t.lineage ~site:t.name ~txn:app.primary_txn
+            (Lsr_obs.Lineage.Refresh_committed { commit_ts = app.commit_ts });
+        if Lsr_obs.Flight.enabled t.flight then
+          Lsr_obs.Flight.note_stage t.flight ~site:t.name ~txn:app.primary_txn
             (Lsr_obs.Lineage.Refresh_committed { commit_ts = app.commit_ts });
         Lsr_obs.Obs.incr t.c_committed;
         t.on_refresh_commit app.commit_ts;

@@ -42,11 +42,13 @@ exception Refresh_conflict of { txn : int; key : string }
     [<name>.update_queue_depth] and [<name>.pending_depth]; the default
     {!Lsr_obs.Obs.null} makes every bump a no-op. [lineage] receives
     [Enqueued] (commit record entered the update queue), [Refresh_started]
-    and [Refresh_committed] events tagged with this site's [name]. *)
+    and [Refresh_committed] events tagged with this site's [name]; [flight]
+    records the same three stages into the bounded black box. *)
 val create :
   ?name:string ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?flight:Lsr_obs.Flight.t ->
   ?on_refresh_commit:(Timestamp.t -> unit) ->
   unit ->
   t
@@ -59,6 +61,7 @@ val create_from :
   ?name:string ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?flight:Lsr_obs.Flight.t ->
   ?on_refresh_commit:(Timestamp.t -> unit) ->
   string ->
   t

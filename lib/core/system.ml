@@ -44,6 +44,7 @@ type t = {
   schema : (string * string list) list;
   obs : Lsr_obs.Obs.t;
   lineage : Lsr_obs.Lineage.t;
+  flight : Lsr_obs.Flight.t;
   c_commits : Lsr_obs.Obs.counter;
   c_aborts : Lsr_obs.Obs.counter;
   c_reads : Lsr_obs.Obs.counter;
@@ -61,12 +62,12 @@ let refresh_hook wdog i =
   | None -> None
   | Some w -> Some (fun ts -> Watchdog.note_refresh w ~site:i ~seq:ts)
 
-let make_slot ~obs ~lineage ?faults ~wdog i =
+let make_slot ~obs ~lineage ~flight ?faults ~wdog i =
   {
     site =
       Secondary.create
         ~name:(Printf.sprintf "secondary-%d" i)
-        ~obs ~lineage
+        ~obs ~lineage ~flight
         ?on_refresh_commit:(refresh_hook wdog i) ();
     crashed = false;
     clean = true;
@@ -75,26 +76,49 @@ let make_slot ~obs ~lineage ?faults ~wdog i =
 
 let create ?(secondaries = 1) ?(schema = []) ?faults
     ?(obs = Lsr_obs.Obs.null) ?(lineage = Lsr_obs.Lineage.null)
-    ?(watchdog = false) ~guarantee () =
+    ?(flight = Lsr_obs.Flight.null) ?(watchdog = false) ~guarantee () =
   if secondaries < 1 then invalid_arg "System.create: need at least 1 secondary";
   let primary = Primary.create () in
   let clock = Session.clock_create () in
+  let history = History.create () in
+  (* The embedded system has no virtual clock; the history event counter is
+     its time axis, for flight events exactly as for [Max_age] fences. *)
+  Lsr_obs.Flight.set_clock flight (fun () ->
+      float_of_int (History.now history));
   let wdog =
     if watchdog then
-      Some (Watchdog.create ~obs ~lineage ~clock ~sites:secondaries ())
+      Some
+        (Watchdog.create ~obs ~lineage ~clock ~sites:secondaries
+           ?on_alert:
+             (if Lsr_obs.Flight.enabled flight then
+                Some
+                  (fun (a : Watchdog.alert) ->
+                    let txns =
+                      match a.Watchdog.kind with
+                      | Watchdog.Inversion { earlier; _ } ->
+                        [ a.Watchdog.txn; earlier ]
+                      | _ -> [ a.Watchdog.txn ]
+                    in
+                    Lsr_obs.Flight.trigger flight ~reason:"watchdog"
+                      ~detail:(Format.asprintf "%a" Watchdog.pp_alert a)
+                      ~txns ())
+              else None)
+           ())
     else None
   in
   {
     primary;
-    propagator = Propagation.create ~from:0 ~obs ~lineage (Primary.wal primary);
-    slots = Array.init secondaries (make_slot ~obs ~lineage ?faults ~wdog);
+    propagator =
+      Propagation.create ~from:0 ~obs ~lineage ~flight (Primary.wal primary);
+    slots = Array.init secondaries (make_slot ~obs ~lineage ~flight ?faults ~wdog);
     sessions = Session.create guarantee;
     clock;
     wdog;
-    history = History.create ();
+    history;
     schema;
     obs;
     lineage;
+    flight;
     c_commits = Lsr_obs.Obs.counter obs "system.update_commits";
     c_aborts = Lsr_obs.Obs.counter obs "system.update_aborts";
     c_reads = Lsr_obs.Obs.counter obs "system.reads";
@@ -241,6 +265,9 @@ let update t client ?force_abort body =
       match !handle_ref with Some h -> Handle.reads h | None -> []
     in
     let id = History.fresh_id t.history in
+    if Lsr_obs.Flight.enabled t.flight then
+      Lsr_obs.Flight.note_commit t.flight ~txn ~hid:id ~commit_ts
+        ~updates:(List.length writes);
     (match (t.wdog, wtok) with
     | Some w, Some tok ->
       Watchdog.end_update w tok ~id ~now:(float_of_int finished) ~mvcc_txn:txn
@@ -317,6 +344,18 @@ let run_read ?fence t client body =
   let finished = History.tick t.history in
   let id = History.fresh_id t.history in
   let fence_claim = Option.map (fun claim -> { History.claim; read_at }) fence in
+  if Lsr_obs.Flight.enabled t.flight then begin
+    let fence_seq =
+      match fence with
+      | None -> -1
+      | Some f ->
+        Session.fence_threshold t.sessions ~clock:t.clock ~now:read_at
+          ~label:client.label f
+    in
+    Lsr_obs.Flight.note_read t.flight
+      ~site:(Secondary.name s.site) ~hid:id ~session:client.label ~snapshot
+      ~fence:fence_seq
+  end;
   (match (t.wdog, wtok) with
   | Some w, Some tok ->
     Watchdog.end_read ?fence:fence_claim w tok ~id
@@ -404,6 +443,8 @@ let crash_secondary t i =
   let s = slot t i in
   s.crashed <- true;
   s.clean <- false;
+  if Lsr_obs.Flight.enabled t.flight then
+    Lsr_obs.Flight.note_crash t.flight ~site:(Secondary.name s.site);
   (* The site's connection state dies with it: messages in flight to it are
      lost and both endpoints' sequence numbers restart on recovery. *)
   Option.iter (fun ch -> ch.ch_reset ()) s.channel
@@ -424,7 +465,7 @@ let recover_secondary t i =
   let fresh =
     Secondary.create_from
       ~name:(Printf.sprintf "secondary-%d" i)
-      ~obs:t.obs ~lineage:t.lineage
+      ~obs:t.obs ~lineage:t.lineage ~flight:t.flight
       ?on_refresh_commit:(refresh_hook t.wdog i) backup
   in
   (* ... and reinitialize seq(DBsec) from a dummy transaction's view of the
@@ -433,6 +474,9 @@ let recover_secondary t i =
   let seed = Mvcc.latest_commit_ts (Primary.db t.primary) in
   Mvcc.end_read (Primary.db t.primary) dummy;
   Secondary.reseed_seq fresh seed;
+  if Lsr_obs.Flight.enabled t.flight then
+    Lsr_obs.Flight.note_recovery t.flight
+      ~site:(Printf.sprintf "secondary-%d" i) ~seq:seed;
   (* The recovered copy corresponds to primary state [seed]: the watchdog's
      per-site horizon jumps forward with it. *)
   (match t.wdog with

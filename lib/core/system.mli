@@ -64,6 +64,12 @@ type channel = {
     append the journey stages, and each read-only transaction contributes a
     freshness sample for its site (see {!Lsr_obs.Lineage}).
 
+    [flight], when given an enabled recorder, is threaded the same way and
+    receives the compact unified event stream (commits carrying both MVCC
+    and history ids, pipeline stages, per-read snapshot claims,
+    crash/recovery marks); with [watchdog] also on, the first alert
+    triggers the recorder's postmortem capture (see {!Lsr_obs.Flight}).
+
     [watchdog] attaches an online {!Watchdog}: every transaction is checked
     incrementally as it finishes (weak-SI reads, inversion floors, fence
     claims) and each refresh commit advances the watchdog's retirement
@@ -74,6 +80,7 @@ val create :
   ?faults:(int -> channel) ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?flight:Lsr_obs.Flight.t ->
   ?watchdog:bool ->
   guarantee:Session.guarantee -> unit -> t
 

@@ -108,6 +108,7 @@ type token = {
 
 type t = {
   alert_cap : int;
+  on_alert : (alert -> unit) option;
   clock : Session.clock option;
   lineage : Lineage.t;
   (* Weak-SI state: primary writes newer than the horizon, per key, plus the
@@ -148,11 +149,12 @@ type t = {
   mutable peak : int;
 }
 
-let create ?(alert_cap = 256) ?(obs = Obs.null) ?(lineage = Lineage.null)
-    ?clock ~sites () =
+let create ?(alert_cap = 256) ?on_alert ?(obs = Obs.null)
+    ?(lineage = Lineage.null) ?clock ~sites () =
   if sites < 1 then invalid_arg "Watchdog.create: need at least 1 site";
   {
     alert_cap = max 0 alert_cap;
+    on_alert;
     clock;
     lineage;
     chains = Hashtbl.create 1024;
@@ -242,14 +244,22 @@ let record_alert t ~at ~txn ~session ~site ~snapshot ?mvcc_txn kind =
   | Fence_violation _ ->
     t.n_fence <- t.n_fence + 1;
     Obs.incr t.c_alert_fence);
-  if t.alert_log_len < t.alert_cap then begin
+  let retain = t.alert_log_len < t.alert_cap in
+  if retain || t.on_alert <> None then begin
     let trace =
       match mvcc_txn with
       | Some id when Lineage.enabled t.lineage -> Lineage.journey t.lineage ~txn:id
       | Some _ | None -> []
     in
-    t.alert_log <- { at; txn; session; site; snapshot; kind; trace } :: t.alert_log;
-    t.alert_log_len <- t.alert_log_len + 1
+    let alert = { at; txn; session; site; snapshot; kind; trace } in
+    if retain then begin
+      t.alert_log <- alert :: t.alert_log;
+      t.alert_log_len <- t.alert_log_len + 1
+    end;
+    (* The hook fires on every alert, including ones the bounded log drops —
+       the flight recorder's first-trigger-wins capture must not miss the
+       first anomaly just because the log was already full. *)
+    match t.on_alert with Some f -> f alert | None -> ()
   end
 
 (* --- Floors ----------------------------------------------------------------- *)

@@ -102,9 +102,13 @@ type verdict = {
     [Max_age] claim without a clock is itself a violation. [obs] receives
     [watchdog.alerts.*] counters and a [watchdog.state_size] gauge;
     [lineage], when recording, supplies the journey attached to update
-    alerts. *)
+    alerts. [on_alert] fires synchronously on {e every} alert — including
+    ones the bounded log drops past [alert_cap] — with the same alert value
+    the log retains; it is the flight recorder's trigger hook, and like any
+    observer it must not feed back into the run. *)
 val create :
   ?alert_cap:int ->
+  ?on_alert:(alert -> unit) ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
   ?clock:Session.clock ->

@@ -54,6 +54,10 @@ type run_opts = {
       (** attach the online {!Lsr_core.Watchdog} to every run of the sweep
           (per-run reports then reach the caller through [on_outcome]'s
           outcome). Default [false]. *)
+  flight : Lsr_obs.Flight.t;
+      (** flight recorder attached to every run of the sweep (each run
+          re-arms it via [new_epoch]; per-run bundles reach the caller
+          through [on_outcome]'s outcome). Default {!Lsr_obs.Flight.null}. *)
   on_outcome : string -> Sim_system.config -> Sim_system.outcome -> unit;
       (** called once per completed simulation run with a unique tag
           ("<sweep tag> rep <i>"), the exact config it ran under and its
@@ -114,6 +118,15 @@ val fig_plan : run_opts -> figure
     mode. The watchdog series stay bounded by the active visibility window
     while the post-hoc series grow with the run. *)
 val fig_watchdog : run_opts -> figure
+
+(** Extension figure (not part of the paper's evaluation, so not in the
+    default `all` target): the flight recorder's cost vs run length. Per
+    run length, the same seeded trajectory is run unrecorded and with an
+    enabled {!Lsr_obs.Flight} ring; series are the recorder's byte
+    footprint (flat at the ring capacity), the events it absorbed (linear
+    in the run) and its CPU overhead. The black-box evidence behind the
+    committed [recorder_overhead_frac]. *)
+val fig_flight : run_opts -> figure
 
 (** Ablation: commit-time propagation (Algorithm 3.1) vs the "simple method"
     that ships aborted transactions' work, across abort probabilities. *)

@@ -14,6 +14,8 @@ type phase = {
   check_errors : int;
   watchdog_alerts : int;
   watchdog_peak_state : int;
+  flight_events : int;
+  flight_bytes : int;
 }
 
 type report = {
@@ -31,6 +33,8 @@ type report = {
   showcase_plain : phase;
   showcase_watchdog : phase;
   watchdog_overhead_frac : float;
+  showcase_flight : phase;
+  recorder_overhead_frac : float;
 }
 
 (* Resident-set high-water mark of this process, from /proc/self/status
@@ -84,6 +88,8 @@ let measure_once ~label cfg =
       | Some v -> v.Lsr_core.Watchdog.alerts_total
       | None -> 0);
     watchdog_peak_state = o.Sim_system.watchdog_peak_state;
+    flight_events = o.Sim_system.flight_events;
+    flight_bytes = o.Sim_system.flight_bytes;
   }
 
 (* Each rep runs in a forked child and ships its phase record back through a
@@ -243,6 +249,14 @@ let run ?(progress = ignore) ~quick ~seed () =
     measure ~reps:showcase_reps ~label:"showcase-watchdog"
       { showcase_cfg with Sim_system.watchdog = true }
   in
+  (* Flight recorder alone against the same unchecked baseline: the ring
+     absorbs the full event stream (every commit, pipeline stage and read)
+     while staying O(capacity) — [flight_bytes] is the committed evidence. *)
+  progress "showcase flight: bounded event recorder, no online check";
+  let showcase_flight =
+    measure ~reps:showcase_reps ~label:"showcase-flight"
+      { showcase_cfg with Sim_system.flight = Lsr_obs.Flight.create () }
+  in
   let showcase =
     measure ~reps:showcase_reps ~label:"showcase"
       { showcase_cfg with Sim_system.record_history = true }
@@ -264,6 +278,10 @@ let run ?(progress = ignore) ~quick ~seed () =
     watchdog_overhead_frac =
       (showcase_watchdog.cpu_s -. showcase_plain.cpu_s)
       /. Float.max 1e-9 showcase_plain.cpu_s;
+    showcase_flight;
+    recorder_overhead_frac =
+      (showcase_flight.cpu_s -. showcase_plain.cpu_s)
+      /. Float.max 1e-9 showcase_plain.cpu_s;
   }
 
 (* --- JSON ------------------------------------------------------------------- *)
@@ -282,6 +300,8 @@ let phase_to_json p =
       ("check_errors", Json.Num (float_of_int p.check_errors));
       ("watchdog_alerts", Json.Num (float_of_int p.watchdog_alerts));
       ("watchdog_peak_state", Json.Num (float_of_int p.watchdog_peak_state));
+      ("flight_events", Json.Num (float_of_int p.flight_events));
+      ("flight_bytes", Json.Num (float_of_int p.flight_bytes));
     ]
 
 let to_json r =
@@ -302,6 +322,8 @@ let to_json r =
       ("showcase_plain", phase_to_json r.showcase_plain);
       ("showcase_watchdog", phase_to_json r.showcase_watchdog);
       ("watchdog_overhead_frac", Json.Num r.watchdog_overhead_frac);
+      ("showcase_flight", phase_to_json r.showcase_flight);
+      ("recorder_overhead_frac", Json.Num r.recorder_overhead_frac);
     ]
 
 let phase_fields =
@@ -310,6 +332,7 @@ let phase_fields =
     ("events_per_s", `Num); ("txns", `Num); ("txns_per_s", `Num);
     ("peak_rss_kb", `Num); ("checker_cpu_s", `Num); ("check_errors", `Num);
     ("watchdog_alerts", `Num); ("watchdog_peak_state", `Num);
+    ("flight_events", `Num); ("flight_bytes", `Num);
   ]
 
 let check_field ctx j (name, kind) =
@@ -339,6 +362,7 @@ let validate j =
       ("speedup_events_per_s", `Num); ("showcase_clients", `Num);
       ("showcase", `Obj); ("showcase_plain", `Obj);
       ("showcase_watchdog", `Obj); ("watchdog_overhead_frac", `Num);
+      ("showcase_flight", `Obj); ("recorder_overhead_frac", `Num);
     ]
   in
   match check_all "report" j top_fields with
@@ -359,7 +383,7 @@ let validate j =
     in
     phases
       [ "open_loop"; "closed_loop"; "showcase"; "showcase_plain";
-        "showcase_watchdog" ]
+        "showcase_watchdog"; "showcase_flight" ]
 
 let write r ~file =
   let oc = open_out file in
@@ -382,6 +406,8 @@ let phase_rows p =
     string_of_int p.check_errors;
     string_of_int p.watchdog_alerts;
     string_of_int p.watchdog_peak_state;
+    string_of_int p.flight_events;
+    string_of_int p.flight_bytes;
   ]
 
 let print r =
@@ -395,15 +421,19 @@ let print r =
     ~header:
       [
         "phase"; "cpu s"; "events"; "events/s"; "txns"; "txns/s"; "rss kB";
-        "checker s"; "check errs"; "wd alerts"; "wd state";
+        "checker s"; "check errs"; "wd alerts"; "wd state"; "fr events";
+        "fr bytes";
       ]
     [
       phase_rows r.open_loop; phase_rows r.closed_loop;
       phase_rows r.showcase_plain; phase_rows r.showcase_watchdog;
-      phase_rows r.showcase;
+      phase_rows r.showcase_flight; phase_rows r.showcase;
     ];
   Printf.printf "open-loop / closed-loop events-per-second speedup: %.2fx\n%!"
     r.speedup_events_per_s;
   Printf.printf
     "online watchdog cpu overhead over the unchecked showcase: %.1f%%\n%!"
-    (100. *. r.watchdog_overhead_frac)
+    (100. *. r.watchdog_overhead_frac);
+  Printf.printf
+    "flight recorder cpu overhead over the unchecked showcase: %.1f%%\n%!"
+    (100. *. r.recorder_overhead_frac)

@@ -1,21 +1,23 @@
 (** The per-PR performance trajectory bench behind [bench perf] and the
-    committed [BENCH_9.json] (see ROADMAP.md for the trajectory commitment).
+    committed [BENCH_10.json] (see ROADMAP.md for the trajectory commitment).
 
-    Five deterministic runs of the simulated system, all with a tiny
+    Six deterministic runs of the simulated system, all with a tiny
     per-operation service time so the sites stay far from saturation (the
     bench measures simulator speed, not the paper's contention curves):
 
     - an {e open-loop} and a {e closed-loop} run at equal offered load
       ({!Sim_system.offered_rate}), same seed, same virtual duration — the
       paired comparison behind the events-per-second speedup;
-    - three {e showcase} open-loop runs at a million-plus modeled clients,
+    - four {e showcase} open-loop runs at a million-plus modeled clients,
       same seed and therefore the same trajectory: an unchecked baseline, a
       run with the online {!Lsr_core.Watchdog} attached (history recording
-      off — the bounded-memory check), and a run with history recording on
-      so the full post-hoc checker battery executes over the result (its
-      CPU time is reported separately and excluded from the simulator-speed
-      figures). The watchdog-vs-baseline CPU delta is the committed
-      watchdog overhead.
+      off — the bounded-memory check), a run with an enabled
+      {!Lsr_obs.Flight} recorder absorbing the full event stream into its
+      bounded ring, and a run with history recording on so the full
+      post-hoc checker battery executes over the result (its CPU time is
+      reported separately and excluded from the simulator-speed figures).
+      The watchdog-vs-baseline and flight-vs-baseline CPU deltas are the
+      committed watchdog and recorder overheads.
 
     Every measured run executes in a forked child process, so each phase's
     RSS high-water mark is its own (a 3 GB closed-loop fleet does not
@@ -43,6 +45,12 @@ type phase = {
   watchdog_peak_state : int;
       (** peak watchdog state — versions + floors + pins tracked at once,
           bounded by the active visibility window (0 without the watchdog) *)
+  flight_events : int;
+      (** events the flight recorder saw, recorded + overwritten (0 for
+          phases without a recorder) *)
+  flight_bytes : int;
+      (** approximate recorder footprint — O(ring capacity), constant in
+          run length (0 without a recorder) *)
 }
 
 type report = {
@@ -62,9 +70,15 @@ type report = {
   watchdog_overhead_frac : float;
       (** (showcase_watchdog.cpu_s - showcase_plain.cpu_s) /
           showcase_plain.cpu_s — the CPU price of the online check *)
+  showcase_flight : phase;
+      (** flight recorder attached (default ring capacity), watchdog and
+          history recording off *)
+  recorder_overhead_frac : float;
+      (** (showcase_flight.cpu_s - showcase_plain.cpu_s) /
+          showcase_plain.cpu_s — the CPU price of the black box *)
 }
 
-(** [run ~quick ~seed ()] executes the five phases. [quick] shrinks the
+(** [run ~quick ~seed ()] executes the six phases. [quick] shrinks the
     client counts ~100x and drops to one rep per phase for smoke use;
     [progress] receives one line per phase before it starts. *)
 val run : ?progress:(string -> unit) -> quick:bool -> seed:int -> unit -> report
@@ -72,7 +86,7 @@ val run : ?progress:(string -> unit) -> quick:bool -> seed:int -> unit -> report
 val to_json : report -> Lsr_obs.Json.t
 
 (** [validate j] checks the committed-schema contract: every field of the
-    report and of its five phase objects present, numbers finite, [bench]
+    report and of its six phase objects present, numbers finite, [bench]
     equal to ["perf"]. The emitter and this validator live together so the
     schema test and the bench cannot drift apart. *)
 val validate : Lsr_obs.Json.t -> (unit, string) result

@@ -30,6 +30,7 @@ type config = {
   fault_tick : float;
   obs : Obs.t;
   lineage : Lsr_obs.Lineage.t;
+  flight : Lsr_obs.Flight.t;
   monitor : Monitor.t;
 }
 
@@ -49,6 +50,7 @@ let config params guarantee ~seed =
     fault_tick = 1.0;
     obs = Obs.null;
     lineage = Lsr_obs.Lineage.null;
+    flight = Lsr_obs.Flight.null;
     monitor = Monitor.null;
   }
 
@@ -113,6 +115,10 @@ type outcome = {
   watchdog_alerts : Watchdog.alert list;
   watchdog_peak_state : int;
   watchdog_report : Lsr_obs.Json.t option;
+  flight_report : Lsr_obs.Json.t option;
+  flight_trigger : string option;
+  flight_events : int;
+  flight_bytes : int;
   resources : resource_report list;
 }
 
@@ -207,6 +213,7 @@ let make_site cfg eng wdog fault_rng index =
        required seq are released by exactly the commit that satisfies
        them. *)
     Secondary.create ~name:site_name ~obs:cfg.obs ~lineage:cfg.lineage
+      ~flight:cfg.flight
       ~on_refresh_commit:(fun ts ->
         Seqcond.advance session_cond ts;
         (* The same commit that wakes blocked readers advances the
@@ -220,7 +227,7 @@ let make_site cfg eng wdog fault_rng index =
     Option.map
       (fun fc ->
         Lsr_faults.Channel.create ~config:fc ~obs:cfg.obs ~lineage:cfg.lineage
-          ~name:site_name ~rng:(Rng.split fault_rng) ())
+          ~flight:cfg.flight ~name:site_name ~rng:(Rng.split fault_rng) ())
       cfg.faults
   in
   { index; site_name; sec;
@@ -434,6 +441,11 @@ let execute_update st rng label spec =
              watchdog sees commits in commit-timestamp order. *)
           let id = History.fresh_id st.history in
           let finished = History.tick st.history in
+          (* The recorder sees the commit before the watchdog judges it, so
+             a triggered capture always contains its own witness. *)
+          if Lsr_obs.Flight.enabled st.cfg.flight then
+            Lsr_obs.Flight.note_commit st.cfg.flight ~txn:(Mvcc.txn_id txn)
+              ~hid:id ~commit_ts ~updates:(List.length writes);
           (match (st.watchdog, wtok) with
           | Some w, Some tok ->
             Watchdog.end_update w tok ~id ~now:(Engine.now st.eng)
@@ -457,6 +469,11 @@ let execute_update st rng label spec =
                 fence = None;
               }
         end
+        else if Lsr_obs.Flight.enabled st.cfg.flight then
+          (* No history ids without a tracking consumer; the event stream
+             still carries every commit (hid = -1). *)
+          Lsr_obs.Flight.note_commit st.cfg.flight ~txn:(Mvcc.txn_id txn)
+            ~hid:(-1) ~commit_ts ~updates:(List.length writes)
       | Mvcc.Aborted (Mvcc.Write_conflict _) ->
         (* A real conflict under the first-committer-wins rule (key skew);
            restart like any other abort to maintain the offered load. *)
@@ -561,12 +578,18 @@ let execute_read ?fence st site label spec =
       | Txn_gen.Write_op _ -> assert false (* read-only by construction *))
     spec.Txn_gen.ops;
   Mvcc.end_read sdb txn;
+  (* The seq floor this read was held to (-1 = unfenced), recorded so replay
+     can show the claim the fence audit later judges. Pure state reads. *)
+  let flight_fence () = match fence with None -> -1 | Some _ -> required () in
   if st.track_reads then begin
     let id = History.fresh_id st.history in
     let finished = History.tick st.history in
     let fence_claim =
       Option.map (fun claim -> { History.claim; read_at }) fence
     in
+    if Lsr_obs.Flight.enabled st.cfg.flight then
+      Lsr_obs.Flight.note_read st.cfg.flight ~site:site.site_name ~hid:id
+        ~session:label ~snapshot ~fence:(flight_fence ());
     (match (st.watchdog, wtok) with
     | Some w, Some tok ->
       Watchdog.end_read ?fence:fence_claim w tok ~id ~site:site.site_name
@@ -588,6 +611,9 @@ let execute_read ?fence st site label spec =
           fence = fence_claim;
         }
   end
+  else if Lsr_obs.Flight.enabled st.cfg.flight then
+    Lsr_obs.Flight.note_read st.cfg.flight ~site:site.site_name ~hid:(-1)
+      ~session:label ~snapshot ~fence:(flight_fence ())
 
 (* The fence for one read, drawn from the run's fence policy. [All_reads]
    draws nothing from the rng, so a run with [All_reads Session_seq] under
@@ -808,6 +834,113 @@ let resource_report r =
 
 (* --- Assembly --------------------------------------------------------------- *)
 
+(* The run's full configuration, embedded in the flight recorder's postmortem
+   bundle so a bundle alone identifies the run that produced it: guarantee,
+   seed, every workload parameter, client model, fence policy and fault
+   schedule. Plain literals only — byte-stable across runs of one seed. *)
+let config_json cfg =
+  let open Lsr_obs.Json in
+  let p = cfg.params in
+  let num x = Num x in
+  let int n = Num (float_of_int n) in
+  let client_mode =
+    match cfg.client_mode with
+    | Closed_loop -> Str "closed-loop"
+    | Open_loop { clients; arrival; session_pool } ->
+      Obj
+        [
+          ("mode", Str "open-loop");
+          ("clients", int clients);
+          ( "arrival",
+            match arrival with
+            | Poisson -> Str "poisson"
+            | Mmpp b -> Str (Printf.sprintf "mmpp:%g" b) );
+          ("session_pool", int session_pool);
+        ]
+  in
+  let fence_json = function
+    | None -> Null
+    | Some f -> Str (Session.fence_to_string f)
+  in
+  let fence_policy =
+    match cfg.fence with
+    | No_fence -> Null
+    | All_reads f -> Obj [ ("all_reads", fence_json (Some f)) ]
+    | Fence_mix weighted ->
+      Arr
+        (List.map
+           (fun (w, f) -> Obj [ ("weight", num w); ("fence", fence_json f) ])
+           weighted)
+  in
+  let faults =
+    match cfg.faults with
+    | None -> Null
+    | Some fc ->
+      let {
+        Lsr_faults.Channel.loss;
+        dup;
+        delay;
+        max_delay;
+        reorder;
+        reorder_window;
+        ack_loss;
+        rto;
+        backoff;
+        max_rto;
+      } =
+        fc
+      in
+      Obj
+        [
+          ("loss", num loss);
+          ("dup", num dup);
+          ("delay", num delay);
+          ("max_delay", int max_delay);
+          ("reorder", num reorder);
+          ("reorder_window", int reorder_window);
+          ("ack_loss", num ack_loss);
+          ("rto", int rto);
+          ("backoff", num backoff);
+          ("max_rto", int max_rto);
+        ]
+  in
+  Obj
+    [
+      ("guarantee", Str (Session.guarantee_name cfg.guarantee));
+      ("seed", int cfg.seed);
+      ("record_history", Bool cfg.record_history);
+      ("watchdog", Bool cfg.watchdog);
+      ("serial_refresh", Bool cfg.serial_refresh);
+      ("ship_aborted", Bool cfg.ship_aborted);
+      ("migrate_prob", num cfg.migrate_prob);
+      ("client_mode", client_mode);
+      ("fence_policy", fence_policy);
+      ("faults", faults);
+      ("fault_tick", num cfg.fault_tick);
+      ( "params",
+        Obj
+          [
+            ("num_secondaries", int p.Params.num_secondaries);
+            ("clients_per_secondary", int p.Params.clients_per_secondary);
+            ("think_time", num p.Params.think_time);
+            ("session_time", num p.Params.session_time);
+            ("update_tran_prob", num p.Params.update_tran_prob);
+            ("abort_prob", num p.Params.abort_prob);
+            ("tran_size_min", int p.Params.tran_size_min);
+            ("tran_size_max", int p.Params.tran_size_max);
+            ("op_service_time", num p.Params.op_service_time);
+            ("update_op_prob", num p.Params.update_op_prob);
+            ("propagation_delay", num p.Params.propagation_delay);
+            ("propagation_jitter", num p.Params.propagation_jitter);
+            ("warmup", num p.Params.warmup);
+            ("duration", num p.Params.duration);
+            ("replications", int p.Params.replications);
+            ("response_time_cap", num p.Params.response_time_cap);
+            ("key_space", int p.Params.key_space);
+            ("key_skew", num p.Params.key_skew);
+          ] );
+    ]
+
 let run cfg =
   let p = cfg.params in
   let eng = Engine.create () in
@@ -817,14 +950,39 @@ let run cfg =
      the sink's freshness bookkeeping must restart too. *)
   Lsr_obs.Lineage.set_clock cfg.lineage (fun () -> Engine.now eng);
   Lsr_obs.Lineage.new_epoch cfg.lineage;
+  (* Same contract for the flight recorder: virtual-time stamps, fresh ring
+     and horizons per run, any earlier trigger cleared. *)
+  Lsr_obs.Flight.set_clock cfg.flight (fun () -> Engine.now eng);
+  Lsr_obs.Flight.new_epoch cfg.flight;
   let primary = Primary.create () in
   (* Clock and watchdog exist before the sites: each site's refresh-commit
      hook feeds the watchdog's retirement horizon. *)
   let clock = Session.clock_create () in
+  (* First alert seen by the trigger hook, kept for the postmortem bundle's
+     journey section (its lineage trace is the implicated txn's journey). *)
+  let first_alert = ref None in
   let wdog =
     if cfg.watchdog then
       Some
         (Watchdog.create ~obs:cfg.obs ~lineage:cfg.lineage ~clock
+           ?on_alert:
+             (if Lsr_obs.Flight.enabled cfg.flight then
+                Some
+                  (fun a ->
+                    (match !first_alert with
+                    | None -> first_alert := Some a
+                    | Some _ -> ());
+                    if not (Lsr_obs.Flight.triggered cfg.flight) then
+                      let txns =
+                        match a.Watchdog.kind with
+                        | Watchdog.Inversion { earlier; _ } ->
+                          [ a.Watchdog.txn; earlier ]
+                        | _ -> [ a.Watchdog.txn ]
+                      in
+                      Lsr_obs.Flight.trigger cfg.flight ~reason:"watchdog"
+                        ~detail:(Format.asprintf "%a" Watchdog.pp_alert a)
+                        ~txns ())
+              else None)
            ~sites:p.Params.num_secondaries ())
     else None
   in
@@ -838,7 +996,7 @@ let run cfg =
           ~discipline:Resource.Processor_sharing;
       propagator =
         Propagation.create ~from:0 ~ship_aborted:cfg.ship_aborted ~obs:cfg.obs
-          ~lineage:cfg.lineage (Primary.wal primary);
+          ~lineage:cfg.lineage ~flight:cfg.flight (Primary.wal primary);
       sites =
         Array.init p.Params.num_secondaries
           (make_site cfg eng wdog (Rng.create (cfg.seed lxor 0xFA17)));
@@ -948,6 +1106,42 @@ let run cfg =
         | None -> acc)
       Lsr_faults.Channel.zero_stats st.sites
   in
+  (* Postmortem capture. A watchdog alert already triggered the recorder
+     mid-run; a post-hoc battery failure triggers here so history-only runs
+     still yield a bundle; otherwise the bundle is the end-of-run window
+     (explicitly attaching a recorder always produces one). Built after every
+     simulated event, so it cannot perturb the run. *)
+  let flight_report, flight_trigger =
+    if not (Lsr_obs.Flight.enabled cfg.flight) then (None, None)
+    else begin
+      if check_errors <> [] && not (Lsr_obs.Flight.triggered cfg.flight) then
+        Lsr_obs.Flight.trigger cfg.flight ~reason:"checker"
+          ~detail:(String.concat "; " check_errors)
+          ();
+      let journeys =
+        match !first_alert with
+        | Some a when a.Watchdog.trace <> [] ->
+          [
+            ( a.Watchdog.txn,
+              Lsr_obs.Json.Arr
+                (List.map Lsr_obs.Lineage.event_json a.Watchdog.trace) );
+          ]
+        | _ -> []
+      in
+      let metrics =
+        if Obs.enabled cfg.obs then
+          match Lsr_obs.Json.parse (Obs.metrics_json cfg.obs) with
+          | Ok j -> Some j
+          | Error _ -> None
+        else None
+      in
+      let bundle =
+        Lsr_obs.Flight.bundle_json cfg.flight ~config:(config_json cfg)
+          ~journeys ?metrics ()
+      in
+      (Some bundle, Lsr_obs.Flight.trigger_reason cfg.flight)
+    end
+  in
   {
     throughput_fast = float_of_int (Metrics.fast_completions m) /. measured;
     read_rt_mean = Stat.mean (Metrics.read_rt m);
@@ -989,6 +1183,10 @@ let run cfg =
     watchdog_peak_state =
       (match st.watchdog with Some w -> Watchdog.peak_state w | None -> 0);
     watchdog_report = Option.map Watchdog.report_json st.watchdog;
+    flight_report;
+    flight_trigger;
+    flight_events = Lsr_obs.Flight.events_noted cfg.flight;
+    flight_bytes = Lsr_obs.Flight.approx_bytes cfg.flight;
     resources =
       resource_report st.primary_res
       :: Array.to_list (Array.map (fun site -> resource_report site.res) st.sites);

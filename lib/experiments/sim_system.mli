@@ -120,6 +120,19 @@ type config = {
           freshness sample per read-only transaction. Same rules as [obs]:
           the default {!Lsr_obs.Lineage.null} costs nothing and an enabled
           sink never changes outcomes. *)
+  flight : Lsr_obs.Flight.t;
+      (** flight recorder: a bounded in-memory black box over the unified
+          event stream — primary commits (carrying both MVCC txn and history
+          ids when a tracking consumer is on, hid = -1 otherwise), every
+          propagation/refresh pipeline stage, fault-channel misbehaviour,
+          per-read snapshot/fence claims and crash/recovery marks. The first
+          watchdog alert (with [watchdog]) triggers its postmortem capture
+          mid-run; a failed checker battery (with [record_history]) triggers
+          it at the end; otherwise the bundle holds the end-of-run window.
+          The bundle lands in [flight_report]. Same rules as [obs]/[lineage]:
+          {!Lsr_obs.Flight.null} (the default) costs nothing, and an enabled
+          recorder never changes outcomes (O(capacity) memory, virtual-time
+          stamps, no feedback). *)
   monitor : Monitor.t;
       (** periodic system monitor: every [Monitor.interval] virtual seconds
           it samples per-resource utilization ρ, time-average queue length L
@@ -237,6 +250,20 @@ type outcome = {
           verdict counts, state sizes, retirement horizon and the retained
           alert log, keys sorted, deterministic for a fixed seed ([None]
           when [watchdog = false]) *)
+  flight_report : Lsr_obs.Json.t option;
+      (** the flight recorder's postmortem bundle ({!Lsr_obs.Flight.bundle_json}:
+          trigger, event window, per-site visibility horizons, implicated
+          journeys, full config and seed), keys sorted, byte-stable for a
+          fixed seed; [None] when no recorder was attached *)
+  flight_trigger : string option;
+      (** what tripped the capture — ["watchdog"] (first online alert) or
+          ["checker"] (post-hoc battery failure); [None] when untriggered
+          (the bundle then holds the end-of-run window) or no recorder *)
+  flight_events : int;
+      (** events the recorder saw (recorded + overwritten); 0 without one *)
+  flight_bytes : int;
+      (** approximate recorder memory footprint: O(capacity), constant in
+          run length *)
   resources : resource_report list;
       (** queueing telemetry per site resource, primary first then
           secondaries in index order — the input of {!Bottleneck} *)

@@ -179,11 +179,13 @@ type t = {
   mutable s : stats;
   oc : obs_counters;
   lineage : Lsr_obs.Lineage.t;
+  recorder : Lsr_obs.Flight.t; (* [flight] names the in-flight packet list *)
   lname : string option; (* site this channel feeds, for lineage events *)
 }
 
 let create ?(config = default) ?(obs = Lsr_obs.Obs.null)
-    ?(lineage = Lsr_obs.Lineage.null) ?name ~rng () =
+    ?(lineage = Lsr_obs.Lineage.null) ?(flight = Lsr_obs.Flight.null) ?name
+    ~rng () =
   validate config;
   {
     cfg = config;
@@ -198,12 +200,17 @@ let create ?(config = default) ?(obs = Lsr_obs.Obs.null)
     s = zero_stats;
     oc = obs_counters obs;
     lineage;
+    recorder = flight;
     lname = name;
   }
 
 let emit_lineage t record stage =
   if Lsr_obs.Lineage.enabled t.lineage then
     Lsr_obs.Lineage.emit t.lineage ?site:t.lname
+      ~txn:(Txn_record.txn record)
+      (stage (Txn_record.kind_name record));
+  if Lsr_obs.Flight.enabled t.recorder then
+    Lsr_obs.Flight.note_stage t.recorder ?site:t.lname
       ~txn:(Txn_record.txn record)
       (stage (Txn_record.kind_name record))
 

@@ -82,7 +82,8 @@ type t
     / [Channel_duplicated] / [Channel_retransmitted] event per injected
     fault, tagged with [name] (the site this channel feeds) and the affected
     record's transaction id — so faults show up in that transaction's
-    journey.
+    journey. [flight] records the same fault events into the bounded black
+    box.
     @raise Invalid_argument on an ill-formed config (probabilities outside
     [0, 1], [loss >= 1.], [ack_loss >= 1.], [rto < 1], [backoff < 1.],
     negative windows). *)
@@ -90,6 +91,7 @@ val create :
   ?config:config ->
   ?obs:Lsr_obs.Obs.t ->
   ?lineage:Lsr_obs.Lineage.t ->
+  ?flight:Lsr_obs.Flight.t ->
   ?name:string ->
   rng:Lsr_sim.Rng.t ->
   unit ->

@@ -1,0 +1,200 @@
+(** The flight recorder: a bounded in-memory black box over the unified
+    replication event stream, postmortem bundles, and the replay/diff
+    engine behind [lsrepl replay].
+
+    A {!t} is a fixed-capacity ring buffer over a compact encoding (parallel
+    scalar arrays, site and record names interned) of the same event
+    vocabulary the online watchdog consumes: primary commits, propagation
+    batching/shipping, fault-channel misbehaviour, per-site refresh
+    start/commit, per-read snapshot+fence claims, and secondary
+    crash/recovery. Memory is fixed at creation — [O(capacity)] regardless
+    of run length — so the recorder is affordable on every run, including
+    the million-client showcase.
+
+    On {!trigger} (a watchdog alert, a checker failure, or an explicit
+    flag), the recorder snapshots the ring — the event window leading up to
+    the trigger instant — together with per-site visibility horizons.
+    First trigger wins: later triggers do not overwrite the captured
+    window. {!bundle_json} then assembles the postmortem bundle: the
+    window, the implicated transactions, horizons, the reproducing
+    config+seed, optional Lineage journeys and a metrics snapshot.
+
+    The module obeys the observability design rules (docs/OBSERVABILITY.md,
+    docs/FLIGHT.md): explicit plumbing ({!null} default, constructors take
+    the sink), free when off (every recording call is a load-and-branch
+    behind {!enabled}), observation never feeds back (the recorder only
+    writes its own arrays; timestamps come from the bound virtual clock,
+    never the wall clock), and deterministic export (same seed ⇒
+    byte-identical bundles).
+
+    The second half of the module is the consumer: {!load_bundle} parses a
+    bundle back, {!events_until}/{!horizons_at}/{!txn_events} reconstruct
+    the window in virtual time, {!witness_events} extracts the concrete
+    interleaving of the implicated transactions, and {!diff} reports the
+    first divergence between two bundles — a determinism audit. *)
+
+type t
+
+(** The disabled recorder: every operation is a no-op. *)
+val null : t
+
+(** [create ?capacity ()] is an enabled recorder retaining the most recent
+    [capacity] events (default 4096, clamped to [>= 16]). *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+val capacity : t -> int
+
+(** [set_clock t f] makes [f] the source of event timestamps (the simulator
+    binds its virtual [Engine.now]). Without a clock, events are stamped
+    with their own ordinal. *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** [new_epoch t] rearms the recorder for a fresh run: the ring, horizon
+    bookkeeping and any captured trigger are cleared. [Sim_system.run]
+    calls this at start, so one recorder attached to a sweep records the
+    current run only. *)
+val new_epoch : t -> unit
+
+(** {2 Recording} *)
+
+(** [note_stage t ?site ~txn stage] records one pipeline stage of update
+    transaction [txn] (the primary MVCC id) — the same call shape as
+    {!Lineage.emit}, so the two sinks tap identical sites. A
+    [Primary_commit] noted this way carries no history id; the simulator
+    uses {!note_commit} instead when one exists. *)
+val note_stage : t -> ?site:string -> txn:int -> Lineage.stage -> unit
+
+(** [note_commit t ~txn ~hid ~commit_ts ~updates] records a primary commit
+    carrying both ids: [txn] the MVCC id (the Lineage trace id) and [hid]
+    the history id ([-1] when no history/watchdog is attached) — the id
+    checker and watchdog witnesses anchor on. *)
+val note_commit : t -> txn:int -> hid:int -> commit_ts:int -> updates:int -> unit
+
+(** [note_read t ~site ~hid ~session ~snapshot ~fence] records a read-only
+    transaction's snapshot claim at [site]: the snapshot seq it read at and
+    the seq floor its fence/guarantee required ([-1] = unfenced). *)
+val note_read :
+  t -> site:string -> hid:int -> session:string -> snapshot:int -> fence:int -> unit
+
+val note_crash : t -> site:string -> unit
+
+(** [note_recovery t ~site ~seq] records a secondary recovering with its
+    sequence bookkeeping reseeded to [seq]. *)
+val note_recovery : t -> site:string -> seq:int -> unit
+
+(** Events noted over the recorder's lifetime (≥ retained). *)
+val events_noted : t -> int
+
+(** Approximate resident bytes of the recorder (arrays, interned names and
+    live session labels) — the bounded-memory claim, deterministic. *)
+val approx_bytes : t -> int
+
+(** {2 Triggers} *)
+
+(** [trigger t ~reason ()] captures the postmortem window (first trigger
+    wins). [detail] is a human-readable description of the cause; [txns]
+    the implicated transaction ids (history ids where they exist — watchdog
+    and checker witnesses — otherwise MVCC ids). *)
+val trigger : t -> ?detail:string -> ?txns:int list -> reason:string -> unit -> unit
+
+val triggered : t -> bool
+val trigger_reason : t -> string option
+
+(** {2 Bundles} *)
+
+(** One decoded flight event. [site = None] is the primary. *)
+type event = { seq : int; time : float; site : string option; ev : ev }
+
+and ev =
+  | Commit of { txn : int; hid : int; commit_ts : int; updates : int }
+  | Batched of { txn : int }
+  | Shipped of { txn : int; updates : int }
+  | Chan_fault of { txn : int; fault : string; record : string; ticks : int }
+      (** [fault] is one of ["dropped"], ["duplicated"], ["delayed"]
+          (with [ticks] of injected delay), ["retransmitted"] *)
+  | Enqueued of { txn : int }
+  | Refresh_start of { txn : int }
+  | Refresh_commit of { txn : int; commit_ts : int }
+  | Read of { hid : int; session : string; snapshot : int; fence : int }
+  | Crash
+  | Recovery of { seq : int }
+
+(** A parsed postmortem bundle. *)
+type bundle = {
+  version : int;
+  reason : string;
+  detail : string;
+  at : float;  (** trigger instant (virtual time) *)
+  implicated : int list;
+  window : event array;  (** oldest first; [seq] globally numbered *)
+  dropped : int;  (** events evicted from the ring before the window *)
+  commits : int;  (** primary commits noted over the whole run *)
+  horizons : (string * int) list;
+      (** per-site visibility horizon at the trigger instant: ["primary"]
+          maps to the latest primary commit ts, each secondary to its
+          seq(DBsec); sorted by site name *)
+  config : Json.t;  (** the reproducing config+seed, verbatim *)
+  journeys : (int * Json.t) list;
+      (** Lineage journeys of implicated txns, keyed by history id *)
+  metrics : Json.t option;
+}
+
+(** [bundle_json t ~config ()] assembles the canonical (sorted-keys)
+    postmortem bundle from the captured trigger — or, if nothing triggered,
+    from the live ring under reason ["end-of-run"]. [journeys] attaches
+    Lineage journeys keyed by implicated id; [metrics] embeds a metrics
+    snapshot. Deterministic: same seed, same bytes. *)
+val bundle_json :
+  t ->
+  config:Json.t ->
+  ?journeys:(int * Json.t) list ->
+  ?metrics:Json.t ->
+  unit ->
+  Json.t
+
+(** [write_bundle t ~config ~file ()] writes {!bundle_json} to [file],
+    creating missing parent directories. *)
+val write_bundle :
+  t ->
+  config:Json.t ->
+  ?journeys:(int * Json.t) list ->
+  ?metrics:Json.t ->
+  file:string ->
+  unit ->
+  unit
+
+(** {2 Replay} *)
+
+val parse_bundle : Json.t -> (bundle, string) result
+
+(** [load_bundle ~file] reads and parses one bundle. *)
+val load_bundle : file:string -> (bundle, string) result
+
+(** One replay line: time, site, event kind and details. *)
+val pp_event : Format.formatter -> event -> unit
+
+(** Window events with [time <= vt], oldest first. *)
+val events_until : bundle -> vt:float -> event list
+
+(** Window events mentioning transaction [id] (as MVCC id or history id),
+    oldest first. *)
+val txn_events : bundle -> id:int -> event list
+
+(** [horizons_at b ~vt] is each site's visible snapshot horizon at instant
+    [vt], reconstructed from the window: ["primary"] at the newest commit
+    ts ≤ [vt], each secondary at its newest refresh-commit ≤ [vt]. Sites
+    with no window event by [vt] report [-1] (unknown before the window).
+    Sorted by site name. *)
+val horizons_at : bundle -> vt:float -> (string * int) list
+
+(** The concrete interleaving of the implicated transactions: every window
+    event belonging to an implicated id (directly, or through the MVCC ids
+    its commits tie to), oldest first. *)
+val witness_events : bundle -> event list
+
+(** [diff a b] is the first divergence between two bundles' windows:
+    [None] when both retain identical event sequences, otherwise
+    [Some (i, ea, eb)] — the first differing window index with each side's
+    event ([None] = that window ended early). *)
+val diff : bundle -> bundle -> (int * event option * event option) option

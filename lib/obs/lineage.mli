@@ -126,6 +126,12 @@ val stage_name : stage -> string
 (** One journey line: time, site, stage and stage details. *)
 val pp_event : Format.formatter -> event -> unit
 
+(** One event as a JSON object ([{seq,time,site,stage,..}] with the stage's
+    detail fields inlined) — the element shape of {!to_json}'s journey
+    arrays, exposed so the flight recorder's postmortem bundles can embed
+    journeys in the same form. *)
+val event_json : event -> Json.t
+
 (** Deterministic lineage document:
     [{"commits":..,"events":..,
       "txns":[{"txn":..,"events":[{seq,time,site,stage,..}]}],

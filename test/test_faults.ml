@@ -513,6 +513,186 @@ let test_randomized_protocol () =
   check_bool "reordering occurred across trials" true
     (!total.Channel.reordered > 0)
 
+(* --- Lineage journeys under faults ------------------------------------------- *)
+
+(* Edge cases of the causal journey tracing (docs/TRACING.md) that only the
+   fault layer can provoke: aborted transactions, drop-then-retransmit
+   ordering inside one journey, and journeys cut short by a crash whose
+   state arrives via the §3.4 backup instead of refresh. *)
+
+module Lineage = Lsr_obs.Lineage
+
+let refresh_sites journey =
+  List.filter_map
+    (fun (e : Lineage.event) ->
+      match e.Lineage.stage with
+      | Lineage.Refresh_committed _ -> e.Lineage.site
+      | _ -> None)
+    journey
+
+let payload_stages journey =
+  (* The stages that carry replicated work, as opposed to batch/refresh
+     bookkeeping a start record alone can provoke. *)
+  List.filter
+    (fun (e : Lineage.event) ->
+      match e.Lineage.stage with
+      | Lineage.Primary_commit _ | Lineage.Shipped _
+      | Lineage.Refresh_committed _ -> true
+      | _ -> false)
+    journey
+
+let test_journey_aborted_txn_invisible () =
+  (* Algorithm 3.1 never ships aborted work: an aborted attempt may leave
+     bookkeeping stages (its start record opens a batch and a refresh txn),
+     but no commit, no shipped payload, no refresh commit — and it never
+     counts as a registered commit. *)
+  let lineage = Lineage.create () in
+  let sys =
+    System.create ~secondaries:1 ~lineage ~guarantee:Session.Strong_session ()
+  in
+  let c = System.connect sys "c0" in
+  (match System.update sys c ~force_abort:true (fun h -> Handle.put h "k" "v") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forced abort committed");
+  System.pump sys;
+  check_int "no commit registered" 0 (Lineage.commit_count lineage);
+  List.iter
+    (fun txn ->
+      check_bool "aborted journey carries no payload stage" true
+        (payload_stages (Lineage.journey lineage ~txn) = []))
+    (Lineage.txns lineage);
+  (match System.update sys c (fun h -> Handle.put h "k" "v1") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "follow-up commit failed");
+  System.pump sys;
+  check_int "the committed successor registers" 1
+    (Lineage.commit_count lineage);
+  let committed =
+    List.filter
+      (fun txn -> payload_stages (Lineage.journey lineage ~txn) <> [])
+      (Lineage.txns lineage)
+  in
+  match committed with
+  | [ id ] ->
+    check_bool "the committed successor still gets a full journey" true
+      (refresh_sites (Lineage.journey lineage ~txn:id) = [ "secondary-0" ])
+  | l -> Alcotest.failf "expected one committed txn, got %d" (List.length l)
+
+let test_journey_drop_then_retransmit_order () =
+  (* A journey that includes an injected drop must show the retransmission
+     after it, and the refresh commit after that: the trace tells the true
+     delivery story, not the first-attempt story. *)
+  let config = { Channel.reliable with Channel.loss = 0.5; rto = 2 } in
+  let witnessed = ref false in
+  List.iter
+    (fun seed ->
+      if not !witnessed then begin
+        let lineage = Lineage.create () in
+        let inj = Injector.create ~config ~lineage ~seed () in
+        let sys =
+          System.create ~secondaries:1 ~faults:(Injector.faults inj) ~lineage
+            ~guarantee:Session.Strong_session ()
+        in
+        let c = System.connect sys "c0" in
+        for i = 1 to 15 do
+          ignore
+            (System.update sys c (fun h ->
+                 Handle.put h (Printf.sprintf "k%d" i) "v"));
+          ignore (System.propagate sys);
+          ignore (System.refresh_all sys)
+        done;
+        System.pump sys;
+        List.iter
+          (fun txn ->
+            let j = Lineage.journey lineage ~txn in
+            let indices p =
+              List.mapi (fun i e -> (i, e)) j
+              |> List.filter_map (fun (i, (e : Lineage.event)) ->
+                     if p e.Lineage.stage then Some i else None)
+            in
+            let drops =
+              indices (function Lineage.Channel_dropped _ -> true | _ -> false)
+            in
+            let retrans =
+              indices (function
+                | Lineage.Channel_retransmitted _ -> true
+                | _ -> false)
+            in
+            let commits =
+              indices (function
+                | Lineage.Refresh_committed _ -> true
+                | _ -> false)
+            in
+            match (drops, retrans) with
+            | d :: _, _ :: _ -> (
+              (* A dropped record is only ever delivered by retransmission,
+                 so some retransmission must follow the drop, and the
+                 journey's refresh commit must follow that. *)
+              match List.find_opt (fun r -> r > d) retrans with
+              | None ->
+                Alcotest.fail "drop with no subsequent retransmission"
+              | Some r ->
+                witnessed := true;
+                check_bool "journey still reaches its refresh commit" true
+                  (match List.rev commits with
+                  | last :: _ -> last > r
+                  | [] -> false))
+            | _ -> ())
+          (Lineage.txns lineage)
+      end)
+    [ 0xD20; 0xD21; 0xD22 ];
+  check_bool "a dropped-then-retransmitted journey was provoked" true
+    !witnessed
+
+let test_journey_spans_crash_recovery () =
+  (* Commits that reach a site through the §3.4 recovery backup must NOT
+     grow fabricated refresh events there; commits after recovery resume
+     full journeys at every site. *)
+  let lineage = Lineage.create () in
+  let sys =
+    System.create ~secondaries:2 ~lineage ~guarantee:Session.Strong_session ()
+  in
+  let c = System.connect sys "c0" in
+  let commit k v =
+    match System.update sys c (fun h -> Handle.put h k v) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "update failed"
+  in
+  commit "a" "1";
+  ignore (System.propagate sys);
+  System.crash_secondary sys 0;
+  commit "a" "2";
+  System.recover_secondary sys 0;
+  commit "a" "3";
+  System.pump sys;
+  (match System.check sys with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "checker: %s" (String.concat "; " es));
+  (* The §4 recovery dummy transaction leaves bookkeeping-only traces;
+     only the three real commits matter here. *)
+  let committed =
+    List.filter
+      (fun txn ->
+        List.exists
+          (fun (e : Lineage.event) ->
+            match e.Lineage.stage with
+            | Lineage.Primary_commit _ -> true
+            | _ -> false)
+          (Lineage.journey lineage ~txn))
+      (Lineage.txns lineage)
+  in
+  match committed with
+  | [ t1; t2; t3 ] ->
+    let sites t = List.sort_uniq compare (refresh_sites (Lineage.journey lineage ~txn:t)) in
+    check_bool "pre-crash commit refreshed only at the surviving site" true
+      (sites t1 = [ "secondary-1" ]);
+    check_bool "mid-crash commit arrived at site 0 via backup, not refresh"
+      true
+      (sites t2 = [ "secondary-1" ]);
+    check_bool "post-recovery commit refreshes at both sites again" true
+      (sites t3 = [ "secondary-0"; "secondary-1" ])
+  | l -> Alcotest.failf "expected three traced txns, got %d" (List.length l)
+
 (* --- Suite -------------------------------------------------------------------- *)
 
 let () =
@@ -553,6 +733,15 @@ let () =
           Alcotest.test_case "truncated log fails loudly" `Quick
             test_recovery_truncated_log_fails_loudly;
           Alcotest.test_case "replay filter" `Quick test_replay_filter;
+        ] );
+      ( "lineage-journeys",
+        [
+          Alcotest.test_case "aborted txns invisible" `Quick
+            test_journey_aborted_txn_invisible;
+          Alcotest.test_case "drop then retransmit order" `Quick
+            test_journey_drop_then_retransmit_order;
+          Alcotest.test_case "spans crash/recovery" `Quick
+            test_journey_spans_crash_recovery;
         ] );
       ( "protocol",
         [

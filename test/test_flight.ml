@@ -1,0 +1,302 @@
+(* The flight recorder (PR 10): ring semantics and first-trigger-wins at the
+   unit level, then the simulator-level contracts — attaching the recorder
+   never perturbs an outcome, its footprint is bounded regardless of run
+   length, bundles are byte-deterministic per seed (replay --diff finds no
+   divergence), and the end-to-end postmortem path: a weak-SI run trips the
+   watchdog, the bundle's implicated pair is a real inversion witness of the
+   post-hoc checker on the same seed. *)
+
+open Lsr_core
+open Lsr_experiments
+module Params = Lsr_workload.Params
+module Json = Lsr_obs.Json
+module Flight = Lsr_obs.Flight
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- unit: ring, triggers, bundles ------------------------------------------- *)
+
+let test_null_inert () =
+  let f = Flight.null in
+  check_bool "not enabled" false (Flight.enabled f);
+  Flight.note_commit f ~txn:1 ~hid:1 ~commit_ts:1 ~updates:1;
+  Flight.note_read f ~site:"s" ~hid:2 ~session:"c" ~snapshot:1 ~fence:(-1);
+  Flight.trigger f ~reason:"x" ();
+  check_int "no events" 0 (Flight.events_noted f);
+  check_int "no bytes" 0 (Flight.approx_bytes f);
+  check_bool "never triggered" false (Flight.triggered f)
+
+let parse_ok j =
+  match Flight.parse_bundle j with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "bundle does not parse: %s" e
+
+let test_ring_overwrites_and_first_trigger_wins () =
+  let f = Flight.create ~capacity:1 () in
+  check_int "capacity clamped up" 16 (Flight.capacity f);
+  let clock = ref 0. in
+  Flight.set_clock f (fun () -> !clock);
+  for i = 1 to 40 do
+    clock := float_of_int i;
+    Flight.note_commit f ~txn:i ~hid:i ~commit_ts:i ~updates:1
+  done;
+  check_int "all events counted" 40 (Flight.events_noted f);
+  Flight.trigger f ~reason:"first" ~detail:"d1" ~txns:[ 39; 40 ] ();
+  Flight.trigger f ~reason:"second" ~detail:"d2" ~txns:[ 1 ] ();
+  check_bool "triggered" true (Flight.triggered f);
+  check_bool "first trigger wins" true
+    (Flight.trigger_reason f = Some "first");
+  let b = parse_ok (Flight.bundle_json f ~config:(Json.Obj []) ()) in
+  check_string "reason" "first" b.Flight.reason;
+  check_string "detail" "d1" b.Flight.detail;
+  check_bool "implicated" true (b.Flight.implicated = [ 39; 40 ]);
+  check_int "window bounded by capacity" 16 (Array.length b.Flight.window);
+  check_int "evictions reported" 24 b.Flight.dropped;
+  check_int "commits counted over the whole run" 40 b.Flight.commits;
+  (* The retained window is the most recent suffix, oldest first. *)
+  check_bool "window is the tail of the stream" true
+    (match (b.Flight.window.(0).Flight.ev, b.Flight.window.(15).Flight.ev) with
+    | Flight.Commit { txn = 25; _ }, Flight.Commit { txn = 40; _ } -> true
+    | _ -> false);
+  (* Replay accessors on the same bundle. *)
+  check_int "events_until cuts at vt" 6
+    (List.length (Flight.events_until b ~vt:30.));
+  check_int "txn_events finds the witness" 1
+    (List.length (Flight.txn_events b ~id:40));
+  check_bool "witness interleaving covers the implicated txns" true
+    (List.length (Flight.witness_events b) = 2);
+  check_bool "horizons reconstruct at vt" true
+    (Flight.horizons_at b ~vt:30. = [ ("primary", 30) ])
+
+let test_bundle_json_roundtrip () =
+  let f = Flight.create ~capacity:32 () in
+  let clock = ref 0. in
+  Flight.set_clock f (fun () -> !clock);
+  clock := 1.;
+  Flight.note_commit f ~txn:1 ~hid:10 ~commit_ts:1 ~updates:2;
+  Flight.note_stage f ~txn:1 Lsr_obs.Lineage.Batched;
+  Flight.note_stage f ~txn:1 (Lsr_obs.Lineage.Shipped { updates = 2 });
+  clock := 2.;
+  Flight.note_stage f ~site:"sec-0" ~txn:1
+    (Lsr_obs.Lineage.Channel_delayed { record = "commit"; ticks = 3 });
+  Flight.note_stage f ~site:"sec-0" ~txn:1 Lsr_obs.Lineage.Enqueued;
+  Flight.note_stage f ~site:"sec-0" ~txn:1 Lsr_obs.Lineage.Refresh_started;
+  Flight.note_stage f ~site:"sec-0" ~txn:1
+    (Lsr_obs.Lineage.Refresh_committed { commit_ts = 1 });
+  clock := 3.;
+  Flight.note_read f ~site:"sec-0" ~hid:11 ~session:"c0" ~snapshot:1 ~fence:1;
+  Flight.note_crash f ~site:"sec-0";
+  Flight.note_recovery f ~site:"sec-0" ~seq:1;
+  let j = Flight.bundle_json f ~config:(Json.Obj [ ("seed", Json.Num 5.) ]) () in
+  (* The canonical text re-parses to the identical bundle. *)
+  let text = Json.to_string j in
+  let reparsed =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "bundle text does not re-parse: %s" e
+  in
+  let a = parse_ok j and b = parse_ok reparsed in
+  check_bool "roundtrip is exact" true (a = b);
+  check_string "untriggered bundle is the end-of-run window" "end-of-run"
+    a.Flight.reason;
+  check_int "every event kind survived the ring encoding" 10
+    (Array.length a.Flight.window);
+  check_bool "no divergence against itself" true (Flight.diff a b = None)
+
+(* --- simulator-level contracts ----------------------------------------------- *)
+
+let base_params =
+  {
+    Params.default with
+    Params.num_secondaries = 2;
+    clients_per_secondary = 5;
+    warmup = 10.;
+    duration = 120.;
+  }
+
+let cfg ?(params = base_params) ?(watchdog = false) ?(flight = false) guarantee
+    ~seed =
+  {
+    (Sim_system.config params guarantee ~seed) with
+    Sim_system.record_history = true;
+    watchdog;
+    flight = (if flight then Flight.create () else Flight.null);
+  }
+
+let scrub (o : Sim_system.outcome) =
+  {
+    o with
+    Sim_system.checker_cpu_s = 0.;
+    check_report = None;
+    flight_report = None;
+    flight_trigger = None;
+    flight_events = 0;
+    flight_bytes = 0;
+  }
+
+let test_never_perturbs () =
+  (* The recorder only observes: every simulation outcome field must be
+     identical with and without it, for a quiet run and for an anomalous
+     one (watchdog on, alerts firing, the trigger path exercised). *)
+  let pairs =
+    [
+      ( "quiet",
+        cfg Session.Strong_session ~seed:5,
+        cfg Session.Strong_session ~seed:5 ~flight:true );
+      ( "anomalous",
+        {
+          (cfg Session.Weak ~seed:7 ~watchdog:true) with
+          Sim_system.migrate_prob = 0.4;
+        },
+        {
+          (cfg Session.Weak ~seed:7 ~watchdog:true ~flight:true) with
+          Sim_system.migrate_prob = 0.4;
+        } );
+    ]
+  in
+  List.iter
+    (fun (tag, off, on_) ->
+      let off = Sim_system.run off and on_ = Sim_system.run on_ in
+      check_bool (tag ^ ": identical scrubbed outcomes") true
+        (scrub off = scrub on_);
+      Alcotest.(check (list string))
+        (tag ^ ": identical check errors")
+        off.Sim_system.check_errors on_.Sim_system.check_errors)
+    pairs
+
+let test_bounded_footprint () =
+  (* Quadrupling the run multiplies the events seen but not the resident
+     bytes: the ring is fixed at creation. *)
+  let run duration =
+    Sim_system.run
+      (cfg ~params:{ base_params with Params.duration } Session.Strong_session
+         ~seed:11 ~flight:true)
+  in
+  let short = run 120. and long = run 480. in
+  check_bool "events grow with the run" true
+    (long.Sim_system.flight_events > 3 * short.Sim_system.flight_events);
+  check_bool "short run saw plenty of events" true
+    (short.Sim_system.flight_events > 300);
+  (* The ring dominates the footprint; only live session-label bookkeeping
+     moves, and by well under a percent. *)
+  let sb = short.Sim_system.flight_bytes
+  and lb = long.Sim_system.flight_bytes in
+  check_bool
+    (Printf.sprintf "resident bytes stay flat (%d vs %d)" sb lb)
+    true
+    (abs (lb - sb) * 100 < sb)
+
+let anomalous_cfg ~flight =
+  {
+    (cfg Session.Weak ~seed:7 ~watchdog:true ~flight) with
+    Sim_system.migrate_prob = 0.4;
+  }
+
+let bundle_of (o : Sim_system.outcome) =
+  match o.Sim_system.flight_report with
+  | Some j -> parse_ok j
+  | None -> Alcotest.fail "no flight report"
+
+let test_postmortem_end_to_end () =
+  (* Weak SI with cross-site load balancing produces real inversions
+     (test_watchdog relies on the same workload): the watchdog's first
+     alert must trip the recorder, and the bundle's implicated pair must be
+     an inversion witness the post-hoc checker independently finds on the
+     same seed. *)
+  let o = Sim_system.run (anomalous_cfg ~flight:true) in
+  check_bool "watchdog tripped the recorder" true
+    (o.Sim_system.flight_trigger = Some "watchdog");
+  let b = bundle_of o in
+  check_string "bundle reason" "watchdog" b.Flight.reason;
+  check_bool "trigger detail names the alert" true
+    (String.length b.Flight.detail > 0);
+  check_bool "window captured" true (Array.length b.Flight.window > 0);
+  (* The inversion fires early in the run, so only sites with visibility
+     bookkeeping by then appear — the primary always does. *)
+  check_bool "primary horizon captured" true
+    (match List.assoc_opt "primary" b.Flight.horizons with
+    | Some h -> h >= 0
+    | None -> false);
+  (* The implicated pair is a real witness: some checker inversion (at any
+     strictness level) blames exactly these two history ids. *)
+  let report = Option.get o.Sim_system.check_report in
+  let pairs =
+    List.map
+      (fun (i : Checker.inversion) ->
+        List.sort compare [ i.Checker.earlier.History.id; i.Checker.later.History.id ])
+      (report.Checker.inversions_all @ report.Checker.inversions_in_session
+     @ report.Checker.inversions_after_update)
+  in
+  check_int "two implicated txns" 2 (List.length b.Flight.implicated);
+  check_bool "implicated pair is a post-hoc inversion witness" true
+    (List.mem (List.sort compare b.Flight.implicated) pairs);
+  check_bool "the witness interleaving is non-empty" true
+    (Flight.witness_events b <> []);
+  (* The alert fired with lineage off, so no journeys ride along; the
+     reproducing config does. *)
+  check_bool "bundle embeds the seed" true
+    (Json.member "seed" b.Flight.config = Some (Json.Num 7.));
+  check_bool "window events precede the trigger instant" true
+    (Array.for_all (fun (e : Flight.event) -> e.Flight.time <= b.Flight.at)
+       b.Flight.window)
+
+let test_end_of_run_fallback () =
+  (* A clean run never triggers; the bundle still exists (reason
+     "end-of-run") so every recorded run is inspectable. *)
+  let o = Sim_system.run (cfg Session.Strong_session ~seed:5 ~flight:true) in
+  check_bool "no trigger on a clean run" true
+    (o.Sim_system.flight_trigger = None);
+  let b = bundle_of o in
+  check_string "fallback reason" "end-of-run" b.Flight.reason;
+  check_bool "nothing implicated" true (b.Flight.implicated = []);
+  check_bool "window retained anyway" true (Array.length b.Flight.window > 0)
+
+let test_deterministic_bundles_and_diff () =
+  (* Same seed, two fresh recorders: byte-identical bundles, and the replay
+     diff engine agrees there is no divergence. *)
+  let run () = Sim_system.run (anomalous_cfg ~flight:true) in
+  let a = run () and b = run () in
+  let ja = Option.get a.Sim_system.flight_report
+  and jb = Option.get b.Sim_system.flight_report in
+  check_string "byte-identical bundles" (Json.to_string ja) (Json.to_string jb);
+  check_bool "diff finds no divergence" true
+    (Flight.diff (parse_ok ja) (parse_ok jb) = None);
+  (* A genuinely different window (different seed) must diverge. *)
+  let c =
+    Sim_system.run
+      {
+        (anomalous_cfg ~flight:true) with
+        Sim_system.seed = 8;
+      }
+  in
+  match c.Sim_system.flight_report with
+  | None -> Alcotest.fail "no flight report on the control run"
+  | Some jc ->
+    check_bool "different seeds diverge" true
+      (Flight.diff (parse_ok ja) (parse_ok jc) <> None)
+
+let () =
+  Alcotest.run "lsr_flight"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "null is inert" `Quick test_null_inert;
+          Alcotest.test_case "overwrite + first trigger wins" `Quick
+            test_ring_overwrites_and_first_trigger_wins;
+          Alcotest.test_case "bundle json roundtrip" `Quick
+            test_bundle_json_roundtrip;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "never perturbs" `Slow test_never_perturbs;
+          Alcotest.test_case "bounded footprint" `Slow test_bounded_footprint;
+          Alcotest.test_case "postmortem end to end" `Quick
+            test_postmortem_end_to_end;
+          Alcotest.test_case "end-of-run fallback" `Quick
+            test_end_of_run_fallback;
+          Alcotest.test_case "deterministic bundles + diff" `Quick
+            test_deterministic_bundles_and_diff;
+        ] );
+    ]

@@ -1,7 +1,7 @@
 (* The open-loop aggregated client model (PR 6): statistical equivalence
    against the paper's closed-loop model at matched offered load, arrival-
    process sanity, bitwise determinism, a hundred-thousand-client run with
-   the full checker battery, the BENCH_9.json schema contract, the
+   the full checker battery, the BENCH_10.json schema contract, the
    Session_seq fence / strong-session-SI equivalence (PR 7), and the online
    watchdog's bounded-memory scale contract (PR 9). *)
 
@@ -194,7 +194,7 @@ let test_determinism () =
   check_bool "different seed, different outcome" true
     (scrub (run 5) <> scrub (run 6))
 
-(* The runtest-sized version of the BENCH_9 watchdog showcase: 100k modeled
+(* The runtest-sized version of the BENCH_10 watchdog showcase: 100k modeled
    clients, history recording OFF, the online watchdog alone verifying the
    guarantee — in state bounded by the active visibility window, not the
    run length. *)
@@ -255,7 +255,7 @@ let test_watchdog_bounded_at_scale () =
 let test_hundred_thousand_clients () =
   (* A runtest-sized version of the perf-bench showcase: 100k modeled
      clients across two sites, history recording on, full checker battery
-     at the end. The committed BENCH_9.json covers the 10^6 point. *)
+     at the end. The committed BENCH_10.json covers the 10^6 point. *)
   let params =
     {
       Params.default with
@@ -288,7 +288,7 @@ let test_hundred_thousand_clients () =
     true (txns > 10_000);
   check_bool "checker really ran" true (o.Sim_system.checker_cpu_s >= 0.)
 
-(* --- BENCH_9.json schema ----------------------------------------------------- *)
+(* --- BENCH_10.json schema ----------------------------------------------------- *)
 
 let synthetic_phase label =
   {
@@ -303,6 +303,8 @@ let synthetic_phase label =
     check_errors = 0;
     watchdog_alerts = 0;
     watchdog_peak_state = 0;
+    flight_events = 0;
+    flight_bytes = 0;
   }
 
 let synthetic_report =
@@ -321,6 +323,8 @@ let synthetic_report =
     showcase_plain = synthetic_phase "showcase-plain";
     showcase_watchdog = synthetic_phase "showcase-watchdog";
     watchdog_overhead_frac = 0.05;
+    showcase_flight = synthetic_phase "showcase-flight";
+    recorder_overhead_frac = 0.02;
   }
 
 let test_bench_schema_roundtrip () =
@@ -345,7 +349,8 @@ let test_bench_schema_rejects () =
       | Ok () -> Alcotest.failf "schema accepted a report without %S" field)
     [
       "bench"; "seed"; "open_loop"; "speedup_events_per_s"; "showcase";
-      "showcase_watchdog"; "watchdog_overhead_frac";
+      "showcase_watchdog"; "watchdog_overhead_frac"; "showcase_flight";
+      "recorder_overhead_frac";
     ];
   match Perf_bench.validate (Json.Str "nope") with
   | Error _ -> ()
@@ -366,18 +371,18 @@ let test_committed_bench_report () =
   (* Under `dune runtest` the cwd is _build/default/test; under a direct
      `dune exec` it is the project root. *)
   let file =
-    if Sys.file_exists "../BENCH_9.json" then "../BENCH_9.json"
-    else "BENCH_9.json"
+    if Sys.file_exists "../BENCH_10.json" then "../BENCH_10.json"
+    else "BENCH_10.json"
   in
   let text = In_channel.with_open_bin file In_channel.input_all in
   let j =
     match Json.parse text with
     | Ok j -> j
-    | Error e -> Alcotest.failf "BENCH_9.json is invalid JSON: %s" e
+    | Error e -> Alcotest.failf "BENCH_10.json is invalid JSON: %s" e
   in
   (match Perf_bench.validate j with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "BENCH_9.json fails the schema: %s" e);
+  | Error e -> Alcotest.failf "BENCH_10.json fails the schema: %s" e);
   let num path =
     match Json.member path j with
     | Some (Json.Num f) -> f
@@ -401,7 +406,7 @@ let test_committed_bench_report () =
   (* The watchdog showcase (history recording off): clean online verdict,
      and peak state bounded by the active visibility window — far below the
      transaction count the post-hoc checker would have had to record. *)
-  match Json.member "showcase_watchdog" j with
+  (match Json.member "showcase_watchdog" j with
   | None -> Alcotest.fail "missing showcase_watchdog phase"
   | Some wd ->
     let wd_num name =
@@ -417,7 +422,25 @@ let test_committed_bench_report () =
       (Printf.sprintf "watchdog peak state %.0f bounded well below %.0f txns"
          (wd_num "watchdog_peak_state") (wd_num "txns"))
       true
-      (wd_num "watchdog_peak_state" *. 4. < wd_num "txns")
+      (wd_num "watchdog_peak_state" *. 4. < wd_num "txns"));
+  (* The flight showcase: the recorder absorbed the full event stream of a
+     million-client run into a footprint that is a rounding error next to
+     the phase's own RSS. *)
+  match Json.member "showcase_flight" j with
+  | None -> Alcotest.fail "missing showcase_flight phase"
+  | Some fr ->
+    let fr_num name =
+      match Json.member name fr with
+      | Some (Json.Num f) -> f
+      | _ -> Alcotest.failf "missing numeric field showcase_flight.%S" name
+    in
+    check_bool "flight recorder really saw events" true
+      (fr_num "flight_events" > 1_000_000.);
+    check_bool
+      (Printf.sprintf "flight footprint %.0f bytes stays under 1 MiB"
+         (fr_num "flight_bytes"))
+      true
+      (fr_num "flight_bytes" > 0. && fr_num "flight_bytes" < 1_048_576.)
 
 let () =
   Alcotest.run "lsr_scale"
@@ -442,7 +465,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_bench_schema_roundtrip;
           Alcotest.test_case "rejects bad reports" `Quick test_bench_schema_rejects;
-          Alcotest.test_case "committed BENCH_9.json" `Quick
+          Alcotest.test_case "committed BENCH_10.json" `Quick
             test_committed_bench_report;
         ] );
     ]
